@@ -1,0 +1,125 @@
+//! Ablations over RPC-V's design knobs (beyond the paper's figures).
+//!
+//! The paper fixes heartbeat = 5 s, suspicion = 30 s and replication =
+//! 60 s and flags the trade-offs qualitatively ("The 'heart beat'
+//! frequency is adjusted considering the trade-off between Coordinator
+//! reactivity and congestion").  These sweeps quantify them, plus the two
+//! implemented extensions (server task checkpointing — §6 future work —
+//! and the redundant-replication flag of §4.2).
+
+use rpcv_bench::Figure;
+use rpcv_core::config::ProtocolConfig;
+use rpcv_core::grid::{GridSpec, SimGrid};
+use rpcv_simnet::{SimDuration, SimTime};
+use rpcv_workload::{FaultPlan, SyntheticBench};
+
+/// Fig. 7-style run (96×10 s RPCs, 16 servers) under server faults at
+/// 4/min, with a configurable protocol.
+fn faulty_run(cfg: ProtocolConfig, replication: u32, seed: u64) -> f64 {
+    let bench = SyntheticBench::fig7().with_replication(replication);
+    let spec = GridSpec::confined(4, 16).with_seed(seed).with_cfg(cfg).with_plan(bench.plan());
+    let mut grid = SimGrid::build(spec);
+    let targets: Vec<_> = grid.servers.iter().map(|&(_, n)| n).collect();
+    FaultPlan::new()
+        .poisson(
+            &targets,
+            4.0,
+            SimDuration::from_secs(15),
+            SimTime::ZERO,
+            SimTime::from_secs(3600),
+            seed ^ 0xAB1A,
+        )
+        .apply(&mut grid.world);
+    grid.run_until_done(SimTime::from_secs(3600 * 4))
+        .expect("ablation run completes")
+        .as_secs_f64()
+}
+
+fn avg<F: Fn(u64) -> f64>(f: F) -> f64 {
+    const SEEDS: [u64; 3] = [101, 202, 303];
+    SEEDS.iter().map(|&s| f(s)).sum::<f64>() / SEEDS.len() as f64
+}
+
+fn main() {
+    // 1. Suspicion timeout: reactivity vs wrong-suspicion waste.
+    let mut fig = Figure::new(
+        "ablation_suspicion_timeout",
+        &["suspicion_s", "exec_time_s"],
+    );
+    for secs in [10u64, 20, 30, 60, 120] {
+        let t = avg(|seed| {
+            faulty_run(
+                ProtocolConfig::confined().with_suspicion(SimDuration::from_secs(secs)),
+                1,
+                seed,
+            )
+        });
+        fig.row(&[secs as f64, t]);
+    }
+    fig.finish();
+
+    // 2. Heartbeat period: scheduling latency vs traffic.
+    let mut fig = Figure::new("ablation_heartbeat_period", &["heartbeat_s", "exec_time_s"]);
+    for secs in [1u64, 2, 5, 10, 20] {
+        let t = avg(|seed| {
+            faulty_run(
+                ProtocolConfig::confined().with_heartbeat(SimDuration::from_secs(secs)),
+                1,
+                seed,
+            )
+        });
+        fig.row(&[secs as f64, t]);
+    }
+    fig.finish();
+
+    // 3. Server task checkpointing (extension): lost-work recovery.
+    let mut fig = Figure::new(
+        "ablation_checkpoint_interval",
+        &["checkpoint_s_0_means_off", "exec_time_s"],
+    );
+    for secs in [0u64, 5, 15, 30, 60] {
+        let cfg = if secs == 0 {
+            ProtocolConfig::confined()
+        } else {
+            ProtocolConfig::confined().with_checkpointing(SimDuration::from_secs(secs))
+        };
+        let t = avg(|seed| faulty_run(cfg.clone(), 1, seed));
+        fig.row(&[secs as f64, t]);
+    }
+    fig.finish();
+
+    // 4. Redundant task replication (extension): anticipating failures.
+    let mut fig = Figure::new(
+        "ablation_redundant_replication",
+        &["instances_per_job", "exec_time_s"],
+    );
+    for n in [1u32, 2, 3] {
+        let t = avg(|seed| faulty_run(ProtocolConfig::confined(), n, seed));
+        fig.row(&[n as f64, t]);
+    }
+    fig.finish();
+
+    // 5. Replication period: failover lag (Fig. 10-style mini scenario).
+    let mut fig = Figure::new(
+        "ablation_replication_period",
+        &["replication_period_s", "exec_time_s"],
+    );
+    for secs in [5u64, 15, 30, 60, 120] {
+        let t = avg(|seed| {
+            let cfg = ProtocolConfig::confined()
+                .with_replication_period(SimDuration::from_secs(secs));
+            let bench = SyntheticBench::fig7();
+            let spec =
+                GridSpec::confined(2, 16).with_seed(seed).with_cfg(cfg).with_plan(bench.plan());
+            let mut grid = SimGrid::build(spec);
+            // Kill the preferred coordinator a third of the way in.
+            let c0 = grid.coords[0].1;
+            grid.world.schedule_control(SimTime::from_secs(25), rpcv_simnet::Control::Crash(c0));
+            grid.run_until_done(SimTime::from_secs(3600 * 4))
+                .expect("failover run completes")
+                .as_secs_f64()
+        });
+        fig.row(&[secs as f64, t]);
+    }
+    fig.finish();
+}

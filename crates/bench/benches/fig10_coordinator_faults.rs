@@ -1,0 +1,119 @@
+//! Figure 10 — "Execution with Two Consecutive Coordinator Faults".
+//!
+//! The paper's scripted real-life scenario (labels 1–10):
+//!  1. both coordinators start (client and servers prefer Lille);
+//!  2. Lille is killed when ~400 tasks have completed;
+//!  3. LRI keeps replicating until the kill lands mid-replication;
+//!  4. after the suspicion delay, servers switch and LRI starts receiving
+//!     results;
+//!  5. LRI's completed count reaches Lille's pre-fault level;
+//!  6. Lille restarts (everyone still prefers LRI);
+//!  7. Lille resynchronizes from LRI's replication;
+//!  8. LRI is killed;
+//!  9. client and servers suspect LRI and fall back to Lille;
+//! 10. the run finishes on Lille.
+//!
+//! Demonstrated property: "the system tolerates multiple coordinator
+//! faults".
+
+use rpcv_bench::Figure;
+use rpcv_core::grid::{GridSpec, SimGrid};
+use rpcv_simnet::SimTime;
+use rpcv_workload::AlcatelApp;
+
+fn scale() -> (usize, usize, u64) {
+    let tasks = std::env::var("RPCV_FIG10_TASKS").ok().and_then(|v| v.parse().ok()).unwrap_or(1000);
+    let servers =
+        std::env::var("RPCV_FIG10_SERVERS").ok().and_then(|v| v.parse().ok()).unwrap_or(280);
+    let kill_at = (tasks as u64) * 2 / 5; // "about 400 tasks" of 1000
+    (tasks, servers, kill_at)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Phase {
+    BeforeFirstKill,
+    LilleDown,
+    LilleRestarted,
+    LriDown,
+}
+
+fn main() {
+    let (tasks, servers, kill_at) = scale();
+    let app = AlcatelApp { tasks, seed: 2004 };
+    let spec = GridSpec::real_life(2, servers).with_plan(app.plan());
+    let mut grid = SimGrid::build(spec);
+    let lille = grid.coords[0].1;
+    let lri = grid.coords[1].1;
+
+    let mut fig = Figure::new(
+        "fig10_coordinator_faults",
+        &["minute", "completed_lille", "completed_lri"],
+    );
+    let mut events = Figure::new("fig10_events", &["label", "minute"]);
+    events.row_labelled("1:start", &[0.0]);
+
+    let mut phase = Phase::BeforeFirstKill;
+    let mut lille_at_kill = 0u64;
+    let mut phase_minute = 0u64;
+    let mut minute = 0u64;
+    loop {
+        grid.world.run_until(SimTime::from_secs(minute * 60));
+        let l = grid.coordinator(0).map(|c| c.db().finished_count()).unwrap_or(0);
+        let r = grid.coordinator(1).map(|c| c.db().finished_count()).unwrap_or(0);
+        fig.row(&[minute as f64, l as f64, r as f64]);
+
+        match phase {
+            Phase::BeforeFirstKill if l >= kill_at => {
+                // Label 2: kill Lille.
+                grid.world.crash_now(lille);
+                lille_at_kill = l;
+                events.row_labelled("2:kill_lille", &[minute as f64]);
+                phase = Phase::LilleDown;
+                phase_minute = minute;
+            }
+            Phase::LilleDown => {
+                // Labels 4–5: LRI visibly took over (its count clearly
+                // passed Lille's pre-fault level).  Label 6: restart Lille
+                // once everyone has switched — give the takeover several
+                // suspicion periods to play out.
+                if r >= lille_at_kill + tasks as u64 / 10 && minute >= phase_minute + 5 {
+                    grid.world.restart_now(lille);
+                    events.row_labelled("6:restart_lille", &[minute as f64]);
+                    phase = Phase::LilleRestarted;
+                    phase_minute = minute;
+                }
+            }
+            Phase::LilleRestarted => {
+                // Label 7: Lille resynchronized from LRI's replication
+                // (close to LRI, at least one replication period elapsed).
+                // Label 8: kill LRI.
+                if minute >= phase_minute + 5 && l + tasks as u64 / 20 >= r {
+                    grid.world.crash_now(lri);
+                    events.row_labelled("8:kill_lri", &[minute as f64]);
+                    phase = Phase::LriDown;
+                    phase_minute = minute;
+                }
+            }
+            _ => {}
+        }
+
+        let client_done = grid.client_results() >= tasks;
+        if client_done {
+            events.row_labelled("10:finished", &[minute as f64]);
+            break;
+        }
+        minute += 1;
+        if minute > 60 * 36 {
+            println!("# gave up after 36 virtual hours (phase {phase:?})");
+            break;
+        }
+    }
+    println!(
+        "# final: client={} lille_finished={:?} lri_finished={:?}",
+        grid.client_results(),
+        grid.coordinator(0).map(|c| c.db().finished_count()),
+        grid.coordinator(1).map(|c| c.db().finished_count()),
+    );
+    fig.finish();
+    events.finish();
+}

@@ -1,0 +1,79 @@
+//! Figure 11 — "Execution Under a Suspected Partitioned Environment".
+//!
+//! The paper's inconsistent-view scenario: "the servers suspect Lille
+//! coordinator as faulty, the client suspects LRI coordinator as faulty
+//! and the two coordinators consider the other one as running ... The LRI
+//! coordinator still works as a replica of the Lille one, enabling the
+//! tasks and results to flow from the client to the servers."
+//!
+//! Demonstrated property: "RPC-V can cope with system partitioning ... as
+//! long as there is a path between the client and the servers."  The
+//! figure compares completed tasks per minute against the reference run.
+
+use rpcv_bench::Figure;
+use rpcv_core::grid::{GridSpec, SimGrid};
+use rpcv_simnet::SimTime;
+use rpcv_workload::AlcatelApp;
+
+fn scale() -> (usize, usize) {
+    let tasks = std::env::var("RPCV_FIG11_TASKS").ok().and_then(|v| v.parse().ok()).unwrap_or(1000);
+    let servers =
+        std::env::var("RPCV_FIG11_SERVERS").ok().and_then(|v| v.parse().ok()).unwrap_or(280);
+    (tasks, servers)
+}
+
+/// Runs to completion, sampling the client-visible completion count per
+/// minute.  `partitioned` installs the Fig. 11 view split.
+fn run(tasks: usize, servers: usize, partitioned: bool) -> Vec<u64> {
+    let app = AlcatelApp { tasks, seed: 2004 };
+    let spec = GridSpec::real_life(2, servers).with_plan(app.plan());
+    let mut grid = SimGrid::build(spec);
+    if partitioned {
+        let lille = grid.coords[0].1;
+        let lri = grid.coords[1].1;
+        let client = grid.client_node;
+        // Client cannot see LRI; servers cannot see Lille.
+        grid.world.net_mut().block_bidir(client, lri);
+        for &(_, s) in &grid.servers.clone() {
+            grid.world.net_mut().block_bidir(s, lille);
+        }
+    }
+    let mut series = Vec::new();
+    let mut minute = 0u64;
+    loop {
+        grid.world.run_until(SimTime::from_secs(minute * 60));
+        series.push(grid.client_results() as u64);
+        if grid.client_results() >= tasks {
+            break;
+        }
+        minute += 1;
+        if minute > 60 * 36 {
+            println!("# gave up after 36 virtual hours (partitioned={partitioned})");
+            break;
+        }
+    }
+    series
+}
+
+fn main() {
+    let (tasks, servers) = scale();
+    let reference = run(tasks, servers, false);
+    let partitioned = run(tasks, servers, true);
+
+    let mut fig = Figure::new(
+        "fig11_partition_vs_reference",
+        &["minute", "reference_completed", "partitioned_completed"],
+    );
+    let len = reference.len().max(partitioned.len());
+    for m in 0..len {
+        let r = reference.get(m).copied().unwrap_or(tasks as u64);
+        let p = partitioned.get(m).copied().unwrap_or(tasks as u64);
+        fig.row(&[m as f64, r as f64, p as f64]);
+    }
+    println!(
+        "# reference finished in {} min; partitioned in {} min",
+        reference.len().saturating_sub(1),
+        partitioned.len().saturating_sub(1)
+    );
+    fig.finish();
+}

@@ -1,0 +1,76 @@
+//! Figure 4 — "Message Logging": RPC submission time for the three client
+//! logging strategies.
+//!
+//! Left plot: 16 calls, parameter size swept from 100 B to 100 MB.
+//! Right plot: 1–1000 calls of ~300 B.
+//!
+//! Paper-reported shape: blocking pessimistic ≈ +30% at large sizes (disk
+//! at ~3× wire rate); optimistic ≈ no overhead; non-blocking pessimistic
+//! small and variable (write-cache management); at small sizes the
+//! pessimistic overhead can reach +100% because log time ≈ comm time.
+
+use rpcv_bench::Figure;
+use rpcv_core::config::ProtocolConfig;
+use rpcv_core::grid::{GridSpec, SimGrid};
+use rpcv_log::LogStrategy;
+use rpcv_simnet::SimTime;
+use rpcv_workload::SyntheticBench;
+
+/// Total submission time for a plan under a strategy: first request to
+/// last submission-interaction end (the client-measured quantity).
+fn submission_time(bench: &SyntheticBench, strategy: LogStrategy) -> f64 {
+    let cfg = ProtocolConfig::confined().with_log_strategy(strategy);
+    // 16 servers as in the paper's cluster; execution time is irrelevant to
+    // the submission measurement but lets the run terminate.
+    let spec = GridSpec::confined(1, 16).with_cfg(cfg).with_plan(bench.plan());
+    let mut grid = SimGrid::build(spec);
+    // Generous horizon: 16 × 100 MB at 12.5 MB/s is already ~130 s.
+    grid.run_until_done(SimTime::from_secs(3600 * 6))
+        .expect("fig4 run must complete");
+    let client = grid.client().expect("client alive");
+    let first = client
+        .metrics
+        .submissions
+        .values()
+        .map(|t| t.requested_at)
+        .min()
+        .expect("submissions recorded");
+    let last = client
+        .metrics
+        .submissions
+        .values()
+        .filter_map(|t| t.interaction_end)
+        .max()
+        .expect("all submissions finished");
+    last.since(first).as_secs_f64()
+}
+
+fn main() {
+    // Left: data-size sweep, 16 calls.
+    let mut left = Figure::new(
+        "fig4_left_submission_time_vs_size",
+        &["bytes", "optimistic_s", "nonblocking_pessimistic_s", "blocking_pessimistic_s"],
+    );
+    for &size in &[100u64, 1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000] {
+        let bench = SyntheticBench::fig4(size);
+        let t_opt = submission_time(&bench, LogStrategy::Optimistic);
+        let t_nb = submission_time(&bench, LogStrategy::NonBlockingPessimistic);
+        let t_blk = submission_time(&bench, LogStrategy::BlockingPessimistic);
+        left.row(&[size as f64, t_opt, t_nb, t_blk]);
+    }
+    left.finish();
+
+    // Right: call-count sweep, small calls.
+    let mut right = Figure::new(
+        "fig4_right_submission_time_vs_calls",
+        &["calls", "optimistic_s", "nonblocking_pessimistic_s", "blocking_pessimistic_s"],
+    );
+    for &n in &[1usize, 3, 10, 30, 100, 300, 1000] {
+        let bench = SyntheticBench::small_calls(n);
+        let t_opt = submission_time(&bench, LogStrategy::Optimistic);
+        let t_nb = submission_time(&bench, LogStrategy::NonBlockingPessimistic);
+        let t_blk = submission_time(&bench, LogStrategy::BlockingPessimistic);
+        right.row(&[n as f64, t_opt, t_nb, t_blk]);
+    }
+    right.finish();
+}

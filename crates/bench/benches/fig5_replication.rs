@@ -1,0 +1,76 @@
+//! Figure 5 — "Coordinator Replication Time": time to replicate a
+//! coordinator's status to its backup.
+//!
+//! Left plot: 16 RPCs, data size swept (confined solid vs Internet
+//! dashed).  Right plot: number of ~300 B RPCs swept (confined vs
+//! real-life, whose coordinators have a faster database).
+//!
+//! Paper-reported shape: left — flat (database access + overhead dominate)
+//! until ~1 MB, then linear in data size; Internet linear but
+//! bandwidth-limited.  Right — linear in the number of task descriptions,
+//! "bounded by database operation time at the backup side"; real-life
+//! lower thanks to the better database.
+
+use rpcv_bench::Figure;
+use rpcv_core::grid::{GridSpec, SimGrid};
+use rpcv_simnet::{SimDuration, SimTime};
+use rpcv_workload::SyntheticBench;
+
+/// Measures one replication round carrying `calls` jobs of `param_bytes`.
+///
+/// Topology: 2 coordinators, no servers (tasks stay pending so the delta
+/// carries all job descriptions), 1 client.  The first replication round
+/// after the submissions land is the measured one.
+fn replication_time(calls: usize, param_bytes: u64, real_life: bool) -> f64 {
+    let mut bench = SyntheticBench::fig4(param_bytes);
+    bench.calls = calls;
+    let spec = if real_life {
+        GridSpec::real_life(2, 0)
+    } else {
+        GridSpec::confined(2, 0)
+    };
+    // Slow the replication period down so every submission is registered
+    // before the measured round starts.
+    let mut cfg = spec.cfg.clone();
+    cfg.replication_period = SimDuration::from_secs(3600);
+    let spec = spec.with_cfg(cfg).with_plan(bench.plan());
+    let mut grid = SimGrid::build(spec);
+    // Let all submissions register (no execution happens: no servers).
+    grid.world.run_until(SimTime::from_secs(3000));
+    let before = grid.coordinator(0).map(|c| c.db().stats().jobs).unwrap_or(0);
+    assert_eq!(before as usize, calls, "all jobs must register before measuring");
+    // Trigger and observe the first full replication round.
+    grid.world.run_until(SimTime::from_secs(3700 + 3600));
+    let c0 = grid.coordinator(0).expect("coordinator up");
+    let round = c0
+        .metrics
+        .repl_rounds
+        .iter()
+        .find(|r| r.records > 0 && r.acked_at.is_some())
+        .expect("a replication round must have completed");
+    round.acked_at.unwrap().since(round.started).as_secs_f64()
+}
+
+fn main() {
+    let mut left = Figure::new(
+        "fig5_left_replication_time_vs_size",
+        &["bytes", "confined_s", "internet_s"],
+    );
+    for &size in &[100u64, 1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000] {
+        let confined = replication_time(16, size, false);
+        let internet = replication_time(16, size, true);
+        left.row(&[size as f64, confined, internet]);
+    }
+    left.finish();
+
+    let mut right = Figure::new(
+        "fig5_right_replication_time_vs_calls",
+        &["calls", "confined_s", "reallife_s"],
+    );
+    for &n in &[1usize, 3, 10, 30, 100, 300, 1000] {
+        let confined = replication_time(n, 300, false);
+        let reallife = replication_time(n, 300, true);
+        right.row(&[n as f64, confined, reallife]);
+    }
+    right.finish();
+}

@@ -1,0 +1,125 @@
+//! Figure 6 — "Synchronization Time": client↔coordinator synchronization
+//! when the logs live on the client side vs on the coordinator side.
+//!
+//! Left plot: 16 calls, parameter size swept.  Right plot: call count
+//! swept at ~300 B.
+//!
+//! Paper-reported shape: "Rebuilding the state of the coordinator from the
+//! client logs can be six times faster than the opposite" at small sizes;
+//! the asymmetry shrinks as size/count grows.  Client-side logs: one local
+//! disk access, then a bulk log replay.  Coordinator-side logs: the client
+//! must first retrieve the list from the coordinator (extra round trip +
+//! per-entry database scan), then pull the payloads.
+
+use rpcv_bench::Figure;
+use rpcv_core::config::ProtocolConfig;
+use rpcv_core::grid::{GridSpec, SimGrid};
+use rpcv_log::LogStrategy;
+use rpcv_simnet::{SimDuration, SimTime};
+use rpcv_workload::SyntheticBench;
+
+/// Fast heartbeat so the beat wait does not dominate the measurement.
+fn cfg() -> ProtocolConfig {
+    ProtocolConfig::confined()
+        .with_log_strategy(LogStrategy::BlockingPessimistic)
+        .with_heartbeat(SimDuration::from_secs(2))
+}
+
+/// Scenario A — logs at the client only: the coordinator restarts from
+/// scratch and the client's log replay rebuilds it.  Time: coordinator
+/// restart → coordinator registered all `n` submissions.
+fn sync_from_client_logs(n: usize, param_bytes: u64) -> f64 {
+    let mut bench = SyntheticBench::fig4(param_bytes);
+    bench.calls = n;
+    // No servers: pure registration state.
+    let spec = GridSpec::confined(1, 0).with_cfg(cfg()).with_plan(bench.plan());
+    let mut grid = SimGrid::build(spec);
+    grid.world.run_until(SimTime::from_secs(2000));
+    assert_eq!(grid.coordinator(0).unwrap().db().stats().jobs as usize, n);
+    // Coordinator loses everything and restarts.
+    let c0 = grid.coords[0].1;
+    let replays_before = grid.client().unwrap().metrics.log_replays;
+    grid.world.crash_now(c0);
+    grid.world.wipe_durable(c0);
+    grid.world.restart_now(c0);
+    let horizon = grid.world.now() + SimDuration::from_secs(7200);
+    // The clock starts when the client begins the synchronization (its
+    // next heartbeat notices the empty coordinator) — the paper measures
+    // the synchronization operation, not the detection phase.
+    let step = SimDuration::from_millis(5);
+    let t0 = loop {
+        grid.world.run_for(step);
+        let replays = grid.client().map(|c| c.metrics.log_replays).unwrap_or(0);
+        if replays > replays_before {
+            break grid.world.now();
+        }
+        assert!(grid.world.now() < horizon, "client never started the replay");
+    };
+    loop {
+        grid.world.run_for(step);
+        let jobs = grid.coordinator(0).map(|c| c.db().stats().jobs).unwrap_or(0);
+        if jobs as usize >= n {
+            break;
+        }
+        assert!(grid.world.now() < horizon, "sync from client logs did not converge");
+    }
+    grid.world.now().since(t0).as_secs_f64()
+}
+
+/// Scenario B — logs at the coordinator only: the client restarts from
+/// scratch and rebuilds (registered range + all results) by pulling.
+/// Time: client restart → client holds all `n` results.
+fn sync_from_coordinator_logs(n: usize, param_bytes: u64) -> f64 {
+    let mut bench = SyntheticBench::fig4(param_bytes);
+    bench.calls = n;
+    // Results must exist at the coordinator: use servers and quick tasks.
+    // Result sizes mirror the parameter size so the transferred volume is
+    // comparable with scenario A.
+    bench.result_bytes = param_bytes;
+    bench.exec_secs = 0.01;
+    let spec = GridSpec::confined(1, 8).with_cfg(cfg()).with_plan(bench.plan());
+    let mut grid = SimGrid::build(spec);
+    grid.run_until_done(SimTime::from_secs(3600 * 4)).expect("setup completes");
+    // Client loses everything and restarts.
+    let cl = grid.client_node;
+    grid.world.crash_now(cl);
+    grid.world.wipe_durable(cl);
+    grid.world.restart_now(cl);
+    let t0 = grid.world.now();
+    let step = SimDuration::from_millis(20);
+    loop {
+        grid.world.run_for(step);
+        if grid.client_results() >= n {
+            break;
+        }
+        assert!(
+            grid.world.now() < t0 + SimDuration::from_secs(7200),
+            "sync from coordinator logs did not converge"
+        );
+    }
+    grid.world.now().since(t0).as_secs_f64()
+}
+
+fn main() {
+    let mut left = Figure::new(
+        "fig6_left_sync_time_vs_size",
+        &["bytes", "client_logs_s", "coordinator_logs_s"],
+    );
+    for &size in &[100u64, 1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000] {
+        let a = sync_from_client_logs(16, size);
+        let b = sync_from_coordinator_logs(16, size);
+        left.row(&[size as f64, a, b]);
+    }
+    left.finish();
+
+    let mut right = Figure::new(
+        "fig6_right_sync_time_vs_calls",
+        &["calls", "client_logs_s", "coordinator_logs_s"],
+    );
+    for &n in &[1usize, 3, 10, 30, 100, 300, 1000] {
+        let a = sync_from_client_logs(n, 300);
+        let b = sync_from_coordinator_logs(n, 300);
+        right.row(&[n as f64, a, b]);
+    }
+    right.finish();
+}

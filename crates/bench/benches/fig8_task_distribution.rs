@@ -1,0 +1,32 @@
+//! Figure 8 — "Distribution of Tasks Durations in the Alcatel Application".
+//!
+//! The paper runs the Alcatel commutation-network validation tool with
+//! 1000 parallel tasks and shows their duration histogram: "the tasks
+//! duration varies in a wide range".  Our stand-in generates 1000 random
+//! network configurations (log-normal size mix) whose validation costs
+//! derive from the same graph parameters the evaluator really processes.
+
+use rpcv_bench::Figure;
+use rpcv_workload::AlcatelApp;
+
+fn main() {
+    let app = AlcatelApp::paper();
+    let durations = app.durations();
+
+    let mut sorted = durations.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let min = sorted.first().copied().unwrap_or(0.0);
+    let median = sorted[sorted.len() / 2];
+    let max = sorted.last().copied().unwrap_or(0.0);
+    let mean = durations.iter().sum::<f64>() / durations.len() as f64;
+    println!("# tasks={} min={min:.0}s median={median:.0}s mean={mean:.0}s max={max:.0}s", durations.len());
+
+    let mut fig = Figure::new(
+        "fig8_task_duration_histogram",
+        &["bucket_start_s", "tasks"],
+    );
+    for (bucket, count) in app.duration_histogram(120.0) {
+        fig.row(&[bucket, count as f64]);
+    }
+    fig.finish();
+}

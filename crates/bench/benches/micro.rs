@@ -1,0 +1,203 @@
+//! Criterion microbenchmarks for the substrates: marshalling, logging,
+//! storage, detection, the simulator kernel, and the Alcatel evaluator.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use rpcv_core::msg::Msg;
+use rpcv_detect::HeartbeatMonitor;
+use rpcv_log::{GcPolicy, LogStrategy, SenderLog};
+use rpcv_simnet::DetRng;
+use rpcv_store::CoordinatorDb;
+use rpcv_wire::{crc64, from_bytes, to_bytes, Blob};
+use rpcv_workload::{AlcatelApp, NetworkConfig};
+use rpcv_xw::{ClientKey, CoordId, JobKey, JobSpec, ServerId};
+
+fn bench_wire(c: &mut Criterion) {
+    let msg = Msg::Submit {
+        spec: JobSpec::new(
+            JobKey::new(ClientKey::new(1, 2), 3),
+            "alcatel/netsim",
+            Blob::from_vec(vec![7u8; 1024]),
+        ),
+    };
+    let bytes = to_bytes(&msg);
+    let mut g = c.benchmark_group("wire");
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_function("encode_submit_1k", |b| b.iter(|| to_bytes(&msg)));
+    g.bench_function("decode_submit_1k", |b| {
+        b.iter(|| from_bytes::<Msg>(&bytes).unwrap())
+    });
+    let payload = vec![0xA5u8; 64 * 1024];
+    g.throughput(Throughput::Bytes(payload.len() as u64));
+    g.bench_function("crc64_64k", |b| b.iter(|| crc64(&payload)));
+    g.finish();
+}
+
+fn bench_logging(c: &mut Criterion) {
+    let mut g = c.benchmark_group("logging");
+    for strategy in LogStrategy::ALL {
+        g.bench_function(format!("append_{}", strategy.name()), |b| {
+            b.iter_batched(
+                || {
+                    (
+                        SenderLog::<u64>::new(strategy, GcPolicy::unbounded()),
+                        rpcv_simnet::Disk::new(rpcv_simnet::DiskSpec::default()),
+                    )
+                },
+                |(mut log, mut disk)| {
+                    for i in 0..100 {
+                        log.append(i, 1000, rpcv_simnet::SimTime::ZERO, &mut disk);
+                    }
+                    log
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_store(c: &mut Criterion) {
+    let mut g = c.benchmark_group("store");
+    g.bench_function("register_100_jobs", |b| {
+        b.iter_batched(
+            || CoordinatorDb::new(CoordId(1)),
+            |mut db| {
+                for i in 1..=100u64 {
+                    db.register_job(JobSpec::new(
+                        JobKey::new(ClientKey::new(1, 1), i),
+                        "svc",
+                        Blob::synthetic(300, i),
+                    ));
+                }
+                db
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("delta_roundtrip_100_jobs", |b| {
+        let mut db = CoordinatorDb::new(CoordId(1));
+        for i in 1..=100u64 {
+            db.register_job(JobSpec::new(
+                JobKey::new(ClientKey::new(1, 1), i),
+                "svc",
+                Blob::synthetic(300, i),
+            ));
+        }
+        b.iter_batched(
+            || CoordinatorDb::new(CoordId(2)),
+            |mut backup| {
+                let delta = db.delta_since(0);
+                backup.apply_delta(&delta);
+                backup
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("schedule_drain_100_tasks", |b| {
+        b.iter_batched(
+            || {
+                let mut db = CoordinatorDb::new(CoordId(1));
+                for i in 1..=100u64 {
+                    db.register_job(JobSpec::new(
+                        JobKey::new(ClientKey::new(1, 1), i),
+                        "svc",
+                        Blob::synthetic(300, i),
+                    ));
+                }
+                db
+            },
+            |mut db| {
+                while let (Some(_), _) = db.next_pending(ServerId(1), rpcv_simnet::SimTime::ZERO) {}
+                db
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_detect(c: &mut Criterion) {
+    c.bench_function("detect/observe_and_scan_1000", |b| {
+        b.iter_batched(
+            || HeartbeatMonitor::<u64>::paper_default(),
+            |mut mon| {
+                for i in 0..1000 {
+                    mon.observe(i, rpcv_simnet::SimTime::from_secs(i % 40));
+                }
+                mon.suspects(rpcv_simnet::SimTime::from_secs(60)).len()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_simnet(c: &mut Criterion) {
+    use rpcv_simnet::*;
+    struct Bouncer;
+    #[derive(Debug)]
+    struct B(u64);
+    impl WireSized for B {
+        fn wire_size(&self) -> u64 {
+            32
+        }
+    }
+    impl Actor<B> for Bouncer {
+        fn on_start(&mut self, _ctx: &mut Ctx<'_, B>) {}
+        fn on_message(&mut self, ctx: &mut Ctx<'_, B>, from: NodeId, msg: B) {
+            if from != NodeId::EXTERNAL && msg.0 > 0 {
+                ctx.send(from, B(msg.0 - 1));
+            }
+        }
+        fn on_timer(&mut self, _ctx: &mut Ctx<'_, B>, _id: TimerId, _k: u64) {}
+    }
+    c.bench_function("simnet/10k_message_hops", |b| {
+        b.iter(|| {
+            let mut w = World::<B>::new(1);
+            let a = w.add_host(HostSpec::named("a"));
+            let bn = w.add_host(HostSpec::named("b"));
+            w.install(a, |_| Box::new(Bouncer));
+            w.install(bn, |_| Box::new(Bouncer));
+            struct Kick {
+                peer: NodeId,
+            }
+            impl Actor<B> for Kick {
+                fn on_start(&mut self, ctx: &mut Ctx<'_, B>) {
+                    ctx.send(self.peer, B(10_000));
+                }
+                fn on_message(&mut self, ctx: &mut Ctx<'_, B>, from: NodeId, msg: B) {
+                    if msg.0 > 0 {
+                        ctx.send(from, B(msg.0 - 1));
+                    }
+                }
+                fn on_timer(&mut self, _ctx: &mut Ctx<'_, B>, _id: TimerId, _k: u64) {}
+            }
+            let c0 = w.add_host(HostSpec::named("c"));
+            w.install(c0, move |_| Box::new(Kick { peer: bn }));
+            w.run_until_idle(SimTime::from_secs(100_000));
+            w.events_processed()
+        })
+    });
+}
+
+fn bench_alcatel(c: &mut Criterion) {
+    let mut rng = DetRng::new(5);
+    let config = NetworkConfig::generate(&mut rng, 100);
+    c.bench_function("alcatel/evaluate_100_switches", |b| {
+        b.iter(|| rpcv_workload::alcatel::evaluate(&config))
+    });
+    c.bench_function("alcatel/generate_plan_50", |b| {
+        b.iter(|| AlcatelApp::with_tasks(50).plan())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_wire,
+    bench_logging,
+    bench_store,
+    bench_detect,
+    bench_simnet,
+    bench_alcatel
+);
+criterion_main!(benches);

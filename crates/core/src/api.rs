@@ -1,0 +1,169 @@
+//! The GridRPC-style client API.
+//!
+//! Paper §4.2: "The RPC-V API is compliant with GridRPC except the
+//! functions for Remote Function Handle Management that are absent of the
+//! RPC-V API.  The coordinator virtualization and forwarding avoid the
+//! need of function handle management at the client side (the client never
+//! connects to the server directly)."
+//!
+//! Mapping to the GridRPC specification:
+//!
+//! | GridRPC             | here                         |
+//! |---------------------|------------------------------|
+//! | `grpc_call`         | [`GridClient::call`]         |
+//! | `grpc_call_async`   | [`GridClient::call_async`]   |
+//! | `grpc_probe`        | [`GridClient::probe`]        |
+//! | `grpc_wait`         | [`GridClient::wait`]         |
+//! | `grpc_wait_all`     | [`GridClient::wait_all`]     |
+//! | `grpc_cancel`       | [`GridClient::cancel`]       |
+//! | function handles    | *absent by design*           |
+
+use std::time::{Duration as StdDuration, Instant};
+
+use rpcv_wire::Blob;
+
+use crate::runtime::LiveGrid;
+use crate::util::CallSpec;
+
+/// Handle to an asynchronous RPC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RpcHandle {
+    /// The submission timestamp (unique per client session).
+    pub seq: u64,
+}
+
+/// API-level errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GridError {
+    /// The wait deadline passed before the result arrived.
+    Timeout,
+    /// The grid runtime has shut down.
+    Disconnected,
+    /// The handle was cancelled locally.
+    Cancelled,
+}
+
+impl std::fmt::Display for GridError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GridError::Timeout => write!(f, "timed out waiting for result"),
+            GridError::Disconnected => write!(f, "grid runtime disconnected"),
+            GridError::Cancelled => write!(f, "call cancelled"),
+        }
+    }
+}
+
+impl std::error::Error for GridError {}
+
+/// GridRPC-style client over a [`LiveGrid`].
+pub struct GridClient<'g> {
+    grid: &'g LiveGrid,
+    submitted: u64,
+    cancelled: Vec<u64>,
+    poll_interval: StdDuration,
+}
+
+impl<'g> GridClient<'g> {
+    /// Client bound to a running grid.
+    ///
+    /// Assumes this is the only submitter for the grid's client actor (the
+    /// sequential timestamp mapping requires it — one `GridClient` per
+    /// client session, exactly like one GridRPC session per client).
+    pub fn new(grid: &'g LiveGrid) -> Self {
+        GridClient {
+            grid,
+            submitted: 0,
+            cancelled: Vec::new(),
+            poll_interval: StdDuration::from_millis(10),
+        }
+    }
+
+    /// Non-blocking call (GridRPC `grpc_call_async`): submits and returns a
+    /// handle immediately.
+    pub fn call_async(&mut self, call: CallSpec) -> RpcHandle {
+        self.submitted += 1;
+        let seq = self.submitted;
+        self.grid.handle().inject(self.grid.client_node, crate::msg::Msg::ApiSubmit {
+            service: call.service,
+            params: call.params,
+            exec_cost: call.exec_cost,
+            result_size: call.result_size,
+            replication: call.replication,
+        });
+        RpcHandle { seq }
+    }
+
+    /// Blocking call (GridRPC `grpc_call`).
+    pub fn call(&mut self, call: CallSpec, timeout: StdDuration) -> Result<Blob, GridError> {
+        let h = self.call_async(call);
+        self.wait(h, timeout)
+    }
+
+    /// Non-blocking completion test (GridRPC `grpc_probe`).
+    pub fn probe(&self, h: RpcHandle) -> bool {
+        let seq = h.seq;
+        self.grid
+            .with_client(move |c| c.result_archive(seq).is_some())
+            .unwrap_or(false)
+    }
+
+    /// Blocks until the result arrives (GridRPC `grpc_wait`).
+    pub fn wait(&self, h: RpcHandle, timeout: StdDuration) -> Result<Blob, GridError> {
+        if self.cancelled.contains(&h.seq) {
+            return Err(GridError::Cancelled);
+        }
+        let deadline = Instant::now() + timeout;
+        loop {
+            let seq = h.seq;
+            match self.grid.with_client(move |c| c.result_archive(seq).cloned()) {
+                Some(Some(blob)) => return Ok(blob),
+                Some(None) => {}
+                None => {
+                    // Client node currently down (crash window) — keep
+                    // polling: it may restart and recover its results.
+                }
+            }
+            if Instant::now() >= deadline {
+                return Err(GridError::Timeout);
+            }
+            std::thread::sleep(self.poll_interval);
+        }
+    }
+
+    /// Blocks until every outstanding call completed (GridRPC
+    /// `grpc_wait_all`).
+    pub fn wait_all(&self, timeout: StdDuration) -> Result<(), GridError> {
+        let deadline = Instant::now() + timeout;
+        let expected = self.submitted - self.cancelled.len() as u64;
+        loop {
+            let have = self
+                .grid
+                .with_client(|c| c.results_count() as u64)
+                .unwrap_or(0);
+            if have >= expected {
+                return Ok(());
+            }
+            if Instant::now() >= deadline {
+                return Err(GridError::Timeout);
+            }
+            std::thread::sleep(self.poll_interval);
+        }
+    }
+
+    /// Cancels a call locally (GridRPC `grpc_cancel`).
+    ///
+    /// At-least-once semantics mean the execution may still happen on some
+    /// server; cancellation only stops this client from waiting on it.
+    /// This mirrors the paper's client-disconnection policy: "we let the
+    /// execution continue on the server side" (§2.2).
+    pub fn cancel(&mut self, h: RpcHandle) {
+        if !self.cancelled.contains(&h.seq) {
+            self.cancelled.push(h.seq);
+        }
+    }
+
+    /// Calls submitted through this client.
+    pub fn submitted(&self) -> u64 {
+        self.submitted
+    }
+}

@@ -1,0 +1,601 @@
+//! The RPC-V client actor.
+//!
+//! Responsibilities (paper §4.1/§4.2):
+//!
+//! * tag every submission with a unique monotone counter value and log it
+//!   locally under the configured strategy *before* it leaves (sender-based
+//!   message logging; Fig. 4 compares the strategies);
+//! * talk only to its *preferred coordinator*, switching to the next one in
+//!   the known list on suspicion, then running the timestamp
+//!   synchronization ("the client and coordinator synchronize their state
+//!   from their local logs");
+//! * pull results periodically (connection-less, client-initiated);
+//! * survive crashes: restart from the durable log, roll forward past
+//!   whatever the coordinator already registered.
+
+use std::collections::BTreeMap;
+
+use rpcv_detect::CoordinatorList;
+use rpcv_log::SenderLog;
+use rpcv_simnet::{Actor, Ctx, DurableImage, NodeId, SimTime, TimerId};
+use rpcv_wire::Blob;
+use rpcv_xw::{ClientKey, CoordId, JobKey, JobSpec};
+
+use crate::calibration::MARSHAL_BW;
+use crate::config::ProtocolConfig;
+use crate::msg::Msg;
+use crate::util::{CallSpec, Deferred, Directory};
+
+const K_BEAT: u64 = 1;
+const K_SEND: u64 = 2;
+const K_NEXT: u64 = 3;
+
+/// Observation record for one submission.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SubmitTiming {
+    /// When the application requested the call.
+    pub requested_at: SimTime,
+    /// When the submission interaction completed (communication done and,
+    /// for non-blocking pessimistic logging, the durability barrier
+    /// passed) — the quantity Fig. 4 plots.
+    pub interaction_end: Option<SimTime>,
+}
+
+/// Client-side observations read by experiment harnesses.
+#[derive(Debug, Clone, Default)]
+pub struct ClientMetrics {
+    /// Per-seq submission timings.
+    pub submissions: BTreeMap<u64, SubmitTiming>,
+    /// Result arrival times per seq.
+    pub results_received: BTreeMap<u64, SimTime>,
+    /// When every planned call had its result.
+    pub done_at: Option<SimTime>,
+    /// Coordinator switches performed.
+    pub coordinator_switches: u64,
+    /// Synchronizations that had to resend log entries.
+    pub log_replays: u64,
+}
+
+/// A received result retained by the client.
+#[derive(Debug, Clone)]
+struct ResultRec {
+    archive: Blob,
+    durable_at: SimTime,
+    acked: bool,
+}
+
+/// State that survives a client crash (its disk).
+struct ClientDurable {
+    log: SenderLog<JobSpec>,
+    results: BTreeMap<u64, ResultRec>,
+    metrics: ClientMetrics,
+}
+
+/// Construction parameters (shared by first start and restarts).
+#[derive(Debug, Clone)]
+pub struct ClientParams {
+    /// Identity.
+    pub key: ClientKey,
+    /// Protocol configuration.
+    pub cfg: ProtocolConfig,
+    /// Coordinator directory.
+    pub directory: Directory,
+    /// The workload: calls submitted sequentially (each when the previous
+    /// submission interaction completes).
+    pub plan: Vec<CallSpec>,
+}
+
+/// The client state machine.
+pub struct ClientActor {
+    params: ClientParams,
+    coords: CoordinatorList<u64>,
+    current_coord: Option<CoordId>,
+    log: SenderLog<JobSpec>,
+    next_plan_idx: usize,
+    results: BTreeMap<u64, ResultRec>,
+    /// Seqs whose payloads were requested but not yet received:
+    /// `(last request, attempts)` — re-requests back off exponentially so
+    /// large archives in flight are not requested again every beat.
+    requested: BTreeMap<u64, (SimTime, u32)>,
+    /// When each submission last left this client (replay throttle).
+    sent_at: BTreeMap<u64, SimTime>,
+    /// `(coordinator, boot epoch)` of the last reply, plus the highest
+    /// `coord_max` observed within it.
+    coord_epoch: Option<(CoordId, u64)>,
+    acked_max: u64,
+    /// When `acked_max` last advanced (registration progress watermark).
+    progress_at: SimTime,
+    /// Last advertised result catalog: seq → size.
+    catalog: BTreeMap<u64, u64>,
+    /// Last ResultsRequest instant (pull pacing).
+    last_pull: Option<SimTime>,
+    /// Submissions whose interaction has not completed yet (keeps the
+    /// sequential submission pump alive across API-driven plan growth).
+    in_flight_submissions: usize,
+    last_reply: Option<SimTime>,
+    deferred: Deferred,
+    /// Submission metadata for deferred sends: token (seq) → barrier time.
+    barriers: BTreeMap<u64, SimTime>,
+    /// Public observations.
+    pub metrics: ClientMetrics,
+}
+
+impl ClientActor {
+    /// Builds the actor factory used by `World::install`: restores from the
+    /// durable image on restart.
+    pub fn factory(
+        params: ClientParams,
+    ) -> impl FnMut(DurableImage) -> Box<dyn Actor<Msg> + Send> + Send + 'static {
+        move |image| {
+            let mut actor = ClientActor::fresh(params.clone());
+            if let Some(d) = image.take::<ClientDurable>() {
+                actor.next_plan_idx = d.log.max_seq() as usize;
+                actor.log = d.log;
+                actor.results = d.results;
+                actor.metrics = d.metrics;
+            }
+            Box::new(actor)
+        }
+    }
+
+    fn fresh(params: ClientParams) -> Self {
+        let coords = CoordinatorList::new(params.directory.coord_ids(), params.cfg.coord_retry);
+        let log = SenderLog::new(params.cfg.log_strategy, params.cfg.log_gc);
+        ClientActor {
+            params,
+            coords,
+            current_coord: None,
+            log,
+            next_plan_idx: 0,
+            results: BTreeMap::new(),
+            requested: BTreeMap::new(),
+            sent_at: BTreeMap::new(),
+            coord_epoch: None,
+            acked_max: 0,
+            progress_at: SimTime::ZERO,
+            catalog: BTreeMap::new(),
+            last_pull: None,
+            in_flight_submissions: 0,
+            last_reply: None,
+            deferred: Deferred::new(),
+            barriers: BTreeMap::new(),
+            metrics: ClientMetrics::default(),
+        }
+    }
+
+    /// Identity.
+    pub fn key(&self) -> ClientKey {
+        self.params.key
+    }
+
+    /// Number of planned calls.
+    pub fn plan_len(&self) -> usize {
+        self.params.plan.len()
+    }
+
+    /// Results received so far.
+    pub fn results_count(&self) -> usize {
+        self.results.len()
+    }
+
+    /// The coordinator currently preferred, if any.
+    pub fn current_coordinator(&self) -> Option<CoordId> {
+        self.current_coord
+    }
+
+    /// Appends extra calls to the plan (used by the API layer's
+    /// `ApiSubmit` injection path and by scripted scenarios).
+    pub fn extend_plan(&mut self, calls: impl IntoIterator<Item = CallSpec>) {
+        self.params.plan.extend(calls);
+    }
+
+    fn coordinator(&mut self, now: SimTime) -> Option<(CoordId, NodeId)> {
+        let id = match self.current_coord {
+            Some(c) if self.coords.is_eligible(c.0, now) => c,
+            _ => {
+                let picked = CoordId(self.coords.preferred(now)?);
+                self.current_coord = Some(picked);
+                // Fresh coordinator gets a fresh suspicion window.
+                self.last_reply = Some(now);
+                picked
+            }
+        };
+        self.params.directory.node_of(id).map(|n| (id, n))
+    }
+
+    fn check_coordinator_liveness(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let now = ctx.now();
+        if let (Some(c), Some(last)) = (self.current_coord, self.last_reply) {
+            if now.since(last) > self.params.cfg.suspicion {
+                ctx.note("client suspects coordinator");
+                self.coords.suspect(c.0, now);
+                self.current_coord = None;
+                self.metrics.coordinator_switches += 1;
+            }
+        }
+    }
+
+    fn submit_next(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let Some(call) = self.params.plan.get(self.next_plan_idx).cloned() else { return };
+        let now = ctx.now();
+        let seq = self.log.peek_seq();
+        self.next_plan_idx += 1;
+        self.in_flight_submissions += 1;
+        let spec = JobSpec {
+            key: JobKey { client: self.params.key, seq },
+            service: call.service,
+            cmdline: String::new(),
+            params: call.params,
+            exec_cost: call.exec_cost,
+            result_size_hint: call.result_size,
+            replication: call.replication,
+        };
+        // Marshalling cost, then the strategy-mediated log write.
+        let marshal_done = ctx.cpu(spec.params.len() as f64 / MARSHAL_BW);
+        let logged_bytes = spec.params.len() + 64; // params + call frame
+        let out = self.log.append(spec.clone(), logged_bytes, now, ctx.disk_mut());
+        debug_assert_eq!(out.seq, seq);
+        self.metrics
+            .submissions
+            .insert(seq, SubmitTiming { requested_at: now, interaction_end: None });
+        let comm_start = out.timing.comm_may_start_at.max(marshal_done);
+        // Mark the submission as in flight from the moment it is scheduled
+        // (the deferred send may fire a little later); a crash wipes this
+        // map, so restored log entries correctly look never-sent.
+        self.sent_at.insert(seq, now);
+        if out.timing.barrier {
+            self.barriers.insert(seq, out.timing.durable_at);
+        }
+        if let Some((_, node)) = self.coordinator(now) {
+            if let Some(comm_end) =
+                self.deferred.send_at(ctx, comm_start, node, Msg::Submit { spec }, K_SEND, seq)
+            {
+                self.finish_submission(ctx, seq, comm_end);
+            }
+        } else {
+            // No coordinator known: the interaction ends locally; the log
+            // replay at the next synchronization will deliver it.
+            self.finish_submission(ctx, seq, comm_start);
+        }
+    }
+
+    fn finish_submission(&mut self, ctx: &mut Ctx<'_, Msg>, seq: u64, comm_end: SimTime) {
+        self.sent_at.insert(seq, ctx.now());
+        let barrier = self.barriers.remove(&seq);
+        let end = barrier.map_or(comm_end, |b| b.max(comm_end));
+        if let Some(t) = self.metrics.submissions.get_mut(&seq) {
+            t.interaction_end = Some(end);
+        }
+        self.in_flight_submissions = self.in_flight_submissions.saturating_sub(1);
+        // Sequential submission: the next call starts when this interaction
+        // completes.  Always schedule the continuation — the plan may grow
+        // (API submissions) between now and the timer firing.
+        ctx.set_timer_at(end, K_NEXT);
+    }
+
+    fn beat(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        self.check_coordinator_liveness(ctx);
+        let now = ctx.now();
+        let Some((_, node)) = self.coordinator(now) else { return };
+        // Ack results that are durable locally and not yet acked.
+        let collected: Vec<u64> = self
+            .results
+            .iter()
+            .filter(|(_, r)| !r.acked && r.durable_at <= now)
+            .map(|(&s, _)| s)
+            .collect();
+        for s in &collected {
+            if let Some(r) = self.results.get_mut(s) {
+                r.acked = true;
+            }
+        }
+        ctx.send(node, Msg::ClientBeat {
+            client: self.params.key,
+            max_seq: self.log.max_seq(),
+            collected,
+        });
+    }
+
+    fn ingest_results(&mut self, ctx: &mut Ctx<'_, Msg>, results: Vec<crate::msg::RpcResult>) {
+        let now = ctx.now();
+        for r in results {
+            let seq = r.job.seq;
+            self.requested.remove(&seq);
+            if self.results.contains_key(&seq) {
+                continue;
+            }
+            // Results are made durable locally (cached write) so a crash
+            // after acking cannot lose them.
+            let out = ctx.disk_write(r.archive.len() + 32, false);
+            self.results.insert(
+                seq,
+                ResultRec { archive: r.archive, durable_at: out.durable_at, acked: false },
+            );
+            self.metrics.results_received.insert(seq, now);
+        }
+        if self.metrics.done_at.is_none()
+            && self.next_plan_idx >= self.params.plan.len()
+            && self.results.len() >= self.params.plan.len()
+            && !self.params.plan.is_empty()
+        {
+            self.metrics.done_at = Some(now);
+            ctx.note("client workload complete");
+        }
+    }
+
+    /// Reconciles the coordinator boot epoch; returns false when the reply
+    /// is a stale reordering (same epoch, lower high-water mark) whose sync
+    /// content must be ignored.
+    fn reconcile_epoch(&mut self, now: SimTime, epoch: u64, coord_max: u64) -> bool {
+        let current = self.current_coord.map(|c| (c, epoch));
+        if self.coord_epoch != current {
+            // A *different* incarnation than the one previously observed:
+            // everything acknowledged is up for re-verification and the
+            // in-flight bookkeeping addressed the old incarnation.  (The
+            // very first contact is not a change — messages already in
+            // flight to it are genuine.)
+            if self.coord_epoch.is_some() {
+                self.sent_at.clear();
+                self.requested.clear();
+            }
+            self.coord_epoch = current;
+            self.acked_max = 0;
+            self.progress_at = now;
+        }
+        if coord_max < self.acked_max {
+            return false; // stale reordered reply
+        }
+        if coord_max > self.acked_max {
+            self.acked_max = coord_max;
+            self.progress_at = now;
+        }
+        true
+    }
+
+    fn handle_sync_reply(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        coord_max: u64,
+        epoch: u64,
+        available: Vec<(u64, u64)>,
+    ) {
+        let now = ctx.now();
+        self.last_reply = Some(now);
+        if let Some(c) = self.current_coord {
+            self.coords.trust(c.0);
+        }
+        if !self.reconcile_epoch(now, epoch, coord_max) {
+            return;
+        }
+        let local_max = self.log.max_seq();
+        if coord_max > local_max {
+            // The coordinator knows submissions our (optimistic) log lost:
+            // roll forward past them — their plan entries were submitted
+            // with exactly these timestamps before the crash.
+            self.log.fast_forward(coord_max);
+            self.next_plan_idx = self.next_plan_idx.max(coord_max as usize);
+        } else if coord_max < local_max {
+            self.replay_missing(ctx, coord_max);
+        }
+        self.log.ack_up_to(coord_max);
+        for &(seq, size) in &available {
+            self.catalog.insert(seq, size);
+        }
+        self.pull_missing(ctx);
+    }
+
+    /// Replays the log suffix the coordinator is missing (it failed over,
+    /// lost state, or we reconnected after a partition) — but only entries
+    /// that are not simply still in flight (the coordinator registers
+    /// submissions asynchronously; re-sending them on every beat would
+    /// multiply the transferred volume).  The retransmit horizon scales
+    /// with the entry size: a 100 MB submission legitimately spends many
+    /// seconds in NIC queues and the coordinator's database before
+    /// registering.  The replay is windowed; each acknowledgement
+    /// continues it without waiting for a heartbeat.
+    fn replay_missing(&mut self, ctx: &mut Ctx<'_, Msg>, coord_max: u64) {
+        let now = ctx.now();
+        let base_horizon = self.params.cfg.heartbeat * 2;
+        let bw = ctx.spec().nic_bw_out.max(1.0);
+        // Registration can lag by the whole in-flight volume (NIC queues on
+        // both sides plus the coordinator's database).  Entries never sent
+        // to the *current* coordinator incarnation (an epoch change wiped
+        // their in-flight marks) replay immediately; entries sent to this
+        // incarnation replay only when both their own horizon passed AND
+        // the acknowledged high-water mark has stalled longer than the
+        // estimated drain of everything outstanding — otherwise a lagging
+        // but live pipeline gets its queue doubled.
+        let pending_bytes: u64 = self.log.entries_after(coord_max).map(|e| e.size).sum();
+        let drain_estimate =
+            rpcv_simnet::SimDuration::from_secs_f64(pending_bytes as f64 / bw) * 4;
+        let stalled = now.since(self.progress_at) > base_horizon + drain_estimate;
+        let mut budget: i64 = 32 * 1024 * 1024;
+        let mut specs: Vec<JobSpec> = Vec::new();
+        for e in self.log.entries_after(coord_max) {
+            if specs.len() >= 64 || budget < 0 {
+                break;
+            }
+            let replayable = match self.sent_at.get(&e.seq) {
+                Some(&sent) => {
+                    let transfer =
+                        rpcv_simnet::SimDuration::from_secs_f64(e.size as f64 / bw);
+                    stalled && now.since(sent) > base_horizon + transfer * 4
+                }
+                None => true,
+            };
+            if replayable {
+                budget -= e.size as i64;
+                specs.push(e.value.clone());
+            }
+        }
+        if !specs.is_empty() {
+            for spec in &specs {
+                self.sent_at.insert(spec.key.seq, now);
+            }
+            self.metrics.log_replays += 1;
+            // Reading the replayed entries back from the local log is one
+            // sequential disk access (paper: "retrieves the logs list from
+            // a local disc access").
+            let bytes: u64 = specs.iter().map(|s| s.params.len() + 64).sum();
+            let read_done = ctx.disk_read(bytes);
+            if let Some((_, node)) = self.coordinator(now) {
+                self.deferred.send_at(ctx, read_done, node, Msg::SubmitBatch { specs }, K_SEND, 0);
+            }
+        }
+    }
+
+    /// Requests the next window of catalogued results we don't hold yet.
+    ///
+    /// The catalog covers collected-but-retained archives too, so a client
+    /// that lost its disk recovers everything not yet garbage-collected.
+    /// The re-request horizon is size-aware — a multi-megabyte archive
+    /// legitimately spends transfer-time in flight — and backs off
+    /// exponentially on top.  The pull is windowed (≤ 64 archives, ≤
+    /// ~32 MB per request) and continues from [`Self::ingest_results`]
+    /// without waiting for the next heartbeat.
+    fn pull_missing(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let now = ctx.now();
+        // Pace the pulls: without a floor on the request interval, each
+        // freshly finished task triggers a full fetch round trip, and at
+        // hundreds of outstanding calls the *coordinator* drowns in list
+        // scans and archive fetches (its database is the shared
+        // bottleneck — exactly why the paper prioritizes "its basic
+        // forwarding functionality ... compared to other mechanisms").
+        let pacing = rpcv_simnet::SimDuration::from_millis(250)
+            .max(self.params.cfg.heartbeat / 8);
+        if let Some(last) = self.last_pull {
+            if now.since(last) < pacing {
+                return; // the next beat or reply re-triggers the pull
+            }
+        }
+        let base = self.params.cfg.heartbeat * 2;
+        let bw = ctx.spec().nic_bw_in.max(1.0);
+        let mut budget: i64 = 32 * 1024 * 1024;
+        let mut want: Vec<u64> = Vec::new();
+        for (&seq, &size) in &self.catalog {
+            if want.len() >= 64 || budget < 0 {
+                break;
+            }
+            if self.results.contains_key(&seq) {
+                continue;
+            }
+            let allowed = match self.requested.get(&seq) {
+                None => true,
+                Some(&(at, attempts)) => {
+                    // Cap the backoff: an unreachable coordinator must not
+                    // push the retry horizon into hours (it may restart any
+                    // moment — volatility is the norm here).
+                    let transfer =
+                        rpcv_simnet::SimDuration::from_secs_f64(size as f64 / bw);
+                    let horizon = base * 2u64.saturating_pow(attempts.min(5)) + transfer * 4;
+                    now.since(at) > horizon
+                }
+            };
+            if allowed {
+                budget -= size as i64;
+                want.push(seq);
+            }
+        }
+        if !want.is_empty() {
+            self.last_pull = Some(now);
+            for &s in &want {
+                let e = self.requested.entry(s).or_insert((now, 0));
+                *e = (now, e.1 + 1);
+            }
+            if let Some((_, node)) = self.coordinator(now) {
+                ctx.send(node, Msg::ResultsRequest { client: self.params.key, want });
+            }
+        }
+    }
+
+    /// A received result's archive (for the API layer).
+    pub fn result_archive(&self, seq: u64) -> Option<&Blob> {
+        self.results.get(&seq).map(|r| &r.archive)
+    }
+}
+
+impl Actor<Msg> for ClientActor {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        // Immediate beat (first contact doubles as synchronization), then
+        // periodic; the first planned submission follows the beat.
+        self.beat(ctx);
+        ctx.set_timer(self.params.cfg.heartbeat, K_BEAT);
+        self.submit_next(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: Msg) {
+        match msg {
+            Msg::SubmitAck { job, coord_max, epoch } => {
+                if job.client == self.params.key {
+                    self.last_reply = Some(ctx.now());
+                    if let Some(c) = self.current_coord {
+                        self.coords.trust(c.0);
+                    }
+                    if self.reconcile_epoch(ctx.now(), epoch, coord_max) {
+                        self.log.ack_up_to(coord_max);
+                        // Continuation replay: the acknowledged batch may
+                        // have been one window of a longer resync.
+                        if coord_max < self.log.max_seq() {
+                            self.replay_missing(ctx, coord_max);
+                        }
+                    }
+                }
+            }
+            Msg::ClientSyncReply { coord_max, epoch, available } => {
+                self.handle_sync_reply(ctx, coord_max, epoch, available);
+            }
+            Msg::ResultsReply { results } => {
+                self.last_reply = Some(ctx.now());
+                self.ingest_results(ctx, results);
+                // Continuation pull: fetch the next window right away.
+                self.pull_missing(ctx);
+            }
+            Msg::ApiSubmit { service, params, exec_cost, result_size, replication } => {
+                self.params.plan.push(
+                    CallSpec::new(service, params, exec_cost, result_size)
+                        .with_replication(replication),
+                );
+                // Restart the pump only when no completion continuation is
+                // pending; otherwise that continuation submits this call.
+                if self.in_flight_submissions == 0 {
+                    self.submit_next(ctx);
+                }
+            }
+            other => {
+                // Unexpected message (e.g. stale reply from a demoted
+                // coordinator): note and drop — the network is asynchronous.
+                let _ = (from, other);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, id: TimerId, kind: u64) {
+        match kind {
+            K_BEAT => {
+                self.beat(ctx);
+                ctx.set_timer(self.params.cfg.heartbeat, K_BEAT);
+            }
+            K_SEND => {
+                if let Some((comm_end, token)) = self.deferred.fire(ctx, id) {
+                    if token != 0 {
+                        self.finish_submission(ctx, token, comm_end);
+                    }
+                }
+            }
+            K_NEXT => self.submit_next(ctx),
+            _ => {}
+        }
+    }
+
+    fn on_crash(&mut self, now: SimTime) -> DurableImage {
+        let mut log = self.log.clone();
+        log.survive_crash(now);
+        let results: BTreeMap<u64, ResultRec> = self
+            .results
+            .iter()
+            .filter(|(_, r)| r.durable_at <= now)
+            .map(|(&s, r)| (s, ResultRec { acked: false, ..r.clone() }))
+            .collect();
+        DurableImage::of(ClientDurable { log, results, metrics: self.metrics.clone() })
+    }
+}

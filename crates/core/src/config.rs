@@ -1,0 +1,146 @@
+//! Protocol configuration knobs.
+
+use rpcv_log::{GcPolicy, LogStrategy};
+use rpcv_simnet::SimDuration;
+
+/// How servers execute tasks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Charge the declared `exec_cost` to the simulated CPU and synthesize
+    /// a result of the declared size (experiments).
+    #[default]
+    Simulated,
+    /// Really invoke the registered service function (the result archive is
+    /// the service's actual output); the declared cost still shapes the
+    /// task's timeline so long-running jobs can be modelled.
+    Real,
+}
+
+/// All protocol timing/policy knobs with the paper's defaults.
+#[derive(Debug, Clone)]
+pub struct ProtocolConfig {
+    /// Heartbeat period (paper confined setting: 5 s).
+    pub heartbeat: SimDuration,
+    /// Suspicion timeout: silence longer than this ⇒ suspect (paper: 30 s).
+    pub suspicion: SimDuration,
+    /// Coordinator replication period (confined: per heartbeat; real-life
+    /// experiments: 60 s).
+    pub replication_period: SimDuration,
+    /// How long a suspected coordinator stays out of the preferred list
+    /// before being retried.
+    pub coord_retry: SimDuration,
+    /// Client logging strategy (Fig. 4).
+    pub log_strategy: LogStrategy,
+    /// Client/server log capacity policy.
+    pub log_gc: GcPolicy,
+    /// Server execution mode.
+    pub exec_mode: ExecMode,
+    /// Concurrent tasks per server (paper: effectively 1).
+    pub server_capacity: u32,
+    /// How long a replicated-finished job may lack its archive before the
+    /// coordinator schedules a re-execution (at-least-once recovery).
+    pub missing_archive_timeout: SimDuration,
+    /// EXTENSION (paper §6 future work): if set, servers checkpoint running
+    /// tasks at this interval and resume them across crashes.
+    pub checkpoint_interval: Option<SimDuration>,
+}
+
+impl Default for ProtocolConfig {
+    fn default() -> Self {
+        ProtocolConfig {
+            heartbeat: SimDuration::from_secs(5),
+            suspicion: SimDuration::from_secs(30),
+            replication_period: SimDuration::from_secs(5),
+            coord_retry: SimDuration::from_secs(60),
+            log_strategy: LogStrategy::NonBlockingPessimistic,
+            log_gc: GcPolicy::unbounded(),
+            exec_mode: ExecMode::Simulated,
+            server_capacity: 1,
+            missing_archive_timeout: SimDuration::from_secs(60),
+            checkpoint_interval: None,
+        }
+    }
+}
+
+impl ProtocolConfig {
+    /// The confined-cluster configuration of §5.1.
+    pub fn confined() -> Self {
+        Self::default()
+    }
+
+    /// The real-life Internet configuration of §5.2 (replication every
+    /// 60 s).
+    pub fn real_life() -> Self {
+        ProtocolConfig {
+            replication_period: SimDuration::from_secs(60),
+            ..Self::default()
+        }
+    }
+
+    /// Builder: logging strategy.
+    pub fn with_log_strategy(mut self, s: LogStrategy) -> Self {
+        self.log_strategy = s;
+        self
+    }
+
+    /// Builder: heartbeat period.
+    pub fn with_heartbeat(mut self, d: SimDuration) -> Self {
+        self.heartbeat = d;
+        self
+    }
+
+    /// Builder: suspicion timeout.
+    pub fn with_suspicion(mut self, d: SimDuration) -> Self {
+        self.suspicion = d;
+        self
+    }
+
+    /// Builder: replication period.
+    pub fn with_replication_period(mut self, d: SimDuration) -> Self {
+        self.replication_period = d;
+        self
+    }
+
+    /// Builder: execution mode.
+    pub fn with_exec_mode(mut self, m: ExecMode) -> Self {
+        self.exec_mode = m;
+        self
+    }
+
+    /// Builder: server checkpointing (extension).
+    pub fn with_checkpointing(mut self, interval: SimDuration) -> Self {
+        self.checkpoint_interval = Some(interval);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let c = ProtocolConfig::confined();
+        assert_eq!(c.heartbeat, SimDuration::from_secs(5));
+        assert_eq!(c.suspicion, SimDuration::from_secs(30));
+        assert_eq!(c.log_strategy, LogStrategy::NonBlockingPessimistic);
+        assert_eq!(ProtocolConfig::real_life().replication_period, SimDuration::from_secs(60));
+    }
+
+    #[test]
+    fn builders() {
+        let c = ProtocolConfig::confined()
+            .with_heartbeat(SimDuration::from_secs(1))
+            .with_suspicion(SimDuration::from_secs(7))
+            .with_replication_period(SimDuration::from_secs(9))
+            .with_log_strategy(LogStrategy::Optimistic)
+            .with_exec_mode(ExecMode::Real)
+            .with_checkpointing(SimDuration::from_secs(20));
+        assert_eq!(c.heartbeat, SimDuration::from_secs(1));
+        assert_eq!(c.suspicion, SimDuration::from_secs(7));
+        assert_eq!(c.replication_period, SimDuration::from_secs(9));
+        assert_eq!(c.log_strategy, LogStrategy::Optimistic);
+        assert_eq!(c.exec_mode, ExecMode::Real);
+        assert_eq!(c.checkpoint_interval, Some(SimDuration::from_secs(20)));
+    }
+}

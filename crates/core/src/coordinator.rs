@@ -1,0 +1,592 @@
+//! The RPC-V coordinator actor (the middle tier).
+//!
+//! The coordinator virtualizes the grid for clients (they never talk to
+//! servers), schedules tasks FCFS, suspects servers via heartbeat
+//! timeouts, and passively replicates its state to its successor on the
+//! virtual ring (paper §4.2).  It never initiates contact with clients or
+//! servers — every client/server-facing message here is a *reply*, possibly
+//! deferred until the database operation backing it completed (which is
+//! how database cost shows up in every latency the paper measures).
+
+use std::collections::BTreeMap;
+
+use rpcv_detect::{CoordinatorList, HeartbeatMonitor};
+use rpcv_simnet::{Actor, Ctx, DurableImage, NodeId, SimTime, TimerId};
+use rpcv_store::{Charge, CoordinatorDb, ReplicationDelta};
+use rpcv_xw::{ClientKey, CoordId, JobKey, ServerId};
+
+use crate::config::ProtocolConfig;
+use crate::msg::{Msg, RpcResult};
+use crate::util::{Deferred, Directory};
+
+const K_SCAN: u64 = 1;
+const K_REPL: u64 = 2;
+const K_SEND: u64 = 3;
+
+/// One replication round's observations (drives Fig. 5).
+#[derive(Debug, Clone, Copy)]
+pub struct ReplRound {
+    /// Successor targeted.
+    pub to: CoordId,
+    /// Round start (delta built and handed to the network).
+    pub started: SimTime,
+    /// Acknowledgement arrival.
+    pub acked_at: Option<SimTime>,
+    /// Job + task records carried.
+    pub records: u64,
+    /// Modelled bytes transferred.
+    pub bytes: u64,
+}
+
+/// Coordinator-side observations.
+#[derive(Debug, Clone, Default)]
+pub struct CoordMetrics {
+    /// Replication rounds in start order.
+    pub repl_rounds: Vec<ReplRound>,
+    /// Completed-task count over time: `(time, total-finished)` staircase,
+    /// the series Figs. 9–11 plot.
+    pub completion_timeline: Vec<(SimTime, u64)>,
+    /// Server suspicions raised.
+    pub server_suspicions: u64,
+    /// Coordinator (predecessor) suspicions raised.
+    pub coordinator_suspicions: u64,
+    /// Jobs re-executed because their archive was unrecoverable.
+    pub reexecutions: u64,
+}
+
+/// State surviving a coordinator crash: the database (MySQL + archive
+/// filesystem are durable); volatile suspicion state is rebuilt.
+struct CoordDurable {
+    db: CoordinatorDb,
+    acked_version: BTreeMap<CoordId, u64>,
+    metrics: CoordMetrics,
+}
+
+/// Construction parameters.
+#[derive(Debug, Clone)]
+pub struct CoordParams {
+    /// Identity.
+    pub me: CoordId,
+    /// Protocol configuration.
+    pub cfg: ProtocolConfig,
+    /// Coordinator directory (the ring membership).
+    pub directory: Directory,
+}
+
+/// The coordinator state machine.
+pub struct CoordinatorActor {
+    params: CoordParams,
+    db: CoordinatorDb,
+    coords: CoordinatorList<u64>,
+    server_mon: HeartbeatMonitor<u64>,
+    /// Last delta received per peer coordinator (predecessor liveness).
+    peer_mon: HeartbeatMonitor<u64>,
+    client_addr: BTreeMap<ClientKey, NodeId>,
+    server_addr: BTreeMap<ServerId, NodeId>,
+    /// Per-successor acknowledged replication version.
+    acked_version: BTreeMap<CoordId, u64>,
+    /// Outstanding replication round: `(successor, head, started)`.
+    inflight_repl: Option<(CoordId, u64, SimTime)>,
+    /// Missing-archive watch list: job → first-noticed.
+    missing_since: BTreeMap<JobKey, SimTime>,
+    /// Origins already released after predecessor suspicion.
+    released: std::collections::BTreeSet<CoordId>,
+    deferred: Deferred,
+    /// Boot epoch: regenerated on every (re)start so clients can tell
+    /// state-losing restarts from reordered stale replies.
+    epoch: u64,
+    /// Public observations.
+    pub metrics: CoordMetrics,
+    /// Received-message counts by kind (observability; catching traffic
+    /// amplification bugs like unbounded heartbeat chains).
+    pub rx_counts: BTreeMap<&'static str, u64>,
+}
+
+impl CoordinatorActor {
+    /// Actor factory for `World::install`.
+    pub fn factory(
+        params: CoordParams,
+    ) -> impl FnMut(DurableImage) -> Box<dyn Actor<Msg> + Send> + Send + 'static {
+        move |image| {
+            let mut actor = CoordinatorActor::fresh(params.clone());
+            if let Some(d) = image.take::<CoordDurable>() {
+                actor.db = d.db;
+                actor.acked_version = d.acked_version;
+                actor.metrics = d.metrics;
+            }
+            Box::new(actor)
+        }
+    }
+
+    fn fresh(params: CoordParams) -> Self {
+        let coords = CoordinatorList::new(
+            params.directory.coord_ids().into_iter().filter(|&c| c != params.me.0),
+            params.cfg.coord_retry,
+        );
+        let db = CoordinatorDb::new(params.me);
+        let suspicion = params.cfg.suspicion;
+        // Coordinator-to-coordinator traffic only flows at the replication
+        // period; a peer is healthy as long as deltas keep arriving at
+        // that cadence, so the suspicion horizon must scale with it.
+        let peer_suspicion = suspicion.max(params.cfg.replication_period * 3);
+        CoordinatorActor {
+            db,
+            coords,
+            server_mon: HeartbeatMonitor::new(suspicion),
+            peer_mon: HeartbeatMonitor::new(peer_suspicion),
+            params,
+            client_addr: BTreeMap::new(),
+            server_addr: BTreeMap::new(),
+            acked_version: BTreeMap::new(),
+            inflight_repl: None,
+            missing_since: BTreeMap::new(),
+            released: std::collections::BTreeSet::new(),
+            deferred: Deferred::new(),
+            epoch: 0,
+            metrics: CoordMetrics::default(),
+            rx_counts: BTreeMap::new(),
+        }
+    }
+
+    /// Identity.
+    pub fn me(&self) -> CoordId {
+        self.params.me
+    }
+
+    /// Read access to the database (harness inspection).
+    pub fn db(&self) -> &CoordinatorDb {
+        &self.db
+    }
+
+    /// Explicitly triggered garbage collection (paper §4.2: the GC "can be
+    /// triggered locally according to some conditions, or explicitly by
+    /// the user").  Drops archives the client confirmed collecting;
+    /// returns bytes freed.
+    pub fn gc_now(&mut self) -> u64 {
+        let (freed, _charge) = self.db.gc_collected();
+        freed
+    }
+
+    /// Charges a storage [`Charge`] to this node's resources; returns when
+    /// everything lands.
+    fn pay(&mut self, ctx: &mut Ctx<'_, Msg>, charge: Charge) -> SimTime {
+        let db_done = ctx.db(charge.db_ops, charge.db_bytes);
+        if charge.disk_bytes > 0 {
+            let disk = ctx.disk_write(charge.disk_bytes, false);
+            db_done.max(disk.returned_at)
+        } else {
+            db_done
+        }
+    }
+
+    fn record_completion(&mut self, now: SimTime) {
+        let finished = self.db.finished_count();
+        self.metrics.completion_timeline.push((now, finished));
+    }
+
+    fn refresh_missing(&mut self, now: SimTime) {
+        for job in self.db.missing_archives() {
+            self.missing_since.entry(job).or_insert(now);
+        }
+    }
+
+    fn handle_server_beat(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        from: NodeId,
+        server: ServerId,
+        want_work: u32,
+        running: Vec<rpcv_xw::TaskId>,
+        offered: Vec<JobKey>,
+    ) {
+        let now = ctx.now();
+        self.server_mon.observe(server.0, now);
+        self.server_addr.insert(server, from);
+        // Intermittent-crash reconciliation: tasks this server should be
+        // running but does not report were lost in a restart too quick for
+        // the suspicion timeout.  The grace period covers assignments
+        // still in flight (their dispatch stamp counts from the moment the
+        // Assign actually left).
+        let grace = (self.params.cfg.heartbeat * 3).max(self.params.cfg.suspicion);
+        let (_lost, charge) = self.db.reconcile_server(server, &running, now, grace);
+        if charge.db_ops > 1 {
+            self.pay(ctx, charge);
+        }
+        let mut replied = false;
+        // Peer-wise comparison: of the offered archives, which do we lack?
+        if !offered.is_empty() {
+            let needed: Vec<JobKey> = offered
+                .into_iter()
+                .filter(|j| self.db.knows_job(j) && self.db.archive(j).is_none())
+                .collect();
+            if !needed.is_empty() {
+                ctx.send(from, Msg::NeedArchives { jobs: needed });
+                replied = true;
+            }
+        }
+        // Work assignment (pull model).
+        for _ in 0..want_work {
+            let (task, charge) = self.db.next_pending(server, now);
+            let done = self.pay(ctx, charge);
+            match task {
+                Some(desc) => {
+                    // The assignment leaves once the database write lands;
+                    // the reconciliation grace must count from then.
+                    self.db.restamp_ongoing(desc.id, done);
+                    self.deferred.send_at(ctx, done, from, Msg::Assign { task: desc }, K_SEND, 0);
+                    replied = true;
+                }
+                None => break,
+            }
+        }
+        if !replied {
+            ctx.send(from, Msg::NoWork);
+        }
+    }
+
+    fn handle_task_done(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        from: NodeId,
+        server: ServerId,
+        task: rpcv_xw::TaskId,
+        job: JobKey,
+        archive: rpcv_wire::Blob,
+    ) {
+        let now = ctx.now();
+        self.server_mon.observe(server.0, now);
+        self.server_addr.insert(server, from);
+        let (_outcome, charge) = self.db.complete_task(task, job, archive, server);
+        let done = self.pay(ctx, charge);
+        self.missing_since.remove(&job);
+        self.record_completion(now);
+        self.deferred.send_at(ctx, done, from, Msg::TaskDoneAck { task, job }, K_SEND, 0);
+    }
+
+    fn handle_client_beat(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        from: NodeId,
+        client: ClientKey,
+        max_seq: u64,
+        collected: Vec<u64>,
+    ) {
+        self.client_addr.insert(client, from);
+        let mut charge = Charge::ZERO;
+        if !collected.is_empty() {
+            charge += self.db.mark_collected(client, &collected);
+        }
+        let coord_max = self.db.client_max(client);
+        let available = self.db.results_catalog(client);
+        // Listing results is an indexed range scan (amortized), while the
+        // per-archive *fetch* in `handle_results_request` pays per row —
+        // that asymmetry plus the extra round trip is Fig. 6's
+        // "additional overhead" of coordinator-side logs.
+        charge += Charge::ops(1 + available.len() as u64 / 4);
+        let done = self.pay(ctx, charge);
+        let _ = max_seq; // the client decides resend/fast-forward from coord_max
+        let epoch = self.epoch;
+        self.deferred.send_at(
+            ctx,
+            done,
+            from,
+            Msg::ClientSyncReply { coord_max, epoch, available },
+            K_SEND,
+            0,
+        );
+    }
+
+    fn handle_results_request(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        from: NodeId,
+        client: ClientKey,
+        want: Vec<u64>,
+    ) {
+        // Fetch each archive: 2 ops (index + row) plus the payload read
+        // from the archive filesystem.
+        let mut results = Vec::new();
+        let mut payload = 0;
+        for seq in want {
+            let job = JobKey { client, seq };
+            if let Some(blob) = self.db.archive(&job) {
+                payload += blob.len();
+                results.push(RpcResult { job, archive: blob.clone() });
+            }
+        }
+        let ops = 1 + 2 * results.len() as u64;
+        let db_done = ctx.db(ops, 0);
+        let disk_done = ctx.disk_read(payload);
+        let done = db_done.max(disk_done);
+        self.deferred.send_at(ctx, done, from, Msg::ResultsReply { results }, K_SEND, 0);
+    }
+
+    fn handle_repl_delta(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        from: NodeId,
+        delta: ReplicationDelta,
+        want_archives: Vec<JobKey>,
+    ) {
+        let now = ctx.now();
+        let peer = delta.from;
+        self.peer_mon.observe(peer.0, now);
+        self.coords.trust(peer.0);
+        // A peer we had written off is alive again: future ongoing tasks of
+        // its origin are held once more.
+        self.released.remove(&peer);
+        let head = delta.head_version;
+        let charge = self.db.apply_delta(&delta);
+        let done = self.pay(ctx, charge);
+        self.refresh_missing(now);
+        self.record_completion(now);
+        self.deferred.send_at(
+            ctx,
+            done,
+            from,
+            Msg::ReplAck { from: self.params.me, head_version: head },
+            K_SEND,
+            0,
+        );
+        // Serve requested archives from our store (capped per round).
+        if !want_archives.is_empty() {
+            let mut results = Vec::new();
+            let mut payload = 0;
+            for job in want_archives.into_iter().take(64) {
+                if let Some(blob) = self.db.archive(&job) {
+                    payload += blob.len();
+                    results.push(RpcResult { job, archive: blob.clone() });
+                }
+            }
+            if !results.is_empty() {
+                let ops = 1 + 2 * results.len() as u64;
+                let db_done = ctx.db(ops, 0);
+                let disk_done = ctx.disk_read(payload);
+                let ready = db_done.max(disk_done);
+                self.deferred.send_at(
+                    ctx,
+                    ready,
+                    from,
+                    Msg::ReplArchives { from: self.params.me, results },
+                    K_SEND,
+                    0,
+                );
+            }
+        }
+    }
+
+    fn replicate(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let now = ctx.now();
+        // Outstanding round unanswered for a suspicion period (scaled to
+        // the replication cadence) ⇒ suspect the successor and recompute
+        // the ring.
+        let ack_horizon = self.params.cfg.suspicion.max(self.params.cfg.replication_period);
+        if let Some((succ, _, started)) = self.inflight_repl {
+            if now.since(started) > ack_horizon {
+                ctx.note("coordinator suspects ring successor");
+                self.coords.suspect(succ.0, now);
+                self.inflight_repl = None;
+            } else {
+                return; // one round in flight at a time
+            }
+        }
+        let Some(succ) = self.coords.successor_of(self.params.me.0, now).map(CoordId) else {
+            return;
+        };
+        let Some(node) = self.params.directory.node_of(succ) else { return };
+        let base = self.acked_version.get(&succ).copied().unwrap_or(0);
+        let delta = self.db.delta_since(base);
+        // Building the delta reads every changed row.
+        let read_ops = 1 + (delta.jobs.len() + delta.tasks.len()) as u64;
+        let bytes = delta.transfer_bytes();
+        let records = (delta.jobs.len() + delta.tasks.len()) as u64;
+        let done = ctx.db(read_ops, 0);
+        let head = delta.head_version;
+        self.inflight_repl = Some((succ, head, now));
+        self.metrics.repl_rounds.push(ReplRound {
+            to: succ,
+            started: now,
+            acked_at: None,
+            records,
+            bytes,
+        });
+        // Ask the peer for archives we know exist but do not hold.
+        let want_archives: Vec<JobKey> =
+            self.db.missing_archives().into_iter().take(64).collect();
+        self.deferred.send_at(
+            ctx,
+            done,
+            node,
+            Msg::ReplDelta { delta, want_archives },
+            K_SEND,
+            0,
+        );
+    }
+
+    fn scan(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let now = ctx.now();
+        // Server suspicion ⇒ new instances of everything it was running.
+        for s in self.server_mon.suspects(now) {
+            ctx.note("coordinator suspects server");
+            self.metrics.server_suspicions += 1;
+            let (_created, charge) = self.db.server_suspected(ServerId(s));
+            self.pay(ctx, charge);
+            self.server_mon.forget(s);
+        }
+        // Predecessor suspicion ⇒ release its held ongoing tasks.
+        for c in self.peer_mon.suspects(now) {
+            let peer = CoordId(c);
+            if self.released.insert(peer) {
+                ctx.note("coordinator suspects predecessor; releasing its tasks");
+                self.metrics.coordinator_suspicions += 1;
+                self.coords.suspect(c, now);
+                let (_created, charge) = self.db.release_origin(peer);
+                self.pay(ctx, charge);
+            }
+        }
+        // Unrecoverable archives ⇒ at-least-once re-execution.  The
+        // horizon must outlast the archive pull over the replication ring
+        // (one round to ask, one to receive), else re-execution races the
+        // recovery it is meant to back up.
+        let reexec_horizon = self
+            .params
+            .cfg
+            .missing_archive_timeout
+            .max(self.params.cfg.replication_period * 3);
+        let overdue: Vec<JobKey> = self
+            .missing_since
+            .iter()
+            .filter(|(_, &since)| now.since(since) > reexec_horizon)
+            .map(|(&j, _)| j)
+            .collect();
+        for job in overdue {
+            self.missing_since.remove(&job);
+            let (created, charge) = self.db.reexecute_job(job);
+            if created.is_some() {
+                self.metrics.reexecutions += 1;
+            }
+            self.pay(ctx, charge);
+        }
+    }
+}
+
+impl Actor<Msg> for CoordinatorActor {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        self.epoch = ctx.rng().next_u64() | 1;
+        ctx.set_timer(self.params.cfg.heartbeat, K_SCAN);
+        ctx.set_timer(self.params.cfg.replication_period, K_REPL);
+        self.refresh_missing(ctx.now());
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: Msg) {
+        *self.rx_counts.entry(msg.kind()).or_insert(0) += 1;
+        match msg {
+            Msg::Submit { spec } => {
+                self.client_addr.insert(spec.key.client, from);
+                let job = spec.key;
+                let (_new, charge) = self.db.register_job(spec);
+                let done = self.pay(ctx, charge);
+                let coord_max = self.db.client_max(job.client);
+                let epoch = self.epoch;
+                self.deferred.send_at(
+                    ctx,
+                    done,
+                    from,
+                    Msg::SubmitAck { job, coord_max, epoch },
+                    K_SEND,
+                    0,
+                );
+            }
+            Msg::SubmitBatch { specs } => {
+                let Some(last) = specs.last() else { return };
+                let client = last.key.client;
+                let job = last.key;
+                self.client_addr.insert(client, from);
+                let (_n, charge) = self.db.register_jobs_bulk(specs);
+                let done = self.pay(ctx, charge);
+                let coord_max = self.db.client_max(client);
+                let epoch = self.epoch;
+                self.deferred.send_at(
+                    ctx,
+                    done,
+                    from,
+                    Msg::SubmitAck { job, coord_max, epoch },
+                    K_SEND,
+                    0,
+                );
+            }
+            Msg::ClientBeat { client, max_seq, collected } => {
+                self.handle_client_beat(ctx, from, client, max_seq, collected);
+            }
+            Msg::ResultsRequest { client, want } => {
+                self.handle_results_request(ctx, from, client, want);
+            }
+            Msg::ServerBeat { server, want_work, running, offered } => {
+                self.handle_server_beat(ctx, from, server, want_work, running, offered);
+            }
+            Msg::TaskDone { server, task, job, archive } => {
+                self.handle_task_done(ctx, from, server, task, job, archive);
+            }
+            Msg::ReplDelta { delta, want_archives } => {
+                self.handle_repl_delta(ctx, from, delta, want_archives)
+            }
+            Msg::ReplArchives { from: peer, results } => {
+                self.peer_mon.observe(peer.0, ctx.now());
+                let mut charge = Charge::ZERO;
+                for r in results {
+                    self.missing_since.remove(&r.job);
+                    charge += self.db.store_archive(r.job, r.archive);
+                }
+                self.pay(ctx, charge);
+                self.record_completion(ctx.now());
+            }
+            Msg::ReplAck { from: peer, head_version } => {
+                self.peer_mon.observe(peer.0, ctx.now());
+                self.coords.trust(peer.0);
+                let e = self.acked_version.entry(peer).or_insert(0);
+                *e = (*e).max(head_version);
+                if let Some((succ, head, started)) = self.inflight_repl {
+                    if succ == peer && head_version >= head {
+                        self.inflight_repl = None;
+                        let acked_at = ctx.now();
+                        if let Some(round) = self
+                            .metrics
+                            .repl_rounds
+                            .iter_mut()
+                            .rev()
+                            .find(|r| r.to == peer && r.started == started)
+                        {
+                            round.acked_at = Some(acked_at);
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, id: TimerId, kind: u64) {
+        match kind {
+            K_SCAN => {
+                self.scan(ctx);
+                ctx.set_timer(self.params.cfg.heartbeat, K_SCAN);
+            }
+            K_REPL => {
+                self.replicate(ctx);
+                ctx.set_timer(self.params.cfg.replication_period, K_REPL);
+            }
+            K_SEND => {
+                let _ = self.deferred.fire(ctx, id);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_crash(&mut self, _now: SimTime) -> DurableImage {
+        DurableImage::of(CoordDurable {
+            db: self.db.clone(),
+            acked_version: self.acked_version.clone(),
+            metrics: self.metrics.clone(),
+        })
+    }
+}

@@ -1,0 +1,225 @@
+//! Grid assembly: build a complete simulated RPC-V deployment in one call.
+//!
+//! Reproduces the paper's two testbeds as presets: the confined cluster
+//! (§5.1: 16 servers, 4 coordinators, 1 client on switched 100 Mbit/s
+//! Ethernet) and the real-life Internet deployment (§5.2: ~280 desktop
+//! servers in three universities, two coordinators 300 km apart).
+
+use rpcv_simnet::{HostSpec, LinkParams, NodeId, SimDuration, SimTime, World};
+use rpcv_xw::{ClientKey, CoordId, SandboxLimits, ServerId, ServiceRegistry};
+
+use crate::client::{ClientActor, ClientParams};
+use crate::config::ProtocolConfig;
+use crate::coordinator::{CoordParams, CoordinatorActor};
+use crate::msg::Msg;
+use crate::server::{ServerActor, ServerParams};
+use crate::util::{CallSpec, Directory};
+use crate::{calibration, msg};
+
+/// Everything needed to assemble a grid.
+#[derive(Clone)]
+pub struct GridSpec {
+    /// Experiment master seed.
+    pub seed: u64,
+    /// Protocol configuration.
+    pub cfg: ProtocolConfig,
+    /// Number of coordinators.
+    pub n_coordinators: usize,
+    /// Number of servers.
+    pub n_servers: usize,
+    /// Host model for coordinators.
+    pub coord_host: HostSpec,
+    /// Host model for servers.
+    pub server_host: HostSpec,
+    /// Host model for the client.
+    pub client_host: HostSpec,
+    /// Default link parameters.
+    pub link: LinkParams,
+    /// Optional coordinator↔coordinator link override.
+    pub coord_link: Option<LinkParams>,
+    /// Services available on every server.
+    pub registry: ServiceRegistry,
+    /// Sandbox limits on every server.
+    pub limits: SandboxLimits,
+    /// The client's workload plan.
+    pub plan: Vec<CallSpec>,
+}
+
+impl GridSpec {
+    /// The confined-cluster topology of §5.1 (defaults to 4 coordinators,
+    /// 16 servers; pass the plan separately).
+    pub fn confined(n_coordinators: usize, n_servers: usize) -> Self {
+        GridSpec {
+            seed: 0xC0FFEE,
+            cfg: ProtocolConfig::confined(),
+            n_coordinators,
+            n_servers,
+            coord_host: calibration::confined_coordinator(),
+            server_host: calibration::confined_server(),
+            client_host: calibration::confined_client(),
+            link: calibration::lan_link(),
+            coord_link: None,
+            registry: ServiceRegistry::new(),
+            limits: SandboxLimits::default(),
+            plan: Vec::new(),
+        }
+    }
+
+    /// The real-life Internet topology of §5.2 (2 coordinators by default).
+    pub fn real_life(n_coordinators: usize, n_servers: usize) -> Self {
+        GridSpec {
+            seed: 0xC0FFEE,
+            cfg: ProtocolConfig::real_life(),
+            n_coordinators,
+            n_servers,
+            coord_host: calibration::reallife_coordinator(),
+            server_host: calibration::internet_desktop(),
+            client_host: calibration::internet_desktop(),
+            link: calibration::wan_link(),
+            coord_link: Some(calibration::wan_link()),
+            registry: ServiceRegistry::new(),
+            limits: SandboxLimits::default(),
+            plan: Vec::new(),
+        }
+    }
+
+    /// Builder: seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder: protocol config.
+    pub fn with_cfg(mut self, cfg: ProtocolConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Builder: workload plan.
+    pub fn with_plan(mut self, plan: Vec<CallSpec>) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    /// Builder: service registry.
+    pub fn with_registry(mut self, registry: ServiceRegistry) -> Self {
+        self.registry = registry;
+        self
+    }
+}
+
+/// A fully wired simulated deployment.
+pub struct SimGrid {
+    /// The world; run it with `run_until`/`run_for` or step scenarios.
+    pub world: World<Msg>,
+    /// The client's node.
+    pub client_node: NodeId,
+    /// The client's identity.
+    pub client_key: ClientKey,
+    /// Coordinators in id order.
+    pub coords: Vec<(CoordId, NodeId)>,
+    /// Servers in id order.
+    pub servers: Vec<(ServerId, NodeId)>,
+}
+
+impl SimGrid {
+    /// Assembles and installs every actor.
+    pub fn build(spec: GridSpec) -> SimGrid {
+        let mut world = World::<Msg>::new(spec.seed);
+        world.net_mut().set_link_bidir(NodeId(0), NodeId(0), spec.link); // no-op, keeps net non-empty
+        *world.net_mut() = rpcv_simnet::NetModel::new(spec.link);
+
+        let mut coords = Vec::new();
+        for i in 0..spec.n_coordinators {
+            let mut host = spec.coord_host.clone();
+            host.name = format!("coord{i}");
+            let node = world.add_host(host);
+            coords.push((CoordId(i as u64 + 1), node));
+        }
+        if let Some(link) = spec.coord_link {
+            for (i, &(_, a)) in coords.iter().enumerate() {
+                for &(_, b) in coords.iter().skip(i + 1) {
+                    world.net_mut().set_link_bidir(a, b, link);
+                }
+            }
+        }
+        let directory = Directory::new(coords.iter().copied());
+
+        let mut servers = Vec::new();
+        for i in 0..spec.n_servers {
+            let mut host = spec.server_host.clone();
+            host.name = format!("server{i}");
+            let node = world.add_host(host);
+            servers.push((ServerId(i as u64 + 1), node));
+        }
+
+        let mut client_host = spec.client_host.clone();
+        client_host.name = "client".into();
+        let client_node = world.add_host(client_host);
+        let client_key = ClientKey::new(1, 1);
+
+        for &(id, node) in &coords {
+            let params = CoordParams { me: id, cfg: spec.cfg.clone(), directory: directory.clone() };
+            world.install(node, CoordinatorActor::factory(params));
+        }
+        for &(id, node) in &servers {
+            let params = ServerParams {
+                id,
+                cfg: spec.cfg.clone(),
+                directory: directory.clone(),
+                registry: spec.registry.clone(),
+                limits: spec.limits,
+            };
+            world.install(node, ServerActor::factory(params));
+        }
+        let client_params = ClientParams {
+            key: client_key,
+            cfg: spec.cfg.clone(),
+            directory,
+            plan: spec.plan.clone(),
+        };
+        world.install(client_node, ClientActor::factory(client_params));
+
+        SimGrid { world, client_node, client_key, coords, servers }
+    }
+
+    /// The client actor (when its node is up).
+    pub fn client(&self) -> Option<&ClientActor> {
+        self.world.actor::<ClientActor>(self.client_node)
+    }
+
+    /// Coordinator actor `i` (when up).
+    pub fn coordinator(&self, i: usize) -> Option<&CoordinatorActor> {
+        self.world.actor::<CoordinatorActor>(self.coords[i].1)
+    }
+
+    /// Server actor `i` (when up).
+    pub fn server(&self, i: usize) -> Option<&ServerActor> {
+        self.world.actor::<ServerActor>(self.servers[i].1)
+    }
+
+    /// Runs until the client's plan completed or `max` elapses; returns the
+    /// completion instant if reached.
+    pub fn run_until_done(&mut self, max: SimTime) -> Option<SimTime> {
+        let chunk = SimDuration::from_millis(500);
+        loop {
+            if let Some(done) = self.client().and_then(|c| c.metrics.done_at) {
+                return Some(done);
+            }
+            if self.world.now() >= max {
+                return None;
+            }
+            self.world.run_for(chunk);
+        }
+    }
+
+    /// Total results the client has received.
+    pub fn client_results(&self) -> usize {
+        self.client().map(|c| c.results_count()).unwrap_or(0)
+    }
+
+    /// Convenience: a no-op message type hint for generic code.
+    pub fn msg_hint() -> std::marker::PhantomData<msg::Msg> {
+        std::marker::PhantomData
+    }
+}

@@ -1,0 +1,517 @@
+//! Protocol messages.
+//!
+//! All interactions are connection-less datagrams (paper §2.2): "for any
+//! interaction with other system components, a connection is opened before
+//! the communication and closed immediately after".  Clients and servers
+//! always initiate; coordinators only reply (§4.2: "The coordinators only
+//! reply to clients and servers requests").  Heartbeats double as sync
+//! handshakes and work requests to keep traffic down.
+
+use rpcv_simnet::WireSized;
+use rpcv_store::ReplicationDelta;
+use rpcv_wire::{Blob, Reader, WireDecode, WireEncode, WireError, WireWrite};
+use rpcv_xw::{ClientKey, CoordId, JobKey, JobSpec, ServerId, TaskDesc, TaskId};
+
+/// A finished RPC's result as shipped to the client.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RpcResult {
+    /// The finished job.
+    pub job: JobKey,
+    /// Result archive payload.
+    pub archive: Blob,
+}
+
+impl WireEncode for RpcResult {
+    fn encode<W: WireWrite + ?Sized>(&self, w: &mut W) {
+        self.job.encode(w);
+        self.archive.encode(w);
+    }
+}
+
+impl WireDecode for RpcResult {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(RpcResult { job: JobKey::decode(r)?, archive: Blob::decode(r)? })
+    }
+}
+
+/// Every RPC-V protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Msg {
+    // ----- client → coordinator ------------------------------------------------
+    /// Client heartbeat; doubles as the synchronization handshake and the
+    /// result-collection acknowledgement.
+    ClientBeat {
+        /// Sender identity.
+        client: ClientKey,
+        /// Client's highest submission timestamp (its log high-water mark).
+        max_seq: u64,
+        /// Result seqs durably collected since the last beat (coordinator
+        /// marks them GC-eligible).
+        collected: Vec<u64>,
+    },
+    /// One RPC submission (possibly a resend during synchronization).
+    Submit {
+        /// The job.
+        spec: JobSpec,
+    },
+    /// Bulk resend during synchronization (client log replay).
+    SubmitBatch {
+        /// Jobs in timestamp order.
+        specs: Vec<JobSpec>,
+    },
+    /// Client lost its state and asks for uncollected results explicitly.
+    ResultsRequest {
+        /// Requesting client.
+        client: ClientKey,
+        /// Seqs wanted.
+        want: Vec<u64>,
+    },
+
+    // ----- coordinator → client (replies only) --------------------------------
+    /// Acknowledges a registration (carries the coordinator's high-water
+    /// mark so the client can GC/ack its log).
+    SubmitAck {
+        /// Registered job.
+        job: JobKey,
+        /// Coordinator's max registered seq for this client.
+        coord_max: u64,
+        /// Coordinator boot epoch: lets clients distinguish a reordered
+        /// stale reply (same epoch, lower `coord_max`) from a coordinator
+        /// that really lost state (new epoch).
+        epoch: u64,
+    },
+    /// Reply to [`Msg::ClientBeat`]: sync info plus the list of available
+    /// (uncollected) results.  Result *payloads* are pulled separately via
+    /// [`Msg::ResultsRequest`] — "The client collects the RPC results by
+    /// pulling the coordinator periodically" (§4.2); this two-phase shape
+    /// is also what makes coordinator-side synchronization slower than
+    /// client-side synchronization in Fig. 6.
+    ClientSyncReply {
+        /// Coordinator's max registered seq for this client.
+        coord_max: u64,
+        /// Coordinator boot epoch (see [`Msg::SubmitAck::epoch`]).
+        epoch: u64,
+        /// Available result `(seq, size)` pairs not yet collected.
+        available: Vec<(u64, u64)>,
+    },
+    /// Reply to [`Msg::ResultsRequest`].
+    ResultsReply {
+        /// The requested results that were available.
+        results: Vec<RpcResult>,
+    },
+
+    // ----- server → coordinator -------------------------------------------------
+    /// Server heartbeat; doubles as work request and archive offer.
+    ServerBeat {
+        /// Sender identity.
+        server: ServerId,
+        /// How many additional tasks the server can take now.
+        want_work: u32,
+        /// Tasks currently executing (liveness detail for the coordinator).
+        running: Vec<TaskId>,
+        /// Locally retained result archives not yet acknowledged by any
+        /// coordinator — the server's half of the peer-wise log comparison.
+        offered: Vec<JobKey>,
+    },
+    /// A finished task's result archive.
+    TaskDone {
+        /// Executing server.
+        server: ServerId,
+        /// Task instance.
+        task: TaskId,
+        /// Owning job.
+        job: JobKey,
+        /// Result archive.
+        archive: Blob,
+    },
+
+    // ----- coordinator → server (replies only) ----------------------------------
+    /// Work assignment.
+    Assign {
+        /// The task to execute.
+        task: TaskDesc,
+    },
+    /// Nothing to do right now.
+    NoWork,
+    /// Result stored (the server may GC its archive copy).
+    TaskDoneAck {
+        /// Acknowledged task.
+        task: TaskId,
+        /// Owning job.
+        job: JobKey,
+    },
+    /// Of the archives the server offered, these are needed here (missing
+    /// archives after a failover — "servers to re-execute RPCs if their
+    /// results are not accessible anymore on coordinators", §4.1; resending
+    /// the retained archive avoids the re-execution).
+    NeedArchives {
+        /// Jobs whose archives should be re-sent.
+        jobs: Vec<JobKey>,
+    },
+
+    // ----- coordinator ↔ coordinator ---------------------------------------------
+    /// Passive-replication push to the ring successor.
+    ReplDelta {
+        /// The state delta.
+        delta: ReplicationDelta,
+        /// Jobs the *sender* knows finished but lacks archives for; the
+        /// receiver answers with [`Msg::ReplArchives`] for those it holds.
+        /// Archives are never replicated proactively (§4.2), but Fig. 11
+        /// shows "the tasks and results flow from the client to the
+        /// servers" through the coordinator pair — this is the pull side
+        /// of that path.
+        want_archives: Vec<JobKey>,
+    },
+    /// Acknowledgement of a received delta.
+    ReplAck {
+        /// Acknowledging coordinator.
+        from: CoordId,
+        /// Version now held.
+        head_version: u64,
+    },
+    /// Result archives requested by a peer coordinator's `want_archives`.
+    ReplArchives {
+        /// Sending coordinator.
+        from: CoordId,
+        /// The archives.
+        results: Vec<RpcResult>,
+    },
+
+    // ----- external (API / workload) ----------------------------------------------
+    /// Injected by the GridRPC API layer or a workload driver: submit this
+    /// job through the client actor.
+    ApiSubmit {
+        /// Service name.
+        service: String,
+        /// Parameters.
+        params: Blob,
+        /// Declared execution cost (work-units).
+        exec_cost: f64,
+        /// Expected result size.
+        result_size: u64,
+        /// Redundant-replication factor.
+        replication: u32,
+    },
+}
+
+const TAGS: &[(&str, u8)] = &[
+    ("ClientBeat", 0),
+    ("Submit", 1),
+    ("SubmitBatch", 2),
+    ("ResultsRequest", 3),
+    ("SubmitAck", 4),
+    ("ClientSyncReply", 5),
+    ("ResultsReply", 6),
+    ("ServerBeat", 7),
+    ("TaskDone", 8),
+    ("Assign", 9),
+    ("NoWork", 10),
+    ("TaskDoneAck", 11),
+    ("NeedArchives", 12),
+    ("ReplDelta", 13),
+    ("ReplAck", 14),
+    ("ApiSubmit", 15),
+    ("ReplArchives", 16),
+];
+
+impl Msg {
+    /// Message kind name (for traces).
+    pub fn kind(&self) -> &'static str {
+        TAGS[self.tag() as usize].0
+    }
+
+    fn tag(&self) -> u8 {
+        match self {
+            Msg::ClientBeat { .. } => 0,
+            Msg::Submit { .. } => 1,
+            Msg::SubmitBatch { .. } => 2,
+            Msg::ResultsRequest { .. } => 3,
+            Msg::SubmitAck { .. } => 4,
+            Msg::ClientSyncReply { .. } => 5,
+            Msg::ResultsReply { .. } => 6,
+            Msg::ServerBeat { .. } => 7,
+            Msg::TaskDone { .. } => 8,
+            Msg::Assign { .. } => 9,
+            Msg::NoWork => 10,
+            Msg::TaskDoneAck { .. } => 11,
+            Msg::NeedArchives { .. } => 12,
+            Msg::ReplDelta { .. } => 13,
+            Msg::ReplAck { .. } => 14,
+            Msg::ApiSubmit { .. } => 15,
+            Msg::ReplArchives { .. } => 16,
+        }
+    }
+
+    /// Extra transfer bytes for modelled (synthetic) payloads: their wire
+    /// frame is a few bytes, but the network must charge the full payload.
+    fn payload_extra(&self) -> u64 {
+        fn extra(b: &Blob) -> u64 {
+            if b.is_synthetic() {
+                b.len()
+            } else {
+                0
+            }
+        }
+        match self {
+            Msg::Submit { spec } => extra(&spec.params),
+            Msg::SubmitBatch { specs } => specs.iter().map(|s| extra(&s.params)).sum(),
+            Msg::ResultsReply { results } => {
+                results.iter().map(|r| extra(&r.archive)).sum()
+            }
+            Msg::TaskDone { archive, .. } => extra(archive),
+            Msg::Assign { task } => extra(&task.params),
+            Msg::ReplDelta { delta, .. } => {
+                delta.jobs.iter().map(|j| extra(&j.params)).sum()
+            }
+            Msg::ReplArchives { results, .. } => {
+                results.iter().map(|r| extra(&r.archive)).sum()
+            }
+            Msg::ApiSubmit { params, .. } => extra(params),
+            _ => 0,
+        }
+    }
+}
+
+impl WireSized for Msg {
+    fn wire_size(&self) -> u64 {
+        self.encoded_len() + self.payload_extra()
+    }
+}
+
+impl WireEncode for Msg {
+    fn encode<W: WireWrite + ?Sized>(&self, w: &mut W) {
+        w.put_u8(self.tag());
+        match self {
+            Msg::ClientBeat { client, max_seq, collected } => {
+                client.encode(w);
+                w.put_uvarint(*max_seq);
+                collected.encode(w);
+            }
+            Msg::Submit { spec } => spec.encode(w),
+            Msg::SubmitBatch { specs } => specs.encode(w),
+            Msg::ResultsRequest { client, want } => {
+                client.encode(w);
+                want.encode(w);
+            }
+            Msg::SubmitAck { job, coord_max, epoch } => {
+                job.encode(w);
+                w.put_uvarint(*coord_max);
+                w.put_uvarint(*epoch);
+            }
+            Msg::ClientSyncReply { coord_max, epoch, available } => {
+                w.put_uvarint(*coord_max);
+                w.put_uvarint(*epoch);
+                available.encode(w);
+            }
+            Msg::ResultsReply { results } => results.encode(w),
+            Msg::ServerBeat { server, want_work, running, offered } => {
+                server.encode(w);
+                w.put_uvarint(*want_work as u64);
+                running.encode(w);
+                offered.encode(w);
+            }
+            Msg::TaskDone { server, task, job, archive } => {
+                server.encode(w);
+                task.encode(w);
+                job.encode(w);
+                archive.encode(w);
+            }
+            Msg::Assign { task } => task.encode(w),
+            Msg::NoWork => {}
+            Msg::TaskDoneAck { task, job } => {
+                task.encode(w);
+                job.encode(w);
+            }
+            Msg::NeedArchives { jobs } => jobs.encode(w),
+            Msg::ReplDelta { delta, want_archives } => {
+                delta.encode(w);
+                want_archives.encode(w);
+            }
+            Msg::ReplAck { from, head_version } => {
+                from.encode(w);
+                w.put_uvarint(*head_version);
+            }
+            Msg::ApiSubmit { service, params, exec_cost, result_size, replication } => {
+                w.put_str(service);
+                params.encode(w);
+                w.put_f64(*exec_cost);
+                w.put_uvarint(*result_size);
+                w.put_uvarint(*replication as u64);
+            }
+            Msg::ReplArchives { from, results } => {
+                from.encode(w);
+                results.encode(w);
+            }
+        }
+    }
+}
+
+impl WireDecode for Msg {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let tag = r.get_u8()?;
+        Ok(match tag {
+            0 => Msg::ClientBeat {
+                client: ClientKey::decode(r)?,
+                max_seq: r.get_uvarint()?,
+                collected: Vec::<u64>::decode(r)?,
+            },
+            1 => Msg::Submit { spec: JobSpec::decode(r)? },
+            2 => Msg::SubmitBatch { specs: Vec::<JobSpec>::decode(r)? },
+            3 => Msg::ResultsRequest {
+                client: ClientKey::decode(r)?,
+                want: Vec::<u64>::decode(r)?,
+            },
+            4 => Msg::SubmitAck {
+                job: JobKey::decode(r)?,
+                coord_max: r.get_uvarint()?,
+                epoch: r.get_uvarint()?,
+            },
+            5 => Msg::ClientSyncReply {
+                coord_max: r.get_uvarint()?,
+                epoch: r.get_uvarint()?,
+                available: Vec::<(u64, u64)>::decode(r)?,
+            },
+            6 => Msg::ResultsReply { results: Vec::<RpcResult>::decode(r)? },
+            7 => Msg::ServerBeat {
+                server: ServerId::decode(r)?,
+                want_work: u32::decode(r)?,
+                running: Vec::<TaskId>::decode(r)?,
+                offered: Vec::<JobKey>::decode(r)?,
+            },
+            8 => Msg::TaskDone {
+                server: ServerId::decode(r)?,
+                task: TaskId::decode(r)?,
+                job: JobKey::decode(r)?,
+                archive: Blob::decode(r)?,
+            },
+            9 => Msg::Assign { task: TaskDesc::decode(r)? },
+            10 => Msg::NoWork,
+            11 => Msg::TaskDoneAck { task: TaskId::decode(r)?, job: JobKey::decode(r)? },
+            12 => Msg::NeedArchives { jobs: Vec::<JobKey>::decode(r)? },
+            13 => Msg::ReplDelta {
+                delta: ReplicationDelta::decode(r)?,
+                want_archives: Vec::<JobKey>::decode(r)?,
+            },
+            14 => Msg::ReplAck { from: CoordId::decode(r)?, head_version: r.get_uvarint()? },
+            15 => Msg::ApiSubmit {
+                service: r.get_string()?,
+                params: Blob::decode(r)?,
+                exec_cost: r.get_f64()?,
+                result_size: r.get_uvarint()?,
+                replication: u32::decode(r)?,
+            },
+            16 => Msg::ReplArchives {
+                from: CoordId::decode(r)?,
+                results: Vec::<RpcResult>::decode(r)?,
+            },
+            tag => return Err(WireError::InvalidTag { ty: "Msg", tag: tag as u64 }),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpcv_wire::{from_bytes, to_bytes};
+
+    fn samples() -> Vec<Msg> {
+        vec![
+            Msg::ClientBeat { client: ClientKey::new(1, 2), max_seq: 9, collected: vec![1, 2] },
+            Msg::Submit {
+                spec: JobSpec::new(JobKey::new(ClientKey::new(1, 2), 3), "svc", Blob::synthetic(100, 1)),
+            },
+            Msg::SubmitBatch { specs: vec![] },
+            Msg::ResultsRequest { client: ClientKey::new(1, 2), want: vec![4, 5] },
+            Msg::SubmitAck { job: JobKey::new(ClientKey::new(1, 2), 3), coord_max: 3, epoch: 9 },
+            Msg::ClientSyncReply { coord_max: 5, epoch: 9, available: vec![(1, 100), (2, 5000)] },
+            Msg::ResultsReply {
+                results: vec![RpcResult {
+                    job: JobKey::new(ClientKey::new(1, 2), 1),
+                    archive: Blob::from_vec(vec![1, 2, 3]),
+                }],
+            },
+            Msg::ServerBeat {
+                server: ServerId(3),
+                want_work: 1,
+                running: vec![TaskId(7)],
+                offered: vec![JobKey::new(ClientKey::new(1, 2), 1)],
+            },
+            Msg::TaskDone {
+                server: ServerId(3),
+                task: TaskId(7),
+                job: JobKey::new(ClientKey::new(1, 2), 1),
+                archive: Blob::synthetic(5000, 2),
+            },
+            Msg::NoWork,
+            Msg::TaskDoneAck { task: TaskId(7), job: JobKey::new(ClientKey::new(1, 2), 1) },
+            Msg::NeedArchives { jobs: vec![JobKey::new(ClientKey::new(1, 2), 1)] },
+            Msg::ReplAck { from: CoordId(1), head_version: 42 },
+            Msg::ReplArchives {
+                from: CoordId(2),
+                results: vec![RpcResult {
+                    job: JobKey::new(ClientKey::new(1, 2), 2),
+                    archive: Blob::synthetic(64, 5),
+                }],
+            },
+            Msg::ApiSubmit {
+                service: "svc".into(),
+                params: Blob::empty(),
+                exec_cost: 1.0,
+                result_size: 10,
+                replication: 1,
+            },
+        ]
+    }
+
+    #[test]
+    fn all_variants_roundtrip() {
+        for msg in samples() {
+            let bytes = to_bytes(&msg);
+            let back: Msg = from_bytes(&bytes).unwrap();
+            assert_eq!(back, msg, "roundtrip failed for {}", msg.kind());
+        }
+    }
+
+    #[test]
+    fn wire_size_charges_synthetic_payloads() {
+        let m = Msg::TaskDone {
+            server: ServerId(1),
+            task: TaskId(1),
+            job: JobKey::default(),
+            archive: Blob::synthetic(1_000_000, 0),
+        };
+        assert!(m.wire_size() >= 1_000_000, "payload must be charged");
+        assert!(m.encoded_len() < 100, "frame itself stays small");
+        // Inline payloads are charged exactly once.
+        let m = Msg::TaskDone {
+            server: ServerId(1),
+            task: TaskId(1),
+            job: JobKey::default(),
+            archive: Blob::from_vec(vec![0; 1000]),
+        };
+        assert!(m.wire_size() >= 1000 && m.wire_size() < 1100);
+    }
+
+    #[test]
+    fn heartbeat_is_small() {
+        let m = Msg::ClientBeat { client: ClientKey::new(1, 1), max_seq: 1000, collected: vec![] };
+        assert!(m.wire_size() < 32, "beats must stay cheap, got {}", m.wire_size());
+    }
+
+    #[test]
+    fn invalid_tag_rejected() {
+        assert!(matches!(
+            from_bytes::<Msg>(&[200]),
+            Err(WireError::InvalidTag { ty: "Msg", tag: 200 })
+        ));
+    }
+
+    #[test]
+    fn kind_names_are_unique() {
+        let mut names: Vec<&str> = samples().iter().map(|m| m.kind()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+}

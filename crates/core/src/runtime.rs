@@ -1,0 +1,136 @@
+//! The live (wall-clock) runtime: the same protocol, real time, live
+//! fault injection.
+//!
+//! [`LiveGrid`] launches a fully wired deployment on a background driver
+//! thread (see `rpcv_simnet::realtime`).  Examples and integration tests
+//! use it to run grids interactively: submit calls through the GridRPC
+//! API ([`crate::api::GridClient`]), kill coordinators mid-run, partition
+//! the network, and watch the system keep going — the live analogue of the
+//! paper's real-life experiments (§5.2).
+
+use std::thread::JoinHandle;
+
+use rpcv_simnet::{spawn_realtime, Control, NodeId, RealtimeHandle, World};
+use rpcv_xw::{ClientKey, CoordId, ServerId};
+
+use crate::client::ClientActor;
+use crate::coordinator::CoordinatorActor;
+use crate::grid::{GridSpec, SimGrid};
+use crate::msg::Msg;
+use crate::server::ServerActor;
+
+/// A deployment running against the wall clock.
+pub struct LiveGrid {
+    handle: RealtimeHandle<Msg>,
+    join: Option<JoinHandle<World<Msg>>>,
+    /// The client's node.
+    pub client_node: NodeId,
+    /// The client's identity.
+    pub client_key: ClientKey,
+    /// Coordinators in id order.
+    pub coords: Vec<(CoordId, NodeId)>,
+    /// Servers in id order.
+    pub servers: Vec<(ServerId, NodeId)>,
+}
+
+impl LiveGrid {
+    /// Builds the grid from `spec` and launches the driver.
+    ///
+    /// `time_scale` compresses time: `60.0` runs one virtual minute per
+    /// wall-clock second.
+    pub fn launch(spec: GridSpec, time_scale: f64) -> LiveGrid {
+        let sim = SimGrid::build(spec);
+        let SimGrid { world, client_node, client_key, coords, servers } = sim;
+        let (handle, join) = spawn_realtime(world, time_scale);
+        LiveGrid { handle, join: Some(join), client_node, client_key, coords, servers }
+    }
+
+    /// The raw command handle.
+    pub fn handle(&self) -> &RealtimeHandle<Msg> {
+        &self.handle
+    }
+
+    /// Runs a closure against the world on the driver thread.
+    pub fn with<R, F>(&self, f: F) -> Option<R>
+    where
+        R: Send + 'static,
+        F: FnOnce(&mut World<Msg>) -> R + Send + 'static,
+    {
+        self.handle.with(f)
+    }
+
+    /// Reads the client actor.
+    pub fn with_client<R, F>(&self, f: F) -> Option<R>
+    where
+        R: Send + 'static,
+        F: FnOnce(&ClientActor) -> R + Send + 'static,
+    {
+        let node = self.client_node;
+        self.handle.with(move |w| w.actor::<ClientActor>(node).map(f)).flatten()
+    }
+
+    /// Reads coordinator `i` (None when crashed).
+    pub fn with_coordinator<R, F>(&self, i: usize, f: F) -> Option<R>
+    where
+        R: Send + 'static,
+        F: FnOnce(&CoordinatorActor) -> R + Send + 'static,
+    {
+        let node = self.coords[i].1;
+        self.handle.with(move |w| w.actor::<CoordinatorActor>(node).map(f)).flatten()
+    }
+
+    /// Reads server `i` (None when crashed).
+    pub fn with_server<R, F>(&self, i: usize, f: F) -> Option<R>
+    where
+        R: Send + 'static,
+        F: FnOnce(&ServerActor) -> R + Send + 'static,
+    {
+        let node = self.servers[i].1;
+        self.handle.with(move |w| w.actor::<ServerActor>(node).map(f)).flatten()
+    }
+
+    /// Kills coordinator `i` abruptly (the paper's fault generator).
+    pub fn crash_coordinator(&self, i: usize) {
+        self.handle.control(Control::Crash(self.coords[i].1));
+    }
+
+    /// Restarts coordinator `i` from its durable state.
+    pub fn restart_coordinator(&self, i: usize) {
+        self.handle.control(Control::Restart(self.coords[i].1));
+    }
+
+    /// Kills server `i`.
+    pub fn crash_server(&self, i: usize) {
+        self.handle.control(Control::Crash(self.servers[i].1));
+    }
+
+    /// Restarts server `i`.
+    pub fn restart_server(&self, i: usize) {
+        self.handle.control(Control::Restart(self.servers[i].1));
+    }
+
+    /// Blocks traffic between two nodes (partition injection).
+    pub fn partition(&self, a: NodeId, b: NodeId) {
+        self.handle.control(Control::Block { from: a, to: b, bidir: true });
+    }
+
+    /// Restores traffic between two nodes.
+    pub fn heal(&self, a: NodeId, b: NodeId) {
+        self.handle.control(Control::Unblock { from: a, to: b, bidir: true });
+    }
+
+    /// Stops the driver and returns the final world for inspection.
+    pub fn shutdown(mut self) -> Option<World<Msg>> {
+        self.handle.shutdown();
+        self.join.take().and_then(|j| j.join().ok())
+    }
+}
+
+impl Drop for LiveGrid {
+    fn drop(&mut self) {
+        self.handle.shutdown();
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}

@@ -1,0 +1,474 @@
+//! The RPC-V server actor (the XtremWeb worker).
+//!
+//! Pull model: the server initiates every interaction (connection-less,
+//! §4.2) — heartbeats double as work requests and archive offers.  Results
+//! are logged pessimistically ("The file archives built as the results of
+//! the executions represents the server logs.  Thus the logging protocol
+//! is necessarily pessimistic") and offered to coordinators until
+//! acknowledged, which implements the peer-wise synchronization: after a
+//! coordinator failover the new coordinator learns which finished results
+//! it lacks and asks for exactly those.
+//!
+//! Off-line computing is native to the model: a server keeps executing
+//! while disconnected and re-delivers when a coordinator becomes reachable
+//! again ("The same server may disconnect the coordinator, continue the
+//! execution and re-connect the coordinator later for sending RPC
+//! results").
+//!
+//! EXTENSION (paper §6 future work): optional task checkpointing — running
+//! tasks periodically persist their progress and resume after a crash.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use rpcv_detect::CoordinatorList;
+use rpcv_log::{GcPolicy, PeerLog};
+use rpcv_simnet::{Actor, Ctx, DurableImage, NodeId, SimTime, TimerId};
+use rpcv_wire::Blob;
+use rpcv_xw::{CoordId, JobKey, SandboxLimits, ServerId, ServiceRegistry, TaskDesc, TaskId, WorkerExecutor};
+
+use crate::config::{ExecMode, ProtocolConfig};
+use crate::msg::Msg;
+use crate::util::{Deferred, Directory};
+
+const K_BEAT: u64 = 1;
+const K_EXEC: u64 = 2;
+const K_SEND: u64 = 3;
+const K_CKPT: u64 = 4;
+/// One-shot beat (e.g. right after a completion): does NOT re-arm the
+/// periodic schedule — re-arming from every nudge would multiply the
+/// heartbeat chains without bound.
+const K_NUDGE: u64 = 5;
+
+/// Server-side observations.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServerMetrics {
+    /// Tasks whose execution completed here.
+    pub executed: u64,
+    /// Executions lost to crashes (no checkpoint).
+    pub lost_executions: u64,
+    /// Executions resumed from a checkpoint after a restart.
+    pub resumed: u64,
+    /// Archives re-sent from the local log during synchronization.
+    pub archives_resent: u64,
+    /// Coordinator switches.
+    pub coordinator_switches: u64,
+}
+
+/// A result retained in the server's (pessimistic) log.
+#[derive(Debug, Clone)]
+struct StoredResult {
+    task: TaskId,
+    job: JobKey,
+    archive: Blob,
+}
+
+/// A running execution.
+#[derive(Debug, Clone)]
+struct Exec {
+    desc: TaskDesc,
+    /// Total work-units this task needs.
+    work_total: f64,
+    /// Work already banked by a checkpoint.
+    work_banked: f64,
+    /// When the (remaining) execution started.
+    started: SimTime,
+    /// Result archive if the service really ran (ExecMode::Real).
+    real_archive: Option<Blob>,
+}
+
+/// Checkpoint image of one running task (extension).
+#[derive(Debug, Clone)]
+struct Checkpoint {
+    desc: TaskDesc,
+    work_banked: f64,
+}
+
+/// State that survives a server crash.
+struct ServerDurable {
+    plog: PeerLog<StoredResult>,
+    checkpoints: BTreeMap<TaskId, Checkpoint>,
+    metrics: ServerMetrics,
+}
+
+/// Construction parameters.
+#[derive(Clone)]
+pub struct ServerParams {
+    /// Identity.
+    pub id: ServerId,
+    /// Protocol configuration.
+    pub cfg: ProtocolConfig,
+    /// Coordinator directory.
+    pub directory: Directory,
+    /// Stateless services this server can run.
+    pub registry: ServiceRegistry,
+    /// Sandbox limits.
+    pub limits: SandboxLimits,
+}
+
+/// The server state machine.
+pub struct ServerActor {
+    params: ServerParams,
+    executor: WorkerExecutor,
+    coords: CoordinatorList<u64>,
+    current_coord: Option<CoordId>,
+    plog: PeerLog<StoredResult>,
+    running: BTreeMap<TaskId, Exec>,
+    /// Assignments accepted beyond current capacity (a beat/assignment
+    /// race can over-assign; the worker queues and drains them rather than
+    /// dropping work that the coordinator believes is ongoing here).
+    backlog: VecDeque<TaskDesc>,
+    /// Results whose durability barrier has not passed yet (task → send
+    /// deadline), correlated through `deferred` tokens.
+    checkpoints: BTreeMap<TaskId, Checkpoint>,
+    /// When each result archive last left for a coordinator (and how many
+    /// times): offers and resends back off by size-aware horizons so a
+    /// multi-second archive transfer is not re-sent on every beat.
+    result_sent_at: BTreeMap<JobKey, (SimTime, u32)>,
+    last_reply: Option<SimTime>,
+    deferred: Deferred,
+    /// Public observations.
+    pub metrics: ServerMetrics,
+}
+
+impl ServerActor {
+    /// Actor factory for `World::install`.
+    pub fn factory(
+        params: ServerParams,
+    ) -> impl FnMut(DurableImage) -> Box<dyn Actor<Msg> + Send> + Send + 'static {
+        move |image| {
+            let mut actor = ServerActor::fresh(params.clone());
+            if let Some(d) = image.take::<ServerDurable>() {
+                actor.plog = d.plog;
+                actor.checkpoints = d.checkpoints;
+                actor.metrics = d.metrics;
+            }
+            Box::new(actor)
+        }
+    }
+
+    fn fresh(params: ServerParams) -> Self {
+        let coords = CoordinatorList::new(params.directory.coord_ids(), params.cfg.coord_retry);
+        let executor = WorkerExecutor::new(params.registry.clone(), params.limits);
+        ServerActor {
+            params,
+            executor,
+            coords,
+            current_coord: None,
+            plog: PeerLog::new(GcPolicy::unbounded()),
+            running: BTreeMap::new(),
+            backlog: VecDeque::new(),
+            checkpoints: BTreeMap::new(),
+            result_sent_at: BTreeMap::new(),
+            last_reply: None,
+            deferred: Deferred::new(),
+            metrics: ServerMetrics::default(),
+        }
+    }
+
+    /// Identity.
+    pub fn id(&self) -> ServerId {
+        self.params.id
+    }
+
+    /// Number of currently running tasks.
+    pub fn running_count(&self) -> usize {
+        self.running.len()
+    }
+
+    fn coordinator(&mut self, now: SimTime) -> Option<(CoordId, NodeId)> {
+        let id = match self.current_coord {
+            Some(c) if self.coords.is_eligible(c.0, now) => c,
+            _ => {
+                let picked = CoordId(self.coords.preferred(now)?);
+                self.current_coord = Some(picked);
+                self.last_reply = Some(now);
+                picked
+            }
+        };
+        self.params.directory.node_of(id).map(|n| (id, n))
+    }
+
+    fn check_coordinator_liveness(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let now = ctx.now();
+        if let (Some(c), Some(last)) = (self.current_coord, self.last_reply) {
+            if now.since(last) > self.params.cfg.suspicion {
+                ctx.note("server suspects coordinator");
+                self.coords.suspect(c.0, now);
+                self.current_coord = None;
+                self.metrics.coordinator_switches += 1;
+            }
+        }
+    }
+
+    /// Whether this archive may be (re)offered/(re)sent now, given the
+    /// size-aware exponential-backoff horizon.
+    fn may_send_result(&self, ctx: &Ctx<'_, Msg>, job: &JobKey, size: u64) -> bool {
+        match self.result_sent_at.get(job) {
+            None => true,
+            Some(&(at, attempts)) => {
+                let base = self.params.cfg.heartbeat * 2;
+                let bw = ctx.spec().nic_bw_out.max(1.0);
+                let transfer = rpcv_simnet::SimDuration::from_secs_f64(size as f64 / bw);
+                // Capped backoff: coordinators flap, and a stranded result
+                // blocks the client forever if the horizon runs away.
+                let horizon = base * 2u64.saturating_pow(attempts.min(5)) + transfer * 4;
+                ctx.now().since(at) > horizon
+            }
+        }
+    }
+
+    fn mark_result_sent(&mut self, now: SimTime, job: JobKey) {
+        let e = self.result_sent_at.entry(job).or_insert((now, 0));
+        *e = (now, e.1 + 1);
+    }
+
+    fn beat(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        self.check_coordinator_liveness(ctx);
+        let now = ctx.now();
+        let Some((_, node)) = self.coordinator(now) else { return };
+        let capacity = self.params.cfg.server_capacity as usize;
+        let want = capacity.saturating_sub(self.running.len() + self.backlog.len()) as u32;
+        // Offer unacknowledged archives (the peer-wise comparison half),
+        // excluding those whose delivery is plausibly still in flight.
+        let offered: Vec<JobKey> = self
+            .plog
+            .iter()
+            .filter(|e| !e.acked)
+            .filter(|e| self.may_send_result(ctx, &e.value.job, e.value.archive.len()))
+            .take(64)
+            .map(|e| e.value.job)
+            .collect();
+        let mut running: Vec<TaskId> = self.running.keys().copied().collect();
+        running.extend(self.backlog.iter().map(|t| t.id));
+        ctx.send(node, Msg::ServerBeat {
+            server: self.params.id,
+            want_work: want,
+            running,
+            offered,
+        });
+    }
+
+    fn start_task(&mut self, ctx: &mut Ctx<'_, Msg>, desc: TaskDesc, banked: f64) {
+        let now = ctx.now();
+        if self.running.contains_key(&desc.id) {
+            return;
+        }
+        if self.running.len() >= self.params.cfg.server_capacity as usize {
+            // Over-assignment race: queue locally and drain after the
+            // current execution — the coordinator believes this instance is
+            // ongoing here, so dropping it would stall the job until a
+            // (never-coming) suspicion.
+            if !self.backlog.iter().any(|t| t.id == desc.id) {
+                self.backlog.push_back(desc);
+            }
+            return;
+        }
+        let (work_total, _) = self.executor.simulate(&desc);
+        let remaining = (work_total - banked).max(1e-9);
+        let real_archive = match self.params.cfg.exec_mode {
+            ExecMode::Real => Some(match self.executor.execute(&desc) {
+                Ok(a) => Blob::from_vec(a.pack()),
+                Err(e) => {
+                    // Execution failures (unknown service, sandbox kill)
+                    // are reported as error archives — the call completes
+                    // with a diagnosable result instead of hanging.
+                    let mut a = rpcv_xw::Archive::new();
+                    a.push("error.txt", Blob::from_vec(e.to_string().into_bytes()));
+                    Blob::from_vec(a.pack())
+                }
+            }),
+            ExecMode::Simulated => None,
+        };
+        let done_at = ctx.cpu(remaining);
+        ctx.set_timer_at(done_at, K_EXEC);
+        if let Some(interval) = self.params.cfg.checkpoint_interval {
+            ctx.set_timer(interval, K_CKPT);
+        }
+        self.running.insert(
+            desc.id,
+            Exec { desc, work_total, work_banked: banked, started: now, real_archive },
+        );
+    }
+
+    /// Finds the execution finishing closest to `now` (the K_EXEC timer
+    /// does not carry the task id; completion order resolves it).
+    fn pop_finished(&mut self, now: SimTime) -> Option<Exec> {
+        let id = self
+            .running
+            .iter()
+            .filter(|(_, e)| {
+                let elapsed = now.since(e.started).as_secs_f64() * 1.001 + 1e-6;
+                elapsed + e.work_banked >= e.work_total
+            })
+            .map(|(&id, _)| id)
+            .next()?;
+        self.running.remove(&id).map(|e| {
+            self.checkpoints.remove(&id);
+            e
+        })
+    }
+
+    fn complete(&mut self, ctx: &mut Ctx<'_, Msg>, exec: Exec) {
+        let now = ctx.now();
+        let archive = exec
+            .real_archive
+            .unwrap_or_else(|| self.executor.simulate_result(&exec.desc));
+        let key = (exec.desc.job.client.as_peer(), exec.desc.job.seq);
+        let stored = StoredResult { task: exec.desc.id, job: exec.desc.job, archive: archive.clone() };
+        // Necessarily pessimistic: the archive only counts once durable.
+        let durable_at = self.plog.append(key, stored, archive.len() + 64, now, ctx.disk_mut());
+        self.metrics.executed += 1;
+        if let Some((_, node)) = self.coordinator(now) {
+            self.mark_result_sent(now, exec.desc.job);
+            self.deferred.send_at(
+                ctx,
+                durable_at,
+                node,
+                Msg::TaskDone {
+                    server: self.params.id,
+                    task: exec.desc.id,
+                    job: exec.desc.job,
+                    archive,
+                },
+                K_SEND,
+                exec.desc.id.0,
+            );
+        }
+        // Drain the local backlog before asking for more work.
+        if let Some(desc) = self.backlog.pop_front() {
+            self.start_task(ctx, desc, 0.0);
+        }
+        // Ask for more work as soon as the result is out.
+        ctx.set_timer_at(durable_at, K_NUDGE);
+    }
+
+    fn resend_archives(&mut self, ctx: &mut Ctx<'_, Msg>, jobs: Vec<JobKey>) {
+        let now = ctx.now();
+        let Some((_, node)) = self.coordinator(now) else { return };
+        for job in jobs {
+            let key = (job.client.as_peer(), job.seq);
+            if let Some(entry) = self.plog.get(key) {
+                if !self.may_send_result(ctx, &job, entry.value.archive.len()) {
+                    continue; // still in flight; the coordinator asked on stale info
+                }
+                let stored = entry.value.clone();
+                self.mark_result_sent(ctx.now(), job);
+                // Reading the archive back from the local log.
+                let read_done = ctx.disk_read(stored.archive.len() + 64);
+                self.metrics.archives_resent += 1;
+                self.deferred.send_at(
+                    ctx,
+                    read_done,
+                    node,
+                    Msg::TaskDone {
+                        server: self.params.id,
+                        task: stored.task,
+                        job: stored.job,
+                        archive: stored.archive,
+                    },
+                    K_SEND,
+                    0,
+                );
+            }
+        }
+    }
+
+    fn checkpoint_running(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let now = ctx.now();
+        let mut bytes = 0;
+        for (id, exec) in &self.running {
+            let elapsed = now.since(exec.started).as_secs_f64();
+            let banked = (exec.work_banked + elapsed).min(exec.work_total);
+            self.checkpoints.insert(
+                *id,
+                Checkpoint { desc: exec.desc.clone(), work_banked: banked },
+            );
+            bytes += 256 + exec.desc.params.len() / 64; // compact progress record
+        }
+        if bytes > 0 {
+            // Checkpoints must be durable to be worth anything.
+            ctx.disk_write(bytes, true);
+        }
+    }
+}
+
+impl Actor<Msg> for ServerActor {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        // Resume checkpointed executions (extension).
+        let resumable: Vec<Checkpoint> = self.checkpoints.values().cloned().collect();
+        self.checkpoints.clear();
+        for c in resumable {
+            self.metrics.resumed += 1;
+            self.start_task(ctx, c.desc, c.work_banked);
+        }
+        self.beat(ctx);
+        ctx.set_timer(self.params.cfg.heartbeat, K_BEAT);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, _from: NodeId, msg: Msg) {
+        match msg {
+            Msg::Assign { task } => {
+                self.last_reply = Some(ctx.now());
+                if let Some(c) = self.current_coord {
+                    self.coords.trust(c.0);
+                }
+                self.start_task(ctx, task, 0.0);
+            }
+            Msg::NoWork => {
+                self.last_reply = Some(ctx.now());
+                if let Some(c) = self.current_coord {
+                    self.coords.trust(c.0);
+                }
+            }
+            Msg::TaskDoneAck { task: _, job } => {
+                self.last_reply = Some(ctx.now());
+                self.plog.ack((job.client.as_peer(), job.seq));
+            }
+            Msg::NeedArchives { jobs } => {
+                self.last_reply = Some(ctx.now());
+                self.resend_archives(ctx, jobs);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, id: TimerId, kind: u64) {
+        match kind {
+            K_BEAT => {
+                self.beat(ctx);
+                ctx.set_timer(self.params.cfg.heartbeat, K_BEAT);
+            }
+            K_NUDGE => self.beat(ctx),
+            K_EXEC => {
+                if let Some(exec) = self.pop_finished(ctx.now()) {
+                    self.complete(ctx, exec);
+                }
+            }
+            K_SEND => {
+                let _ = self.deferred.fire(ctx, id);
+            }
+            K_CKPT => {
+                if !self.running.is_empty() {
+                    self.checkpoint_running(ctx);
+                    if let Some(interval) = self.params.cfg.checkpoint_interval {
+                        ctx.set_timer(interval, K_CKPT);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_crash(&mut self, now: SimTime) -> DurableImage {
+        let mut plog = self.plog.clone();
+        plog.survive_crash(now);
+        let mut metrics = self.metrics;
+        metrics.lost_executions +=
+            self.running.keys().filter(|id| !self.checkpoints.contains_key(id)).count() as u64;
+        DurableImage::of(ServerDurable {
+            plog,
+            checkpoints: self.checkpoints.clone(),
+            metrics,
+        })
+    }
+}

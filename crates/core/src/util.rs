@@ -1,0 +1,158 @@
+//! Shared actor machinery: deferred sends, the coordinator directory, and
+//! workload call specs.
+
+use std::collections::BTreeMap;
+
+use rpcv_simnet::{Ctx, NodeId, SimTime, TimerId};
+use rpcv_wire::Blob;
+use rpcv_xw::CoordId;
+
+use crate::msg::Msg;
+
+/// Maps coordinator identities to their network addresses.
+///
+/// This is the paper's bootstrap list "downloaded ... at system
+/// initialization from known repositories (web servers, DNS, mail
+/// communicated messages, etc...)".
+#[derive(Debug, Clone, Default)]
+pub struct Directory {
+    coords: BTreeMap<CoordId, NodeId>,
+}
+
+impl Directory {
+    /// Directory over `(coordinator, node)` pairs.
+    pub fn new(entries: impl IntoIterator<Item = (CoordId, NodeId)>) -> Self {
+        Directory { coords: entries.into_iter().collect() }
+    }
+
+    /// Address of a coordinator.
+    pub fn node_of(&self, c: CoordId) -> Option<NodeId> {
+        self.coords.get(&c).copied()
+    }
+
+    /// All coordinator ids (the common order base set).
+    pub fn coord_ids(&self) -> Vec<u64> {
+        self.coords.keys().map(|c| c.0).collect()
+    }
+
+    /// Number of coordinators.
+    pub fn len(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.coords.is_empty()
+    }
+}
+
+/// Messages scheduled for a future instant (e.g. a reply that may only
+/// leave once the database operation backing it completed).
+#[derive(Debug, Default)]
+pub struct Deferred {
+    items: BTreeMap<u64, (NodeId, Msg, u64)>,
+}
+
+impl Deferred {
+    /// Empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sends `msg` to `to` at `at` (immediately if `at` is not in the
+    /// future).  `kind` is the actor's deferred-send timer kind; `token`
+    /// is an actor-defined correlation value returned by [`Self::fire`].
+    ///
+    /// Returns the sender-side completion time if the send happened
+    /// immediately, `None` if it was deferred.
+    pub fn send_at(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        at: SimTime,
+        to: NodeId,
+        msg: Msg,
+        kind: u64,
+        token: u64,
+    ) -> Option<SimTime> {
+        if at <= ctx.now() {
+            Some(ctx.send(to, msg))
+        } else {
+            let id = ctx.set_timer_at(at, kind);
+            self.items.insert(id.0, (to, msg, token));
+            None
+        }
+    }
+
+    /// Fires a deferred send; returns `(comm_end, token)` if `id` belonged
+    /// to this queue.
+    pub fn fire(&mut self, ctx: &mut Ctx<'_, Msg>, id: TimerId) -> Option<(SimTime, u64)> {
+        let (to, msg, token) = self.items.remove(&id.0)?;
+        let comm_end = ctx.send(to, msg);
+        Some((comm_end, token))
+    }
+
+    /// Number of queued sends.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// One workload call: everything a client needs to build a submission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CallSpec {
+    /// Service to invoke.
+    pub service: String,
+    /// Parameters.
+    pub params: Blob,
+    /// Declared execution cost (work-units ≈ seconds on a 1.0-speed host).
+    pub exec_cost: f64,
+    /// Expected result size in bytes.
+    pub result_size: u64,
+    /// Redundant-replication factor (extension; 1 = paper baseline).
+    pub replication: u32,
+}
+
+impl CallSpec {
+    /// A call with the given service/cost/sizes.
+    pub fn new(service: impl Into<String>, params: Blob, exec_cost: f64, result_size: u64) -> Self {
+        CallSpec {
+            service: service.into(),
+            params,
+            exec_cost,
+            result_size,
+            replication: 1,
+        }
+    }
+
+    /// Builder: redundancy factor.
+    pub fn with_replication(mut self, n: u32) -> Self {
+        self.replication = n.max(1);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn directory_lookup() {
+        let d = Directory::new([(CoordId(2), NodeId(5)), (CoordId(1), NodeId(4))]);
+        assert_eq!(d.node_of(CoordId(1)), Some(NodeId(4)));
+        assert_eq!(d.node_of(CoordId(9)), None);
+        assert_eq!(d.coord_ids(), vec![1, 2]);
+        assert_eq!(d.len(), 2);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn callspec_builder() {
+        let c = CallSpec::new("s", Blob::empty(), 2.0, 64).with_replication(0);
+        assert_eq!(c.replication, 1, "replication floors at 1");
+    }
+}

@@ -1,0 +1,243 @@
+//! Adaptive suspicion timeouts.
+//!
+//! The paper (§2.2) notes that on the Internet "wide performance
+//! fluctuations can lead to incorrect fault detection" and that "some
+//! known techniques can be used to limit the wrong positives".  This
+//! module implements the classic adaptive technique: estimate the
+//! heartbeat inter-arrival distribution per component and suspect only
+//! when the silence exceeds `mean + k·stddev` (Chen-style adaptive
+//! detection), bounded below by the configured floor so a freshly
+//! observed component is not suspected on noise.
+
+use std::collections::BTreeMap;
+
+use rpcv_simnet::{SimDuration, SimTime};
+
+/// Online mean/variance over a sliding exponential window.
+#[derive(Debug, Clone, Copy)]
+struct ArrivalStats {
+    last_seen: SimTime,
+    /// Exponentially weighted mean inter-arrival (seconds).
+    mean: f64,
+    /// Exponentially weighted variance (seconds²).
+    var: f64,
+    samples: u32,
+}
+
+/// Adaptive heartbeat monitor: per-component timeout learned from the
+/// observed inter-arrival pattern.
+#[derive(Debug, Clone)]
+pub struct AdaptiveMonitor<K: Ord + Copy> {
+    /// Safety factor `k` on the standard deviation.
+    k: f64,
+    /// Smoothing factor for the exponential averages (0 < α ≤ 1).
+    alpha: f64,
+    /// Lower bound on any timeout (protects against over-fitting a fast,
+    /// stable network and then suspecting on the first congestion blip).
+    floor: SimDuration,
+    /// Upper bound (a component that was always slow must still be
+    /// suspected eventually).
+    ceiling: SimDuration,
+    stats: BTreeMap<K, ArrivalStats>,
+}
+
+impl<K: Ord + Copy> AdaptiveMonitor<K> {
+    /// Monitor with safety factor `k`, smoothing `alpha`, and timeout
+    /// bounds `[floor, ceiling]`.
+    pub fn new(k: f64, alpha: f64, floor: SimDuration, ceiling: SimDuration) -> Self {
+        AdaptiveMonitor { k, alpha: alpha.clamp(0.01, 1.0), floor, ceiling, stats: BTreeMap::new() }
+    }
+
+    /// Sensible defaults for the paper's platforms: suspect beyond
+    /// `mean + 4σ`, floored at two heartbeat periods and capped at the
+    /// paper's fixed 30 s timeout.
+    pub fn paper_default(heartbeat: SimDuration) -> Self {
+        AdaptiveMonitor::new(4.0, 0.2, heartbeat * 2, SimDuration::from_secs(30))
+    }
+
+    /// Records a sign of life from `k` at `now`.
+    pub fn observe(&mut self, key: K, now: SimTime) {
+        match self.stats.get_mut(&key) {
+            None => {
+                self.stats.insert(
+                    key,
+                    ArrivalStats { last_seen: now, mean: 0.0, var: 0.0, samples: 0 },
+                );
+            }
+            Some(s) => {
+                if now <= s.last_seen {
+                    return; // reordered observation
+                }
+                let gap = now.since(s.last_seen).as_secs_f64();
+                s.last_seen = now;
+                if s.samples == 0 {
+                    s.mean = gap;
+                    s.var = 0.0;
+                } else {
+                    let d = gap - s.mean;
+                    s.mean += self.alpha * d;
+                    s.var = (1.0 - self.alpha) * (s.var + self.alpha * d * d);
+                }
+                s.samples += 1;
+            }
+        }
+    }
+
+    /// The timeout currently in force for `key` (floor for the unknown).
+    pub fn timeout_of(&self, key: K) -> SimDuration {
+        match self.stats.get(&key) {
+            None => self.floor,
+            Some(s) if s.samples < 3 => self.floor.max(self.ceiling / 2),
+            Some(s) => {
+                let t = s.mean + self.k * s.var.sqrt();
+                SimDuration::from_secs_f64(t).max(self.floor).min(self.ceiling)
+            }
+        }
+    }
+
+    /// Whether `key` is currently suspected.
+    pub fn is_suspect(&self, key: K, now: SimTime) -> bool {
+        match self.stats.get(&key) {
+            None => false,
+            Some(s) => now.since(s.last_seen) > self.timeout_of(key),
+        }
+    }
+
+    /// All currently suspected components, in key order.
+    pub fn suspects(&self, now: SimTime) -> Vec<K> {
+        self.stats
+            .iter()
+            .filter(|(&k, s)| now.since(s.last_seen) > self.timeout_of(k))
+            .map(|(&k, _)| k)
+            .collect()
+    }
+
+    /// Stops tracking `key`.
+    pub fn forget(&mut self, key: K) {
+        self.stats.remove(&key);
+    }
+
+    /// Number of tracked components.
+    pub fn len(&self) -> usize {
+        self.stats.len()
+    }
+
+    /// True when nothing is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.stats.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const S: fn(u64) -> SimTime = SimTime::from_secs;
+
+    fn monitor() -> AdaptiveMonitor<u32> {
+        AdaptiveMonitor::paper_default(SimDuration::from_secs(5))
+    }
+
+    #[test]
+    fn unknown_component_not_suspected() {
+        let m = monitor();
+        assert!(!m.is_suspect(1, S(100)));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn regular_beats_tighten_the_timeout() {
+        let mut m = monitor();
+        for i in 0..20 {
+            m.observe(7, S(i * 5));
+        }
+        let t = m.timeout_of(7);
+        // Perfectly regular 5 s beats: timeout collapses to the floor (2
+        // heartbeats), far below the 30 s fixed ceiling.
+        assert_eq!(t, SimDuration::from_secs(10));
+        assert!(!m.is_suspect(7, S(20 * 5 - 5 + 9)));
+        assert!(m.is_suspect(7, S(20 * 5 - 5 + 11)));
+    }
+
+    #[test]
+    fn jittery_beats_widen_the_timeout() {
+        let mut regular = monitor();
+        let mut jittery = monitor();
+        let mut t_r = 0u64;
+        let mut t_j = 0u64;
+        for i in 0..40 {
+            t_r += 5;
+            regular.observe(1, S(t_r));
+            // Alternate 1 s / 14 s gaps: same mean, huge variance.
+            t_j += if i % 2 == 0 { 1 } else { 14 };
+            jittery.observe(1, S(t_j));
+        }
+        assert!(
+            jittery.timeout_of(1) > regular.timeout_of(1),
+            "variance must widen the timeout: {} vs {}",
+            jittery.timeout_of(1),
+            regular.timeout_of(1)
+        );
+    }
+
+    #[test]
+    fn ceiling_bounds_slow_components() {
+        let mut m = monitor();
+        for i in 0..10 {
+            m.observe(2, S(i * 300)); // 5-minute gaps
+        }
+        assert_eq!(m.timeout_of(2), SimDuration::from_secs(30), "capped at the ceiling");
+    }
+
+    #[test]
+    fn reordered_observations_ignored() {
+        let mut m = monitor();
+        m.observe(3, S(100));
+        m.observe(3, S(50)); // stale
+        m.observe(3, S(105));
+        assert!(!m.is_suspect(3, S(106)));
+    }
+
+    #[test]
+    fn suspects_listing_and_forget() {
+        let mut m = monitor();
+        for i in 0..10 {
+            m.observe(1, S(i * 5));
+            m.observe(2, S(i * 5));
+        }
+        m.observe(2, S(60));
+        let late = S(45 + 11);
+        assert_eq!(m.suspects(late), vec![1]);
+        m.forget(1);
+        assert!(m.suspects(late).is_empty());
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn fewer_wrong_positives_than_fixed_floor_under_jitter() {
+        // The paper's motivation: on a jittery network, a fixed tight
+        // timeout mis-suspects live components; the adaptive one adapts.
+        let fixed = SimDuration::from_secs(10);
+        let mut m = AdaptiveMonitor::new(4.0, 0.2, fixed, SimDuration::from_secs(60));
+        let mut t = 0u64;
+        let mut wrong_fixed = 0;
+        let mut wrong_adaptive = 0;
+        let gaps = [3u64, 12, 4, 13, 3, 12, 4, 14, 3, 12, 4, 13, 3, 12];
+        for (i, &g) in gaps.iter().cycle().take(200).enumerate() {
+            // Probe just before the next beat lands.
+            let probe = S(t + g - 1);
+            if i > 20 {
+                if probe.since(S(t)) > fixed {
+                    wrong_fixed += 1;
+                }
+                if m.is_suspect(9, probe) {
+                    wrong_adaptive += 1;
+                }
+            }
+            t += g;
+            m.observe(9, S(t));
+        }
+        assert!(wrong_adaptive <= wrong_fixed);
+        assert_eq!(wrong_adaptive, 0, "adaptive must absorb the periodic jitter");
+    }
+}

@@ -1,0 +1,180 @@
+//! Heartbeat emission schedules and timeout-based suspicion.
+
+use std::collections::BTreeMap;
+
+use rpcv_simnet::{SimDuration, SimTime};
+
+/// Decides when a component emits its next heartbeat.
+///
+/// Paper §4.2: "we implement the fault detector for coordinators and
+/// servers by a 'heart beat' signal sent periodically ... The 'heart beat'
+/// frequency is adjusted considering the trade-off between Coordinator
+/// reactivity and congestion."
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BeatSchedule {
+    /// Beat period.
+    pub period: SimDuration,
+}
+
+impl BeatSchedule {
+    /// Schedule with the given period.
+    pub fn new(period: SimDuration) -> Self {
+        BeatSchedule { period }
+    }
+
+    /// The paper's confined-experiment setting: one beat every 5 s.
+    pub fn paper_default() -> Self {
+        BeatSchedule::new(SimDuration::from_secs(5))
+    }
+
+    /// Next emission after a beat sent at `last`.
+    pub fn next_after(&self, last: SimTime) -> SimTime {
+        last + self.period
+    }
+}
+
+/// Timeout-based suspicion over observed heartbeats, keyed by `K`.
+///
+/// "When an 'heart beat' signal is timed out, we assume (maybe wrongly) a
+/// failure, whatever is the reason: either a crash, a network failure or an
+/// intermittent congestion" (§4.2).  Wrong suspicion is a feature of the
+/// model, not a bug — the protocol must stay correct under it.
+#[derive(Debug, Clone)]
+pub struct HeartbeatMonitor<K: Ord + Copy> {
+    timeout: SimDuration,
+    last_seen: BTreeMap<K, SimTime>,
+}
+
+impl<K: Ord + Copy> HeartbeatMonitor<K> {
+    /// Monitor suspecting after `timeout` of silence.
+    pub fn new(timeout: SimDuration) -> Self {
+        HeartbeatMonitor { timeout, last_seen: BTreeMap::new() }
+    }
+
+    /// The paper's confined-experiment setting: suspect after 30 s.
+    pub fn paper_default() -> Self {
+        HeartbeatMonitor::new(SimDuration::from_secs(30))
+    }
+
+    /// The configured timeout.
+    pub fn timeout(&self) -> SimDuration {
+        self.timeout
+    }
+
+    /// Records any sign of life from `k` at `now` (heartbeats, but also any
+    /// application message — connection-less protocols must exploit every
+    /// observation).
+    pub fn observe(&mut self, k: K, now: SimTime) {
+        let e = self.last_seen.entry(k).or_insert(now);
+        *e = (*e).max(now);
+    }
+
+    /// Stops tracking `k` entirely.
+    pub fn forget(&mut self, k: K) {
+        self.last_seen.remove(&k);
+    }
+
+    /// Last observation of `k`, if any.
+    pub fn last_seen(&self, k: K) -> Option<SimTime> {
+        self.last_seen.get(&k).copied()
+    }
+
+    /// Whether `k` is currently suspected.  Unknown components are not
+    /// suspected (they have not been entrusted with anything yet).
+    pub fn is_suspect(&self, k: K, now: SimTime) -> bool {
+        match self.last_seen.get(&k) {
+            Some(&t) => now.since(t) > self.timeout,
+            None => false,
+        }
+    }
+
+    /// All currently suspected components, in key order.
+    pub fn suspects(&self, now: SimTime) -> Vec<K> {
+        self.last_seen
+            .iter()
+            .filter(|(_, &t)| now.since(t) > self.timeout)
+            .map(|(&k, _)| k)
+            .collect()
+    }
+
+    /// All components being tracked.
+    pub fn tracked(&self) -> impl Iterator<Item = K> + '_ {
+        self.last_seen.keys().copied()
+    }
+
+    /// Number of tracked components.
+    pub fn len(&self) -> usize {
+        self.last_seen.len()
+    }
+
+    /// True when nothing is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.last_seen.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const S: fn(u64) -> SimTime = SimTime::from_secs;
+
+    #[test]
+    fn beat_schedule_advances() {
+        let b = BeatSchedule::paper_default();
+        assert_eq!(b.next_after(S(10)), S(15));
+    }
+
+    #[test]
+    fn fresh_component_not_suspected() {
+        let m: HeartbeatMonitor<u32> = HeartbeatMonitor::paper_default();
+        assert!(!m.is_suspect(1, S(1000)));
+        assert!(m.suspects(S(1000)).is_empty());
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn silence_triggers_suspicion_after_timeout() {
+        let mut m = HeartbeatMonitor::paper_default();
+        m.observe(7u32, S(0));
+        assert!(!m.is_suspect(7, S(30)), "exactly at timeout: not yet");
+        assert!(m.is_suspect(7, S(31)));
+        assert_eq!(m.suspects(S(31)), vec![7]);
+    }
+
+    #[test]
+    fn new_observation_clears_suspicion() {
+        let mut m = HeartbeatMonitor::paper_default();
+        m.observe(7u32, S(0));
+        assert!(m.is_suspect(7, S(40)));
+        m.observe(7, S(40));
+        assert!(!m.is_suspect(7, S(41)));
+    }
+
+    #[test]
+    fn observations_never_move_backwards() {
+        let mut m = HeartbeatMonitor::paper_default();
+        m.observe(1u32, S(50));
+        m.observe(1, S(10)); // reordered message
+        assert_eq!(m.last_seen(1), Some(S(50)));
+    }
+
+    #[test]
+    fn forget_removes() {
+        let mut m = HeartbeatMonitor::paper_default();
+        m.observe(1u32, S(0));
+        m.observe(2, S(0));
+        m.forget(1);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.suspects(S(100)), vec![2]);
+    }
+
+    #[test]
+    fn multiple_suspects_in_key_order() {
+        let mut m = HeartbeatMonitor::new(SimDuration::from_secs(10));
+        m.observe(3u32, S(0));
+        m.observe(1, S(0));
+        m.observe(2, S(100));
+        assert_eq!(m.suspects(S(50)), vec![1, 3]);
+    }
+}

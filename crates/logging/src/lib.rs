@@ -1,0 +1,32 @@
+//! # rpcv-log — sender-based message logging
+//!
+//! RPC-V's preventive action (paper §4.1): every component "locally logs
+//! every sent message (sender based message logging).  For each
+//! communication, components synchronize their local state from these
+//! logs."  This crate provides the two log shapes the protocol needs and
+//! the three logging strategies the paper evaluates (Fig. 4):
+//!
+//! * [`SenderLog`] — the *client* log: submissions tagged with a unique,
+//!   monotone counter value ("all client RPC submissions are associated
+//!   with a unique counter value", §4.2), synchronized against the
+//!   coordinator's maximum known timestamp;
+//! * [`PeerLog`] — the *server* log: result archives keyed by
+//!   `(client, seq)`; "servers may have non-contiguous timestamps for a
+//!   given client, the synchronization is more complicated, involving a
+//!   peer-wise comparison of logs" (§4.2);
+//! * [`LogStrategy`] — optimistic, blocking pessimistic and non-blocking
+//!   pessimistic write disciplines, with exact durability semantics driven
+//!   by the disk model of `rpcv-simnet`;
+//! * [`GcPolicy`] — bounded-capacity garbage collection ("Since logging
+//!   capacities are bounded, we should decide whether flushing some
+//!   logs ... or stopping computations", §4.2).
+
+pub mod gc;
+pub mod peer;
+pub mod sender;
+pub mod strategy;
+
+pub use gc::{GcOutcome, GcPolicy};
+pub use peer::{PeerKey, PeerLog};
+pub use sender::{AppendOutcome, SenderEntry, SenderLog};
+pub use strategy::LogStrategy;

@@ -1,0 +1,231 @@
+//! The server-side peer log: result archives keyed by `(client, seq)`.
+//!
+//! A server executes tasks originating from many clients with gaps in each
+//! client's sequence (other tasks went to other servers), so the paper's
+//! client-style high-water-mark synchronization does not apply: "Since
+//! servers may have non-contiguous timestamps for a given client, the
+//! synchronization is more complicated, involving a peer-wise comparison
+//! of logs" (§4.2).  [`PeerLog::diff_missing`] is that comparison.
+//!
+//! Server logging is *necessarily pessimistic*: "The file archives built
+//! as the results of the executions represents the server logs.  Thus the
+//! logging protocol is necessarily pessimistic" — the archive only exists
+//! once it is fully written.
+
+use std::collections::BTreeMap;
+
+use rpcv_simnet::{Disk, SimTime};
+
+use crate::gc::{GcOutcome, GcPolicy};
+
+/// Identifies one logged result: `(client id, submission timestamp)`.
+pub type PeerKey = (u64, u64);
+
+/// One retained result archive.
+#[derive(Debug, Clone)]
+pub struct PeerEntry<T> {
+    /// Owning key.
+    pub key: PeerKey,
+    /// The archive (result payload).
+    pub value: T,
+    /// Bytes on disk.
+    pub size: u64,
+    /// Durability instant (always awaited before the result is sent).
+    pub durable_at: SimTime,
+    /// Set once a coordinator confirmed storing this result.
+    pub acked: bool,
+}
+
+/// Pessimistic log of result archives keyed by `(client, seq)`.
+#[derive(Debug, Clone)]
+pub struct PeerLog<T> {
+    entries: BTreeMap<PeerKey, PeerEntry<T>>,
+    gc: GcPolicy,
+    bytes: u64,
+}
+
+impl<T: Clone> PeerLog<T> {
+    /// Empty log under `gc`.
+    pub fn new(gc: GcPolicy) -> Self {
+        PeerLog { entries: BTreeMap::new(), gc, bytes: 0 }
+    }
+
+    /// Number of retained archives.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Bytes retained.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Appends (or replaces) the archive for `key`, paying a synchronous
+    /// disk write (server logging is necessarily pessimistic).
+    ///
+    /// Returns the durability instant; the result message may only be sent
+    /// at or after it.
+    pub fn append(&mut self, key: PeerKey, value: T, size: u64, now: SimTime, disk: &mut Disk) -> SimTime {
+        let out = disk.write_sync(now, size);
+        if let Some(old) = self.entries.insert(
+            key,
+            PeerEntry { key, value, size, durable_at: out.durable_at, acked: false },
+        ) {
+            self.bytes -= old.size;
+        }
+        self.bytes += size;
+        out.durable_at
+    }
+
+    /// Looks up an archive.
+    pub fn get(&self, key: PeerKey) -> Option<&PeerEntry<T>> {
+        self.entries.get(&key)
+    }
+
+    /// Marks `key` as stored on a coordinator.
+    pub fn ack(&mut self, key: PeerKey) {
+        if let Some(e) = self.entries.get_mut(&key) {
+            e.acked = true;
+        }
+    }
+
+    /// All retained keys, in order (the server's half of the peer-wise
+    /// comparison: it offers this list to the coordinator).
+    pub fn keys(&self) -> Vec<PeerKey> {
+        self.entries.keys().copied().collect()
+    }
+
+    /// Peer-wise comparison: of the keys the *coordinator* reports
+    /// missing, which do we still hold?  Those archives are re-sent; any
+    /// requested key we no longer hold must be re-executed (at-least-once).
+    pub fn diff_missing(&self, requested: &[PeerKey]) -> (Vec<PeerKey>, Vec<PeerKey>) {
+        let mut have = Vec::new();
+        let mut gone = Vec::new();
+        for &k in requested {
+            if self.entries.contains_key(&k) {
+                have.push(k);
+            } else {
+                gone.push(k);
+            }
+        }
+        (have, gone)
+    }
+
+    /// Crash semantics: archives not yet durable are lost.
+    pub fn survive_crash(&mut self, now: SimTime) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|_, e| e.durable_at <= now);
+        self.bytes = self.entries.values().map(|e| e.size).sum();
+        before - self.entries.len()
+    }
+
+    /// Garbage collection: drops acknowledged archives above the budget.
+    pub fn collect_garbage(&mut self) -> GcOutcome {
+        let mut out = GcOutcome::default();
+        if self.bytes <= self.gc.max_bytes {
+            return out;
+        }
+        let eligible: Vec<PeerKey> =
+            self.entries.values().filter(|e| e.acked).map(|e| e.key).collect();
+        for key in eligible {
+            if self.bytes <= self.gc.target_bytes() {
+                break;
+            }
+            if let Some(e) = self.entries.remove(&key) {
+                self.bytes -= e.size;
+                out.dropped += 1;
+                out.bytes_freed += e.size;
+            }
+        }
+        out
+    }
+
+    /// Iterates retained entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = &PeerEntry<T>> {
+        self.entries.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpcv_simnet::DiskSpec;
+
+    fn setup() -> (PeerLog<String>, Disk) {
+        (PeerLog::new(GcPolicy::unbounded()), Disk::new(DiskSpec::default()))
+    }
+
+    #[test]
+    fn append_is_pessimistic() {
+        let (mut log, mut disk) = setup();
+        let durable = log.append((1, 5), "result".into(), 1_000_000, SimTime::ZERO, &mut disk);
+        assert!(durable > SimTime::ZERO);
+        assert_eq!(log.len(), 1);
+        // Durable immediately: crash at `durable` loses nothing.
+        assert_eq!(log.survive_crash(durable), 0);
+    }
+
+    #[test]
+    fn replace_updates_bytes() {
+        let (mut log, mut disk) = setup();
+        log.append((1, 1), "v1".into(), 500, SimTime::ZERO, &mut disk);
+        log.append((1, 1), "v2".into(), 700, SimTime::from_secs(1), &mut disk);
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.bytes(), 700);
+        assert_eq!(log.get((1, 1)).unwrap().value, "v2");
+    }
+
+    #[test]
+    fn diff_missing_splits_correctly() {
+        let (mut log, mut disk) = setup();
+        log.append((1, 1), "a".into(), 10, SimTime::ZERO, &mut disk);
+        log.append((1, 3), "b".into(), 10, SimTime::ZERO, &mut disk);
+        log.append((2, 7), "c".into(), 10, SimTime::ZERO, &mut disk);
+        let (have, gone) = log.diff_missing(&[(1, 1), (1, 2), (2, 7), (9, 9)]);
+        assert_eq!(have, vec![(1, 1), (2, 7)]);
+        assert_eq!(gone, vec![(1, 2), (9, 9)]);
+    }
+
+    #[test]
+    fn keys_are_ordered_and_non_contiguous() {
+        let (mut log, mut disk) = setup();
+        for key in [(2u64, 9u64), (1, 4), (1, 1), (3, 2)] {
+            log.append(key, "x".into(), 10, SimTime::ZERO, &mut disk);
+        }
+        assert_eq!(log.keys(), vec![(1, 1), (1, 4), (2, 9), (3, 2)]);
+    }
+
+    #[test]
+    fn gc_respects_ack_and_budget() {
+        let mut log: PeerLog<String> = PeerLog::new(GcPolicy::bounded(25));
+        let mut disk = Disk::new(DiskSpec::default());
+        for i in 0..5u64 {
+            log.append((1, i), "r".into(), 10, SimTime::ZERO, &mut disk);
+        }
+        assert_eq!(log.collect_garbage().dropped, 0, "nothing acked yet");
+        for i in 0..5u64 {
+            log.ack((1, i));
+        }
+        let out = log.collect_garbage();
+        assert!(out.dropped >= 4);
+        assert!(log.bytes() <= 25);
+    }
+
+    #[test]
+    fn crash_drops_tail() {
+        let (mut log, mut disk) = setup();
+        let d1 = log.append((1, 1), "a".into(), 100, SimTime::ZERO, &mut disk);
+        // Issue second append but crash before its durability.
+        let d2 = log.append((1, 2), "b".into(), 50_000_000, d1, &mut disk);
+        assert!(d2 > d1);
+        let lost = log.survive_crash(d1);
+        assert_eq!(lost, 1);
+        assert!(log.get((1, 1)).is_some());
+        assert!(log.get((1, 2)).is_none());
+    }
+}

@@ -1,0 +1,111 @@
+//! Property tests for the logging substrate: no submission is ever lost or
+//! duplicated by sync/GC/crash interactions.
+
+use proptest::prelude::*;
+use rpcv_log::{GcPolicy, LogStrategy, PeerLog, SenderLog};
+use rpcv_simnet::{Disk, DiskSpec, SimTime};
+
+proptest! {
+    /// Timestamps are unique and dense regardless of strategy.
+    #[test]
+    fn sender_seq_dense(n in 1usize..200, strat_idx in 0usize..3) {
+        let strategy = LogStrategy::ALL[strat_idx];
+        let mut log = SenderLog::new(strategy, GcPolicy::unbounded());
+        let mut disk = Disk::new(DiskSpec::default());
+        let mut seqs = Vec::new();
+        for i in 0..n {
+            let out = log.append(i as u64, 100, SimTime::ZERO, &mut disk);
+            seqs.push(out.seq);
+        }
+        let expect: Vec<u64> = (1..=n as u64).collect();
+        prop_assert_eq!(seqs, expect);
+    }
+
+    /// entries_after(k) ∪ [1..=k] covers every retained entry exactly once.
+    #[test]
+    fn entries_after_partitions(n in 1u64..100, k in 0u64..120) {
+        let mut log = SenderLog::new(LogStrategy::Optimistic, GcPolicy::unbounded());
+        let mut disk = Disk::new(DiskSpec::default());
+        for i in 0..n {
+            log.append(i, 10, SimTime::ZERO, &mut disk);
+        }
+        let after: Vec<u64> = log.entries_after(k).map(|e| e.seq).collect();
+        for &s in &after {
+            prop_assert!(s > k);
+        }
+        let total_before = log.iter().filter(|e| e.seq <= k).count();
+        prop_assert_eq!(total_before + after.len(), n as usize);
+    }
+
+    /// Crash survival: survivors are exactly the entries durable by the
+    /// crash instant, and with a blocking-pessimistic strategy that is all
+    /// of them (when the crash happens after the last append returned).
+    #[test]
+    fn blocking_crash_never_loses(n in 1usize..50) {
+        let mut log = SenderLog::new(LogStrategy::BlockingPessimistic, GcPolicy::unbounded());
+        let mut disk = Disk::new(DiskSpec::default());
+        let mut t = SimTime::ZERO;
+        for i in 0..n {
+            let out = log.append(i as u64, 1000, t, &mut disk);
+            t = out.timing.comm_may_start_at;
+        }
+        prop_assert_eq!(log.survive_crash(t), 0);
+        prop_assert_eq!(log.len(), n);
+    }
+
+    /// GC never drops unacked entries and always respects the target.
+    #[test]
+    fn gc_preserves_unacked(
+        n in 1usize..100,
+        acked_upto in 0u64..120,
+        budget in 50u64..2000,
+    ) {
+        let mut log = SenderLog::new(LogStrategy::Optimistic, GcPolicy::bounded(budget));
+        let mut disk = Disk::new(DiskSpec::default());
+        for i in 0..n {
+            log.append(i as u64, 50, SimTime::ZERO, &mut disk);
+        }
+        log.ack_up_to(acked_upto);
+        let unacked_before: Vec<u64> =
+            log.iter().filter(|e| !e.acked).map(|e| e.seq).collect();
+        log.collect_garbage();
+        let unacked_after: Vec<u64> =
+            log.iter().filter(|e| !e.acked).map(|e| e.seq).collect();
+        prop_assert_eq!(unacked_before, unacked_after);
+    }
+
+    /// Peer-wise diff is a partition of the request: `have ∪ gone ==
+    /// requested`, `have ∩ gone == ∅`, and membership is correct.
+    #[test]
+    fn peer_diff_partitions(
+        stored in proptest::collection::btree_set((0u64..10, 0u64..30), 0..40),
+        requested in proptest::collection::vec((0u64..10, 0u64..30), 0..40),
+    ) {
+        let mut log: PeerLog<u64> = PeerLog::new(GcPolicy::unbounded());
+        let mut disk = Disk::new(DiskSpec::default());
+        for &k in &stored {
+            log.append(k, 0, 10, SimTime::ZERO, &mut disk);
+        }
+        let (have, gone) = log.diff_missing(&requested);
+        prop_assert_eq!(have.len() + gone.len(), requested.len());
+        for k in &have {
+            prop_assert!(stored.contains(k));
+        }
+        for k in &gone {
+            prop_assert!(!stored.contains(k));
+        }
+    }
+
+    /// Peer log byte accounting stays consistent through replaces and GC.
+    #[test]
+    fn peer_bytes_consistent(ops in proptest::collection::vec(
+        ((0u64..5, 0u64..5), 1u64..1000), 1..60)) {
+        let mut log: PeerLog<u64> = PeerLog::new(GcPolicy::unbounded());
+        let mut disk = Disk::new(DiskSpec::default());
+        for (key, size) in ops {
+            log.append(key, 0, size, SimTime::ZERO, &mut disk);
+        }
+        let expected: u64 = log.iter().map(|e| e.size).sum();
+        prop_assert_eq!(log.bytes(), expected);
+    }
+}

@@ -1,0 +1,171 @@
+//! Network model: links, latency, bandwidth, loss, partitions.
+//!
+//! The paper treats Internet-connected desktop grids as asynchronous,
+//! best-effort networks (§2.2/§2.3): messages can be delayed arbitrarily or
+//! lost, connections are short-lived (connection-less interaction), and the
+//! system may partition.  The model here provides exactly those behaviours
+//! under explicit control:
+//!
+//! * every directed pair of nodes resolves to [`LinkParams`] (propagation
+//!   latency, random extra jitter, loss probability);
+//! * transfer serialization happens on the *end-host NICs* (sender out,
+//!   receiver in), which is where 100 Mbit/s Ethernet and ADSL-era Internet
+//!   actually bottleneck — see [`crate::world::World`];
+//! * pairs can be blocked (partitions, Fig. 11) and restored dynamically.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::node::NodeId;
+use crate::time::SimDuration;
+
+/// Per-directed-link parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkParams {
+    /// Base one-way propagation latency.
+    pub latency: SimDuration,
+    /// Maximum additional uniform random latency (models congestion noise).
+    pub jitter: SimDuration,
+    /// Probability that a datagram is silently dropped.
+    pub loss: f64,
+}
+
+impl LinkParams {
+    /// A LAN-class link (calibration table in DESIGN.md).
+    pub fn lan() -> Self {
+        LinkParams {
+            latency: SimDuration::from_micros(100),
+            jitter: SimDuration::from_micros(20),
+            loss: 0.0,
+        }
+    }
+
+    /// A WAN/Internet-class link.
+    pub fn wan() -> Self {
+        LinkParams {
+            latency: SimDuration::from_millis(50),
+            jitter: SimDuration::from_millis(10),
+            loss: 0.0,
+        }
+    }
+}
+
+impl Default for LinkParams {
+    fn default() -> Self {
+        LinkParams::lan()
+    }
+}
+
+/// Mutable network topology/policy.
+///
+/// Resolution order for `(from, to)`: blocked? → pair override → default.
+#[derive(Debug, Clone)]
+pub struct NetModel {
+    default: LinkParams,
+    overrides: BTreeMap<(NodeId, NodeId), LinkParams>,
+    blocked: BTreeSet<(NodeId, NodeId)>,
+}
+
+impl NetModel {
+    /// Network where every pair uses `default`.
+    pub fn new(default: LinkParams) -> Self {
+        NetModel { default, overrides: BTreeMap::new(), blocked: BTreeSet::new() }
+    }
+
+    /// Sets parameters for the directed pair `(from, to)`.
+    pub fn set_link(&mut self, from: NodeId, to: NodeId, params: LinkParams) {
+        self.overrides.insert((from, to), params);
+    }
+
+    /// Sets parameters for both directions.
+    pub fn set_link_bidir(&mut self, a: NodeId, b: NodeId, params: LinkParams) {
+        self.set_link(a, b, params);
+        self.set_link(b, a, params);
+    }
+
+    /// Blocks the directed pair `(from, to)` (messages silently vanish,
+    /// which is how partitions look on a best-effort network).
+    pub fn block(&mut self, from: NodeId, to: NodeId) {
+        self.blocked.insert((from, to));
+    }
+
+    /// Blocks both directions.
+    pub fn block_bidir(&mut self, a: NodeId, b: NodeId) {
+        self.block(a, b);
+        self.block(b, a);
+    }
+
+    /// Unblocks the directed pair.
+    pub fn unblock(&mut self, from: NodeId, to: NodeId) {
+        self.blocked.remove(&(from, to));
+    }
+
+    /// Unblocks both directions.
+    pub fn unblock_bidir(&mut self, a: NodeId, b: NodeId) {
+        self.unblock(a, b);
+        self.unblock(b, a);
+    }
+
+    /// Resolves the directed link; `None` means partitioned.
+    pub fn link(&self, from: NodeId, to: NodeId) -> Option<LinkParams> {
+        if self.blocked.contains(&(from, to)) {
+            return None;
+        }
+        Some(*self.overrides.get(&(from, to)).unwrap_or(&self.default))
+    }
+
+    /// Number of currently blocked directed pairs.
+    pub fn blocked_count(&self) -> usize {
+        self.blocked.len()
+    }
+}
+
+impl Default for NetModel {
+    fn default() -> Self {
+        NetModel::new(LinkParams::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const N: fn(u32) -> NodeId = NodeId;
+
+    #[test]
+    fn default_link_applies_everywhere() {
+        let net = NetModel::new(LinkParams::lan());
+        let l = net.link(N(0), N(1)).unwrap();
+        assert_eq!(l.latency, SimDuration::from_micros(100));
+    }
+
+    #[test]
+    fn override_takes_precedence() {
+        let mut net = NetModel::new(LinkParams::lan());
+        net.set_link(N(0), N(1), LinkParams::wan());
+        assert_eq!(net.link(N(0), N(1)).unwrap().latency, SimDuration::from_millis(50));
+        // Only the configured direction changes.
+        assert_eq!(net.link(N(1), N(0)).unwrap().latency, SimDuration::from_micros(100));
+    }
+
+    #[test]
+    fn block_and_unblock() {
+        let mut net = NetModel::default();
+        net.block_bidir(N(2), N(3));
+        assert!(net.link(N(2), N(3)).is_none());
+        assert!(net.link(N(3), N(2)).is_none());
+        assert!(net.link(N(2), N(4)).is_some());
+        net.unblock(N(2), N(3));
+        assert!(net.link(N(2), N(3)).is_some());
+        assert!(net.link(N(3), N(2)).is_none(), "other direction stays blocked");
+        net.unblock_bidir(N(2), N(3));
+        assert_eq!(net.blocked_count(), 0);
+    }
+
+    #[test]
+    fn blocking_beats_override() {
+        let mut net = NetModel::default();
+        net.set_link(N(0), N(1), LinkParams::wan());
+        net.block(N(0), N(1));
+        assert!(net.link(N(0), N(1)).is_none());
+    }
+}

@@ -1,0 +1,206 @@
+//! Realtime driver: runs a [`World`] against the wall clock.
+//!
+//! The deterministic event loop stays single-threaded; this driver maps
+//! virtual time onto real time (optionally scaled) and multiplexes external
+//! commands — message injections, fault controls, state inspection — into
+//! the loop through a channel.  The protocol actors are byte-for-byte the
+//! same code that runs under the simulator; only the clock changes.
+
+use std::sync::mpsc::{channel, RecvTimeoutError, Sender};
+use std::thread::JoinHandle;
+use std::time::{Duration as StdDuration, Instant};
+
+use crate::actor::WireSized;
+use crate::node::NodeId;
+use crate::time::{SimDuration, SimTime};
+use crate::world::{Control, World};
+
+/// Commands accepted by a running driver.
+pub enum Command<M> {
+    /// Deliver `msg` to `to` as an external stimulus.
+    Inject {
+        /// Destination node.
+        to: NodeId,
+        /// Message.
+        msg: M,
+    },
+    /// Apply a fault/topology control.
+    Control(Control),
+    /// Run a closure against the world (inspection or mutation).
+    With(Box<dyn FnOnce(&mut World<M>) + Send>),
+    /// Stop the driver and return the world.
+    Shutdown,
+}
+
+/// Handle for talking to a running [`spawn_realtime`] driver.
+pub struct RealtimeHandle<M> {
+    tx: Sender<Command<M>>,
+}
+
+impl<M> Clone for RealtimeHandle<M> {
+    fn clone(&self) -> Self {
+        RealtimeHandle { tx: self.tx.clone() }
+    }
+}
+
+impl<M: Send + 'static> RealtimeHandle<M> {
+    /// Injects a message (ignored if the driver already stopped).
+    pub fn inject(&self, to: NodeId, msg: M) {
+        let _ = self.tx.send(Command::Inject { to, msg });
+    }
+
+    /// Applies a control action.
+    pub fn control(&self, ctl: Control) {
+        let _ = self.tx.send(Command::Control(ctl));
+    }
+
+    /// Runs `f` on the driver thread and returns its result, or `None` if
+    /// the driver already stopped.
+    pub fn with<R, F>(&self, f: F) -> Option<R>
+    where
+        R: Send + 'static,
+        F: FnOnce(&mut World<M>) -> R + Send + 'static,
+    {
+        let (tx, rx) = channel();
+        let cmd = Command::With(Box::new(move |w: &mut World<M>| {
+            let _ = tx.send(f(w));
+        }));
+        if self.tx.send(cmd).is_err() {
+            return None;
+        }
+        rx.recv().ok()
+    }
+
+    /// Requests shutdown.
+    pub fn shutdown(&self) {
+        let _ = self.tx.send(Command::Shutdown);
+    }
+}
+
+/// Spawns the driver thread.
+///
+/// `time_scale` compresses time: with `60.0`, one wall-clock second covers
+/// one virtual minute (useful to demo hour-long grid scenarios live).
+/// Returns the command handle and the join handle yielding the final world.
+pub fn spawn_realtime<M>(mut world: World<M>, time_scale: f64) -> (RealtimeHandle<M>, JoinHandle<World<M>>)
+where
+    M: WireSized + Send + 'static,
+{
+    assert!(time_scale > 0.0, "time_scale must be positive");
+    let (tx, rx) = channel::<Command<M>>();
+    let join = std::thread::spawn(move || {
+        let wall_epoch = Instant::now();
+        let sim_epoch = world.now();
+        let to_wall = |t: SimTime| -> Instant {
+            let secs = t.since(sim_epoch).as_secs_f64() / time_scale;
+            wall_epoch + StdDuration::from_secs_f64(secs)
+        };
+        let virt_now = || -> SimTime {
+            let secs = wall_epoch.elapsed().as_secs_f64() * time_scale;
+            sim_epoch + SimDuration::from_secs_f64(secs)
+        };
+        loop {
+            let cmd = match world.peek_next_time() {
+                Some(t) => {
+                    let deadline = to_wall(t);
+                    let now_wall = Instant::now();
+                    if deadline <= now_wall {
+                        world.step();
+                        continue;
+                    }
+                    match rx.recv_timeout(deadline - now_wall) {
+                        Ok(c) => Some(c),
+                        Err(RecvTimeoutError::Timeout) => {
+                            world.step();
+                            continue;
+                        }
+                        Err(RecvTimeoutError::Disconnected) => None,
+                    }
+                }
+                None => rx.recv().ok(),
+            };
+            let at = virt_now();
+            world.run_until(at);
+            match cmd {
+                Some(Command::Inject { to, msg }) => world.inject(at, to, msg),
+                Some(Command::Control(ctl)) => world.schedule_control(at, ctl),
+                Some(Command::With(f)) => f(&mut world),
+                Some(Command::Shutdown) | None => break,
+            }
+        }
+        world
+    });
+    (RealtimeHandle { tx }, join)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actor::{Actor, Ctx, TimerId};
+    use crate::node::HostSpec;
+
+    #[derive(Debug)]
+    struct Tick(u64);
+    impl WireSized for Tick {
+        fn wire_size(&self) -> u64 {
+            8
+        }
+    }
+
+    struct Counter {
+        seen: u64,
+    }
+    impl Actor<Tick> for Counter {
+        fn on_start(&mut self, _ctx: &mut Ctx<'_, Tick>) {}
+        fn on_message(&mut self, _ctx: &mut Ctx<'_, Tick>, _f: NodeId, msg: Tick) {
+            self.seen += msg.0;
+        }
+        fn on_timer(&mut self, _ctx: &mut Ctx<'_, Tick>, _id: TimerId, _k: u64) {}
+    }
+
+    #[test]
+    fn inject_with_and_shutdown() {
+        let mut world = World::<Tick>::new(1);
+        let n = world.add_host(HostSpec::named("n"));
+        world.install(n, |_| Box::new(Counter { seen: 0 }));
+        // Generous scale so the test is instant.
+        let (handle, join) = spawn_realtime(world, 1000.0);
+        handle.inject(n, Tick(5));
+        handle.inject(n, Tick(7));
+        // Wait for processing deterministically via the command channel:
+        // With commands are serialized after the Injects, and the driver
+        // drains due events before each command.
+        let seen = loop {
+            let seen = handle
+                .with(move |w| w.actor::<Counter>(n).map(|c| c.seen).unwrap_or(0))
+                .expect("driver alive");
+            if seen >= 12 {
+                break seen;
+            }
+            std::thread::sleep(StdDuration::from_millis(5));
+        };
+        assert_eq!(seen, 12);
+        handle.shutdown();
+        let world = join.join().expect("driver thread");
+        assert_eq!(world.stats().delivered, 2);
+    }
+
+    #[test]
+    fn control_crash_via_handle() {
+        let mut world = World::<Tick>::new(2);
+        let n = world.add_host(HostSpec::named("n"));
+        world.install(n, |_| Box::new(Counter { seen: 0 }));
+        let (handle, join) = spawn_realtime(world, 1000.0);
+        handle.control(Control::Crash(NodeId(0)));
+        let up = loop {
+            let up = handle.with(move |w| w.is_up(n)).expect("driver alive");
+            if !up {
+                break up;
+            }
+            std::thread::sleep(StdDuration::from_millis(5));
+        };
+        assert!(!up);
+        handle.shutdown();
+        join.join().unwrap();
+    }
+}

@@ -1,0 +1,215 @@
+//! Execution traces and message statistics.
+//!
+//! Every world folds a running 64-bit hash over all observable events; two
+//! runs with the same seed must produce identical hashes (this is the
+//! determinism invariant the property tests enforce).  Full event recording
+//! is opt-in because long experiments generate millions of events.
+
+use crate::node::NodeId;
+use crate::time::SimTime;
+
+/// Category of a trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// Message handed to the network by a node.
+    Send,
+    /// Message handed to a node's actor.
+    Deliver,
+    /// Message dropped: link blocked (partition).
+    DropPartition,
+    /// Message dropped: random loss.
+    DropLoss,
+    /// Message dropped: destination down.
+    DropDown,
+    /// Node crashed.
+    Crash,
+    /// Node restarted.
+    Restart,
+    /// Timer fired.
+    Timer,
+    /// Free-form note from an actor.
+    Note,
+}
+
+impl TraceKind {
+    fn code(self) -> u64 {
+        match self {
+            TraceKind::Send => 1,
+            TraceKind::Deliver => 2,
+            TraceKind::DropPartition => 3,
+            TraceKind::DropLoss => 4,
+            TraceKind::DropDown => 5,
+            TraceKind::Crash => 6,
+            TraceKind::Restart => 7,
+            TraceKind::Timer => 8,
+            TraceKind::Note => 9,
+        }
+    }
+}
+
+/// One recorded event.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Virtual time of the event.
+    pub at: SimTime,
+    /// Node concerned.
+    pub node: NodeId,
+    /// Category.
+    pub kind: TraceKind,
+    /// Free-form detail (empty unless recording verbose detail).
+    pub detail: String,
+}
+
+fn fnv64(init: u64, bytes: &[u8]) -> u64 {
+    let mut h = init ^ 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Trace accumulator.
+#[derive(Debug)]
+pub struct Trace {
+    record: bool,
+    events: Vec<TraceEvent>,
+    hash: u64,
+}
+
+impl Trace {
+    /// Hash-only trace (default for big experiments).
+    pub fn new() -> Self {
+        Trace { record: false, events: Vec::new(), hash: 0 }
+    }
+
+    /// Enables full event recording.
+    pub fn set_recording(&mut self, on: bool) {
+        self.record = on;
+    }
+
+    /// Whether events are being stored.
+    pub fn is_recording(&self) -> bool {
+        self.record
+    }
+
+    /// Adds an event (always folded into the hash; stored only if
+    /// recording).
+    pub fn push(&mut self, at: SimTime, node: NodeId, kind: TraceKind, detail: impl AsRef<str>) {
+        let d = detail.as_ref();
+        self.hash = fnv64(
+            self.hash
+                .rotate_left(13)
+                .wrapping_add(at.0)
+                .wrapping_add((node.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                .wrapping_add(kind.code()),
+            d.as_bytes(),
+        );
+        if self.record {
+            self.events.push(TraceEvent { at, node, kind, detail: d.to_owned() });
+        }
+    }
+
+    /// Running determinism hash.
+    pub fn hash(&self) -> u64 {
+        self.hash
+    }
+
+    /// Recorded events (empty unless recording was enabled).
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Recorded events of a given kind.
+    pub fn events_of(&self, kind: TraceKind) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.kind == kind)
+    }
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Aggregate message-plane statistics.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct NetStats {
+    /// Messages handed to the network.
+    pub sent: u64,
+    /// Messages delivered to actors.
+    pub delivered: u64,
+    /// Dropped because the pair was blocked.
+    pub dropped_partition: u64,
+    /// Dropped by random loss.
+    pub dropped_loss: u64,
+    /// Dropped because the destination was down.
+    pub dropped_down: u64,
+    /// Total payload bytes handed to the network.
+    pub bytes_sent: u64,
+    /// Crashes injected.
+    pub crashes: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+}
+
+impl NetStats {
+    /// All drops combined.
+    pub fn dropped_total(&self) -> u64 {
+        self.dropped_partition + self.dropped_loss + self.dropped_down
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_changes_with_events() {
+        let mut t = Trace::new();
+        let h0 = t.hash();
+        t.push(SimTime::from_secs(1), NodeId(0), TraceKind::Send, "");
+        assert_ne!(t.hash(), h0);
+    }
+
+    #[test]
+    fn hash_is_order_sensitive() {
+        let mut a = Trace::new();
+        a.push(SimTime::from_secs(1), NodeId(0), TraceKind::Send, "x");
+        a.push(SimTime::from_secs(2), NodeId(1), TraceKind::Deliver, "y");
+        let mut b = Trace::new();
+        b.push(SimTime::from_secs(2), NodeId(1), TraceKind::Deliver, "y");
+        b.push(SimTime::from_secs(1), NodeId(0), TraceKind::Send, "x");
+        assert_ne!(a.hash(), b.hash());
+    }
+
+    #[test]
+    fn recording_toggles_storage() {
+        let mut t = Trace::new();
+        t.push(SimTime::ZERO, NodeId(0), TraceKind::Note, "hidden");
+        assert!(t.events().is_empty());
+        t.set_recording(true);
+        t.push(SimTime::ZERO, NodeId(0), TraceKind::Note, "kept");
+        assert_eq!(t.events().len(), 1);
+        assert_eq!(t.events()[0].detail, "kept");
+        assert_eq!(t.events_of(TraceKind::Note).count(), 1);
+        assert_eq!(t.events_of(TraceKind::Crash).count(), 0);
+    }
+
+    #[test]
+    fn identical_sequences_hash_identically() {
+        let mut a = Trace::new();
+        let mut b = Trace::new();
+        for i in 0..100 {
+            a.push(SimTime::from_millis(i), NodeId((i % 5) as u32), TraceKind::Send, "d");
+            b.push(SimTime::from_millis(i), NodeId((i % 5) as u32), TraceKind::Send, "d");
+        }
+        assert_eq!(a.hash(), b.hash());
+    }
+
+    #[test]
+    fn stats_totals() {
+        let s = NetStats { dropped_loss: 2, dropped_partition: 3, dropped_down: 4, ..Default::default() };
+        assert_eq!(s.dropped_total(), 9);
+    }
+}

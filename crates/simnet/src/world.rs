@@ -1,0 +1,500 @@
+//! The simulation world: event queue, nodes, dispatch loop, fault control.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap};
+
+use crate::actor::{Actor, Ctx, DurableImage, Effect, TimerId, WireSized};
+use crate::net::{LinkParams, NetModel};
+use crate::node::{HostResources, HostSpec, NodeId};
+use crate::rng::DetRng;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{NetStats, Trace, TraceKind};
+
+/// External control actions, schedulable at absolute instants.
+///
+/// These model the paper's fault generator ("upon order, or from its own
+/// initiative ... kills abruptly the RPC-V component of the hosting
+/// machine") and the partition scenarios of Fig. 11.
+#[derive(Debug)]
+pub enum Control {
+    /// Kill the node's process abruptly.
+    Crash(NodeId),
+    /// Restart the node from its durable image.
+    Restart(NodeId),
+    /// Block the directed pair (or both directions).
+    Block {
+        /// Source side.
+        from: NodeId,
+        /// Destination side.
+        to: NodeId,
+        /// Apply to both directions.
+        bidir: bool,
+    },
+    /// Unblock the directed pair (or both directions).
+    Unblock {
+        /// Source side.
+        from: NodeId,
+        /// Destination side.
+        to: NodeId,
+        /// Apply to both directions.
+        bidir: bool,
+    },
+    /// Replace link parameters for a directed pair (or both directions).
+    SetLink {
+        /// Source side.
+        from: NodeId,
+        /// Destination side.
+        to: NodeId,
+        /// New parameters.
+        params: LinkParams,
+        /// Apply to both directions.
+        bidir: bool,
+    },
+}
+
+enum EventKind<M> {
+    Start { node: NodeId, inc: u32 },
+    Deliver { to: NodeId, from: NodeId, msg: M, size: u64 },
+    Handle { to: NodeId, from: NodeId, msg: M },
+    Timer { node: NodeId, inc: u32, id: TimerId, kind: u64 },
+    Control(Control),
+}
+
+struct QEntry<M> {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for QEntry<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for QEntry<M> {}
+impl<M> PartialOrd for QEntry<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for QEntry<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+type Factory<M> = Box<dyn FnMut(DurableImage) -> Box<dyn Actor<M> + Send> + Send>;
+
+struct NodeSlot<M> {
+    spec: HostSpec,
+    up: bool,
+    inc: u32,
+    actor: Option<Box<dyn Actor<M> + Send>>,
+    factory: Option<Factory<M>>,
+    res: HostResources,
+    rng: DetRng,
+    durable: DurableImage,
+    cancelled: BTreeSet<u64>,
+}
+
+/// Deterministic discrete-event world hosting actors of message type `M`.
+pub struct World<M> {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Reverse<QEntry<M>>>,
+    nodes: Vec<NodeSlot<M>>,
+    net: NetModel,
+    trace: Trace,
+    stats: NetStats,
+    timer_seq: u64,
+    master_rng: DetRng,
+    effects: Vec<Effect<M>>,
+    events_processed: u64,
+}
+
+impl<M: WireSized + 'static> World<M> {
+    /// New world seeded by `seed`, with a default LAN network.
+    pub fn new(seed: u64) -> Self {
+        World {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            nodes: Vec::new(),
+            net: NetModel::default(),
+            trace: Trace::new(),
+            stats: NetStats::default(),
+            timer_seq: 0,
+            master_rng: DetRng::new(seed),
+            effects: Vec::new(),
+            events_processed: 0,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Instant of the earliest queued event, if any (used by the realtime
+    /// driver to sleep until the next thing happens).
+    pub fn peek_next_time(&self) -> Option<SimTime> {
+        self.queue.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Network model (setup: link classes, initial partitions).
+    pub fn net_mut(&mut self) -> &mut NetModel {
+        &mut self.net
+    }
+
+    /// Read access to the network model.
+    pub fn net(&self) -> &NetModel {
+        &self.net
+    }
+
+    /// Trace accumulator.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Enables/disables full trace recording.
+    pub fn set_trace_recording(&mut self, on: bool) {
+        self.trace.set_recording(on);
+    }
+
+    /// Message statistics.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Events processed so far (throughput accounting).
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Adds a host; returns its id.  Hosts start `up` with no actor.
+    pub fn add_host(&mut self, spec: HostSpec) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        let rng = self.master_rng.derive(id.0 as u64);
+        let res = HostResources::new(&spec);
+        self.nodes.push(NodeSlot {
+            spec,
+            up: true,
+            inc: 0,
+            actor: None,
+            factory: None,
+            res,
+            rng,
+            durable: DurableImage::none(),
+            cancelled: BTreeSet::new(),
+        });
+        id
+    }
+
+    /// Installs an actor on `node` via its (re)construction factory.
+    ///
+    /// The factory is invoked immediately with an empty [`DurableImage`]
+    /// for the first incarnation, and again with the image captured at
+    /// crash time for every restart.  `on_start` runs as a scheduled event
+    /// at the current time.
+    pub fn install<F>(&mut self, node: NodeId, mut factory: F)
+    where
+        F: FnMut(DurableImage) -> Box<dyn Actor<M> + Send> + Send + 'static,
+    {
+        let actor = factory(DurableImage::none());
+        let slot = &mut self.nodes[node.0 as usize];
+        slot.actor = Some(actor);
+        slot.factory = Some(Box::new(factory));
+        let inc = slot.inc;
+        self.push_event(self.now, EventKind::Start { node, inc });
+    }
+
+    /// Schedules a control action at an absolute instant.
+    pub fn schedule_control(&mut self, at: SimTime, ctl: Control) {
+        self.push_event(at, EventKind::Control(ctl));
+    }
+
+    /// Injects a message to `to` at `at` as if from an external observer.
+    pub fn inject(&mut self, at: SimTime, to: NodeId, msg: M) {
+        let size = msg.wire_size();
+        self.push_event(at, EventKind::Deliver { to, from: NodeId::EXTERNAL, msg, size });
+    }
+
+    /// True if the node's process is running.
+    pub fn is_up(&self, node: NodeId) -> bool {
+        self.nodes[node.0 as usize].up
+    }
+
+    /// Discards the durable image captured at the node's last crash, so
+    /// the next restart begins "from the beginning of its execution"
+    /// (paper §4.1's other restart mode) instead of from local state —
+    /// models disk loss / reinstallation.
+    pub fn wipe_durable(&mut self, node: NodeId) {
+        self.nodes[node.0 as usize].durable = DurableImage::none();
+    }
+
+    /// Read access to a node's resources (utilization accounting).
+    pub fn resources(&self, node: NodeId) -> &HostResources {
+        &self.nodes[node.0 as usize].res
+    }
+
+    /// Downcast read access to an installed actor.
+    pub fn actor<T: 'static>(&self, node: NodeId) -> Option<&T> {
+        let actor = self.nodes[node.0 as usize].actor.as_deref()?;
+        (actor as &dyn std::any::Any).downcast_ref::<T>()
+    }
+
+    /// Downcast mutable access to an installed actor.
+    pub fn actor_mut<T: 'static>(&mut self, node: NodeId) -> Option<&mut T> {
+        let actor = self.nodes[node.0 as usize].actor.as_deref_mut()?;
+        (actor as &mut dyn std::any::Any).downcast_mut::<T>()
+    }
+
+    fn push_event(&mut self, at: SimTime, kind: EventKind<M>) {
+        self.seq += 1;
+        self.queue.push(Reverse(QEntry { at: at.max(self.now), seq: self.seq, kind }));
+    }
+
+    /// Runs all events up to and including `t`; leaves `now == t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        while let Some(Reverse(head)) = self.queue.peek() {
+            if head.at > t {
+                break;
+            }
+            let Reverse(entry) = self.queue.pop().expect("peeked");
+            self.dispatch(entry);
+        }
+        self.now = self.now.max(t);
+    }
+
+    /// Runs for `d` from the current time.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let t = self.now + d;
+        self.run_until(t);
+    }
+
+    /// Runs until the queue is empty or `max` is reached; returns the time
+    /// of the last processed event.
+    pub fn run_until_idle(&mut self, max: SimTime) -> SimTime {
+        let mut last = self.now;
+        while let Some(Reverse(head)) = self.queue.peek() {
+            if head.at > max {
+                break;
+            }
+            let Reverse(entry) = self.queue.pop().expect("peeked");
+            last = entry.at;
+            self.dispatch(entry);
+        }
+        last
+    }
+
+    /// Processes a single event; returns false if the queue is empty.
+    pub fn step(&mut self) -> bool {
+        match self.queue.pop() {
+            Some(Reverse(entry)) => {
+                self.dispatch(entry);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Crashes a node immediately.
+    pub fn crash_now(&mut self, node: NodeId) {
+        let entry = QEntry {
+            at: self.now,
+            seq: {
+                self.seq += 1;
+                self.seq
+            },
+            kind: EventKind::Control(Control::Crash(node)),
+        };
+        self.dispatch(entry);
+    }
+
+    /// Restarts a node immediately.
+    pub fn restart_now(&mut self, node: NodeId) {
+        let entry = QEntry {
+            at: self.now,
+            seq: {
+                self.seq += 1;
+                self.seq
+            },
+            kind: EventKind::Control(Control::Restart(node)),
+        };
+        self.dispatch(entry);
+    }
+
+    fn dispatch(&mut self, entry: QEntry<M>) {
+        debug_assert!(entry.at >= self.now, "time must be monotone");
+        self.now = entry.at;
+        self.events_processed += 1;
+        match entry.kind {
+            EventKind::Start { node, inc } => {
+                let slot = &self.nodes[node.0 as usize];
+                if slot.up && slot.inc == inc && slot.actor.is_some() {
+                    self.with_actor(node, |actor, ctx| actor.on_start(ctx));
+                }
+            }
+            EventKind::Deliver { to, from, msg, size } => {
+                let slot = &mut self.nodes[to.0 as usize];
+                if !slot.up {
+                    self.stats.dropped_down += 1;
+                    self.trace.push(self.now, to, TraceKind::DropDown, "");
+                    return;
+                }
+                // Receiver-side NIC serialization, then handler.  Control
+                // frames interleave (see CONTROL_FRAME_BYTES).
+                let service = SimDuration::for_bytes(size, slot.spec.nic_bw_in);
+                let at = if size <= crate::actor::CONTROL_FRAME_BYTES {
+                    self.now + service
+                } else {
+                    slot.res.nic_in.acquire(self.now, service).end
+                };
+                self.push_event(at, EventKind::Handle { to, from, msg });
+            }
+            EventKind::Handle { to, from, msg } => {
+                let slot = &self.nodes[to.0 as usize];
+                if !slot.up || slot.actor.is_none() {
+                    self.stats.dropped_down += 1;
+                    self.trace.push(self.now, to, TraceKind::DropDown, "");
+                    return;
+                }
+                self.stats.delivered += 1;
+                self.trace.push(self.now, to, TraceKind::Deliver, "");
+                self.with_actor(to, |actor, ctx| actor.on_message(ctx, from, msg));
+            }
+            EventKind::Timer { node, inc, id, kind } => {
+                let slot = &mut self.nodes[node.0 as usize];
+                if !slot.up || slot.inc != inc {
+                    return;
+                }
+                if slot.cancelled.remove(&id.0) {
+                    return;
+                }
+                if slot.actor.is_none() {
+                    return;
+                }
+                self.trace.push(self.now, node, TraceKind::Timer, "");
+                self.with_actor(node, |actor, ctx| actor.on_timer(ctx, id, kind));
+            }
+            EventKind::Control(ctl) => self.apply_control(ctl),
+        }
+    }
+
+    fn apply_control(&mut self, ctl: Control) {
+        match ctl {
+            Control::Crash(node) => {
+                let now = self.now;
+                let slot = &mut self.nodes[node.0 as usize];
+                if !slot.up {
+                    return;
+                }
+                if let Some(mut actor) = slot.actor.take() {
+                    slot.durable = actor.on_crash(now);
+                }
+                slot.up = false;
+                slot.inc += 1;
+                slot.res.reset(now);
+                slot.cancelled.clear();
+                self.stats.crashes += 1;
+                self.trace.push(now, node, TraceKind::Crash, "");
+            }
+            Control::Restart(node) => {
+                let now = self.now;
+                let slot = &mut self.nodes[node.0 as usize];
+                if slot.up {
+                    return;
+                }
+                let Some(factory) = slot.factory.as_mut() else { return };
+                let image = std::mem::replace(&mut slot.durable, DurableImage::none());
+                slot.actor = Some(factory(image));
+                slot.up = true;
+                slot.res.reset(now);
+                let inc = slot.inc;
+                self.stats.restarts += 1;
+                self.trace.push(now, node, TraceKind::Restart, "");
+                self.push_event(now, EventKind::Start { node, inc });
+            }
+            Control::Block { from, to, bidir } => {
+                if bidir {
+                    self.net.block_bidir(from, to);
+                } else {
+                    self.net.block(from, to);
+                }
+            }
+            Control::Unblock { from, to, bidir } => {
+                if bidir {
+                    self.net.unblock_bidir(from, to);
+                } else {
+                    self.net.unblock(from, to);
+                }
+            }
+            Control::SetLink { from, to, params, bidir } => {
+                if bidir {
+                    self.net.set_link_bidir(from, to, params);
+                } else {
+                    self.net.set_link(from, to, params);
+                }
+            }
+        }
+    }
+
+    /// Runs `f` with the node's actor temporarily removed from its slot and
+    /// a [`Ctx`] borrowing the slot's resources; then re-installs the actor
+    /// and applies buffered effects.
+    fn with_actor<F>(&mut self, node: NodeId, f: F)
+    where
+        F: FnOnce(&mut dyn Actor<M>, &mut Ctx<'_, M>),
+    {
+        let slot = &mut self.nodes[node.0 as usize];
+        let mut actor = match slot.actor.take() {
+            Some(a) => a,
+            None => return,
+        };
+        debug_assert!(self.effects.is_empty());
+        {
+            let mut ctx = Ctx {
+                now: self.now,
+                node,
+                rng: &mut slot.rng,
+                res: &mut slot.res,
+                spec: &slot.spec,
+                net: &self.net,
+                effects: &mut self.effects,
+                trace: &mut self.trace,
+                stats: &mut self.stats,
+                timer_seq: &mut self.timer_seq,
+            };
+            f(actor.as_mut(), &mut ctx);
+        }
+        // The actor may have crashed itself via control during the call?
+        // Controls are only appliable via the queue, so the slot is intact.
+        self.nodes[node.0 as usize].actor = Some(actor);
+        let inc = self.nodes[node.0 as usize].inc;
+        let effects = std::mem::take(&mut self.effects);
+        for eff in effects {
+            match eff {
+                Effect::Deliver { to, from, msg, arrival, size } => {
+                    self.push_event(arrival, EventKind::Deliver { to, from, msg, size });
+                }
+                Effect::TimerSet { at, kind, id } => {
+                    self.push_event(at, EventKind::Timer { node, inc, id, kind });
+                }
+                Effect::TimerCancel { id } => {
+                    self.nodes[node.0 as usize].cancelled.insert(id.0);
+                }
+            }
+        }
+    }
+}
+
+impl<M> std::fmt::Debug for World<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("World")
+            .field("now", &self.now)
+            .field("nodes", &self.nodes.len())
+            .field("queued", &self.queue.len())
+            .field("events_processed", &self.events_processed)
+            .finish()
+    }
+}

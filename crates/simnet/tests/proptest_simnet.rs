@@ -1,0 +1,129 @@
+//! Property tests for the simulator kernel: determinism under arbitrary
+//! topologies/fault schedules, resource-model monotonicity.
+
+use proptest::prelude::*;
+use rpcv_simnet::*;
+
+#[derive(Debug, Clone)]
+struct M(u64);
+impl WireSized for M {
+    fn wire_size(&self) -> u64 {
+        64 + self.0 % 1000
+    }
+}
+
+/// Gossiping actor: forwards a decremented counter to a pseudo-random
+/// peer; emits a finite number of timer-driven bursts so worlds drain.
+struct Gossip {
+    peers: Vec<NodeId>,
+    bursts_left: u32,
+}
+impl Actor<M> for Gossip {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, M>) {
+        ctx.set_timer(SimDuration::from_millis(500), 1);
+    }
+    fn on_message(&mut self, ctx: &mut Ctx<'_, M>, _from: NodeId, msg: M) {
+        if msg.0 > 0 && !self.peers.is_empty() {
+            let idx = ctx.rng().below(self.peers.len() as u64) as usize;
+            let to = self.peers[idx];
+            ctx.send(to, M(msg.0 - 1));
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, M>, _id: TimerId, _k: u64) {
+        if !self.peers.is_empty() {
+            let idx = ctx.rng().below(self.peers.len() as u64) as usize;
+            let to = self.peers[idx];
+            ctx.send(to, M(8));
+        }
+        if self.bursts_left > 0 {
+            self.bursts_left -= 1;
+            ctx.set_timer(SimDuration::from_millis(700), 1);
+        }
+    }
+}
+
+fn build(seed: u64, n: usize, loss: f64, faults: &[(u64, usize)]) -> World<M> {
+    let mut w = World::<M>::new(seed);
+    let nodes: Vec<NodeId> = (0..n).map(|i| w.add_host(HostSpec::named(format!("n{i}")))).collect();
+    *w.net_mut() = NetModel::new(LinkParams { loss, ..LinkParams::lan() });
+    for (i, &node) in nodes.iter().enumerate() {
+        let peers: Vec<NodeId> =
+            nodes.iter().copied().filter(|&p| p != nodes[i]).collect();
+        w.install(node, move |_| Box::new(Gossip { peers: peers.clone(), bursts_left: 8 }));
+    }
+    for &(at_ms, victim) in faults {
+        let node = nodes[victim % n];
+        w.schedule_control(SimTime::from_millis(at_ms), Control::Crash(node));
+        w.schedule_control(SimTime::from_millis(at_ms + 900), Control::Restart(node));
+    }
+    w
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The determinism invariant: identical configuration ⇒ identical
+    /// trace hash and statistics, under arbitrary node counts, loss rates
+    /// and fault schedules.
+    #[test]
+    fn same_config_same_trace(
+        seed in any::<u64>(),
+        n in 2usize..8,
+        loss in 0.0f64..0.4,
+        faults in proptest::collection::vec((0u64..8000, 0usize..8), 0..6),
+    ) {
+        let run = || {
+            let mut w = build(seed, n, loss, &faults);
+            w.run_until(SimTime::from_secs(12));
+            (w.trace().hash(), *w.stats(), w.events_processed())
+        };
+        let (h1, s1, e1) = run();
+        let (h2, s2, e2) = run();
+        prop_assert_eq!(h1, h2);
+        prop_assert_eq!(s1, s2);
+        prop_assert_eq!(e1, e2);
+    }
+
+    /// Resource occupancy is monotone: operations queued later never
+    /// complete earlier, regardless of issue times and durations.
+    #[test]
+    fn resource_fifo_monotone(ops in proptest::collection::vec((0u64..1000, 0u64..500), 1..60)) {
+        let mut r = rpcv_simnet::resource::Resource::new();
+        let mut sorted = ops.clone();
+        sorted.sort_by_key(|&(at, _)| at);
+        let mut last_end = SimTime::ZERO;
+        for (at, dur) in sorted {
+            let occ = r.acquire(SimTime::from_millis(at), SimDuration::from_millis(dur));
+            prop_assert!(occ.start >= SimTime::from_millis(at));
+            prop_assert!(occ.end >= occ.start);
+            prop_assert!(occ.end >= last_end, "FIFO completion order violated");
+            last_end = occ.end;
+        }
+    }
+
+    /// Disk durability never precedes the write's return, and successive
+    /// writes drain in order.
+    #[test]
+    fn disk_durability_ordered(writes in proptest::collection::vec((0u64..5000, 1u64..2_000_000), 1..40)) {
+        let mut d = Disk::new(DiskSpec::default());
+        let mut sorted = writes.clone();
+        sorted.sort_by_key(|&(at, _)| at);
+        let mut last_durable = SimTime::ZERO;
+        for (at, bytes) in sorted {
+            let out = d.write_cached(SimTime::from_millis(at), bytes);
+            prop_assert!(out.durable_at >= out.returned_at);
+            prop_assert!(out.durable_at >= last_durable, "durability must be FIFO");
+            last_durable = out.durable_at;
+        }
+    }
+
+    /// Messages are conserved: sent == delivered + dropped + still-queued;
+    /// after draining, sent == delivered + dropped.
+    #[test]
+    fn message_conservation(seed in any::<u64>(), loss in 0.0f64..0.5) {
+        let mut w = build(seed, 4, loss, &[]);
+        w.run_until_idle(SimTime::from_secs(60));
+        let s = w.stats();
+        prop_assert_eq!(s.sent, s.delivered + s.dropped_total());
+    }
+}

@@ -1,0 +1,326 @@
+//! World-level behaviour: delivery, timers, crash/restart, partitions,
+//! resource contention, and the determinism invariant.
+
+use rpcv_simnet::*;
+
+/// Test message: a counter plus a modelled size.
+#[derive(Debug, Clone)]
+struct Msg {
+    hops: u64,
+    size: u64,
+}
+
+impl WireSized for Msg {
+    fn wire_size(&self) -> u64 {
+        self.size
+    }
+}
+
+/// Ping-pong actor that records what it saw.
+struct Pong {
+    received: Vec<(NodeId, u64)>,
+    peer: Option<NodeId>,
+    timer_fired: u64,
+    started: u64,
+    restore_marker: u64,
+}
+
+impl Pong {
+    fn new(marker: u64) -> Self {
+        Pong { received: Vec::new(), peer: None, timer_fired: 0, started: 0, restore_marker: marker }
+    }
+}
+
+impl Actor<Msg> for Pong {
+    fn on_start(&mut self, _ctx: &mut Ctx<'_, Msg>) {
+        self.started += 1;
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: Msg) {
+        self.received.push((from, msg.hops));
+        self.peer = Some(from);
+        if from != NodeId::EXTERNAL && msg.hops > 0 {
+            ctx.send(from, Msg { hops: msg.hops - 1, size: msg.size });
+        }
+    }
+
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_, Msg>, _id: TimerId, _kind: u64) {
+        self.timer_fired += 1;
+    }
+
+    fn on_crash(&mut self, _now: SimTime) -> DurableImage {
+        DurableImage::of(self.restore_marker + 1)
+    }
+}
+
+fn two_node_world(seed: u64) -> (World<Msg>, NodeId, NodeId) {
+    let mut w = World::<Msg>::new(seed);
+    let a = w.add_host(HostSpec::named("a"));
+    let b = w.add_host(HostSpec::named("b"));
+    w.install(a, |img| Box::new(Pong::new(img.take::<u64>().unwrap_or(0))));
+    w.install(b, |img| Box::new(Pong::new(img.take::<u64>().unwrap_or(0))));
+    (w, a, b)
+}
+
+#[test]
+fn messages_bounce_between_actors() {
+    let (mut w, a, b) = two_node_world(1);
+    w.inject(SimTime::ZERO, a, Msg { hops: 5, size: 100 });
+    w.run_until_idle(SimTime::from_secs(10));
+    let pa: &Pong = w.actor(a).unwrap();
+    let pb: &Pong = w.actor(b).unwrap();
+    // a receives the external injection but bounces nothing (external
+    // origin); verify at least the injection was seen.
+    assert_eq!(pa.received.len(), 1);
+    assert_eq!(pa.received[0].0, NodeId::EXTERNAL);
+    assert!(pb.received.is_empty());
+}
+
+/// Actor that fires a message to a fixed peer on start, creating real
+/// inter-node traffic.
+struct Starter {
+    peer: NodeId,
+    hops: u64,
+    size: u64,
+}
+
+impl Actor<Msg> for Starter {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        ctx.send(self.peer, Msg { hops: self.hops, size: self.size });
+    }
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: Msg) {
+        if msg.hops > 0 {
+            ctx.send(from, Msg { hops: msg.hops - 1, size: msg.size });
+        }
+    }
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_, Msg>, _id: TimerId, _kind: u64) {}
+}
+
+#[test]
+fn ping_pong_round_trips() {
+    let mut w = World::<Msg>::new(7);
+    let a = w.add_host(HostSpec::named("a"));
+    let b = w.add_host(HostSpec::named("b"));
+    w.install(b, |_| Box::new(Pong::new(0)));
+    w.install(a, move |_| Box::new(Starter { peer: b, hops: 6, size: 1000 }));
+    w.run_until_idle(SimTime::from_secs(60));
+    // 6 hops: a->b (6), b->a (5), ... total 7 messages delivered.
+    assert_eq!(w.stats().delivered, 7);
+    assert_eq!(w.stats().dropped_total(), 0);
+}
+
+#[test]
+fn transfer_time_respects_bandwidth_and_latency() {
+    // 12.5 MB at 12.5 MB/s NIC-out + NIC-in plus 100us latency ≈ 2 s total.
+    let mut w = World::<Msg>::new(3);
+    let a = w.add_host(HostSpec::named("a"));
+    let b = w.add_host(HostSpec::named("b"));
+    w.net_mut().set_link_bidir(a, b, LinkParams { jitter: SimDuration::ZERO, ..LinkParams::lan() });
+    w.install(b, |_| Box::new(Pong::new(0)));
+    w.install(a, move |_| Box::new(Starter { peer: b, hops: 0, size: 12_500_000 }));
+    let last = w.run_until_idle(SimTime::from_secs(60));
+    let secs = last.as_secs_f64();
+    assert!((secs - 2.0).abs() < 0.01, "expected ~2s, got {secs}");
+}
+
+#[test]
+fn crash_drops_messages_and_restart_restores_durable_image() {
+    let (mut w, a, b) = two_node_world(5);
+    w.crash_now(b);
+    assert!(!w.is_up(b));
+    // Messages to a crashed node are dropped.
+    w.inject(w.now(), b, Msg { hops: 0, size: 10 });
+    w.run_until(SimTime::from_secs(1));
+    assert_eq!(w.stats().dropped_down, 1);
+    // Restart rebuilds the actor from the durable image (marker + 1).
+    w.restart_now(b);
+    assert!(w.is_up(b));
+    w.run_until(w.now()); // process the queued on_start event
+    let pb: &Pong = w.actor(b).unwrap();
+    assert_eq!(pb.restore_marker, 1, "factory must receive the crash image");
+    assert_eq!(pb.started, 1, "on_start must run after restart");
+    // a was untouched.
+    let pa: &Pong = w.actor(a).unwrap();
+    assert_eq!(pa.restore_marker, 0);
+}
+
+#[test]
+fn double_crash_is_idempotent() {
+    let (mut w, _a, b) = two_node_world(9);
+    w.crash_now(b);
+    w.crash_now(b);
+    assert_eq!(w.stats().crashes, 1);
+    w.restart_now(b);
+    w.restart_now(b);
+    assert_eq!(w.stats().restarts, 1);
+}
+
+#[test]
+fn partition_blocks_messages() {
+    let mut w = World::<Msg>::new(11);
+    let a = w.add_host(HostSpec::named("a"));
+    let b = w.add_host(HostSpec::named("b"));
+    w.install(b, |_| Box::new(Pong::new(0)));
+    w.net_mut().block_bidir(a, b);
+    w.install(a, move |_| Box::new(Starter { peer: b, hops: 3, size: 100 }));
+    w.run_until_idle(SimTime::from_secs(10));
+    assert_eq!(w.stats().delivered, 0);
+    assert_eq!(w.stats().dropped_partition, 1);
+}
+
+#[test]
+fn scheduled_controls_apply_in_order() {
+    let mut w = World::<Msg>::new(13);
+    let a = w.add_host(HostSpec::named("a"));
+    let b = w.add_host(HostSpec::named("b"));
+    w.install(b, |_| Box::new(Pong::new(0)));
+    w.install(a, move |_| Box::new(Starter { peer: b, hops: 0, size: 100 }));
+    // Crash b at t=10s, restart at t=20s.
+    w.schedule_control(SimTime::from_secs(10), Control::Crash(b));
+    w.schedule_control(SimTime::from_secs(20), Control::Restart(b));
+    w.run_until(SimTime::from_secs(15));
+    assert!(!w.is_up(b));
+    w.run_until(SimTime::from_secs(25));
+    assert!(w.is_up(b));
+}
+
+/// Timers: set, fire, cancel; crash invalidates pending timers.
+struct TimerBox {
+    fired: Vec<u64>,
+    cancel_target: Option<TimerId>,
+}
+
+impl Actor<Msg> for TimerBox {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        ctx.set_timer(SimDuration::from_secs(1), 1);
+        let id = ctx.set_timer(SimDuration::from_secs(2), 2);
+        ctx.set_timer(SimDuration::from_secs(3), 3);
+        self.cancel_target = Some(id);
+    }
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, _from: NodeId, _msg: Msg) {
+        // Message = order to cancel timer "2".
+        if let Some(id) = self.cancel_target.take() {
+            ctx.cancel_timer(id);
+        }
+    }
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_, Msg>, _id: TimerId, kind: u64) {
+        self.fired.push(kind);
+    }
+}
+
+#[test]
+fn timer_cancellation() {
+    let mut w = World::<Msg>::new(17);
+    let a = w.add_host(HostSpec::named("a"));
+    w.install(a, |_| Box::new(TimerBox { fired: Vec::new(), cancel_target: None }));
+    // Cancel timer 2 before it fires.
+    w.inject(SimTime::from_millis(500), a, Msg { hops: 0, size: 1 });
+    w.run_until_idle(SimTime::from_secs(10));
+    let t: &TimerBox = w.actor(a).unwrap();
+    assert_eq!(t.fired, vec![1, 3], "timer 2 must have been cancelled");
+}
+
+#[test]
+fn crash_invalidates_pending_timers() {
+    let mut w = World::<Msg>::new(19);
+    let a = w.add_host(HostSpec::named("a"));
+    w.install(a, |_| Box::new(TimerBox { fired: Vec::new(), cancel_target: None }));
+    w.schedule_control(SimTime::from_millis(1500), Control::Crash(a));
+    w.schedule_control(SimTime::from_millis(1600), Control::Restart(a));
+    w.run_until_idle(SimTime::from_secs(30));
+    let t: &TimerBox = w.actor(a).unwrap();
+    // Timer 1 fired pre-crash. Timers 2 and 3 of the first incarnation died
+    // with it; the restarted incarnation re-armed all three (1s/2s/3s after
+    // restart) and they all fired.
+    assert_eq!(t.fired, vec![1, 2, 3]);
+}
+
+#[test]
+fn lossy_links_drop_some_messages() {
+    let mut w = World::<Msg>::new(23);
+    let a = w.add_host(HostSpec::named("a"));
+    let b = w.add_host(HostSpec::named("b"));
+    w.net_mut().set_link_bidir(
+        a,
+        b,
+        LinkParams { loss: 0.5, ..LinkParams::lan() },
+    );
+    w.install(b, |_| Box::new(Pong::new(0)));
+    // 200 one-way messages; ~half should be lost.
+    struct Burst {
+        peer: NodeId,
+    }
+    impl Actor<Msg> for Burst {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+            for _ in 0..200 {
+                ctx.send(self.peer, Msg { hops: 0, size: 10 });
+            }
+        }
+        fn on_message(&mut self, _ctx: &mut Ctx<'_, Msg>, _f: NodeId, _m: Msg) {}
+        fn on_timer(&mut self, _ctx: &mut Ctx<'_, Msg>, _id: TimerId, _k: u64) {}
+    }
+    w.install(a, move |_| Box::new(Burst { peer: b }));
+    w.run_until_idle(SimTime::from_secs(10));
+    let lost = w.stats().dropped_loss;
+    assert!((60..=140).contains(&lost), "expected ~100 lost, got {lost}");
+    assert_eq!(w.stats().delivered + lost, 200);
+}
+
+#[test]
+fn determinism_same_seed_same_trace_hash() {
+    let run = |seed: u64| {
+        let mut w = World::<Msg>::new(seed);
+        let a = w.add_host(HostSpec::named("a"));
+        let b = w.add_host(HostSpec::named("b"));
+        w.net_mut().set_link_bidir(a, b, LinkParams { loss: 0.1, ..LinkParams::lan() });
+        w.install(b, |_| Box::new(Pong::new(0)));
+        w.install(a, move |_| Box::new(Starter { peer: b, hops: 50, size: 2000 }));
+        w.schedule_control(SimTime::from_millis(3), Control::Crash(b));
+        w.schedule_control(SimTime::from_millis(5), Control::Restart(b));
+        w.run_until_idle(SimTime::from_secs(100));
+        (w.trace().hash(), w.stats().clone())
+    };
+    let (h1, s1) = run(42);
+    let (h2, s2) = run(42);
+    assert_eq!(h1, h2, "same seed must give identical traces");
+    assert_eq!(s1, s2);
+    let (h3, _) = run(43);
+    assert_ne!(h1, h3, "different seeds should diverge");
+}
+
+#[test]
+fn run_until_advances_clock_even_when_idle() {
+    let mut w = World::<Msg>::new(29);
+    w.run_until(SimTime::from_secs(42));
+    assert_eq!(w.now(), SimTime::from_secs(42));
+}
+
+#[test]
+fn nic_contention_serializes_concurrent_sends() {
+    // One sender bursts 10 × 1.25 MB to two receivers; NIC-out at 12.5 MB/s
+    // must serialize them: total ≈ 1 s regardless of destination.
+    let mut w = World::<Msg>::new(31);
+    let a = w.add_host(HostSpec::named("a"));
+    let b = w.add_host(HostSpec::named("b"));
+    let c = w.add_host(HostSpec::named("c"));
+    w.install(b, |_| Box::new(Pong::new(0)));
+    w.install(c, |_| Box::new(Pong::new(0)));
+    struct Fan {
+        peers: Vec<NodeId>,
+    }
+    impl Actor<Msg> for Fan {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+            for i in 0..10 {
+                let to = self.peers[i % 2];
+                ctx.send(to, Msg { hops: 0, size: 1_250_000 });
+            }
+        }
+        fn on_message(&mut self, _ctx: &mut Ctx<'_, Msg>, _f: NodeId, _m: Msg) {}
+        fn on_timer(&mut self, _ctx: &mut Ctx<'_, Msg>, _id: TimerId, _k: u64) {}
+    }
+    w.install(a, move |_| Box::new(Fan { peers: vec![b, c] }));
+    let last = w.run_until_idle(SimTime::from_secs(60));
+    let secs = last.as_secs_f64();
+    // 12.5 MB total at 12.5 MB/s out + 0.1 s receive tail ≈ 1.1 s.
+    assert!((1.0..1.3).contains(&secs), "expected ~1.1s, got {secs}");
+}

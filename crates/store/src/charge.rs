@@ -1,0 +1,73 @@
+//! Cost accounting for storage operations.
+
+/// Resources consumed by a storage call.
+///
+/// The actor hosting the store translates this into simulator charges:
+/// `db_ops`/`db_bytes` to the node's database resource, `disk_bytes` to
+/// its filesystem (archive store).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Charge {
+    /// Logical database operations (row inserts/updates/lookups).
+    pub db_ops: u64,
+    /// Payload bytes moved through the database.
+    pub db_bytes: u64,
+    /// Bytes written to the archive filesystem.
+    pub disk_bytes: u64,
+}
+
+impl Charge {
+    /// No cost.
+    pub const ZERO: Charge = Charge { db_ops: 0, db_bytes: 0, disk_bytes: 0 };
+
+    /// `n` database operations, no payload.
+    pub fn ops(n: u64) -> Charge {
+        Charge { db_ops: n, ..Self::ZERO }
+    }
+
+    /// Database operations with payload.
+    pub fn db(ops: u64, bytes: u64) -> Charge {
+        Charge { db_ops: ops, db_bytes: bytes, disk_bytes: 0 }
+    }
+
+    /// Archive write.
+    pub fn disk(bytes: u64) -> Charge {
+        Charge { disk_bytes: bytes, ..Self::ZERO }
+    }
+}
+
+impl std::ops::Add for Charge {
+    type Output = Charge;
+    fn add(self, rhs: Charge) -> Charge {
+        Charge {
+            db_ops: self.db_ops + rhs.db_ops,
+            db_bytes: self.db_bytes + rhs.db_bytes,
+            disk_bytes: self.disk_bytes + rhs.disk_bytes,
+        }
+    }
+}
+
+impl std::ops::AddAssign for Charge {
+    fn add_assign(&mut self, rhs: Charge) {
+        *self = *self + rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(Charge::ops(3).db_ops, 3);
+        assert_eq!(Charge::db(2, 100), Charge { db_ops: 2, db_bytes: 100, disk_bytes: 0 });
+        assert_eq!(Charge::disk(50).disk_bytes, 50);
+    }
+
+    #[test]
+    fn addition() {
+        let mut c = Charge::ops(1) + Charge::db(2, 10) + Charge::disk(5);
+        assert_eq!(c, Charge { db_ops: 3, db_bytes: 10, disk_bytes: 5 });
+        c += Charge::ops(1);
+        assert_eq!(c.db_ops, 4);
+    }
+}

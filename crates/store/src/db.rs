@@ -1,0 +1,934 @@
+//! The coordinator database: jobs, tasks, archives, scheduling queue.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use rpcv_simnet::SimTime;
+use rpcv_wire::Blob;
+use rpcv_xw::{ClientKey, CoordId, JobKey, JobSpec, ServerId, TaskDesc, TaskId, TaskState};
+
+use crate::charge::Charge;
+use crate::delta::{ReplicationDelta, TaskRecord};
+
+/// One stored task row.
+#[derive(Debug, Clone)]
+pub struct TaskRow {
+    /// Instance description (what a server receives).
+    pub desc: TaskDesc,
+    /// Scheduling state.
+    pub state: TaskState,
+    /// Creating coordinator.
+    pub origin: CoordId,
+    /// Whether *this* coordinator dispatched the instance (vs. learned of
+    /// it through replication) — drives the replica scheduling rule.
+    pub locally_dispatched: bool,
+    /// Version stamp of the last mutation (replication watermark).
+    pub version: u64,
+}
+
+#[derive(Debug, Clone)]
+struct JobRow {
+    spec: JobSpec,
+    version: u64,
+}
+
+#[derive(Debug, Clone)]
+struct ArchiveRow {
+    payload: Blob,
+    size: u64,
+    collected: bool,
+}
+
+/// Result of registering a completed task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompleteOutcome {
+    /// First result for this job: stored.
+    NewResult,
+    /// The job already had a result (at-least-once duplicate): dropped.
+    Duplicate,
+    /// Neither the task nor its job is known here.
+    UnknownJob,
+}
+
+/// Aggregate counters for reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DbStats {
+    /// Registered jobs.
+    pub jobs: u64,
+    /// Task instances.
+    pub tasks: u64,
+    /// Tasks pending dispatch.
+    pub pending: u64,
+    /// Tasks ongoing on servers.
+    pub ongoing: u64,
+    /// Jobs with a stored result archive.
+    pub archived: u64,
+    /// Duplicate results dropped (at-least-once re-executions).
+    pub duplicate_results: u64,
+}
+
+/// The coordinator's durable state: job/task tables, FCFS queue, archive
+/// store, client timestamp marks, replication version counter.
+#[derive(Debug, Clone)]
+pub struct CoordinatorDb {
+    me: CoordId,
+    version: u64,
+    jobs: BTreeMap<JobKey, JobRow>,
+    tasks: BTreeMap<TaskId, TaskRow>,
+    pending: VecDeque<TaskId>,
+    by_server: BTreeMap<ServerId, BTreeSet<TaskId>>,
+    archives: BTreeMap<JobKey, ArchiveRow>,
+    finished_jobs: BTreeSet<JobKey>,
+    client_max: BTreeMap<ClientKey, u64>,
+    task_counter: u64,
+    duplicate_results: u64,
+}
+
+impl CoordinatorDb {
+    /// Empty database owned by coordinator `me`.
+    pub fn new(me: CoordId) -> Self {
+        CoordinatorDb {
+            me,
+            version: 0,
+            jobs: BTreeMap::new(),
+            tasks: BTreeMap::new(),
+            pending: VecDeque::new(),
+            by_server: BTreeMap::new(),
+            archives: BTreeMap::new(),
+            finished_jobs: BTreeSet::new(),
+            client_max: BTreeMap::new(),
+            task_counter: 0,
+            duplicate_results: 0,
+        }
+    }
+
+    /// Owning coordinator.
+    pub fn me(&self) -> CoordId {
+        self.me
+    }
+
+    /// Current replication version.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    fn bump(&mut self) -> u64 {
+        self.version += 1;
+        self.version
+    }
+
+    // --- job registration -------------------------------------------------
+
+    /// Registers a job submitted by a client; translates it into
+    /// `spec.replication` task instances (paper: "jobs ... are translated
+    /// as tasks (instances of jobs)").  Duplicate registrations (client
+    /// resend after sync) are recognized and ignored.
+    pub fn register_job(&mut self, spec: JobSpec) -> (bool, Charge) {
+        if self.jobs.contains_key(&spec.key) {
+            return (false, Charge::ops(1));
+        }
+        let params_len = spec.params.len();
+        let key = spec.key;
+        let replication = spec.replication.max(1);
+        let v = self.bump();
+        self.client_max
+            .entry(key.client)
+            .and_modify(|m| *m = (*m).max(key.seq))
+            .or_insert(key.seq);
+        self.jobs.insert(key, JobRow { spec, version: v });
+        let mut charge = Charge::db(1, params_len);
+        for _ in 0..replication {
+            self.create_instance(key);
+            charge += Charge::ops(1);
+        }
+        (true, charge)
+    }
+
+    /// Bulk registration (client log replay during synchronization).
+    ///
+    /// Row inserts amortize in a bulk statement, which is what makes
+    /// client-side-log synchronization markedly cheaper than the
+    /// coordinator-side direction in Fig. 6: the charge is
+    /// `1 + ceil(n/4)` operations instead of `n`.
+    pub fn register_jobs_bulk(&mut self, specs: Vec<JobSpec>) -> (u64, Charge) {
+        let mut new_count: u64 = 0;
+        let mut bytes = 0;
+        for spec in specs {
+            if self.jobs.contains_key(&spec.key) {
+                continue;
+            }
+            bytes += spec.params.len();
+            let key = spec.key;
+            let replication = spec.replication.max(1);
+            let v = self.bump();
+            self.client_max
+                .entry(key.client)
+                .and_modify(|m| *m = (*m).max(key.seq))
+                .or_insert(key.seq);
+            self.jobs.insert(key, JobRow { spec, version: v });
+            for _ in 0..replication {
+                self.create_instance(key);
+            }
+            new_count += 1;
+        }
+        let charge = Charge::db(1 + new_count.div_ceil(4), bytes);
+        (new_count, charge)
+    }
+
+    /// True if the job is known.
+    pub fn knows_job(&self, key: &JobKey) -> bool {
+        self.jobs.contains_key(key)
+    }
+
+    /// Highest registered submission timestamp for `client` (0 if none) —
+    /// the coordinator's half of the client synchronization handshake.
+    pub fn client_max(&self, client: ClientKey) -> u64 {
+        self.client_max.get(&client).copied().unwrap_or(0)
+    }
+
+    fn create_instance(&mut self, job: JobKey) -> Option<TaskId> {
+        let spec = self.jobs.get(&job)?.spec.clone();
+        let attempt = self
+            .tasks
+            .values()
+            .filter(|t| t.desc.job == job)
+            .map(|t| t.desc.attempt + 1)
+            .max()
+            .unwrap_or(0);
+        self.task_counter += 1;
+        let id = TaskId::compose(self.me, self.task_counter);
+        let v = self.bump();
+        let desc = TaskDesc {
+            id,
+            job,
+            attempt,
+            service: spec.service.clone(),
+            cmdline: spec.cmdline.clone(),
+            params: spec.params.clone(),
+            exec_cost: spec.exec_cost,
+            result_size_hint: spec.result_size_hint,
+        };
+        self.tasks.insert(
+            id,
+            TaskRow {
+                desc,
+                state: TaskState::Pending,
+                origin: self.me,
+                locally_dispatched: false,
+                version: v,
+            },
+        );
+        self.pending.push_back(id);
+        Some(id)
+    }
+
+    // --- scheduling --------------------------------------------------------
+
+    /// FCFS dispatch: next runnable pending task for `server`, or `None`.
+    ///
+    /// Skips tasks of already-finished jobs (a sibling instance or another
+    /// replica's execution produced the result first).
+    pub fn next_pending(&mut self, server: ServerId, now: SimTime) -> (Option<TaskDesc>, Charge) {
+        let mut ops = 1; // the queue lookup itself
+        while let Some(id) = self.pending.pop_front() {
+            ops += 1;
+            let Some(row) = self.tasks.get_mut(&id) else { continue };
+            if !matches!(row.state, TaskState::Pending) {
+                continue;
+            }
+            if self.finished_jobs.contains(&row.desc.job) {
+                continue;
+            }
+            row.state = TaskState::Ongoing { server, since: now };
+            row.locally_dispatched = true;
+            let desc = row.desc.clone();
+            let params = desc_params(&desc);
+            let v = self.version + 1;
+            row.version = v;
+            self.version = v;
+            self.by_server.entry(server).or_default().insert(id);
+            return (Some(desc), Charge::db(ops, params));
+        }
+        (None, Charge::ops(ops))
+    }
+
+    /// Number of dispatchable pending tasks.
+    pub fn pending_count(&self) -> usize {
+        self.pending
+            .iter()
+            .filter(|id| {
+                self.tasks
+                    .get(id)
+                    .map(|r| {
+                        matches!(r.state, TaskState::Pending)
+                            && !self.finished_jobs.contains(&r.desc.job)
+                    })
+                    .unwrap_or(false)
+            })
+            .count()
+    }
+
+    // --- completion ---------------------------------------------------------
+
+    /// Registers a task result arriving from `server`.
+    ///
+    /// At-least-once semantics: the first result for a job wins; duplicates
+    /// from racing instances are counted and dropped.
+    pub fn complete_task(
+        &mut self,
+        task: TaskId,
+        job: JobKey,
+        archive: Blob,
+        server: ServerId,
+    ) -> (CompleteOutcome, Charge) {
+        let size = archive.len();
+        // Clear the server index and mark the instance finished if known.
+        if let Some(row) = self.tasks.get_mut(&task) {
+            if let TaskState::Ongoing { server: s, .. } = row.state {
+                if let Some(set) = self.by_server.get_mut(&s) {
+                    set.remove(&task);
+                }
+            }
+            row.state = TaskState::Finished { result_size: size };
+            let v = self.version + 1;
+            row.version = v;
+            self.version = v;
+        } else if !self.jobs.contains_key(&job) {
+            return (CompleteOutcome::UnknownJob, Charge::ops(1));
+        }
+        if self.archives.contains_key(&job) {
+            self.duplicate_results += 1;
+            return (CompleteOutcome::Duplicate, Charge::ops(2));
+        }
+        self.archives.insert(job, ArchiveRow { payload: archive, size, collected: false });
+        self.finished_jobs.insert(job);
+        let _ = server;
+        // 2 db ops (task + job rows) plus the archive write to the
+        // filesystem store.
+        (CompleteOutcome::NewResult, Charge::db(2, 0) + Charge::disk(size))
+    }
+
+    /// Jobs finished according to replicated state but whose archive we do
+    /// not hold (archives are never replicated) — these are requested back
+    /// from servers during synchronization.
+    pub fn missing_archives(&self) -> Vec<JobKey> {
+        self.finished_jobs
+            .iter()
+            .filter(|j| !self.archives.contains_key(*j))
+            .copied()
+            .collect()
+    }
+
+    /// Stores an archive re-sent by a server for a job finished elsewhere.
+    pub fn store_archive(&mut self, job: JobKey, archive: Blob) -> Charge {
+        let size = archive.len();
+        if self.archives.contains_key(&job) {
+            return Charge::ops(1);
+        }
+        self.archives.insert(job, ArchiveRow { payload: archive, size, collected: false });
+        self.finished_jobs.insert(job);
+        Charge::db(1, 0) + Charge::disk(size)
+    }
+
+    /// Reverts a job to pending execution because its result archive is
+    /// unrecoverable (server lost its log): at-least-once re-execution.
+    pub fn reexecute_job(&mut self, job: JobKey) -> (Option<TaskId>, Charge) {
+        if self.archives.contains_key(&job) || !self.jobs.contains_key(&job) {
+            return (None, Charge::ops(1));
+        }
+        self.finished_jobs.remove(&job);
+        let id = self.create_instance(job);
+        (id, Charge::ops(2))
+    }
+
+    // --- fault handling -----------------------------------------------------
+
+    /// Server suspected: schedule new instances of all its ongoing tasks
+    /// ("when a coordinator suspects a server failure, it schedules new
+    /// instances of all RPC calls forwarded to the suspect").  The old
+    /// instances stay ongoing — off-line computing means the server may
+    /// still deliver them later; duplicates are dropped at completion.
+    pub fn server_suspected(&mut self, server: ServerId) -> (Vec<TaskId>, Charge) {
+        let victims: Vec<JobKey> = self
+            .by_server
+            .get(&server)
+            .map(|set| {
+                set.iter()
+                    .filter_map(|id| self.tasks.get(id))
+                    .filter(|r| !self.finished_jobs.contains(&r.desc.job))
+                    .map(|r| r.desc.job)
+                    .collect()
+            })
+            .unwrap_or_default();
+        self.by_server.remove(&server);
+        let mut created = Vec::new();
+        let mut charge = Charge::ops(1);
+        for job in victims {
+            if let Some(id) = self.create_instance(job) {
+                created.push(id);
+                charge += Charge::ops(2);
+            }
+        }
+        (created, charge)
+    }
+
+    /// Re-stamps an ongoing task's dispatch instant (the `Assign` message
+    /// may leave well after `next_pending` when the database is backlogged;
+    /// reconciliation grace periods must count from the actual send).
+    pub fn restamp_ongoing(&mut self, task: TaskId, at: SimTime) {
+        if let Some(row) = self.tasks.get_mut(&task) {
+            if let TaskState::Ongoing { server, .. } = row.state {
+                row.state = TaskState::Ongoing { server, since: at };
+            }
+        }
+    }
+
+    /// Reconciles a server's beat against its assigned tasks: any task
+    /// dispatched to `server` longer than `grace` ago that the server does
+    /// not report as running (or queued) was lost in an intermittent crash
+    /// the suspicion timeout never saw ("components may leave the system
+    /// for any period of time without prior notification ... and may
+    /// restart in a state inconsistent with the rest of the system",
+    /// §2.2).  New instances are created for the lost jobs.
+    pub fn reconcile_server(
+        &mut self,
+        server: ServerId,
+        running: &[TaskId],
+        now: SimTime,
+        grace: rpcv_simnet::SimDuration,
+    ) -> (Vec<TaskId>, Charge) {
+        let running: std::collections::BTreeSet<TaskId> = running.iter().copied().collect();
+        let lost: Vec<(TaskId, JobKey)> = self
+            .by_server
+            .get(&server)
+            .map(|set| {
+                set.iter()
+                    .filter(|id| !running.contains(id))
+                    .filter_map(|id| self.tasks.get(id))
+                    .filter(|r| match r.state {
+                        TaskState::Ongoing { since, .. } => now.since(since) > grace,
+                        _ => false,
+                    })
+                    .filter(|r| !self.finished_jobs.contains(&r.desc.job))
+                    .map(|r| (r.desc.id, r.desc.job))
+                    .collect()
+            })
+            .unwrap_or_default();
+        let mut created = Vec::new();
+        let mut charge = Charge::ops(1);
+        for (old, job) in lost {
+            if let Some(set) = self.by_server.get_mut(&server) {
+                set.remove(&old);
+            }
+            if let Some(id) = self.create_instance(job) {
+                created.push(id);
+                charge += Charge::ops(2);
+            }
+        }
+        (created, charge)
+    }
+
+    /// Predecessor coordinator suspected: replicated *ongoing* tasks of
+    /// that origin become schedulable here ("ongoing tasks are not
+    /// scheduled until the coordinator replica suspects the disconnection
+    /// of its predecessor").
+    pub fn release_origin(&mut self, origin: CoordId) -> (Vec<TaskId>, Charge) {
+        let held: Vec<JobKey> = self
+            .tasks
+            .values()
+            .filter(|r| {
+                r.origin == origin
+                    && !r.locally_dispatched
+                    && matches!(r.state, TaskState::Ongoing { .. })
+                    && !self.finished_jobs.contains(&r.desc.job)
+            })
+            .map(|r| r.desc.job)
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        let mut created = Vec::new();
+        let mut charge = Charge::ops(1);
+        for job in held {
+            if let Some(id) = self.create_instance(job) {
+                created.push(id);
+                charge += Charge::ops(2);
+            }
+        }
+        (created, charge)
+    }
+
+    // --- client result collection --------------------------------------------
+
+    /// Results for `client` not yet collected: `(seq, size)` pairs.
+    pub fn uncollected_results(&self, client: ClientKey) -> Vec<(u64, u64)> {
+        self.archives
+            .iter()
+            .filter(|(job, row)| job.client == client && !row.collected)
+            .map(|(job, row)| (job.seq, row.size))
+            .collect()
+    }
+
+    /// Every retained result for `client`, collected or not — the catalog
+    /// advertised in sync replies.  A restarted client that lost its disk
+    /// re-fetches collected-but-retained results from here ("Any instance
+    /// of the client program may connect the Coordinator ... and retrieve
+    /// results and RPC status using the unique IDs", §4.2); only archives
+    /// already garbage-collected are truly gone.
+    pub fn results_catalog(&self, client: ClientKey) -> Vec<(u64, u64)> {
+        self.archives
+            .iter()
+            .filter(|(job, _)| job.client == client)
+            .map(|(job, row)| (job.seq, row.size))
+            .collect()
+    }
+
+    /// The archive payload for one job.
+    pub fn archive(&self, job: &JobKey) -> Option<&Blob> {
+        self.archives.get(job).map(|r| &r.payload)
+    }
+
+    /// Marks results as collected by the client (GC eligibility).
+    pub fn mark_collected(&mut self, client: ClientKey, seqs: &[u64]) -> Charge {
+        let mut ops = 0;
+        for &seq in seqs {
+            let key = JobKey { client, seq };
+            if let Some(row) = self.archives.get_mut(&key) {
+                row.collected = true;
+                ops += 1;
+            }
+        }
+        Charge::ops(ops.max(1))
+    }
+
+    /// Drops collected archives (triggered GC); returns bytes freed.
+    pub fn gc_collected(&mut self) -> (u64, Charge) {
+        let victims: Vec<JobKey> = self
+            .archives
+            .iter()
+            .filter(|(_, r)| r.collected)
+            .map(|(k, _)| *k)
+            .collect();
+        let mut freed = 0;
+        for k in &victims {
+            if let Some(row) = self.archives.remove(k) {
+                freed += row.size;
+            }
+        }
+        (freed, Charge::ops(victims.len() as u64 + 1))
+    }
+
+    // --- replication -----------------------------------------------------------
+
+    /// Builds the delta of everything changed since `base` version.
+    pub fn delta_since(&self, base: u64) -> ReplicationDelta {
+        ReplicationDelta {
+            from: self.me,
+            base_version: base,
+            head_version: self.version,
+            jobs: self
+                .jobs
+                .values()
+                .filter(|r| r.version > base)
+                .map(|r| r.spec.clone())
+                .collect(),
+            tasks: self
+                .tasks
+                .values()
+                .filter(|r| r.version > base)
+                .map(|r| TaskRecord {
+                    id: r.desc.id,
+                    job: r.desc.job,
+                    attempt: r.desc.attempt,
+                    state: r.state,
+                    origin: r.origin,
+                })
+                .collect(),
+            client_marks: self.client_max.iter().map(|(&c, &m)| (c, m)).collect(),
+        }
+    }
+
+    /// Applies a delta from a peer; returns the cost.
+    ///
+    /// Merge rules (paper §4.2): finished is terminal; ongoing from the
+    /// peer is *held* (not schedulable) until [`Self::release_origin`];
+    /// pending becomes locally schedulable.  State precedence
+    /// finished > ongoing > pending prevents downgrades from stale deltas.
+    pub fn apply_delta(&mut self, delta: &ReplicationDelta) -> Charge {
+        let mut charge = Charge::ops(1);
+        for spec in &delta.jobs {
+            let key = spec.key;
+            if !self.jobs.contains_key(&key) {
+                let params_len = spec.params.len();
+                let v = self.bump();
+                self.jobs.insert(key, JobRow { spec: spec.clone(), version: v });
+                charge += Charge::db(1, params_len);
+            } else {
+                charge += Charge::ops(1);
+            }
+            self.client_max
+                .entry(key.client)
+                .and_modify(|m| *m = (*m).max(key.seq))
+                .or_insert(key.seq);
+        }
+        for rec in &delta.tasks {
+            charge += Charge::ops(1);
+            let Some(spec) = self.jobs.get(&rec.job).map(|r| r.spec.clone()) else {
+                continue; // task for an unknown job: ignore (will come later)
+            };
+            match self.tasks.get_mut(&rec.id) {
+                None => {
+                    let v = self.bump();
+                    let desc = TaskDesc {
+                        id: rec.id,
+                        job: rec.job,
+                        attempt: rec.attempt,
+                        service: spec.service.clone(),
+                        cmdline: spec.cmdline.clone(),
+                        params: spec.params.clone(),
+                        exec_cost: spec.exec_cost,
+                        result_size_hint: spec.result_size_hint,
+                    };
+                    self.tasks.insert(
+                        rec.id,
+                        TaskRow {
+                            desc,
+                            state: rec.state,
+                            origin: rec.origin,
+                            locally_dispatched: false,
+                            version: v,
+                        },
+                    );
+                    match rec.state {
+                        TaskState::Pending => self.pending.push_back(rec.id),
+                        TaskState::Ongoing { .. } => {} // held until release_origin
+                        TaskState::Finished { result_size } => {
+                            if result_size > 0 {
+                                self.finished_jobs.insert(rec.job);
+                            }
+                        }
+                    }
+                }
+                Some(row) => {
+                    if state_rank(&rec.state) > state_rank(&row.state) {
+                        row.state = rec.state;
+                        let v = self.version + 1;
+                        row.version = v;
+                        self.version = v;
+                        if let TaskState::Finished { result_size } = rec.state {
+                            if result_size > 0 {
+                                self.finished_jobs.insert(rec.job);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for &(client, mark) in &delta.client_marks {
+            self.client_max
+                .entry(client)
+                .and_modify(|m| *m = (*m).max(mark))
+                .or_insert(mark);
+        }
+        charge
+    }
+
+    // --- introspection ------------------------------------------------------
+
+    /// Looks up one task row.
+    pub fn task(&self, id: TaskId) -> Option<&TaskRow> {
+        self.tasks.get(&id)
+    }
+
+    /// Counters for reporting.
+    pub fn stats(&self) -> DbStats {
+        let mut pending = 0;
+        let mut ongoing = 0;
+        for r in self.tasks.values() {
+            match r.state {
+                TaskState::Pending => pending += 1,
+                TaskState::Ongoing { .. } => ongoing += 1,
+                TaskState::Finished { .. } => {}
+            }
+        }
+        DbStats {
+            jobs: self.jobs.len() as u64,
+            tasks: self.tasks.len() as u64,
+            pending,
+            ongoing,
+            archived: self.archives.len() as u64,
+            duplicate_results: self.duplicate_results,
+        }
+    }
+
+    /// Jobs finished (archive present or replicated-finished).
+    pub fn finished_count(&self) -> u64 {
+        self.finished_jobs.len() as u64
+    }
+
+    /// Jobs with an archive actually present here.
+    pub fn archived_count(&self) -> u64 {
+        self.archives.len() as u64
+    }
+}
+
+fn state_rank(s: &TaskState) -> u8 {
+    match s {
+        TaskState::Pending => 0,
+        TaskState::Ongoing { .. } => 1,
+        TaskState::Finished { .. } => 2,
+    }
+}
+
+fn desc_params(desc: &TaskDesc) -> u64 {
+    desc.params.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(seq: u64) -> JobSpec {
+        JobSpec::new(JobKey::new(ClientKey::new(1, 1), seq), "svc", Blob::synthetic(1000, seq))
+            .with_exec_cost(5.0)
+            .with_result_size(64)
+    }
+
+    fn db() -> CoordinatorDb {
+        CoordinatorDb::new(CoordId(1))
+    }
+
+    const T0: SimTime = SimTime::ZERO;
+
+    #[test]
+    fn register_creates_task_and_is_idempotent() {
+        let mut d = db();
+        let (new, charge) = d.register_job(job(1));
+        assert!(new);
+        assert_eq!(charge.db_bytes, 1000);
+        assert_eq!(d.stats().tasks, 1);
+        assert_eq!(d.stats().pending, 1);
+        let (again, _) = d.register_job(job(1));
+        assert!(!again, "duplicate registration rejected");
+        assert_eq!(d.stats().tasks, 1);
+        assert_eq!(d.client_max(ClientKey::new(1, 1)), 1);
+    }
+
+    #[test]
+    fn replication_flag_creates_redundant_instances() {
+        let mut d = db();
+        d.register_job(job(1).with_replication(3));
+        assert_eq!(d.stats().tasks, 3);
+        assert_eq!(d.stats().pending, 3);
+    }
+
+    #[test]
+    fn fcfs_dispatch_order() {
+        let mut d = db();
+        d.register_job(job(1));
+        d.register_job(job(2));
+        let (t1, _) = d.next_pending(ServerId(9), T0);
+        let (t2, _) = d.next_pending(ServerId(9), T0);
+        assert_eq!(t1.unwrap().job.seq, 1);
+        assert_eq!(t2.unwrap().job.seq, 2);
+        let (t3, _) = d.next_pending(ServerId(9), T0);
+        assert!(t3.is_none());
+    }
+
+    #[test]
+    fn complete_dedups_at_least_once() {
+        let mut d = db();
+        d.register_job(job(1).with_replication(2));
+        let (a, _) = d.next_pending(ServerId(1), T0);
+        let (b, _) = d.next_pending(ServerId(2), T0);
+        let (o1, c1) = d.complete_task(a.unwrap().id, JobKey::new(ClientKey::new(1, 1), 1), Blob::synthetic(64, 1), ServerId(1));
+        assert_eq!(o1, CompleteOutcome::NewResult);
+        assert_eq!(c1.disk_bytes, 64);
+        let (o2, _) = d.complete_task(b.unwrap().id, JobKey::new(ClientKey::new(1, 1), 1), Blob::synthetic(64, 2), ServerId(2));
+        assert_eq!(o2, CompleteOutcome::Duplicate);
+        assert_eq!(d.stats().duplicate_results, 1);
+        assert_eq!(d.archived_count(), 1);
+    }
+
+    #[test]
+    fn unknown_job_result_rejected() {
+        let mut d = db();
+        let (o, _) = d.complete_task(
+            TaskId::compose(CoordId(9), 1),
+            JobKey::new(ClientKey::new(9, 9), 1),
+            Blob::empty(),
+            ServerId(1),
+        );
+        assert_eq!(o, CompleteOutcome::UnknownJob);
+    }
+
+    #[test]
+    fn server_suspicion_creates_new_instances() {
+        let mut d = db();
+        d.register_job(job(1));
+        d.register_job(job(2));
+        let _ = d.next_pending(ServerId(5), T0);
+        let _ = d.next_pending(ServerId(5), T0);
+        assert_eq!(d.stats().ongoing, 2);
+        let (created, _) = d.server_suspected(ServerId(5));
+        assert_eq!(created.len(), 2);
+        assert_eq!(d.stats().pending, 2, "fresh instances pending");
+        assert_eq!(d.stats().ongoing, 2, "old instances may still complete off-line");
+        // The late result from the suspect still lands (first wins).
+        let job1 = JobKey::new(ClientKey::new(1, 1), 1);
+        let old_task = d
+            .tasks
+            .values()
+            .find(|r| r.desc.job == job1 && matches!(r.state, TaskState::Ongoing { .. }))
+            .map(|r| r.desc.id)
+            .unwrap();
+        let (o, _) = d.complete_task(old_task, job1, Blob::synthetic(64, 0), ServerId(5));
+        assert_eq!(o, CompleteOutcome::NewResult);
+        // Its fresh sibling is now skipped by the scheduler.
+        let mut dispatched = Vec::new();
+        while let (Some(t), _) = d.next_pending(ServerId(6), T0) {
+            dispatched.push(t.job.seq);
+        }
+        assert_eq!(dispatched, vec![2], "job 1's redundant instance skipped");
+    }
+
+    #[test]
+    fn delta_roundtrip_and_replica_rules() {
+        let mut primary = db();
+        primary.register_job(job(1)); // stays pending
+        primary.register_job(job(2)); // will be ongoing
+        primary.register_job(job(3)); // will be finished
+        let (_t2, _) = {
+            // dispatch job 1 first (FCFS), complete job 3's task via sibling
+            let (ta, _) = primary.next_pending(ServerId(1), T0); // job1 -> ongoing
+            (ta, ())
+        };
+        // job 1 ongoing; dispatch job 2 then finish it:
+        let (tb, _) = primary.next_pending(ServerId(2), T0); // job2
+        let tb = tb.unwrap();
+        primary.complete_task(tb.id, tb.job, Blob::synthetic(10, 0), ServerId(2));
+
+        let delta = primary.delta_since(0);
+        assert_eq!(delta.jobs.len(), 3);
+        assert_eq!(delta.tasks.len(), 3);
+
+        let mut backup = CoordinatorDb::new(CoordId(2));
+        backup.apply_delta(&delta);
+        // Pending task (job 3) schedulable on the backup.
+        // Ongoing task (job 1) held. Finished (job 2) never scheduled.
+        let mut seen = Vec::new();
+        while let (Some(t), _) = backup.next_pending(ServerId(7), T0) {
+            seen.push(t.job.seq);
+        }
+        assert_eq!(seen, vec![3], "only the pending task is schedulable on a replica");
+        // Predecessor suspected: held ongoing task released as new instance.
+        let (released, _) = backup.release_origin(CoordId(1));
+        assert_eq!(released.len(), 1);
+        let (t, _) = backup.next_pending(ServerId(7), T0);
+        assert_eq!(t.unwrap().job.seq, 1);
+        // Released instance carries the backup's id space.
+        assert!(backup.missing_archives().contains(&JobKey::new(ClientKey::new(1, 1), 2)));
+    }
+
+    #[test]
+    fn delta_is_incremental() {
+        let mut d = db();
+        d.register_job(job(1));
+        let v1 = d.version();
+        let delta1 = d.delta_since(0);
+        assert_eq!(delta1.jobs.len(), 1);
+        d.register_job(job(2));
+        let delta2 = d.delta_since(v1);
+        assert_eq!(delta2.jobs.len(), 1, "only the new job since v1");
+        assert_eq!(delta2.jobs[0].key.seq, 2);
+    }
+
+    #[test]
+    fn apply_delta_never_downgrades_state() {
+        let mut primary = db();
+        primary.register_job(job(1));
+        let (t, _) = primary.next_pending(ServerId(1), T0);
+        let t = t.unwrap();
+        primary.complete_task(t.id, t.job, Blob::synthetic(10, 0), ServerId(1));
+        let full = primary.delta_since(0);
+
+        // Build a stale delta claiming the task is still pending.
+        let mut stale = full.clone();
+        for rec in &mut stale.tasks {
+            rec.state = TaskState::Pending;
+        }
+
+        let mut backup = CoordinatorDb::new(CoordId(2));
+        backup.apply_delta(&full); // finished
+        backup.apply_delta(&stale); // must not downgrade
+        assert!(backup
+            .task(t.id)
+            .map(|r| r.state.is_finished())
+            .unwrap_or(false));
+        // And nothing became schedulable.
+        let (none, _) = backup.next_pending(ServerId(3), T0);
+        assert!(none.is_none());
+    }
+
+    #[test]
+    fn result_collection_and_gc() {
+        let mut d = db();
+        d.register_job(job(1));
+        let (t, _) = d.next_pending(ServerId(1), T0);
+        let t = t.unwrap();
+        d.complete_task(t.id, t.job, Blob::synthetic(500, 0), ServerId(1));
+        let client = ClientKey::new(1, 1);
+        let rs = d.uncollected_results(client);
+        assert_eq!(rs, vec![(1, 500)]);
+        assert!(d.archive(&t.job).is_some());
+        d.mark_collected(client, &[1]);
+        assert!(d.uncollected_results(client).is_empty());
+        let (freed, _) = d.gc_collected();
+        assert_eq!(freed, 500);
+        assert!(d.archive(&t.job).is_none());
+        // Finished state survives GC (no re-execution).
+        assert_eq!(d.finished_count(), 1);
+    }
+
+    #[test]
+    fn reexecute_missing_archive() {
+        // Replica learned "finished" but holds no archive and the server
+        // lost its log: the job must be re-executable.
+        let mut primary = db();
+        primary.register_job(job(1));
+        let (t, _) = primary.next_pending(ServerId(1), T0);
+        let t = t.unwrap();
+        primary.complete_task(t.id, t.job, Blob::synthetic(10, 0), ServerId(1));
+        let mut backup = CoordinatorDb::new(CoordId(2));
+        backup.apply_delta(&primary.delta_since(0));
+        assert_eq!(backup.missing_archives(), vec![t.job]);
+        let (tid, _) = backup.reexecute_job(t.job);
+        assert!(tid.is_some());
+        let (next, _) = backup.next_pending(ServerId(8), T0);
+        assert_eq!(next.unwrap().job, t.job);
+        // Once the archive arrives, re-execution is refused.
+        backup.store_archive(t.job, Blob::synthetic(10, 0));
+        let (none, _) = backup.reexecute_job(t.job);
+        assert!(none.is_none());
+        assert!(backup.missing_archives().is_empty());
+    }
+
+    #[test]
+    fn store_archive_idempotent() {
+        let mut d = db();
+        d.register_job(job(1));
+        let key = JobKey::new(ClientKey::new(1, 1), 1);
+        let c1 = d.store_archive(key, Blob::synthetic(100, 0));
+        assert_eq!(c1.disk_bytes, 100);
+        let c2 = d.store_archive(key, Blob::synthetic(100, 0));
+        assert_eq!(c2.disk_bytes, 0, "second store is a no-op");
+        assert_eq!(d.archived_count(), 1);
+    }
+
+    #[test]
+    fn client_marks_merge_via_delta() {
+        let mut a = db();
+        a.register_job(job(5));
+        let mut b = CoordinatorDb::new(CoordId(2));
+        b.apply_delta(&a.delta_since(0));
+        assert_eq!(b.client_max(ClientKey::new(1, 1)), 5);
+    }
+}

@@ -1,0 +1,163 @@
+//! Replication deltas: the "abstract of its state" a coordinator sends to
+//! its ring successor.
+//!
+//! Paper §4.2: "Regularly (with the 'heart beat' signal), a coordinator
+//! sends an abstract of its state to the successor in the list" and
+//! "tasks are replicated among coordinators with their state (finished,
+//! ongoing, pending) ... there is no replication of file archives".
+//! Client timestamp marks ride along: "Between two coordinators, the
+//! synchronization exchanges maximum timestamps for all known clients."
+
+use rpcv_wire::{Reader, WireDecode, WireEncode, WireError, WireWrite};
+use rpcv_xw::{ClientKey, CoordId, JobKey, JobSpec, TaskId, TaskState};
+
+/// Replicated view of one task row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskRecord {
+    /// Instance id.
+    pub id: TaskId,
+    /// Owning job.
+    pub job: JobKey,
+    /// Attempt number.
+    pub attempt: u32,
+    /// Scheduling state.
+    pub state: TaskState,
+    /// Coordinator that created the instance.
+    pub origin: CoordId,
+}
+
+impl WireEncode for TaskRecord {
+    fn encode<W: WireWrite + ?Sized>(&self, w: &mut W) {
+        self.id.encode(w);
+        self.job.encode(w);
+        w.put_uvarint(self.attempt as u64);
+        self.state.encode(w);
+        self.origin.encode(w);
+    }
+}
+
+impl WireDecode for TaskRecord {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(TaskRecord {
+            id: TaskId::decode(r)?,
+            job: JobKey::decode(r)?,
+            attempt: u32::decode(r)?,
+            state: TaskState::decode(r)?,
+            origin: CoordId::decode(r)?,
+        })
+    }
+}
+
+/// A versioned state delta from one coordinator to another.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ReplicationDelta {
+    /// Sender.
+    pub from: CoordId,
+    /// Sender's version the receiver is assumed to hold.
+    pub base_version: u64,
+    /// Sender's version after this delta.
+    pub head_version: u64,
+    /// Job descriptions created/changed since `base_version` — these carry
+    /// the RPC parameter payloads, which is why Fig. 5's replication time
+    /// grows with RPC data size.
+    pub jobs: Vec<JobSpec>,
+    /// Task rows created/changed since `base_version`.
+    pub tasks: Vec<TaskRecord>,
+    /// Per-client maximum registered submission timestamps.
+    pub client_marks: Vec<(ClientKey, u64)>,
+}
+
+impl ReplicationDelta {
+    /// True when the delta carries no changes.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty() && self.tasks.is_empty() && self.client_marks.is_empty()
+    }
+
+    /// Modelled payload bytes: frame plus the parameter payloads carried by
+    /// the job descriptions (synthetic blobs keep the frame itself tiny,
+    /// but the *transfer* must be charged for the full parameter size).
+    pub fn transfer_bytes(&self) -> u64 {
+        self.encoded_len() + self.jobs.iter().map(|j| j.params.len()).sum::<u64>()
+    }
+}
+
+impl WireEncode for ReplicationDelta {
+    fn encode<W: WireWrite + ?Sized>(&self, w: &mut W) {
+        self.from.encode(w);
+        w.put_uvarint(self.base_version);
+        w.put_uvarint(self.head_version);
+        self.jobs.encode(w);
+        self.tasks.encode(w);
+        w.put_uvarint(self.client_marks.len() as u64);
+        for (c, m) in &self.client_marks {
+            c.encode(w);
+            w.put_uvarint(*m);
+        }
+    }
+}
+
+impl WireDecode for ReplicationDelta {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let from = CoordId::decode(r)?;
+        let base_version = r.get_uvarint()?;
+        let head_version = r.get_uvarint()?;
+        let jobs = Vec::<JobSpec>::decode(r)?;
+        let tasks = Vec::<TaskRecord>::decode(r)?;
+        let n = r.get_seq_len()?;
+        let mut client_marks = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            let c = ClientKey::decode(r)?;
+            let m = r.get_uvarint()?;
+            client_marks.push((c, m));
+        }
+        Ok(ReplicationDelta { from, base_version, head_version, jobs, tasks, client_marks })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpcv_wire::{from_bytes, to_bytes, Blob};
+
+    fn delta() -> ReplicationDelta {
+        ReplicationDelta {
+            from: CoordId(1),
+            base_version: 10,
+            head_version: 25,
+            jobs: vec![JobSpec::new(
+                JobKey::new(ClientKey::new(1, 1), 4),
+                "svc",
+                Blob::synthetic(5000, 2),
+            )],
+            tasks: vec![TaskRecord {
+                id: TaskId::compose(CoordId(1), 9),
+                job: JobKey::new(ClientKey::new(1, 1), 4),
+                attempt: 0,
+                state: TaskState::Pending,
+                origin: CoordId(1),
+            }],
+            client_marks: vec![(ClientKey::new(1, 1), 4)],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let d = delta();
+        let back: ReplicationDelta = from_bytes(&to_bytes(&d)).unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn transfer_bytes_counts_params() {
+        let d = delta();
+        assert!(d.transfer_bytes() >= 5000, "must include the 5000-byte params payload");
+        assert!(d.transfer_bytes() < 5000 + 200, "frame overhead should stay small");
+    }
+
+    #[test]
+    fn empty_delta() {
+        let d = ReplicationDelta { from: CoordId(0), ..Default::default() };
+        assert!(d.is_empty());
+        assert!(!delta().is_empty());
+    }
+}

@@ -1,0 +1,130 @@
+//! Property tests for the coordinator database: replication convergence,
+//! scheduling safety, at-least-once accounting.
+
+use proptest::prelude::*;
+use rpcv_simnet::SimTime;
+use rpcv_wire::Blob;
+use rpcv_store::CoordinatorDb;
+use rpcv_xw::{ClientKey, CoordId, JobKey, JobSpec, ServerId};
+
+fn job(seq: u64, size: u64) -> JobSpec {
+    JobSpec::new(JobKey::new(ClientKey::new(1, 1), seq), "svc", Blob::synthetic(size, seq))
+        .with_exec_cost(1.0)
+        .with_result_size(32)
+}
+
+proptest! {
+    /// Replication convergence: after exchanging deltas in both directions,
+    /// both databases agree on jobs, finished jobs, and client marks —
+    /// regardless of how work was interleaved on the primary.
+    #[test]
+    fn deltas_converge_both_ways(
+        ops in proptest::collection::vec((1u64..30, 0u8..3), 1..60),
+    ) {
+        let mut a = CoordinatorDb::new(CoordId(1));
+        let mut b = CoordinatorDb::new(CoordId(2));
+        let now = SimTime::ZERO;
+        for (seq, action) in ops {
+            match action {
+                0 => {
+                    a.register_job(job(seq, 100));
+                }
+                1 => {
+                    let _ = a.next_pending(ServerId(1), now);
+                }
+                _ => {
+                    // Complete whatever is ongoing first, if anything.
+                    if let (Some(desc), _) = a.next_pending(ServerId(2), now) {
+                        a.complete_task(desc.id, desc.job, Blob::synthetic(32, seq), ServerId(2));
+                    }
+                }
+            }
+        }
+        // One full exchange each way.
+        b.apply_delta(&a.delta_since(0));
+        a.apply_delta(&b.delta_since(0));
+        prop_assert_eq!(a.stats().jobs, b.stats().jobs);
+        prop_assert_eq!(a.finished_count(), b.finished_count());
+        prop_assert_eq!(
+            a.client_max(ClientKey::new(1, 1)),
+            b.client_max(ClientKey::new(1, 1))
+        );
+    }
+
+    /// Delta application is idempotent: applying the same delta twice
+    /// changes nothing the second time.
+    #[test]
+    fn delta_apply_idempotent(n in 1u64..40) {
+        let mut a = CoordinatorDb::new(CoordId(1));
+        for seq in 1..=n {
+            a.register_job(job(seq, 50));
+        }
+        let delta = a.delta_since(0);
+        let mut b = CoordinatorDb::new(CoordId(2));
+        b.apply_delta(&delta);
+        let jobs1 = b.stats().jobs;
+        let tasks1 = b.stats().tasks;
+        b.apply_delta(&delta);
+        prop_assert_eq!(b.stats().jobs, jobs1);
+        prop_assert_eq!(b.stats().tasks, tasks1);
+    }
+
+    /// Scheduling safety: the same task instance is never dispatched twice,
+    /// and every dispatched task belongs to a registered job.
+    #[test]
+    fn dispatch_is_exactly_once_per_instance(
+        n_jobs in 1u64..30,
+        pulls in 1usize..80,
+    ) {
+        let mut db = CoordinatorDb::new(CoordId(1));
+        for seq in 1..=n_jobs {
+            db.register_job(job(seq, 10));
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..pulls {
+            let server = ServerId((i % 5) as u64 + 1);
+            let (task, _) = db.next_pending(server, SimTime::ZERO);
+            if let Some(desc) = task {
+                prop_assert!(seen.insert(desc.id), "instance dispatched twice");
+                prop_assert!(desc.job.seq >= 1 && desc.job.seq <= n_jobs);
+            }
+        }
+        prop_assert!(seen.len() as u64 <= n_jobs);
+    }
+
+    /// At-least-once accounting: for any completion order (including
+    /// duplicates), archived + duplicates equals total completions, and
+    /// each job has at most one archive.
+    #[test]
+    fn completion_accounting_balances(
+        n_jobs in 1u64..20,
+        completions in proptest::collection::vec(0usize..20, 1..60),
+    ) {
+        let mut db = CoordinatorDb::new(CoordId(1));
+        let mut dispatched = Vec::new();
+        for seq in 1..=n_jobs {
+            db.register_job(job(seq, 10).with_replication(2));
+        }
+        while let (Some(desc), _) = db.next_pending(ServerId(1), SimTime::ZERO) {
+            dispatched.push(desc);
+        }
+        let mut accepted = 0u64;
+        let mut total = 0u64;
+        for idx in completions {
+            if dispatched.is_empty() {
+                break;
+            }
+            let desc = &dispatched[idx % dispatched.len()];
+            total += 1;
+            let (outcome, _) =
+                db.complete_task(desc.id, desc.job, Blob::synthetic(32, 1), ServerId(1));
+            if outcome == rpcv_store::CompleteOutcome::NewResult {
+                accepted += 1;
+            }
+        }
+        let stats = db.stats();
+        prop_assert_eq!(stats.archived, accepted);
+        prop_assert_eq!(stats.duplicate_results, total - accepted);
+        prop_assert!(stats.archived <= n_jobs);
+    }
+}

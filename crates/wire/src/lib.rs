@@ -1,0 +1,59 @@
+//! # rpcv-wire — binary marshalling substrate
+//!
+//! The RPC-V paper (§2.1) considers the "classical data transmission" mode
+//! where "arguments/result are marshaled into a serialization format".  This
+//! crate is that serialization format, built from scratch so the whole
+//! marshalling path is part of the system under study (no `serde`).
+//!
+//! Contents:
+//!
+//! * [`varint`] — unsigned LEB128 and zig-zag signed varints;
+//! * [`codec`] — [`WireWrite`]/[`Reader`] primitives and the
+//!   [`WireEncode`]/[`WireDecode`] traits with implementations for the
+//!   standard types used by the protocol;
+//! * [`blob`] — [`Blob`], a payload that is either real bytes (`Inline`) or a
+//!   *modelled* payload (`Synthetic { len, seed }`).  Synthetic blobs let the
+//!   discrete-event simulator move 100 MB RPC parameters (Fig. 4 of the
+//!   paper sweeps parameter sizes up to 100 MB) without allocating them,
+//!   while still being materializable to deterministic bytes for the real
+//!   threaded runtime;
+//! * [`digest`] — CRC-64 (ECMA/XZ polynomial) and the splitmix64 mixer used
+//!   for deterministic seed derivation.
+//!
+//! ## Example
+//!
+//! ```
+//! use rpcv_wire::{to_bytes, from_bytes, WireEncode, WireDecode, Reader, WireError, WireWrite};
+//!
+//! #[derive(Debug, PartialEq)]
+//! struct Call { seq: u64, service: String }
+//!
+//! impl WireEncode for Call {
+//!     fn encode<W: WireWrite + ?Sized>(&self, w: &mut W) {
+//!         w.put_uvarint(self.seq);
+//!         w.put_str(&self.service);
+//!     }
+//! }
+//! impl WireDecode for Call {
+//!     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+//!         Ok(Call { seq: r.get_uvarint()?, service: r.get_string()? })
+//!     }
+//! }
+//!
+//! let call = Call { seq: 7, service: "netsim/eval".into() };
+//! let bytes = to_bytes(&call);
+//! assert_eq!(from_bytes::<Call>(&bytes).unwrap(), call);
+//! ```
+
+pub mod blob;
+pub mod codec;
+pub mod digest;
+pub mod error;
+pub mod varint;
+
+pub use blob::Blob;
+pub use codec::{
+    from_bytes, to_bytes, Reader, SizeWriter, WireDecode, WireEncode, WireWrite, Writer,
+};
+pub use digest::{crc64, mix64, Crc64};
+pub use error::WireError;

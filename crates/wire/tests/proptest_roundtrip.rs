@@ -1,0 +1,87 @@
+//! Property tests: every encodable value decodes back to itself, and
+//! `encoded_len` always agrees with the bytes actually produced.
+
+use proptest::prelude::*;
+use rpcv_wire::{from_bytes, to_bytes, Blob, WireDecode, WireEncode};
+
+fn check_roundtrip<T: WireEncode + WireDecode + PartialEq + std::fmt::Debug>(
+    v: &T,
+) -> Result<(), TestCaseError> {
+    let bytes = to_bytes(v);
+    prop_assert_eq!(bytes.len() as u64, v.encoded_len());
+    let back: T = from_bytes(&bytes).unwrap();
+    prop_assert_eq!(&back, v);
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn u64_roundtrip(v in any::<u64>()) {
+        check_roundtrip(&v)?;
+    }
+
+    #[test]
+    fn i64_roundtrip(v in any::<i64>()) {
+        check_roundtrip(&v)?;
+    }
+
+    #[test]
+    fn u32_roundtrip(v in any::<u32>()) {
+        check_roundtrip(&v)?;
+    }
+
+    #[test]
+    fn string_roundtrip(v in ".{0,200}") {
+        check_roundtrip(&v)?;
+    }
+
+    #[test]
+    fn vec_u64_roundtrip(v in proptest::collection::vec(any::<u64>(), 0..100)) {
+        check_roundtrip(&v)?;
+    }
+
+    #[test]
+    fn nested_roundtrip(v in proptest::collection::vec(
+        (any::<u32>(), proptest::option::of(".{0,20}")), 0..30)) {
+        check_roundtrip(&v)?;
+    }
+
+    #[test]
+    fn inline_blob_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let b = Blob::from_vec(data);
+        check_roundtrip(&b)?;
+    }
+
+    #[test]
+    fn synthetic_blob_roundtrip(len in 0u64..1_000_000, seed in any::<u64>()) {
+        let b = Blob::synthetic(len, seed);
+        check_roundtrip(&b)?;
+    }
+
+    #[test]
+    fn synthetic_materialize_agrees_with_fingerprint(len in 0u64..20_000, seed in any::<u64>()) {
+        let b = Blob::synthetic(len, seed);
+        let inline = Blob::Inline(b.materialize());
+        prop_assert!(inline.content_eq(&b));
+    }
+
+    /// Random byte soup must never panic the decoder — it either decodes or
+    /// errors. This guards every `decode` path against index arithmetic bugs.
+    #[test]
+    fn decoder_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = from_bytes::<u64>(&data);
+        let _ = from_bytes::<String>(&data);
+        let _ = from_bytes::<Vec<u64>>(&data);
+        let _ = from_bytes::<Blob>(&data);
+        let _ = from_bytes::<Option<(u32, String)>>(&data);
+    }
+
+    #[test]
+    fn crc_differs_on_mutation(data in proptest::collection::vec(any::<u8>(), 1..256),
+                               idx in any::<prop::sample::Index>()) {
+        let i = idx.index(data.len());
+        let mut mutated = data.clone();
+        mutated[i] ^= 0x5a;
+        prop_assert_ne!(rpcv_wire::crc64(&data), rpcv_wire::crc64(&mutated));
+    }
+}

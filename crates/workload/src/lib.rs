@@ -1,0 +1,26 @@
+//! # rpcv-workload — workload generators for the RPC-V experiments
+//!
+//! * [`synthetic`] — the paper's configurable synthetic benchmark ("a set
+//!   of non-blocking configurable RPC calls.  The configuration parameters
+//!   are the RPC execution time, its parameter and its result size",
+//!   §5.1), used by Figs. 4–7;
+//! * [`alcatel`] — a stand-in for the "real life production application of
+//!   Alcatel ... a tool helping to validate and evaluate commutation
+//!   networks.  It computes the signal lost and the bandwidth for network
+//!   configurations" (§5.2).  Ours really computes: it generates random
+//!   switch-network configurations and evaluates per-terminal-pair signal
+//!   attenuation (shortest path) and bottleneck bandwidth (widest path).
+//!   Task durations form the wide distribution of Fig. 8;
+//! * [`faults`] — the fault generator ("running as a remotely controllable
+//!   daemon.  Upon order, or from its own initiative with respect to its
+//!   configuration, the fault generator kills abruptly the RPC-V component
+//!   of the hosting machine", §5.1): Poisson crash/restart schedules and
+//!   scripted scenarios.
+
+pub mod alcatel;
+pub mod faults;
+pub mod synthetic;
+
+pub use alcatel::{AlcatelApp, EvalReport, NetworkConfig};
+pub use faults::FaultPlan;
+pub use synthetic::SyntheticBench;

@@ -1,0 +1,124 @@
+//! The configurable synthetic benchmark of §5.1.
+
+use rpcv_core::util::CallSpec;
+use rpcv_wire::Blob;
+
+/// Builder for uniform synthetic call plans.
+#[derive(Debug, Clone)]
+pub struct SyntheticBench {
+    /// Number of RPC calls.
+    pub calls: usize,
+    /// Parameter size per call, bytes.
+    pub param_bytes: u64,
+    /// Declared execution time, seconds (work-units at speed 1.0).
+    pub exec_secs: f64,
+    /// Result size per call, bytes.
+    pub result_bytes: u64,
+    /// Redundancy factor (extension; 1 = paper baseline).
+    pub replication: u32,
+    /// Seed for the parameter payloads.
+    pub seed: u64,
+}
+
+impl SyntheticBench {
+    /// The Fig. 7 configuration: "1 client submits 96 RPCs ... Each RPC
+    /// spends 10 seconds and produces few output bytes."
+    pub fn fig7() -> Self {
+        SyntheticBench {
+            calls: 96,
+            param_bytes: 300,
+            exec_secs: 10.0,
+            result_bytes: 64,
+            replication: 1,
+            seed: 7,
+        }
+    }
+
+    /// The Fig. 4 configuration: 16 calls of a given parameter size.
+    pub fn fig4(param_bytes: u64) -> Self {
+        SyntheticBench {
+            calls: 16,
+            param_bytes,
+            exec_secs: 1.0,
+            result_bytes: 64,
+            replication: 1,
+            seed: 4,
+        }
+    }
+
+    /// Small-call sweep (right parts of Figs. 4–6): `n` calls of ~300 B.
+    pub fn small_calls(n: usize) -> Self {
+        SyntheticBench {
+            calls: n,
+            param_bytes: 300,
+            exec_secs: 1.0,
+            result_bytes: 64,
+            replication: 1,
+            seed: 6,
+        }
+    }
+
+    /// Builder: execution time.
+    pub fn with_exec_secs(mut self, secs: f64) -> Self {
+        self.exec_secs = secs;
+        self
+    }
+
+    /// Builder: replication factor.
+    pub fn with_replication(mut self, n: u32) -> Self {
+        self.replication = n;
+        self
+    }
+
+    /// Materializes the plan.
+    pub fn plan(&self) -> Vec<CallSpec> {
+        (0..self.calls)
+            .map(|i| {
+                CallSpec::new(
+                    "synthetic/bench",
+                    Blob::synthetic(self.param_bytes, self.seed.wrapping_add(i as u64)),
+                    self.exec_secs,
+                    self.result_bytes,
+                )
+                .with_replication(self.replication)
+            })
+            .collect()
+    }
+
+    /// Ideal makespan on `servers` perfectly parallel servers (the paper's
+    /// "Ideally, total execution would last 60 seconds (6 rounds of 16
+    /// parallel RPCs)").
+    pub fn ideal_secs(&self, servers: usize) -> f64 {
+        let rounds = self.calls.div_ceil(servers.max(1));
+        rounds as f64 * self.exec_secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig7_matches_paper() {
+        let b = SyntheticBench::fig7();
+        assert_eq!(b.calls, 96);
+        assert_eq!(b.exec_secs, 10.0);
+        assert!((b.ideal_secs(16) - 60.0).abs() < 1e-9, "6 rounds of 16 = 60 s");
+    }
+
+    #[test]
+    fn plan_has_distinct_payloads() {
+        let plan = SyntheticBench::fig4(1024).plan();
+        assert_eq!(plan.len(), 16);
+        assert!(plan.iter().all(|c| c.params.len() == 1024));
+        // Payload seeds differ call to call.
+        assert!(!plan[0].params.content_eq(&plan[1].params));
+    }
+
+    #[test]
+    fn ideal_rounds_up() {
+        let b = SyntheticBench { calls: 17, ..SyntheticBench::fig4(10) };
+        assert_eq!(b.ideal_secs(16), 2.0 * b.exec_secs);
+        assert_eq!(b.ideal_secs(0), 17.0 * b.exec_secs);
+    }
+}

@@ -1,0 +1,63 @@
+//! The Fig. 11 partition scenario, narrated.
+//!
+//! "the servers suspect Lille coordinator as faulty, the client suspects
+//! LRI coordinator as faulty and the two coordinators consider the other
+//! one as running" — tasks and results can only flow *through* the
+//! coordinator pair, and the progress condition still holds: the client
+//! application progresses as long as there is a path between a client and
+//! a server.
+//!
+//! Run with: `cargo run --release --example partition_demo`
+
+use rpcv::core::grid::{GridSpec, SimGrid};
+use rpcv::core::util::CallSpec;
+use rpcv::simnet::{SimDuration, SimTime};
+use rpcv::wire::Blob;
+
+fn main() {
+    let plan: Vec<CallSpec> =
+        (0..24).map(|i| CallSpec::new("bench", Blob::synthetic(2048, i), 30.0, 256)).collect();
+    let mut cfg = rpcv::core::config::ProtocolConfig::real_life();
+    cfg.replication_period = SimDuration::from_secs(30);
+    let spec = GridSpec::real_life(2, 8).with_cfg(cfg).with_plan(plan);
+    let mut grid = SimGrid::build(spec);
+
+    let lille = grid.coords[0].1;
+    let lri = grid.coords[1].1;
+    let client = grid.client_node;
+
+    // Install the inconsistent views before anything flows.
+    grid.world.net_mut().block_bidir(client, lri);
+    for &(_, s) in &grid.servers.clone() {
+        grid.world.net_mut().block_bidir(s, lille);
+    }
+    println!("partition installed:");
+    println!("  client  ⇄  Lille      OK");
+    println!("  client  ⇄  LRI        blocked");
+    println!("  servers ⇄  Lille      blocked");
+    println!("  servers ⇄  LRI        OK");
+    println!("  Lille   ⇄  LRI        OK (the only path!)");
+    println!();
+
+    println!("minute  at_lille  at_lri  client_has");
+    for minute in 0..=90u64 {
+        grid.world.run_until(SimTime::from_secs(minute * 60));
+        let l = grid.coordinator(0).map(|c| c.db().finished_count()).unwrap_or(0);
+        let r = grid.coordinator(1).map(|c| c.db().finished_count()).unwrap_or(0);
+        let have = grid.client_results();
+        if minute % 2 == 0 || have >= 24 {
+            println!("{minute:>6}  {l:>8}  {r:>6}  {have:>10}");
+        }
+        if have >= 24 {
+            println!();
+            println!(
+                "progress condition demonstrated: every call crossed \
+                 client → Lille → LRI → server and back, twice through the \
+                 replication ring"
+            );
+            return;
+        }
+    }
+    println!("did not converge within 90 minutes — partition demo failed");
+    std::process::exit(1);
+}

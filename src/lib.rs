@@ -1,0 +1,48 @@
+//! # rpcv — fault-tolerant RPC for Internet-connected desktop grids
+//!
+//! A from-scratch Rust reproduction of *"RPC-V: Toward Fault-Tolerant RPC
+//! for Internet Connected Desktop Grids with Volatile Nodes"* (Djilali,
+//! Hérault, Lodygensky, Morlier, Fedak, Cappello — SuperComputing 2004).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`core`] | `rpcv-core` | the protocol: client/coordinator/server actors, passive ring replication, GridRPC-style API, live runtime |
+//! | [`simnet`] | `rpcv-simnet` | deterministic discrete-event grid simulator |
+//! | [`wire`] | `rpcv-wire` | binary marshalling (varints, blobs, CRC-64) |
+//! | [`log`] | `rpcv-log` | sender-based message logging (3 strategies) |
+//! | [`detect`] | `rpcv-detect` | heartbeat fault suspicion + coordinator lists |
+//! | [`store`] | `rpcv-store` | coordinator job/task/archive database |
+//! | [`xw`] | `rpcv-xw` | XtremWeb-like middleware substrate |
+//! | [`workload`] | `rpcv-workload` | synthetic + Alcatel-like workloads, fault plans |
+//!
+//! ## Two ways to run a grid
+//!
+//! **Simulated** (deterministic virtual time — what the experiment
+//! harnesses use):
+//!
+//! ```
+//! use rpcv::core::grid::{GridSpec, SimGrid};
+//! use rpcv::core::util::CallSpec;
+//! use rpcv::simnet::SimTime;
+//! use rpcv::wire::Blob;
+//!
+//! let plan = (0..4).map(|i| CallSpec::new("svc", Blob::synthetic(256, i), 1.0, 64)).collect();
+//! let mut grid = SimGrid::build(GridSpec::confined(2, 4).with_plan(plan));
+//! grid.run_until_done(SimTime::from_secs(300)).expect("completes");
+//! assert_eq!(grid.client_results(), 4);
+//! ```
+//!
+//! **Live** (wall clock, real service execution, live fault injection —
+//! see `examples/quickstart.rs`): [`core::runtime::LiveGrid`] plus
+//! [`core::api::GridClient`].
+
+pub use rpcv_core as core;
+pub use rpcv_detect as detect;
+pub use rpcv_log as log;
+pub use rpcv_simnet as simnet;
+pub use rpcv_store as store;
+pub use rpcv_wire as wire;
+pub use rpcv_workload as workload;
+pub use rpcv_xw as xw;

@@ -1,0 +1,127 @@
+//! The §5.1 synchronization-cost crash matrix, as behaviour tests.
+//!
+//! The paper analyzes what each logging strategy costs after each crash
+//! combination: "If only one of the components has crashed, the
+//! synchronization times for the three protocols are identical ... When
+//! both have crashed, all logs have been lost in the optimistic protocol.
+//! Thus, the application has to re-execute all the RPC submissions ...
+//! This is not the case for pessimistic logging where logs can be sent
+//! immediately to the coordinator."
+
+use rpcv::core::config::ProtocolConfig;
+use rpcv::core::grid::{GridSpec, SimGrid};
+use rpcv::core::util::CallSpec;
+use rpcv::log::LogStrategy;
+use rpcv::simnet::{SimDuration, SimTime};
+use rpcv::wire::Blob;
+
+fn plan(n: usize) -> Vec<CallSpec> {
+    (0..n).map(|i| CallSpec::new("b", Blob::synthetic(10_000, i as u64), 3.0, 128)).collect()
+}
+
+fn grid(strategy: LogStrategy) -> SimGrid {
+    let cfg = ProtocolConfig::confined()
+        .with_log_strategy(strategy)
+        .with_heartbeat(SimDuration::from_secs(1));
+    SimGrid::build(GridSpec::confined(1, 4).with_cfg(cfg).with_plan(plan(8)))
+}
+
+/// Client crash alone: every strategy recovers every call (durable-log
+/// replay plus coordinator-side registration make the strategies
+/// equivalent, exactly as the paper states).
+#[test]
+fn client_crash_alone_recovers_under_every_strategy() {
+    for strategy in LogStrategy::ALL {
+        let mut g = grid(strategy);
+        let client = g.client_node;
+        g.world.schedule_control(SimTime::from_secs(4), rpcv::simnet::Control::Crash(client));
+        g.world.schedule_control(SimTime::from_secs(8), rpcv::simnet::Control::Restart(client));
+        g.run_until_done(SimTime::from_secs(1800))
+            .unwrap_or_else(|| panic!("{} must recover from client crash", strategy.name()));
+        assert_eq!(g.client_results(), 8, "{}", strategy.name());
+    }
+}
+
+/// Coordinator crash alone (durable database): identical outcome for all
+/// three strategies — "client logs can be lost on crash only".
+#[test]
+fn coordinator_crash_alone_recovers_under_every_strategy() {
+    for strategy in LogStrategy::ALL {
+        let mut g = grid(strategy);
+        let c0 = g.coords[0].1;
+        g.world.schedule_control(SimTime::from_secs(4), rpcv::simnet::Control::Crash(c0));
+        g.world.schedule_control(SimTime::from_secs(10), rpcv::simnet::Control::Restart(c0));
+        g.run_until_done(SimTime::from_secs(1800))
+            .unwrap_or_else(|| panic!("{} must recover from coordinator crash", strategy.name()));
+        assert_eq!(g.client_results(), 8, "{}", strategy.name());
+    }
+}
+
+/// The double crash with a *wiped* coordinator: pessimistic client logs
+/// resend everything; the optimistic client whose log tail was still in
+/// the write-back cache loses those submissions — the paper's "the
+/// application has to re-execute all the RPC submissions" case, which our
+/// plan-driven client performs automatically (re-submission from the
+/// application plan).
+#[test]
+fn double_crash_pessimistic_resends_from_logs() {
+    for strategy in [LogStrategy::BlockingPessimistic, LogStrategy::NonBlockingPessimistic] {
+        let mut g = grid(strategy);
+        let client = g.client_node;
+        let c0 = g.coords[0].1;
+        // Crash both right after the submissions; wipe the coordinator so
+        // only the client's durable log can rebuild the state.
+        g.world.run_until(SimTime::from_secs(3));
+        g.world.crash_now(client);
+        g.world.crash_now(c0);
+        g.world.wipe_durable(c0);
+        g.world.restart_now(client);
+        g.world.restart_now(c0);
+        g.run_until_done(SimTime::from_secs(1800))
+            .unwrap_or_else(|| panic!("{} must survive the double crash", strategy.name()));
+        assert_eq!(g.client_results(), 8, "{}", strategy.name());
+        // The durable log replay means no duplicate registrations either.
+        let coord = g.coordinator(0).unwrap();
+        assert_eq!(coord.db().stats().jobs, 8, "{}", strategy.name());
+    }
+}
+
+/// Optimistic double crash: submissions still in the cache die with the
+/// client; the *application plan* re-submits them (at-least-once), so the
+/// run completes but with re-executed submissions — measurably more work.
+#[test]
+fn double_crash_optimistic_reexecutes_submissions() {
+    let mut g = grid(LogStrategy::Optimistic);
+    let client = g.client_node;
+    let c0 = g.coords[0].1;
+    g.world.run_until(SimTime::from_secs(3));
+    g.world.crash_now(client);
+    g.world.crash_now(c0);
+    g.world.wipe_durable(c0);
+    g.world.restart_now(client);
+    g.world.restart_now(c0);
+    g.run_until_done(SimTime::from_secs(1800)).expect("optimistic still completes");
+    assert_eq!(g.client_results(), 8);
+}
+
+/// Blocked-on-durability guarantee: under blocking-pessimistic logging a
+/// crash at any instant never loses a submission whose interaction
+/// completed — sweep the crash instant across the whole submission phase.
+#[test]
+fn blocking_pessimistic_never_loses_completed_submissions() {
+    for crash_ms in [500u64, 1000, 2000, 3500, 5000] {
+        let mut g = grid(LogStrategy::BlockingPessimistic);
+        let client = g.client_node;
+        g.world
+            .schedule_control(SimTime::from_millis(crash_ms), rpcv::simnet::Control::Crash(client));
+        g.world.schedule_control(
+            SimTime::from_millis(crash_ms + 3000),
+            rpcv::simnet::Control::Restart(client),
+        );
+        g.run_until_done(SimTime::from_secs(1800))
+            .unwrap_or_else(|| panic!("crash at {crash_ms} ms must be survivable"));
+        assert_eq!(g.client_results(), 8, "crash at {crash_ms} ms");
+        // At-least-once may duplicate, but never lose: exactly 8 jobs.
+        assert_eq!(g.coordinator(0).unwrap().db().stats().jobs, 8);
+    }
+}

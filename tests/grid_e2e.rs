@@ -1,0 +1,148 @@
+//! Cross-crate end-to-end tests on the deterministic simulator, driven
+//! through the `rpcv` facade exactly as a downstream user would.
+
+use rpcv::core::config::ProtocolConfig;
+use rpcv::core::grid::{GridSpec, SimGrid};
+use rpcv::core::util::CallSpec;
+use rpcv::simnet::{Control, SimDuration, SimTime};
+use rpcv::wire::Blob;
+use rpcv::workload::{AlcatelApp, FaultPlan, SyntheticBench};
+
+#[test]
+fn alcatel_mini_run_is_deterministic_end_to_end() {
+    let run = |seed: u64| {
+        let app = AlcatelApp { tasks: 40, seed: 5 };
+        let spec = GridSpec::real_life(2, 16).with_seed(seed).with_plan(app.plan());
+        let mut grid = SimGrid::build(spec);
+        let done = grid.run_until_done(SimTime::from_secs(3600 * 8)).expect("completes");
+        (done, grid.world.trace().hash(), grid.client_results())
+    };
+    let (d1, h1, r1) = run(3);
+    let (d2, h2, r2) = run(3);
+    assert_eq!(d1, d2);
+    assert_eq!(h1, h2);
+    assert_eq!(r1, 40);
+    assert_eq!(r2, 40);
+    let (_, h3, _) = run(4);
+    assert_ne!(h1, h3, "different seeds must diverge");
+}
+
+#[test]
+fn tolerates_any_fault_combination() {
+    // The paper's strongest claim: "It tolerates any fault combination of
+    // its system components" — crash client, coordinators and servers in
+    // overlapping windows; the run must still complete.
+    let bench = SyntheticBench::fig7();
+    let spec = GridSpec::confined(2, 8).with_seed(99).with_plan(bench.plan());
+    let mut grid = SimGrid::build(spec);
+    let c0 = grid.coords[0].1;
+    let c1 = grid.coords[1].1;
+    let s0 = grid.servers[0].1;
+    let s3 = grid.servers[3].1;
+    let client = grid.client_node;
+    let plan = FaultPlan::new()
+        .crash_at(SimTime::from_secs(12), c0)
+        .crash_at(SimTime::from_secs(14), s0)
+        .crash_at(SimTime::from_secs(16), client)
+        .restart_at(SimTime::from_secs(30), client)
+        .crash_at(SimTime::from_secs(40), c1)
+        .restart_at(SimTime::from_secs(55), c0)
+        .crash_at(SimTime::from_secs(60), s3)
+        .restart_at(SimTime::from_secs(75), s0)
+        .restart_at(SimTime::from_secs(90), s3);
+    plan.apply(&mut grid.world);
+    grid.run_until_done(SimTime::from_secs(3600 * 2))
+        .expect("must complete through overlapping faults of every component kind");
+    assert_eq!(grid.client_results(), 96);
+}
+
+#[test]
+fn progress_condition_fails_closed_when_no_path() {
+    // Complement of Fig. 11: when *no* path exists between client and
+    // servers, nothing completes — and when the path is restored, the run
+    // finishes (progress condition, both directions).
+    let plan: Vec<CallSpec> =
+        (0..4).map(|i| CallSpec::new("b", Blob::synthetic(100, i), 1.0, 32)).collect();
+    let spec = GridSpec::confined(1, 2).with_plan(plan);
+    let mut grid = SimGrid::build(spec);
+    let c0 = grid.coords[0].1;
+    let client = grid.client_node;
+    grid.world.net_mut().block_bidir(client, c0);
+    for &(_, s) in &grid.servers.clone() {
+        grid.world.net_mut().block_bidir(s, c0);
+    }
+    grid.world.run_until(SimTime::from_secs(300));
+    assert_eq!(grid.client_results(), 0, "no path ⇒ no progress");
+    grid.world.net_mut().unblock_bidir(client, c0);
+    for &(_, s) in &grid.servers.clone() {
+        grid.world.net_mut().unblock_bidir(s, c0);
+    }
+    grid.run_until_done(SimTime::from_secs(3600)).expect("path restored ⇒ completes");
+}
+
+#[test]
+fn results_survive_client_disconnection() {
+    // §2.2: "we consider client disconnection as a normal event ... we let
+    // the execution continue on the server side."  The client goes away
+    // mid-run; executions continue; a later incarnation collects
+    // everything.
+    let plan: Vec<CallSpec> =
+        (0..6).map(|i| CallSpec::new("b", Blob::synthetic(200, i), 20.0, 64)).collect();
+    let cfg = ProtocolConfig::confined();
+    let spec = GridSpec::confined(1, 3).with_cfg(cfg).with_plan(plan);
+    let mut grid = SimGrid::build(spec);
+    let client = grid.client_node;
+    // Disconnect the client while tasks are executing; reconnect late.
+    grid.world.schedule_control(SimTime::from_secs(5), Control::Crash(client));
+    grid.world.schedule_control(SimTime::from_secs(120), Control::Restart(client));
+    grid.world.run_until(SimTime::from_secs(100));
+    // Executions continued server-side while the client was gone.
+    let archived = grid.coordinator(0).unwrap().db().archived_count();
+    assert!(archived >= 4, "server side must have progressed, got {archived}");
+    grid.run_until_done(SimTime::from_secs(3600)).expect("reconnected client completes");
+    assert_eq!(grid.client_results(), 6);
+}
+
+#[test]
+fn garbage_collection_frees_collected_archives() {
+    let plan: Vec<CallSpec> =
+        (0..5).map(|i| CallSpec::new("b", Blob::synthetic(100, i), 0.5, 4096)).collect();
+    let spec = GridSpec::confined(1, 2).with_plan(plan);
+    let mut grid = SimGrid::build(spec);
+    grid.run_until_done(SimTime::from_secs(600)).expect("completes");
+    // Let the collected-acks ride a few beats back to the coordinator.
+    grid.world.run_for(SimDuration::from_secs(30));
+    let node = grid.coords[0].1;
+    let freed = {
+        let world = &mut grid.world;
+        let coord = world
+            .actor_mut::<rpcv::core::coordinator::CoordinatorActor>(node)
+            .expect("coordinator up");
+        coord.gc_now()
+    };
+    assert!(freed > 0, "collected archives must be reclaimable, freed {freed}");
+}
+
+#[test]
+fn wrong_suspicion_is_survivable() {
+    // §2.2: wrong negatives (alive components suspected) cannot be
+    // avoided.  Partition the preferred coordinator long enough for
+    // everyone to suspect it, then heal: the system must reconverge
+    // without losing calls even though the "dead" coordinator never died.
+    let plan: Vec<CallSpec> =
+        (0..8).map(|i| CallSpec::new("b", Blob::synthetic(100, i), 5.0, 64)).collect();
+    let spec = GridSpec::confined(2, 3).with_plan(plan);
+    let mut grid = SimGrid::build(spec);
+    let c0 = grid.coords[0].1;
+    let client = grid.client_node;
+    let servers: Vec<_> = grid.servers.iter().map(|&(_, n)| n).collect();
+    // Cut everyone off from c0 between t=5 and t=120 (wrong suspicion).
+    grid.world.schedule_control(SimTime::from_secs(5), Control::Block { from: client, to: c0, bidir: true });
+    for &s in &servers {
+        grid.world.schedule_control(SimTime::from_secs(5), Control::Block { from: s, to: c0, bidir: true });
+        grid.world.schedule_control(SimTime::from_secs(120), Control::Unblock { from: s, to: c0, bidir: true });
+    }
+    grid.world.schedule_control(SimTime::from_secs(120), Control::Unblock { from: client, to: c0, bidir: true });
+    grid.run_until_done(SimTime::from_secs(3600)).expect("survives wrong suspicion");
+    assert_eq!(grid.client_results(), 8);
+}

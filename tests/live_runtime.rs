@@ -1,0 +1,144 @@
+//! The wall-clock runtime and the GridRPC-style API, end to end.
+
+use std::time::Duration;
+
+use rpcv::core::api::{GridClient, GridError};
+use rpcv::core::config::{ExecMode, ProtocolConfig};
+use rpcv::core::grid::GridSpec;
+use rpcv::core::runtime::LiveGrid;
+use rpcv::core::util::CallSpec;
+use rpcv::simnet::SimDuration;
+use rpcv::wire::{from_bytes, to_bytes, Blob};
+use rpcv::xw::{Archive, ServiceError, ServiceRegistry};
+
+fn registry() -> ServiceRegistry {
+    let mut r = ServiceRegistry::new();
+    r.register("test/double", |params: &Blob, _| {
+        let v: u64 = from_bytes(&params.materialize())
+            .map_err(|e| ServiceError::ExecutionFailed(e.to_string()))?;
+        Ok(Blob::from_vec(to_bytes(&(v * 2))))
+    });
+    r
+}
+
+fn fast_cfg() -> ProtocolConfig {
+    ProtocolConfig::confined()
+        .with_exec_mode(ExecMode::Real)
+        .with_heartbeat(SimDuration::from_millis(200))
+        .with_suspicion(SimDuration::from_secs(2))
+}
+
+fn decode_result(blob: Blob) -> u64 {
+    let archive = Archive::unpack(&blob.materialize()).expect("archive frame");
+    from_bytes(&archive.entries[0].data.materialize()).expect("payload")
+}
+
+#[test]
+fn call_roundtrip_with_real_execution() {
+    let spec = GridSpec::confined(1, 2).with_cfg(fast_cfg()).with_registry(registry());
+    let grid = LiveGrid::launch(spec, 100.0);
+    let mut client = GridClient::new(&grid);
+    let call = CallSpec::new("test/double", Blob::from_vec(to_bytes(&21u64)), 0.1, 16);
+    let result = client.call(call, Duration::from_secs(30)).expect("blocking call");
+    assert_eq!(decode_result(result), 42);
+    grid.shutdown();
+}
+
+#[test]
+fn async_calls_probe_and_wait_all() {
+    let spec = GridSpec::confined(1, 3).with_cfg(fast_cfg()).with_registry(registry());
+    let grid = LiveGrid::launch(spec, 100.0);
+    let mut client = GridClient::new(&grid);
+    let handles: Vec<_> = (0..6u64)
+        .map(|i| {
+            client.call_async(CallSpec::new(
+                "test/double",
+                Blob::from_vec(to_bytes(&i)),
+                0.1,
+                16,
+            ))
+        })
+        .collect();
+    client.wait_all(Duration::from_secs(60)).expect("all complete");
+    for (i, h) in handles.iter().enumerate() {
+        assert!(client.probe(*h), "probe after completion");
+        let v = decode_result(client.wait(*h, Duration::from_secs(5)).unwrap());
+        assert_eq!(v, i as u64 * 2);
+    }
+    grid.shutdown();
+}
+
+#[test]
+fn cancel_is_local_only() {
+    let spec = GridSpec::confined(1, 1).with_cfg(fast_cfg()).with_registry(registry());
+    let grid = LiveGrid::launch(spec, 100.0);
+    let mut client = GridClient::new(&grid);
+    let h = client.call_async(CallSpec::new(
+        "test/double",
+        Blob::from_vec(to_bytes(&1u64)),
+        0.1,
+        16,
+    ));
+    client.cancel(h);
+    assert_eq!(client.wait(h, Duration::from_secs(1)), Err(GridError::Cancelled));
+    grid.shutdown();
+}
+
+#[test]
+fn survives_live_coordinator_crash_and_restart() {
+    let spec = GridSpec::confined(2, 2).with_cfg(fast_cfg()).with_registry(registry());
+    let grid = LiveGrid::launch(spec, 100.0);
+    let mut client = GridClient::new(&grid);
+    let handles: Vec<_> = (0..4u64)
+        .map(|i| {
+            client.call_async(CallSpec::new(
+                "test/double",
+                Blob::from_vec(to_bytes(&i)),
+                1.0,
+                16,
+            ))
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(100));
+    grid.crash_coordinator(0);
+    std::thread::sleep(Duration::from_millis(200));
+    grid.restart_coordinator(0);
+    for (i, h) in handles.iter().enumerate() {
+        let v = decode_result(client.wait(*h, Duration::from_secs(60)).expect("result"));
+        assert_eq!(v, i as u64 * 2);
+    }
+    grid.shutdown();
+}
+
+#[test]
+fn sandbox_violations_do_not_take_down_the_grid() {
+    // A service whose output exceeds the sandbox limit fails its task;
+    // well-behaved calls on the same grid still complete.
+    let mut reg = registry();
+    reg.register("test/blowup", |_, _| Ok(Blob::synthetic(1 << 20, 1)));
+    let mut spec = GridSpec::confined(1, 2).with_cfg(fast_cfg()).with_registry(reg);
+    spec.limits = rpcv::xw::SandboxLimits { max_input_bytes: 1 << 20, max_output_bytes: 1024 };
+    let grid = LiveGrid::launch(spec, 100.0);
+    let mut client = GridClient::new(&grid);
+    let _bad = client.call_async(CallSpec::new("test/blowup", Blob::empty(), 0.1, 16));
+    let good = client.call_async(CallSpec::new(
+        "test/double",
+        Blob::from_vec(to_bytes(&5u64)),
+        0.1,
+        16,
+    ));
+    let v = decode_result(client.wait(good, Duration::from_secs(30)).expect("good call"));
+    assert_eq!(v, 10);
+    grid.shutdown();
+}
+
+#[test]
+fn shutdown_returns_final_world() {
+    let spec = GridSpec::confined(1, 1).with_cfg(fast_cfg()).with_registry(registry());
+    let grid = LiveGrid::launch(spec, 100.0);
+    let mut client = GridClient::new(&grid);
+    let call = CallSpec::new("test/double", Blob::from_vec(to_bytes(&3u64)), 0.1, 16);
+    client.call(call, Duration::from_secs(30)).expect("call");
+    let world = grid.shutdown().expect("world returned");
+    assert!(world.stats().delivered > 0);
+}
