@@ -30,9 +30,7 @@ fn faulty_run(cfg: ProtocolConfig, replication: u32, seed: u64) -> f64 {
             seed ^ 0xAB1A,
         )
         .apply(&mut grid.world);
-    grid.run_until_done(SimTime::from_secs(3600 * 4))
-        .expect("ablation run completes")
-        .as_secs_f64()
+    grid.run_until_done(SimTime::from_secs(3600 * 4)).expect("ablation run completes").as_secs_f64()
 }
 
 fn avg<F: Fn(u64) -> f64>(f: F) -> f64 {
@@ -42,10 +40,7 @@ fn avg<F: Fn(u64) -> f64>(f: F) -> f64 {
 
 fn main() {
     // 1. Suspicion timeout: reactivity vs wrong-suspicion waste.
-    let mut fig = Figure::new(
-        "ablation_suspicion_timeout",
-        &["suspicion_s", "exec_time_s"],
-    );
+    let mut fig = Figure::new("ablation_suspicion_timeout", &["suspicion_s", "exec_time_s"]);
     for secs in [10u64, 20, 30, 60, 120] {
         let t = avg(|seed| {
             faulty_run(
@@ -73,10 +68,8 @@ fn main() {
     fig.finish();
 
     // 3. Server task checkpointing (extension): lost-work recovery.
-    let mut fig = Figure::new(
-        "ablation_checkpoint_interval",
-        &["checkpoint_s_0_means_off", "exec_time_s"],
-    );
+    let mut fig =
+        Figure::new("ablation_checkpoint_interval", &["checkpoint_s_0_means_off", "exec_time_s"]);
     for secs in [0u64, 5, 15, 30, 60] {
         let cfg = if secs == 0 {
             ProtocolConfig::confined()
@@ -89,10 +82,8 @@ fn main() {
     fig.finish();
 
     // 4. Redundant task replication (extension): anticipating failures.
-    let mut fig = Figure::new(
-        "ablation_redundant_replication",
-        &["instances_per_job", "exec_time_s"],
-    );
+    let mut fig =
+        Figure::new("ablation_redundant_replication", &["instances_per_job", "exec_time_s"]);
     for n in [1u32, 2, 3] {
         let t = avg(|seed| faulty_run(ProtocolConfig::confined(), n, seed));
         fig.row(&[n as f64, t]);
@@ -100,14 +91,12 @@ fn main() {
     fig.finish();
 
     // 5. Replication period: failover lag (Fig. 10-style mini scenario).
-    let mut fig = Figure::new(
-        "ablation_replication_period",
-        &["replication_period_s", "exec_time_s"],
-    );
+    let mut fig =
+        Figure::new("ablation_replication_period", &["replication_period_s", "exec_time_s"]);
     for secs in [5u64, 15, 30, 60, 120] {
         let t = avg(|seed| {
-            let cfg = ProtocolConfig::confined()
-                .with_replication_period(SimDuration::from_secs(secs));
+            let cfg =
+                ProtocolConfig::confined().with_replication_period(SimDuration::from_secs(secs));
             let bench = SyntheticBench::fig7();
             let spec =
                 GridSpec::confined(2, 16).with_seed(seed).with_cfg(cfg).with_plan(bench.plan());

@@ -45,10 +45,8 @@ fn main() {
     let lille = grid.coords[0].1;
     let lri = grid.coords[1].1;
 
-    let mut fig = Figure::new(
-        "fig10_coordinator_faults",
-        &["minute", "completed_lille", "completed_lri"],
-    );
+    let mut fig =
+        Figure::new("fig10_coordinator_faults", &["minute", "completed_lille", "completed_lri"]);
     let mut events = Figure::new("fig10_events", &["label", "minute"]);
     events.row_labelled("1:start", &[0.0]);
 

@@ -25,8 +25,7 @@ fn submission_time(bench: &SyntheticBench, strategy: LogStrategy) -> f64 {
     let spec = GridSpec::confined(1, 16).with_cfg(cfg).with_plan(bench.plan());
     let mut grid = SimGrid::build(spec);
     // Generous horizon: 16 × 100 MB at 12.5 MB/s is already ~130 s.
-    grid.run_until_done(SimTime::from_secs(3600 * 6))
-        .expect("fig4 run must complete");
+    grid.run_until_done(SimTime::from_secs(3600 * 6)).expect("fig4 run must complete");
     let client = grid.client().expect("client alive");
     let first = client
         .metrics

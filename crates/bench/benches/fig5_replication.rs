@@ -24,11 +24,7 @@ use rpcv_workload::SyntheticBench;
 fn replication_time(calls: usize, param_bytes: u64, real_life: bool) -> f64 {
     let mut bench = SyntheticBench::fig4(param_bytes);
     bench.calls = calls;
-    let spec = if real_life {
-        GridSpec::real_life(2, 0)
-    } else {
-        GridSpec::confined(2, 0)
-    };
+    let spec = if real_life { GridSpec::real_life(2, 0) } else { GridSpec::confined(2, 0) };
     // Slow the replication period down so every submission is registered
     // before the measured round starts.
     let mut cfg = spec.cfg.clone();
@@ -52,10 +48,8 @@ fn replication_time(calls: usize, param_bytes: u64, real_life: bool) -> f64 {
 }
 
 fn main() {
-    let mut left = Figure::new(
-        "fig5_left_replication_time_vs_size",
-        &["bytes", "confined_s", "internet_s"],
-    );
+    let mut left =
+        Figure::new("fig5_left_replication_time_vs_size", &["bytes", "confined_s", "internet_s"]);
     for &size in &[100u64, 1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000] {
         let confined = replication_time(16, size, false);
         let internet = replication_time(16, size, true);
@@ -63,10 +57,8 @@ fn main() {
     }
     left.finish();
 
-    let mut right = Figure::new(
-        "fig5_right_replication_time_vs_calls",
-        &["calls", "confined_s", "reallife_s"],
-    );
+    let mut right =
+        Figure::new("fig5_right_replication_time_vs_calls", &["calls", "confined_s", "reallife_s"]);
     for &n in &[1usize, 3, 10, 30, 100, 300, 1000] {
         let confined = replication_time(n, 300, false);
         let reallife = replication_time(n, 300, true);

@@ -51,9 +51,7 @@ fn run(rate_per_min: f64, victims: Victims, seed: u64) -> f64 {
             seed ^ 0xF1607,
         )
         .apply(&mut grid.world);
-    let done = grid
-        .run_until_done(SimTime::from_secs(3600 * 6))
-        .expect("fig7 run must complete");
+    let done = grid.run_until_done(SimTime::from_secs(3600 * 6)).expect("fig7 run must complete");
     done.as_secs_f64()
 }
 
@@ -74,8 +72,7 @@ fn main() {
             xs[xs.len() / 2]
         };
         let t_srv = median(SEEDS.iter().map(|&s| run(rate, Victims::Servers, s)).collect());
-        let t_crd =
-            median(SEEDS.iter().map(|&s| run(rate, Victims::Coordinators, s)).collect());
+        let t_crd = median(SEEDS.iter().map(|&s| run(rate, Victims::Coordinators, s)).collect());
         fig.row(&[rate, t_srv, t_crd]);
     }
     fig.finish();

@@ -19,12 +19,12 @@ fn main() {
     let median = sorted[sorted.len() / 2];
     let max = sorted.last().copied().unwrap_or(0.0);
     let mean = durations.iter().sum::<f64>() / durations.len() as f64;
-    println!("# tasks={} min={min:.0}s median={median:.0}s mean={mean:.0}s max={max:.0}s", durations.len());
-
-    let mut fig = Figure::new(
-        "fig8_task_duration_histogram",
-        &["bucket_start_s", "tasks"],
+    println!(
+        "# tasks={} min={min:.0}s median={median:.0}s mean={mean:.0}s max={max:.0}s",
+        durations.len()
     );
+
+    let mut fig = Figure::new("fig8_task_duration_histogram", &["bucket_start_s", "tasks"]);
     for (bucket, count) in app.duration_histogram(120.0) {
         fig.row(&[bucket, count as f64]);
     }

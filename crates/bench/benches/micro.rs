@@ -24,9 +24,7 @@ fn bench_wire(c: &mut Criterion) {
     let mut g = c.benchmark_group("wire");
     g.throughput(Throughput::Bytes(bytes.len() as u64));
     g.bench_function("encode_submit_1k", |b| b.iter(|| to_bytes(&msg)));
-    g.bench_function("decode_submit_1k", |b| {
-        b.iter(|| from_bytes::<Msg>(&bytes).unwrap())
-    });
+    g.bench_function("decode_submit_1k", |b| b.iter(|| from_bytes::<Msg>(&bytes).unwrap()));
     let payload = vec![0xA5u8; 64 * 1024];
     g.throughput(Throughput::Bytes(payload.len() as u64));
     g.bench_function("crc64_64k", |b| b.iter(|| crc64(&payload)));
@@ -186,9 +184,7 @@ fn bench_alcatel(c: &mut Criterion) {
     c.bench_function("alcatel/evaluate_100_switches", |b| {
         b.iter(|| rpcv_workload::alcatel::evaluate(&config))
     });
-    c.bench_function("alcatel/generate_plan_50", |b| {
-        b.iter(|| AlcatelApp::with_tasks(50).plan())
-    });
+    c.bench_function("alcatel/generate_plan_50", |b| b.iter(|| AlcatelApp::with_tasks(50).plan()));
 }
 
 criterion_group!(

@@ -12,8 +12,7 @@ use std::path::PathBuf;
 
 /// Where figure CSVs are written.
 pub fn out_dir() -> PathBuf {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../../target/figures");
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/figures");
     let _ = fs::create_dir_all(&dir);
     dir
 }

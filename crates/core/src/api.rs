@@ -83,13 +83,16 @@ impl<'g> GridClient<'g> {
     pub fn call_async(&mut self, call: CallSpec) -> RpcHandle {
         self.submitted += 1;
         let seq = self.submitted;
-        self.grid.handle().inject(self.grid.client_node, crate::msg::Msg::ApiSubmit {
-            service: call.service,
-            params: call.params,
-            exec_cost: call.exec_cost,
-            result_size: call.result_size,
-            replication: call.replication,
-        });
+        self.grid.handle().inject(
+            self.grid.client_node,
+            crate::msg::Msg::ApiSubmit {
+                service: call.service,
+                params: call.params,
+                exec_cost: call.exec_cost,
+                result_size: call.result_size,
+                replication: call.replication,
+            },
+        );
         RpcHandle { seq }
     }
 
@@ -102,9 +105,7 @@ impl<'g> GridClient<'g> {
     /// Non-blocking completion test (GridRPC `grpc_probe`).
     pub fn probe(&self, h: RpcHandle) -> bool {
         let seq = h.seq;
-        self.grid
-            .with_client(move |c| c.result_archive(seq).is_some())
-            .unwrap_or(false)
+        self.grid.with_client(move |c| c.result_archive(seq).is_some()).unwrap_or(false)
     }
 
     /// Blocks until the result arrives (GridRPC `grpc_wait`).
@@ -136,10 +137,7 @@ impl<'g> GridClient<'g> {
         let deadline = Instant::now() + timeout;
         let expected = self.submitted - self.cancelled.len() as u64;
         loop {
-            let have = self
-                .grid
-                .with_client(|c| c.results_count() as u64)
-                .unwrap_or(0);
+            let have = self.grid.with_client(|c| c.results_count() as u64).unwrap_or(0);
             if have >= expected {
                 return Ok(());
             }

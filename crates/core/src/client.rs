@@ -289,11 +289,10 @@ impl ClientActor {
                 r.acked = true;
             }
         }
-        ctx.send(node, Msg::ClientBeat {
-            client: self.params.key,
-            max_seq: self.log.max_seq(),
-            collected,
-        });
+        ctx.send(
+            node,
+            Msg::ClientBeat { client: self.params.key, max_seq: self.log.max_seq(), collected },
+        );
     }
 
     fn ingest_results(&mut self, ctx: &mut Ctx<'_, Msg>, results: Vec<crate::msg::RpcResult>) {
@@ -406,8 +405,7 @@ impl ClientActor {
         // estimated drain of everything outstanding — otherwise a lagging
         // but live pipeline gets its queue doubled.
         let pending_bytes: u64 = self.log.entries_after(coord_max).map(|e| e.size).sum();
-        let drain_estimate =
-            rpcv_simnet::SimDuration::from_secs_f64(pending_bytes as f64 / bw) * 4;
+        let drain_estimate = rpcv_simnet::SimDuration::from_secs_f64(pending_bytes as f64 / bw) * 4;
         let stalled = now.since(self.progress_at) > base_horizon + drain_estimate;
         let mut budget: i64 = 32 * 1024 * 1024;
         let mut specs: Vec<JobSpec> = Vec::new();
@@ -417,8 +415,7 @@ impl ClientActor {
             }
             let replayable = match self.sent_at.get(&e.seq) {
                 Some(&sent) => {
-                    let transfer =
-                        rpcv_simnet::SimDuration::from_secs_f64(e.size as f64 / bw);
+                    let transfer = rpcv_simnet::SimDuration::from_secs_f64(e.size as f64 / bw);
                     stalled && now.since(sent) > base_horizon + transfer * 4
                 }
                 None => true,
@@ -461,8 +458,7 @@ impl ClientActor {
         // scans and archive fetches (its database is the shared
         // bottleneck — exactly why the paper prioritizes "its basic
         // forwarding functionality ... compared to other mechanisms").
-        let pacing = rpcv_simnet::SimDuration::from_millis(250)
-            .max(self.params.cfg.heartbeat / 8);
+        let pacing = rpcv_simnet::SimDuration::from_millis(250).max(self.params.cfg.heartbeat / 8);
         if let Some(last) = self.last_pull {
             if now.since(last) < pacing {
                 return; // the next beat or reply re-triggers the pull
@@ -485,8 +481,7 @@ impl ClientActor {
                     // Cap the backoff: an unreachable coordinator must not
                     // push the retry horizon into hours (it may restart any
                     // moment — volatility is the norm here).
-                    let transfer =
-                        rpcv_simnet::SimDuration::from_secs_f64(size as f64 / bw);
+                    let transfer = rpcv_simnet::SimDuration::from_secs_f64(size as f64 / bw);
                     let horizon = base * 2u64.saturating_pow(attempts.min(5)) + transfer * 4;
                     now.since(at) > horizon
                 }

@@ -71,10 +71,7 @@ impl ProtocolConfig {
     /// The real-life Internet configuration of §5.2 (replication every
     /// 60 s).
     pub fn real_life() -> Self {
-        ProtocolConfig {
-            replication_period: SimDuration::from_secs(60),
-            ..Self::default()
-        }
+        ProtocolConfig { replication_period: SimDuration::from_secs(60), ..Self::default() }
     }
 
     /// Builder: logging strategy.

@@ -411,16 +411,8 @@ impl CoordinatorActor {
             bytes,
         });
         // Ask the peer for archives we know exist but do not hold.
-        let want_archives: Vec<JobKey> =
-            self.db.missing_archives().into_iter().take(64).collect();
-        self.deferred.send_at(
-            ctx,
-            done,
-            node,
-            Msg::ReplDelta { delta, want_archives },
-            K_SEND,
-            0,
-        );
+        let want_archives: Vec<JobKey> = self.db.missing_archives().into_iter().take(64).collect();
+        self.deferred.send_at(ctx, done, node, Msg::ReplDelta { delta, want_archives }, K_SEND, 0);
     }
 
     fn scan(&mut self, ctx: &mut Ctx<'_, Msg>) {
@@ -448,11 +440,8 @@ impl CoordinatorActor {
         // horizon must outlast the archive pull over the replication ring
         // (one round to ask, one to receive), else re-execution races the
         // recovery it is meant to back up.
-        let reexec_horizon = self
-            .params
-            .cfg
-            .missing_archive_timeout
-            .max(self.params.cfg.replication_period * 3);
+        let reexec_horizon =
+            self.params.cfg.missing_archive_timeout.max(self.params.cfg.replication_period * 3);
         let overdue: Vec<JobKey> = self
             .missing_since
             .iter()

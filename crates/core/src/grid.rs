@@ -159,7 +159,8 @@ impl SimGrid {
         let client_key = ClientKey::new(1, 1);
 
         for &(id, node) in &coords {
-            let params = CoordParams { me: id, cfg: spec.cfg.clone(), directory: directory.clone() };
+            let params =
+                CoordParams { me: id, cfg: spec.cfg.clone(), directory: directory.clone() };
             world.install(node, CoordinatorActor::factory(params));
         }
         for &(id, node) in &servers {

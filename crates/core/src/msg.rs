@@ -255,17 +255,11 @@ impl Msg {
         match self {
             Msg::Submit { spec } => extra(&spec.params),
             Msg::SubmitBatch { specs } => specs.iter().map(|s| extra(&s.params)).sum(),
-            Msg::ResultsReply { results } => {
-                results.iter().map(|r| extra(&r.archive)).sum()
-            }
+            Msg::ResultsReply { results } => results.iter().map(|r| extra(&r.archive)).sum(),
             Msg::TaskDone { archive, .. } => extra(archive),
             Msg::Assign { task } => extra(&task.params),
-            Msg::ReplDelta { delta, .. } => {
-                delta.jobs.iter().map(|j| extra(&j.params)).sum()
-            }
-            Msg::ReplArchives { results, .. } => {
-                results.iter().map(|r| extra(&r.archive)).sum()
-            }
+            Msg::ReplDelta { delta, .. } => delta.jobs.iter().map(|j| extra(&j.params)).sum(),
+            Msg::ReplArchives { results, .. } => results.iter().map(|r| extra(&r.archive)).sum(),
             Msg::ApiSubmit { params, .. } => extra(params),
             _ => 0,
         }
@@ -357,10 +351,9 @@ impl WireDecode for Msg {
             },
             1 => Msg::Submit { spec: JobSpec::decode(r)? },
             2 => Msg::SubmitBatch { specs: Vec::<JobSpec>::decode(r)? },
-            3 => Msg::ResultsRequest {
-                client: ClientKey::decode(r)?,
-                want: Vec::<u64>::decode(r)?,
-            },
+            3 => {
+                Msg::ResultsRequest { client: ClientKey::decode(r)?, want: Vec::<u64>::decode(r)? }
+            }
             4 => Msg::SubmitAck {
                 job: JobKey::decode(r)?,
                 coord_max: r.get_uvarint()?,
@@ -418,7 +411,11 @@ mod tests {
         vec![
             Msg::ClientBeat { client: ClientKey::new(1, 2), max_seq: 9, collected: vec![1, 2] },
             Msg::Submit {
-                spec: JobSpec::new(JobKey::new(ClientKey::new(1, 2), 3), "svc", Blob::synthetic(100, 1)),
+                spec: JobSpec::new(
+                    JobKey::new(ClientKey::new(1, 2), 3),
+                    "svc",
+                    Blob::synthetic(100, 1),
+                ),
             },
             Msg::SubmitBatch { specs: vec![] },
             Msg::ResultsRequest { client: ClientKey::new(1, 2), want: vec![4, 5] },

@@ -24,7 +24,9 @@ use rpcv_detect::CoordinatorList;
 use rpcv_log::{GcPolicy, PeerLog};
 use rpcv_simnet::{Actor, Ctx, DurableImage, NodeId, SimTime, TimerId};
 use rpcv_wire::Blob;
-use rpcv_xw::{CoordId, JobKey, SandboxLimits, ServerId, ServiceRegistry, TaskDesc, TaskId, WorkerExecutor};
+use rpcv_xw::{
+    CoordId, JobKey, SandboxLimits, ServerId, ServiceRegistry, TaskDesc, TaskId, WorkerExecutor,
+};
 
 use crate::config::{ExecMode, ProtocolConfig};
 use crate::msg::Msg;
@@ -240,12 +242,10 @@ impl ServerActor {
             .collect();
         let mut running: Vec<TaskId> = self.running.keys().copied().collect();
         running.extend(self.backlog.iter().map(|t| t.id));
-        ctx.send(node, Msg::ServerBeat {
-            server: self.params.id,
-            want_work: want,
-            running,
-            offered,
-        });
+        ctx.send(
+            node,
+            Msg::ServerBeat { server: self.params.id, want_work: want, running, offered },
+        );
     }
 
     fn start_task(&mut self, ctx: &mut Ctx<'_, Msg>, desc: TaskDesc, banked: f64) {
@@ -310,11 +310,11 @@ impl ServerActor {
 
     fn complete(&mut self, ctx: &mut Ctx<'_, Msg>, exec: Exec) {
         let now = ctx.now();
-        let archive = exec
-            .real_archive
-            .unwrap_or_else(|| self.executor.simulate_result(&exec.desc));
+        let archive =
+            exec.real_archive.unwrap_or_else(|| self.executor.simulate_result(&exec.desc));
         let key = (exec.desc.job.client.as_peer(), exec.desc.job.seq);
-        let stored = StoredResult { task: exec.desc.id, job: exec.desc.job, archive: archive.clone() };
+        let stored =
+            StoredResult { task: exec.desc.id, job: exec.desc.job, archive: archive.clone() };
         // Necessarily pessimistic: the archive only counts once durable.
         let durable_at = self.plog.append(key, stored, archive.len() + 64, now, ctx.disk_mut());
         self.metrics.executed += 1;
@@ -379,10 +379,8 @@ impl ServerActor {
         for (id, exec) in &self.running {
             let elapsed = now.since(exec.started).as_secs_f64();
             let banked = (exec.work_banked + elapsed).min(exec.work_total);
-            self.checkpoints.insert(
-                *id,
-                Checkpoint { desc: exec.desc.clone(), work_banked: banked },
-            );
+            self.checkpoints
+                .insert(*id, Checkpoint { desc: exec.desc.clone(), work_banked: banked });
             bytes += 256 + exec.desc.params.len() / 64; // compact progress record
         }
         if bytes > 0 {
@@ -465,10 +463,6 @@ impl Actor<Msg> for ServerActor {
         let mut metrics = self.metrics;
         metrics.lost_executions +=
             self.running.keys().filter(|id| !self.checkpoints.contains_key(id)).count() as u64;
-        DurableImage::of(ServerDurable {
-            plog,
-            checkpoints: self.checkpoints.clone(),
-            metrics,
-        })
+        DurableImage::of(ServerDurable { plog, checkpoints: self.checkpoints.clone(), metrics })
     }
 }

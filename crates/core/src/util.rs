@@ -120,13 +120,7 @@ pub struct CallSpec {
 impl CallSpec {
     /// A call with the given service/cost/sizes.
     pub fn new(service: impl Into<String>, params: Blob, exec_cost: f64, result_size: u64) -> Self {
-        CallSpec {
-            service: service.into(),
-            params,
-            exec_cost,
-            result_size,
-            replication: 1,
-        }
+        CallSpec { service: service.into(), params, exec_cost, result_size, replication: 1 }
     }
 
     /// Builder: redundancy factor.

@@ -1,10 +1,10 @@
 //! End-to-end protocol tests on the deterministic simulator: completion,
 //! every fault class, failover, partition, at-least-once invariants.
 
+use rpcv_core::client::ClientActor;
 use rpcv_core::config::ProtocolConfig;
 use rpcv_core::coordinator::CoordinatorActor;
 use rpcv_core::grid::{GridSpec, SimGrid};
-use rpcv_core::client::ClientActor;
 use rpcv_core::server::ServerActor;
 use rpcv_core::util::CallSpec;
 use rpcv_log::LogStrategy;
@@ -145,9 +145,7 @@ fn all_coordinators_down_stalls_then_recovers() {
 #[test]
 fn redundant_replication_flag_completes_and_dedups() {
     let calls: Vec<CallSpec> = (0..4)
-        .map(|i| {
-            CallSpec::new("bench", Blob::synthetic(500, i), 3.0, 100).with_replication(2)
-        })
+        .map(|i| CallSpec::new("bench", Blob::synthetic(500, i), 3.0, 100).with_replication(2))
         .collect();
     let spec = GridSpec::confined(1, 4).with_plan(calls);
     let mut grid = SimGrid::build(spec);
@@ -223,7 +221,8 @@ fn blocking_strategy_slows_submission() {
         let mut grid = SimGrid::build(spec);
         grid.run_until_done(SimTime::from_secs(3000)).expect("finishes");
         let client = grid.client().unwrap();
-        let last = client.metrics.submissions.values().filter_map(|t| t.interaction_end).max().unwrap();
+        let last =
+            client.metrics.submissions.values().filter_map(|t| t.interaction_end).max().unwrap();
         let first = client.metrics.submissions.values().map(|t| t.requested_at).min().unwrap();
         last.since(first)
     };

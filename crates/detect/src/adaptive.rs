@@ -59,10 +59,8 @@ impl<K: Ord + Copy> AdaptiveMonitor<K> {
     pub fn observe(&mut self, key: K, now: SimTime) {
         match self.stats.get_mut(&key) {
             None => {
-                self.stats.insert(
-                    key,
-                    ArrivalStats { last_seen: now, mean: 0.0, var: 0.0, samples: 0 },
-                );
+                self.stats
+                    .insert(key, ArrivalStats { last_seen: now, mean: 0.0, var: 0.0, samples: 0 });
             }
             Some(s) => {
                 if now <= s.last_seen {

@@ -91,11 +91,8 @@ impl<K: Ord + Copy> CoordinatorList<K> {
         if self.entries.is_empty() {
             return None;
         }
-        self.entries
-            .iter()
-            .find(|(_, s)| matches!(s, Standing::Trusted))
-            .map(|(&k, _)| k)
-            .or_else(|| {
+        self.entries.iter().find(|(_, s)| matches!(s, Standing::Trusted)).map(|(&k, _)| k).or_else(
+            || {
                 self.entries
                     .iter()
                     .filter_map(|(&k, s)| match s {
@@ -118,7 +115,8 @@ impl<K: Ord + Copy> CoordinatorList<K> {
                             .min_by_key(|&(_, at)| at)
                             .map(|(k, _)| k)
                     })
-            })
+            },
+        )
     }
 
     /// The next eligible coordinator after `k` in common order, excluding

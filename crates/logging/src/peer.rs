@@ -70,12 +70,19 @@ impl<T: Clone> PeerLog<T> {
     ///
     /// Returns the durability instant; the result message may only be sent
     /// at or after it.
-    pub fn append(&mut self, key: PeerKey, value: T, size: u64, now: SimTime, disk: &mut Disk) -> SimTime {
+    pub fn append(
+        &mut self,
+        key: PeerKey,
+        value: T,
+        size: u64,
+        now: SimTime,
+        disk: &mut Disk,
+    ) -> SimTime {
         let out = disk.write_sync(now, size);
-        if let Some(old) = self.entries.insert(
-            key,
-            PeerEntry { key, value, size, durable_at: out.durable_at, acked: false },
-        ) {
+        if let Some(old) = self
+            .entries
+            .insert(key, PeerEntry { key, value, size, durable_at: out.durable_at, acked: false })
+        {
             self.bytes -= old.size;
         }
         self.bytes += size;

@@ -147,12 +147,7 @@ impl<T: Clone> SenderLog<T> {
         if self.bytes <= self.gc.max_bytes {
             return out;
         }
-        let eligible: Vec<u64> = self
-            .entries
-            .values()
-            .filter(|e| e.acked)
-            .map(|e| e.seq)
-            .collect();
+        let eligible: Vec<u64> = self.entries.values().filter(|e| e.acked).map(|e| e.seq).collect();
         for seq in eligible {
             if self.bytes <= self.gc.target_bytes() {
                 break;

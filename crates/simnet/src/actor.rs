@@ -168,8 +168,7 @@ impl<'a, M: WireSized> Ctx<'a, M> {
         let size = msg.wire_size();
         self.stats.sent += 1;
         self.stats.bytes_sent += size;
-        let service =
-            self.spec.nic_per_op + SimDuration::for_bytes(size, self.spec.nic_bw_out);
+        let service = self.spec.nic_per_op + SimDuration::for_bytes(size, self.spec.nic_bw_out);
         let occ = if size <= CONTROL_FRAME_BYTES {
             // Control frames interleave with bulk transfers instead of
             // queueing behind them.
@@ -243,8 +242,7 @@ impl<'a, M: WireSized> Ctx<'a, M> {
     /// Charges `ops` database operations moving `bytes` of payload;
     /// returns completion time.
     pub fn db(&mut self, ops: u64, bytes: u64) -> SimTime {
-        let service =
-            self.spec.db_per_op * ops + SimDuration::for_bytes(bytes, self.spec.db_bw);
+        let service = self.spec.db_per_op * ops + SimDuration::for_bytes(bytes, self.spec.db_bw);
         self.res.db.acquire(self.now, service).end
     }
 

@@ -153,8 +153,7 @@ impl Disk {
         let insert_done = now + self.op_cost() + t_fast + t_slow;
         // While inserting, the platter drained concurrently.
         self.advance(insert_done);
-        self.cache_fill =
-            (self.cache_fill + fast_bytes).min(self.spec.cache_bytes as f64);
+        self.cache_fill = (self.cache_fill + fast_bytes).min(self.spec.cache_bytes as f64);
 
         // Durable once everything currently in the cache has drained
         // (slow-path bytes hit the platter during insertion already).
@@ -248,8 +247,7 @@ mod tests {
         let late = SimTime::from_secs(10);
         let out = d.write_cached(late, 64 * 1024);
         let insert_cost = out.returned_at.since(late);
-        let expected = SimDuration::from_millis(4)
-            + SimDuration::for_bytes(64 * 1024, 500.0e6);
+        let expected = SimDuration::from_millis(4) + SimDuration::for_bytes(64 * 1024, 500.0e6);
         assert_eq!(insert_cost, expected);
     }
 

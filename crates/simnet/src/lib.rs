@@ -75,10 +75,10 @@ pub mod trace;
 pub mod world;
 
 pub use actor::{Actor, Ctx, DurableImage, Effect, TimerId, WireSized};
-pub use realtime::{spawn_realtime, Command, RealtimeHandle};
 pub use disk::{Disk, DiskSpec, WriteOutcome};
 pub use net::{LinkParams, NetModel};
 pub use node::{HostResources, HostSpec, NodeId};
+pub use realtime::{spawn_realtime, Command, RealtimeHandle};
 pub use rng::DetRng;
 pub use time::{SimDuration, SimTime};
 pub use trace::{NetStats, Trace, TraceEvent, TraceKind};

@@ -82,7 +82,10 @@ impl<M: Send + 'static> RealtimeHandle<M> {
 /// `time_scale` compresses time: with `60.0`, one wall-clock second covers
 /// one virtual minute (useful to demo hour-long grid scenarios live).
 /// Returns the command handle and the join handle yielding the final world.
-pub fn spawn_realtime<M>(mut world: World<M>, time_scale: f64) -> (RealtimeHandle<M>, JoinHandle<World<M>>)
+pub fn spawn_realtime<M>(
+    mut world: World<M>,
+    time_scale: f64,
+) -> (RealtimeHandle<M>, JoinHandle<World<M>>)
 where
     M: WireSized + Send + 'static,
 {

@@ -26,32 +26,22 @@ impl DetRng {
     /// Stream seeded from `seed` (any value, including 0, is fine).
     pub fn new(seed: u64) -> Self {
         let mut sm = seed;
-        let s = [
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-        ];
+        let s =
+            [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
         DetRng { s }
     }
 
     /// Derives an independent child stream; `salt` distinguishes siblings.
     pub fn derive(&self, salt: u64) -> DetRng {
         let mut sm = self.s[0] ^ self.s[2] ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        let s = [
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-        ];
+        let s =
+            [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
         DetRng { s }
     }
 
     /// Next 64 uniformly random bits.
     pub fn next_u64(&mut self) -> u64 {
-        let result = (self.s[0].wrapping_add(self.s[3]))
-            .rotate_left(23)
-            .wrapping_add(self.s[0]);
+        let result = (self.s[0].wrapping_add(self.s[3])).rotate_left(23).wrapping_add(self.s[0]);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];

@@ -209,7 +209,12 @@ mod tests {
 
     #[test]
     fn stats_totals() {
-        let s = NetStats { dropped_loss: 2, dropped_partition: 3, dropped_down: 4, ..Default::default() };
+        let s = NetStats {
+            dropped_loss: 2,
+            dropped_partition: 3,
+            dropped_down: 4,
+            ..Default::default()
+        };
         assert_eq!(s.dropped_total(), 9);
     }
 }

@@ -47,8 +47,7 @@ fn build(seed: u64, n: usize, loss: f64, faults: &[(u64, usize)]) -> World<M> {
     let nodes: Vec<NodeId> = (0..n).map(|i| w.add_host(HostSpec::named(format!("n{i}")))).collect();
     *w.net_mut() = NetModel::new(LinkParams { loss, ..LinkParams::lan() });
     for (i, &node) in nodes.iter().enumerate() {
-        let peers: Vec<NodeId> =
-            nodes.iter().copied().filter(|&p| p != nodes[i]).collect();
+        let peers: Vec<NodeId> = nodes.iter().copied().filter(|&p| p != nodes[i]).collect();
         w.install(node, move |_| Box::new(Gossip { peers: peers.clone(), bursts_left: 8 }));
     }
     for &(at_ms, victim) in faults {

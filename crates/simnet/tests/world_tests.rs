@@ -27,7 +27,13 @@ struct Pong {
 
 impl Pong {
     fn new(marker: u64) -> Self {
-        Pong { received: Vec::new(), peer: None, timer_fired: 0, started: 0, restore_marker: marker }
+        Pong {
+            received: Vec::new(),
+            peer: None,
+            timer_fired: 0,
+            started: 0,
+            restore_marker: marker,
+        }
     }
 }
 
@@ -240,11 +246,7 @@ fn lossy_links_drop_some_messages() {
     let mut w = World::<Msg>::new(23);
     let a = w.add_host(HostSpec::named("a"));
     let b = w.add_host(HostSpec::named("b"));
-    w.net_mut().set_link_bidir(
-        a,
-        b,
-        LinkParams { loss: 0.5, ..LinkParams::lan() },
-    );
+    w.net_mut().set_link_bidir(a, b, LinkParams { loss: 0.5, ..LinkParams::lan() });
     w.install(b, |_| Box::new(Pong::new(0)));
     // 200 one-way messages; ~half should be lost.
     struct Burst {

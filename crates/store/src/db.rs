@@ -130,10 +130,7 @@ impl CoordinatorDb {
         let key = spec.key;
         let replication = spec.replication.max(1);
         let v = self.bump();
-        self.client_max
-            .entry(key.client)
-            .and_modify(|m| *m = (*m).max(key.seq))
-            .or_insert(key.seq);
+        self.client_max.entry(key.client).and_modify(|m| *m = (*m).max(key.seq)).or_insert(key.seq);
         self.jobs.insert(key, JobRow { spec, version: v });
         let mut charge = Charge::db(1, params_len);
         for _ in 0..replication {
@@ -311,11 +308,7 @@ impl CoordinatorDb {
     /// not hold (archives are never replicated) — these are requested back
     /// from servers during synchronization.
     pub fn missing_archives(&self) -> Vec<JobKey> {
-        self.finished_jobs
-            .iter()
-            .filter(|j| !self.archives.contains_key(*j))
-            .copied()
-            .collect()
+        self.finished_jobs.iter().filter(|j| !self.archives.contains_key(*j)).copied().collect()
     }
 
     /// Stores an archive re-sent by a server for a job finished elsewhere.
@@ -501,12 +494,8 @@ impl CoordinatorDb {
 
     /// Drops collected archives (triggered GC); returns bytes freed.
     pub fn gc_collected(&mut self) -> (u64, Charge) {
-        let victims: Vec<JobKey> = self
-            .archives
-            .iter()
-            .filter(|(_, r)| r.collected)
-            .map(|(k, _)| *k)
-            .collect();
+        let victims: Vec<JobKey> =
+            self.archives.iter().filter(|(_, r)| r.collected).map(|(k, _)| *k).collect();
         let mut freed = 0;
         for k in &victims {
             if let Some(row) = self.archives.remove(k) {
@@ -524,12 +513,7 @@ impl CoordinatorDb {
             from: self.me,
             base_version: base,
             head_version: self.version,
-            jobs: self
-                .jobs
-                .values()
-                .filter(|r| r.version > base)
-                .map(|r| r.spec.clone())
-                .collect(),
+            jobs: self.jobs.values().filter(|r| r.version > base).map(|r| r.spec.clone()).collect(),
             tasks: self
                 .tasks
                 .values()
@@ -623,10 +607,7 @@ impl CoordinatorDb {
             }
         }
         for &(client, mark) in &delta.client_marks {
-            self.client_max
-                .entry(client)
-                .and_modify(|m| *m = (*m).max(mark))
-                .or_insert(mark);
+            self.client_max.entry(client).and_modify(|m| *m = (*m).max(mark)).or_insert(mark);
         }
         charge
     }
@@ -739,10 +720,20 @@ mod tests {
         d.register_job(job(1).with_replication(2));
         let (a, _) = d.next_pending(ServerId(1), T0);
         let (b, _) = d.next_pending(ServerId(2), T0);
-        let (o1, c1) = d.complete_task(a.unwrap().id, JobKey::new(ClientKey::new(1, 1), 1), Blob::synthetic(64, 1), ServerId(1));
+        let (o1, c1) = d.complete_task(
+            a.unwrap().id,
+            JobKey::new(ClientKey::new(1, 1), 1),
+            Blob::synthetic(64, 1),
+            ServerId(1),
+        );
         assert_eq!(o1, CompleteOutcome::NewResult);
         assert_eq!(c1.disk_bytes, 64);
-        let (o2, _) = d.complete_task(b.unwrap().id, JobKey::new(ClientKey::new(1, 1), 1), Blob::synthetic(64, 2), ServerId(2));
+        let (o2, _) = d.complete_task(
+            b.unwrap().id,
+            JobKey::new(ClientKey::new(1, 1), 1),
+            Blob::synthetic(64, 2),
+            ServerId(2),
+        );
         assert_eq!(o2, CompleteOutcome::Duplicate);
         assert_eq!(d.stats().duplicate_results, 1);
         assert_eq!(d.archived_count(), 1);
@@ -859,10 +850,7 @@ mod tests {
         let mut backup = CoordinatorDb::new(CoordId(2));
         backup.apply_delta(&full); // finished
         backup.apply_delta(&stale); // must not downgrade
-        assert!(backup
-            .task(t.id)
-            .map(|r| r.state.is_finished())
-            .unwrap_or(false));
+        assert!(backup.task(t.id).map(|r| r.state.is_finished()).unwrap_or(false));
         // And nothing became schedulable.
         let (none, _) = backup.next_pending(ServerId(3), T0);
         assert!(none.is_none());

@@ -3,8 +3,8 @@
 
 use proptest::prelude::*;
 use rpcv_simnet::SimTime;
-use rpcv_wire::Blob;
 use rpcv_store::CoordinatorDb;
+use rpcv_wire::Blob;
 use rpcv_xw::{ClientKey, CoordId, JobKey, JobSpec, ServerId};
 
 fn job(seq: u64, size: u64) -> JobSpec {

@@ -216,11 +216,7 @@ mod tests {
 
     #[test]
     fn encoded_len_is_exact_for_both_forms() {
-        for b in [
-            Blob::from_vec(vec![9; 333]),
-            Blob::synthetic(5_000_000, 3),
-            Blob::empty(),
-        ] {
+        for b in [Blob::from_vec(vec![9; 333]), Blob::synthetic(5_000_000, 3), Blob::empty()] {
             // For the inline form encode() really produces the bytes, so
             // compare against them.  For synthetic, encoded form is tiny.
             assert_eq!(to_bytes(&b).len() as u64, b.encoded_len());

@@ -72,17 +72,7 @@ mod tests {
 
     #[test]
     fn roundtrip_edges() {
-        for v in [
-            0u64,
-            1,
-            0x7f,
-            0x80,
-            0x3fff,
-            0x4000,
-            u32::MAX as u64,
-            u64::MAX - 1,
-            u64::MAX,
-        ] {
+        for v in [0u64, 1, 0x7f, 0x80, 0x3fff, 0x4000, u32::MAX as u64, u64::MAX - 1, u64::MAX] {
             let mut buf = Vec::new();
             write_uvarint(&mut buf, v);
             assert_eq!(buf.len(), uvarint_len(v), "len mismatch for {v}");

@@ -125,12 +125,7 @@ impl NetworkConfig {
         }
         let n_pairs = (switches / 2).max(1);
         let pairs = (0..n_pairs)
-            .map(|_| {
-                (
-                    rng.below(switches as u64) as u32,
-                    rng.below(switches as u64) as u32,
-                )
-            })
+            .map(|_| (rng.below(switches as u64) as u32, rng.below(switches as u64) as u32))
             .collect();
         NetworkConfig { switches, links, pairs }
     }
@@ -330,10 +325,7 @@ impl AlcatelApp {
         for d in durations {
             hist[(d / bucket_secs) as usize] += 1;
         }
-        hist.into_iter()
-            .enumerate()
-            .map(|(i, c)| (i as f64 * bucket_secs, c))
-            .collect()
+        hist.into_iter().enumerate().map(|(i, c)| (i as f64 * bucket_secs, c)).collect()
     }
 
     /// Registers the service.

@@ -112,9 +112,7 @@ mod tests {
 
     #[test]
     fn scripted_plan_orders_events() {
-        let plan = FaultPlan::new()
-            .crash_at(S(10), NodeId(1))
-            .restart_at(S(20), NodeId(1));
+        let plan = FaultPlan::new().crash_at(S(10), NodeId(1)).restart_at(S(20), NodeId(1));
         assert_eq!(plan.len(), 2);
         assert_eq!(plan.crash_count(), 1);
     }

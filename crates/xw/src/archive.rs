@@ -119,18 +119,12 @@ mod tests {
         let mut frame = a.pack();
         let mid = frame.len() / 2;
         frame[mid] ^= 0xff;
-        assert!(matches!(
-            Archive::unpack(&frame),
-            Err(WireError::DigestMismatch { .. })
-        ));
+        assert!(matches!(Archive::unpack(&frame), Err(WireError::DigestMismatch { .. })));
     }
 
     #[test]
     fn truncated_frame_rejected() {
-        assert!(matches!(
-            Archive::unpack(&[1, 2, 3]),
-            Err(WireError::UnexpectedEof { .. })
-        ));
+        assert!(matches!(Archive::unpack(&[1, 2, 3]), Err(WireError::UnexpectedEof { .. })));
     }
 
     #[test]

@@ -128,11 +128,14 @@ impl ServiceRegistry {
     }
 
     /// Invokes `name` under the sandbox in `ctx`.
-    pub fn invoke(&self, name: &str, params: &Blob, ctx: &ServiceCtx) -> Result<Blob, ServiceError> {
-        let f = self
-            .services
-            .get(name)
-            .ok_or_else(|| ServiceError::UnknownService(name.to_owned()))?;
+    pub fn invoke(
+        &self,
+        name: &str,
+        params: &Blob,
+        ctx: &ServiceCtx,
+    ) -> Result<Blob, ServiceError> {
+        let f =
+            self.services.get(name).ok_or_else(|| ServiceError::UnknownService(name.to_owned()))?;
         if params.len() > ctx.limits.max_input_bytes {
             return Err(ServiceError::InputTooLarge {
                 got: params.len(),

@@ -102,10 +102,7 @@ mod tests {
     #[test]
     fn execute_unknown_service_fails() {
         let ex = executor();
-        assert!(matches!(
-            ex.execute(&task("missing")),
-            Err(ServiceError::UnknownService(_))
-        ));
+        assert!(matches!(ex.execute(&task("missing")), Err(ServiceError::UnknownService(_))));
     }
 
     #[test]

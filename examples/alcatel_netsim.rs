@@ -80,9 +80,7 @@ fn main() {
         "done — {}/{} terminal pairs reachable across 24 validated configurations",
         reachable, total_pairs
     );
-    let dup = grid
-        .with_coordinator(0, |c| c.db().stats().duplicate_results)
-        .unwrap_or(0);
+    let dup = grid.with_coordinator(0, |c| c.db().stats().duplicate_results).unwrap_or(0);
     println!("at-least-once duplicates dropped by the coordinator: {dup}");
     grid.shutdown();
 }

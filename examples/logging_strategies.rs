@@ -22,19 +22,16 @@ fn submission_secs(param_bytes: u64, calls: usize, strategy: LogStrategy) -> f64
     grid.run_until_done(SimTime::from_secs(7200)).expect("run completes");
     let client = grid.client().expect("client");
     let first = client.metrics.submissions.values().map(|t| t.requested_at).min().unwrap();
-    let last = client
-        .metrics
-        .submissions
-        .values()
-        .filter_map(|t| t.interaction_end)
-        .max()
-        .unwrap();
+    let last = client.metrics.submissions.values().filter_map(|t| t.interaction_end).max().unwrap();
     last.since(first).as_secs_f64()
 }
 
 fn main() {
     println!("RPC submission time, 16 calls (seconds of grid time)");
-    println!("{:>12}  {:>12} {:>14} {:>12}", "param bytes", "optimistic", "non-blocking", "blocking");
+    println!(
+        "{:>12}  {:>12} {:>14} {:>12}",
+        "param bytes", "optimistic", "non-blocking", "blocking"
+    );
     for &size in &[1_000u64, 100_000, 10_000_000, 100_000_000] {
         let opt = submission_secs(size, 16, LogStrategy::Optimistic);
         let nb = submission_secs(size, 16, LogStrategy::NonBlockingPessimistic);

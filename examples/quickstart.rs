@@ -71,9 +71,7 @@ fn main() {
         println!("call {:>2}: sum of squares 1..={n:<3} = {sum}", i + 1);
     }
 
-    let switches = grid
-        .with_client(|c| c.metrics.coordinator_switches)
-        .unwrap_or(0);
+    let switches = grid.with_client(|c| c.metrics.coordinator_switches).unwrap_or(0);
     println!("done — all 8 results correct, {switches} coordinator switch(es) along the way");
     grid.shutdown();
 }

@@ -36,10 +36,7 @@ fn main() {
         grid.world.run_until(SimTime::from_secs(minute * 60));
         let completed = grid.client_results();
         let stats = grid.world.stats();
-        let dup = grid
-            .coordinator(0)
-            .map(|c| c.db().stats().duplicate_results)
-            .unwrap_or(0);
+        let dup = grid.coordinator(0).map(|c| c.db().stats().duplicate_results).unwrap_or(0);
         if minute % 5 == 0 || completed >= 300 {
             println!("{minute:>6}  {completed:>9}  {:>7}  {dup:>10}", stats.crashes);
         }
@@ -60,7 +57,10 @@ fn main() {
                 grid.world.stats().sent,
                 grid.world.stats().bytes_sent as f64 / 1e6,
             );
-            println!("trace hash {:#018x} — rerun to get the identical execution", grid.world.trace().hash());
+            println!(
+                "trace hash {:#018x} — rerun to get the identical execution",
+                grid.world.trace().hash()
+            );
         }
         None => println!("did not finish within 12 virtual hours"),
     }

@@ -137,12 +137,24 @@ fn wrong_suspicion_is_survivable() {
     let client = grid.client_node;
     let servers: Vec<_> = grid.servers.iter().map(|&(_, n)| n).collect();
     // Cut everyone off from c0 between t=5 and t=120 (wrong suspicion).
-    grid.world.schedule_control(SimTime::from_secs(5), Control::Block { from: client, to: c0, bidir: true });
+    grid.world.schedule_control(
+        SimTime::from_secs(5),
+        Control::Block { from: client, to: c0, bidir: true },
+    );
     for &s in &servers {
-        grid.world.schedule_control(SimTime::from_secs(5), Control::Block { from: s, to: c0, bidir: true });
-        grid.world.schedule_control(SimTime::from_secs(120), Control::Unblock { from: s, to: c0, bidir: true });
+        grid.world.schedule_control(
+            SimTime::from_secs(5),
+            Control::Block { from: s, to: c0, bidir: true },
+        );
+        grid.world.schedule_control(
+            SimTime::from_secs(120),
+            Control::Unblock { from: s, to: c0, bidir: true },
+        );
     }
-    grid.world.schedule_control(SimTime::from_secs(120), Control::Unblock { from: client, to: c0, bidir: true });
+    grid.world.schedule_control(
+        SimTime::from_secs(120),
+        Control::Unblock { from: client, to: c0, bidir: true },
+    );
     grid.run_until_done(SimTime::from_secs(3600)).expect("survives wrong suspicion");
     assert_eq!(grid.client_results(), 8);
 }

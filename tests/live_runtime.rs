@@ -51,12 +51,7 @@ fn async_calls_probe_and_wait_all() {
     let mut client = GridClient::new(&grid);
     let handles: Vec<_> = (0..6u64)
         .map(|i| {
-            client.call_async(CallSpec::new(
-                "test/double",
-                Blob::from_vec(to_bytes(&i)),
-                0.1,
-                16,
-            ))
+            client.call_async(CallSpec::new("test/double", Blob::from_vec(to_bytes(&i)), 0.1, 16))
         })
         .collect();
     client.wait_all(Duration::from_secs(60)).expect("all complete");
@@ -73,12 +68,8 @@ fn cancel_is_local_only() {
     let spec = GridSpec::confined(1, 1).with_cfg(fast_cfg()).with_registry(registry());
     let grid = LiveGrid::launch(spec, 100.0);
     let mut client = GridClient::new(&grid);
-    let h = client.call_async(CallSpec::new(
-        "test/double",
-        Blob::from_vec(to_bytes(&1u64)),
-        0.1,
-        16,
-    ));
+    let h =
+        client.call_async(CallSpec::new("test/double", Blob::from_vec(to_bytes(&1u64)), 0.1, 16));
     client.cancel(h);
     assert_eq!(client.wait(h, Duration::from_secs(1)), Err(GridError::Cancelled));
     grid.shutdown();
@@ -91,12 +82,7 @@ fn survives_live_coordinator_crash_and_restart() {
     let mut client = GridClient::new(&grid);
     let handles: Vec<_> = (0..4u64)
         .map(|i| {
-            client.call_async(CallSpec::new(
-                "test/double",
-                Blob::from_vec(to_bytes(&i)),
-                1.0,
-                16,
-            ))
+            client.call_async(CallSpec::new("test/double", Blob::from_vec(to_bytes(&i)), 1.0, 16))
         })
         .collect();
     std::thread::sleep(Duration::from_millis(100));
@@ -121,12 +107,8 @@ fn sandbox_violations_do_not_take_down_the_grid() {
     let grid = LiveGrid::launch(spec, 100.0);
     let mut client = GridClient::new(&grid);
     let _bad = client.call_async(CallSpec::new("test/blowup", Blob::empty(), 0.1, 16));
-    let good = client.call_async(CallSpec::new(
-        "test/double",
-        Blob::from_vec(to_bytes(&5u64)),
-        0.1,
-        16,
-    ));
+    let good =
+        client.call_async(CallSpec::new("test/double", Blob::from_vec(to_bytes(&5u64)), 0.1, 16));
     let v = decode_result(client.wait(good, Duration::from_secs(30)).expect("good call"));
     assert_eq!(v, 10);
     grid.shutdown();
