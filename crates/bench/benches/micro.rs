@@ -115,6 +115,68 @@ fn bench_store(c: &mut Criterion) {
     g.finish();
 }
 
+/// The perf target of the incremental-index work: a replication round on a
+/// large, mostly-quiescent database must cost O(changed), not O(tables).
+/// `delta_since` (version-index range read) is benchmarked against the
+/// retained full-scan reference at 50k tasks with a 10-row delta; the
+/// acceptance bar is a ≥5× advantage for the indexed path.
+fn bench_store_scale(c: &mut Criterion) {
+    let mut db = CoordinatorDb::new(CoordId(1));
+    for i in 1..=50_000u64 {
+        db.register_job(JobSpec::new(
+            JobKey::new(ClientKey::new(1, 1), i),
+            "svc",
+            Blob::synthetic(64, i),
+        ));
+    }
+    let base = db.version();
+    for i in 50_001..=50_010u64 {
+        db.register_job(JobSpec::new(
+            JobKey::new(ClientKey::new(1, 1), i),
+            "svc",
+            Blob::synthetic(64, i),
+        ));
+    }
+    // Missing-archive case: a database where 50k jobs *finished* (all
+    // archives held, a handful missing) — the realistic steady state the
+    // periodic refresh polls.  The maintained set reads O(missing); the
+    // scan reference walks every finished job.
+    let mut done_db = CoordinatorDb::new(CoordId(2));
+    for i in 1..=50_000u64 {
+        done_db.register_job(JobSpec::new(
+            JobKey::new(ClientKey::new(1, 1), i),
+            "svc",
+            Blob::synthetic(64, i),
+        ));
+    }
+    while let (Some(d), _) = done_db.next_pending(ServerId(1), rpcv_simnet::SimTime::ZERO) {
+        done_db.complete_task(d.id, d.job, Blob::synthetic(16, d.job.seq), ServerId(1));
+    }
+    // A few finished-elsewhere jobs whose archives we lack.
+    let mut primary = CoordinatorDb::new(CoordId(3));
+    for i in 60_001..=60_010u64 {
+        primary.register_job(JobSpec::new(
+            JobKey::new(ClientKey::new(1, 1), i),
+            "svc",
+            Blob::synthetic(64, i),
+        ));
+        if let (Some(d), _) = primary.next_pending(ServerId(2), rpcv_simnet::SimTime::ZERO) {
+            primary.complete_task(d.id, d.job, Blob::synthetic(16, i), ServerId(2));
+        }
+    }
+    done_db.apply_delta(&primary.delta_since(0));
+    assert_eq!(done_db.missing_archives().len(), 10, "setup: 10 missing archives");
+
+    let mut g = c.benchmark_group("store_scale");
+    g.bench_function("delta_since_50k_small_indexed", |b| b.iter(|| db.delta_since(base)));
+    g.bench_function("delta_since_50k_small_scan", |b| b.iter(|| db.delta_since_scan(base)));
+    g.bench_function("pending_count_50k_indexed", |b| b.iter(|| db.pending_count()));
+    g.bench_function("pending_count_50k_scan", |b| b.iter(|| db.pending_count_scan()));
+    g.bench_function("missing_archives_50k_indexed", |b| b.iter(|| done_db.missing_archives()));
+    g.bench_function("missing_archives_50k_scan", |b| b.iter(|| done_db.missing_archives_scan()));
+    g.finish();
+}
+
 fn bench_detect(c: &mut Criterion) {
     c.bench_function("detect/observe_and_scan_1000", |b| {
         b.iter_batched(
@@ -192,6 +254,7 @@ criterion_group!(
     bench_wire,
     bench_logging,
     bench_store,
+    bench_store_scale,
     bench_detect,
     bench_simnet,
     bench_alcatel

@@ -1,0 +1,211 @@
+//! Scale bench — the coordinator-hot-path perf trajectory.
+//!
+//! Not a paper figure: this harness exists to catch O(everything) creep in
+//! the periodic control plane (replication deltas, suspicion scans,
+//! scheduling) as the grid grows.  It sweeps grid sizes (servers × jobs),
+//! runs each full workload to completion on the deterministic simulator,
+//! and reports, per cell:
+//!
+//! * `events_per_sec` — simulator kernel throughput (events / wall second),
+//! * `wall_seconds` / `sim_seconds` — real and virtual run time,
+//! * `delta_bytes_per_round` — mean replication payload per round: the
+//!   direct observable of the O(changed) invariant (a full-table
+//!   replicator makes this grow linearly with run length),
+//! * completion counts, so a silently-stalled run cannot masquerade as a
+//!   fast one.
+//!
+//! Results go to stdout, `target/figures/scale_trajectory.csv`, and —
+//! the part future PRs consume — `BENCH_scale.json` at the repo root.
+//! Run `cargo bench -p rpcv-bench --bench scale` for the full sweep or
+//! `-- --smoke` for the tiny CI variant.  The JSON schema is documented
+//! in ROADMAP.md ("Performance notes").
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use rpcv_bench::Figure;
+use rpcv_core::coordinator::CoordinatorActor;
+use rpcv_core::grid::{GridSpec, SimGrid};
+use rpcv_core::util::CallSpec;
+use rpcv_simnet::{SimDuration, SimTime};
+use rpcv_wire::Blob;
+
+/// One measured grid cell.
+struct Cell {
+    servers: usize,
+    jobs: usize,
+    events: u64,
+    wall_seconds: f64,
+    events_per_sec: f64,
+    sim_seconds: f64,
+    completed: usize,
+    repl_rounds: usize,
+    delta_bytes_per_round: f64,
+    done: bool,
+}
+
+fn run_cell(servers: usize, jobs: usize) -> Cell {
+    let plan: Vec<CallSpec> = (0..jobs)
+        .map(|i| CallSpec::new("scale", Blob::synthetic(256, i as u64), 0.05, 64))
+        .collect();
+    let mut spec = GridSpec::confined(2, servers).with_plan(plan).with_seed(0x5CA1E);
+    // The confined database model (3 ms/op, per the 2004 testbed) would
+    // make the *modelled* MySQL the only thing this bench measures; give
+    // the coordinators a modern database so kernel + index costs dominate.
+    spec.coord_host = spec.coord_host.with_db_per_op(SimDuration::from_micros(100));
+    let mut grid = SimGrid::build(spec);
+
+    let horizon = SimTime::from_secs(20_000);
+    let chunk = SimDuration::from_secs(10);
+    let gc_every = SimDuration::from_secs(50);
+    let mut next_gc = SimTime::ZERO + gc_every;
+    let started = Instant::now();
+    let done = loop {
+        if grid.client().and_then(|c| c.metrics.done_at).is_some() {
+            break true;
+        }
+        if grid.world.now() >= horizon {
+            break false;
+        }
+        grid.world.run_for(chunk);
+        // Paper §4.2: archive GC "can be triggered ... explicitly by the
+        // user"; the harness plays that user so collected archives do not
+        // accumulate across a 100k-job run.
+        if grid.world.now() >= next_gc {
+            next_gc = grid.world.now() + gc_every;
+            for i in 0..grid.coords.len() {
+                let node = grid.coords[i].1;
+                if let Some(c) = grid.world.actor_mut::<CoordinatorActor>(node) {
+                    c.gc_now();
+                }
+            }
+        }
+    };
+    let wall_seconds = started.elapsed().as_secs_f64();
+    let events = grid.world.events_processed();
+    let (repl_rounds, delta_bytes) = grid
+        .coordinator(0)
+        .map(|c| {
+            let rounds = &c.metrics.repl_rounds;
+            (rounds.len(), rounds.iter().map(|r| r.bytes).sum::<u64>())
+        })
+        .unwrap_or((0, 0));
+    Cell {
+        servers,
+        jobs,
+        events,
+        wall_seconds,
+        events_per_sec: events as f64 / wall_seconds.max(1e-9),
+        sim_seconds: grid.world.now().as_secs_f64(),
+        completed: grid.client_results(),
+        repl_rounds,
+        delta_bytes_per_round: delta_bytes as f64 / (repl_rounds.max(1)) as f64,
+        done,
+    }
+}
+
+/// Where `BENCH_scale.json` lives: the repo root, so the trajectory is
+/// versioned alongside the code it measures.
+fn bench_json_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_scale.json")
+}
+
+fn write_json(cells: &[Cell], smoke: bool) {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"bench\": \"scale\",");
+    let _ = writeln!(out, "  \"schema_version\": 1,");
+    let _ = writeln!(out, "  \"smoke\": {smoke},");
+    let _ = writeln!(out, "  \"grid\": [");
+    for (i, c) in cells.iter().enumerate() {
+        let comma = if i + 1 < cells.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"servers\": {}, \"jobs\": {}, \"events_processed\": {}, \
+             \"wall_seconds\": {:.3}, \"events_per_sec\": {:.0}, \"sim_seconds\": {:.1}, \
+             \"jobs_completed\": {}, \"repl_rounds\": {}, \"delta_bytes_per_round\": {:.1}, \
+             \"completed\": {}}}{comma}",
+            c.servers,
+            c.jobs,
+            c.events,
+            c.wall_seconds,
+            c.events_per_sec,
+            c.sim_seconds,
+            c.completed,
+            c.repl_rounds,
+            c.delta_bytes_per_round,
+            c.done,
+        );
+    }
+    let _ = writeln!(out, "  ],");
+    let total_events: u64 = cells.iter().map(|c| c.events).sum();
+    let total_wall: f64 = cells.iter().map(|c| c.wall_seconds).sum();
+    let _ = writeln!(
+        out,
+        "  \"totals\": {{\"events_processed\": {}, \"wall_seconds\": {:.3}, \
+         \"events_per_sec\": {:.0}}}",
+        total_events,
+        total_wall,
+        total_events as f64 / total_wall.max(1e-9),
+    );
+    let _ = writeln!(out, "}}");
+    let path = bench_json_path();
+    // A trajectory point that silently fails to land would let CI validate
+    // a stale committed file — failing loudly is the whole point.
+    match fs::write(&path, out) {
+        Ok(()) => println!("# wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("# FATAL: could not write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let cells_spec: &[(usize, usize)] = if smoke {
+        &[(10, 200), (25, 500), (50, 1_000)]
+    } else {
+        &[(50, 10_000), (200, 30_000), (1_000, 100_000)]
+    };
+    let mut fig = Figure::new(
+        "scale_trajectory",
+        &[
+            "servers",
+            "jobs",
+            "events",
+            "wall_s",
+            "events_per_s",
+            "sim_s",
+            "completed",
+            "repl_rounds",
+            "delta_bytes_per_round",
+        ],
+    );
+    let mut cells = Vec::new();
+    for &(servers, jobs) in cells_spec {
+        let c = run_cell(servers, jobs);
+        assert!(
+            c.done && c.completed == c.jobs,
+            "cell {servers}x{jobs} must run to completion ({}/{} results, done={})",
+            c.completed,
+            c.jobs,
+            c.done
+        );
+        fig.row(&[
+            c.servers as f64,
+            c.jobs as f64,
+            c.events as f64,
+            c.wall_seconds,
+            c.events_per_sec,
+            c.sim_seconds,
+            c.completed as f64,
+            c.repl_rounds as f64,
+            c.delta_bytes_per_round,
+        ]);
+        cells.push(c);
+    }
+    write_json(&cells, smoke);
+}

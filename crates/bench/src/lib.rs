@@ -5,6 +5,12 @@
 //! `cargo bench`).  Each harness regenerates the figure's series: it prints
 //! the rows to stdout and writes a CSV under `target/figures/`.
 //! EXPERIMENTS.md records the paper-vs-measured comparison.
+//!
+//! Beyond the figures, `--bench scale` sweeps grid sizes and records the
+//! repo's perf trajectory in `BENCH_scale.json` at the repo root (schema
+//! in ROADMAP.md "Performance notes"), and `--bench micro` includes the
+//! `store_scale` group comparing the incremental coordinator indexes
+//! against their retained full-scan reference implementations.
 
 use std::fmt::Write as _;
 use std::fs;

@@ -11,7 +11,7 @@
 use std::collections::BTreeMap;
 
 use rpcv_detect::{CoordinatorList, HeartbeatMonitor};
-use rpcv_simnet::{Actor, Ctx, DurableImage, NodeId, SimTime, TimerId};
+use rpcv_simnet::{Actor, Ctx, DurableImage, NodeId, SimTime, TimerId, WireSized};
 use rpcv_store::{Charge, CoordinatorDb, ReplicationDelta};
 use rpcv_xw::{ClientKey, CoordId, JobKey, ServerId};
 
@@ -185,8 +185,14 @@ impl CoordinatorActor {
     }
 
     fn refresh_missing(&mut self, now: SimTime) {
-        for job in self.db.missing_archives() {
-            self.missing_since.entry(job).or_insert(now);
+        // The database maintains the missing set incrementally, so this is
+        // O(missing) with an O(1) early exit — never a finished-jobs scan.
+        if !self.db.has_missing_archives() {
+            return;
+        }
+        let missing_since = &mut self.missing_since;
+        for job in self.db.missing_archives_iter() {
+            missing_since.entry(job).or_insert(now);
         }
     }
 
@@ -396,13 +402,18 @@ impl CoordinatorActor {
         let Some(node) = self.params.directory.node_of(succ) else { return };
         let base = self.acked_version.get(&succ).copied().unwrap_or(0);
         let delta = self.db.delta_since(base);
-        // Building the delta reads every changed row.
+        // Building the delta reads every changed row (and only those: the
+        // version index makes this O(changed), not O(tables)).
         let read_ops = 1 + (delta.jobs.len() + delta.tasks.len()) as u64;
-        let bytes = delta.transfer_bytes();
         let records = (delta.jobs.len() + delta.tasks.len()) as u64;
         let done = ctx.db(read_ops, 0);
         let head = delta.head_version;
         self.inflight_repl = Some((succ, head, now));
+        // Ask the peer for archives we know exist but do not hold.
+        let want_archives: Vec<JobKey> = self.db.missing_archives_iter().take(64).collect();
+        let msg = Msg::ReplDelta { delta, want_archives };
+        // One encode-count serves both the transfer metric and the send.
+        let bytes = msg.wire_size();
         self.metrics.repl_rounds.push(ReplRound {
             to: succ,
             started: now,
@@ -410,14 +421,14 @@ impl CoordinatorActor {
             records,
             bytes,
         });
-        // Ask the peer for archives we know exist but do not hold.
-        let want_archives: Vec<JobKey> = self.db.missing_archives().into_iter().take(64).collect();
-        self.deferred.send_at(ctx, done, node, Msg::ReplDelta { delta, want_archives }, K_SEND, 0);
+        self.deferred.send_at_sized(ctx, done, node, msg, bytes, K_SEND, 0);
     }
 
     fn scan(&mut self, ctx: &mut Ctx<'_, Msg>) {
         let now = ctx.now();
         // Server suspicion ⇒ new instances of everything it was running.
+        // `suspects` pops only expired deadlines off the monitor's heap
+        // and returns without allocating in the common all-alive case.
         for s in self.server_mon.suspects(now) {
             ctx.note("coordinator suspects server");
             self.metrics.server_suspicions += 1;
@@ -439,7 +450,11 @@ impl CoordinatorActor {
         // Unrecoverable archives ⇒ at-least-once re-execution.  The
         // horizon must outlast the archive pull over the replication ring
         // (one round to ask, one to receive), else re-execution races the
-        // recovery it is meant to back up.
+        // recovery it is meant to back up.  The watch list holds only
+        // currently-missing archives, so this walk is O(missing).
+        if self.missing_since.is_empty() {
+            return;
+        }
         let reexec_horizon =
             self.params.cfg.missing_archive_timeout.max(self.params.cfg.replication_period * 3);
         let overdue: Vec<JobKey> = self

@@ -50,7 +50,8 @@ impl Directory {
 /// leave once the database operation backing it completed).
 #[derive(Debug, Default)]
 pub struct Deferred {
-    items: BTreeMap<u64, (NodeId, Msg, u64)>,
+    /// timer id → (destination, message, token, known wire size).
+    items: BTreeMap<u64, (NodeId, Msg, u64, Option<u64>)>,
 }
 
 impl Deferred {
@@ -74,11 +75,43 @@ impl Deferred {
         kind: u64,
         token: u64,
     ) -> Option<SimTime> {
+        self.send_at_inner(ctx, at, to, msg, None, kind, token)
+    }
+
+    /// [`Self::send_at`] with a caller-computed wire size, so a message
+    /// whose size was already measured (replication deltas record it as a
+    /// transfer metric) is not encode-counted a second time at send.
+    pub fn send_at_sized(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        at: SimTime,
+        to: NodeId,
+        msg: Msg,
+        size: u64,
+        kind: u64,
+        token: u64,
+    ) -> Option<SimTime> {
+        self.send_at_inner(ctx, at, to, msg, Some(size), kind, token)
+    }
+
+    fn send_at_inner(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        at: SimTime,
+        to: NodeId,
+        msg: Msg,
+        size: Option<u64>,
+        kind: u64,
+        token: u64,
+    ) -> Option<SimTime> {
         if at <= ctx.now() {
-            Some(ctx.send(to, msg))
+            Some(match size {
+                Some(s) => ctx.send_sized(to, msg, s),
+                None => ctx.send(to, msg),
+            })
         } else {
             let id = ctx.set_timer_at(at, kind);
-            self.items.insert(id.0, (to, msg, token));
+            self.items.insert(id.0, (to, msg, token, size));
             None
         }
     }
@@ -86,8 +119,11 @@ impl Deferred {
     /// Fires a deferred send; returns `(comm_end, token)` if `id` belonged
     /// to this queue.
     pub fn fire(&mut self, ctx: &mut Ctx<'_, Msg>, id: TimerId) -> Option<(SimTime, u64)> {
-        let (to, msg, token) = self.items.remove(&id.0)?;
-        let comm_end = ctx.send(to, msg);
+        let (to, msg, token, size) = self.items.remove(&id.0)?;
+        let comm_end = match size {
+            Some(s) => ctx.send_sized(to, msg, s),
+            None => ctx.send(to, msg),
+        };
         Some((comm_end, token))
     }
 

@@ -9,7 +9,8 @@
 //! detection), bounded below by the configured floor so a freshly
 //! observed component is not suspected on noise.
 
-use std::collections::BTreeMap;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 
 use rpcv_simnet::{SimDuration, SimTime};
 
@@ -39,13 +40,28 @@ pub struct AdaptiveMonitor<K: Ord + Copy> {
     /// suspected eventually).
     ceiling: SimDuration,
     stats: BTreeMap<K, ArrivalStats>,
+    /// Deadline min-heap (lazy, see `HeartbeatMonitor`): each observation
+    /// pushes `last_seen + timeout_of(k)`; the scan pops only expired
+    /// entries.  Per-component timeouts change only on `observe`, so a
+    /// popped deadline is validated by recomputing it from current stats.
+    deadlines: BinaryHeap<Reverse<(SimTime, K)>>,
+    /// Components whose current deadline expired; cleared on observation.
+    suspected: BTreeSet<K>,
 }
 
 impl<K: Ord + Copy> AdaptiveMonitor<K> {
     /// Monitor with safety factor `k`, smoothing `alpha`, and timeout
     /// bounds `[floor, ceiling]`.
     pub fn new(k: f64, alpha: f64, floor: SimDuration, ceiling: SimDuration) -> Self {
-        AdaptiveMonitor { k, alpha: alpha.clamp(0.01, 1.0), floor, ceiling, stats: BTreeMap::new() }
+        AdaptiveMonitor {
+            k,
+            alpha: alpha.clamp(0.01, 1.0),
+            floor,
+            ceiling,
+            stats: BTreeMap::new(),
+            deadlines: BinaryHeap::new(),
+            suspected: BTreeSet::new(),
+        }
     }
 
     /// Sensible defaults for the paper's platforms: suspect beyond
@@ -79,6 +95,8 @@ impl<K: Ord + Copy> AdaptiveMonitor<K> {
                 s.samples += 1;
             }
         }
+        self.suspected.remove(&key);
+        self.deadlines.push(Reverse((now + self.timeout_of(key), key)));
     }
 
     /// The timeout currently in force for `key` (floor for the unknown).
@@ -101,18 +119,46 @@ impl<K: Ord + Copy> AdaptiveMonitor<K> {
         }
     }
 
-    /// All currently suspected components, in key order.
-    pub fn suspects(&self, now: SimTime) -> Vec<K> {
-        self.stats
-            .iter()
-            .filter(|(&k, s)| now.since(s.last_seen) > self.timeout_of(k))
-            .map(|(&k, _)| k)
-            .collect()
+    /// Pops expired deadlines into the suspected set (lazy invalidation:
+    /// a popped deadline counts only if it still matches the component's
+    /// current `last_seen + timeout`).
+    fn advance(&mut self, now: SimTime) {
+        while let Some(&Reverse((deadline, k))) = self.deadlines.peek() {
+            if deadline >= now {
+                break;
+            }
+            self.deadlines.pop();
+            if let Some(s) = self.stats.get(&k) {
+                if s.last_seen + self.timeout_of(k) == deadline {
+                    self.suspected.insert(k);
+                }
+            }
+        }
+    }
+
+    /// O(1) in the common no-suspect case: true iff some component's
+    /// learned timeout has expired at `now`.
+    pub fn has_suspects(&mut self, now: SimTime) -> bool {
+        self.advance(now);
+        self.suspected.iter().any(|&k| self.is_suspect(k, now))
+    }
+
+    /// All currently suspected components, in key order.  Pops only
+    /// expired deadlines (no per-component scan, no allocation when the
+    /// suspected set is empty).
+    pub fn suspects(&mut self, now: SimTime) -> Vec<K> {
+        self.advance(now);
+        if self.suspected.is_empty() {
+            return Vec::new();
+        }
+        self.suspected.iter().copied().filter(|&k| self.is_suspect(k, now)).collect()
     }
 
     /// Stops tracking `key`.
     pub fn forget(&mut self, key: K) {
         self.stats.remove(&key);
+        self.suspected.remove(&key);
+        // Stale heap entries are discarded lazily on pop.
     }
 
     /// Number of tracked components.
@@ -205,10 +251,26 @@ mod tests {
         }
         m.observe(2, S(60));
         let late = S(45 + 11);
+        assert!(m.has_suspects(late));
         assert_eq!(m.suspects(late), vec![1]);
+        assert_eq!(m.suspects(late), vec![1], "suspicion persists across scans");
         m.forget(1);
         assert!(m.suspects(late).is_empty());
+        assert!(!m.has_suspects(late));
         assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn reobservation_clears_heap_suspicion() {
+        let mut m = monitor();
+        for i in 0..10 {
+            m.observe(4u32, S(i * 5));
+        }
+        assert_eq!(m.suspects(S(45 + 11)), vec![4]);
+        m.observe(4, S(60));
+        assert!(m.suspects(S(61)).is_empty());
+        // Expires again under the re-learned timeout.
+        assert!(m.has_suspects(S(200)));
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Heartbeat emission schedules and timeout-based suspicion.
 
-use std::collections::BTreeMap;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 
 use rpcv_simnet::{SimDuration, SimTime};
 
@@ -43,12 +44,26 @@ impl BeatSchedule {
 pub struct HeartbeatMonitor<K: Ord + Copy> {
     timeout: SimDuration,
     last_seen: BTreeMap<K, SimTime>,
+    /// Deadline min-heap (lazy): every observation pushes its expiry
+    /// instant; the periodic scan pops only entries whose deadline passed
+    /// instead of walking every tracked component.  Entries made stale by
+    /// a newer observation are discarded on pop.
+    deadlines: BinaryHeap<Reverse<(SimTime, K)>>,
+    /// Components whose current deadline has been popped as expired.
+    /// Membership persists until a fresh observation (or `forget`), so
+    /// repeated scans keep reporting an expired component.
+    suspected: BTreeSet<K>,
 }
 
 impl<K: Ord + Copy> HeartbeatMonitor<K> {
     /// Monitor suspecting after `timeout` of silence.
     pub fn new(timeout: SimDuration) -> Self {
-        HeartbeatMonitor { timeout, last_seen: BTreeMap::new() }
+        HeartbeatMonitor {
+            timeout,
+            last_seen: BTreeMap::new(),
+            deadlines: BinaryHeap::new(),
+            suspected: BTreeSet::new(),
+        }
     }
 
     /// The paper's confined-experiment setting: suspect after 30 s.
@@ -66,12 +81,19 @@ impl<K: Ord + Copy> HeartbeatMonitor<K> {
     /// observation).
     pub fn observe(&mut self, k: K, now: SimTime) {
         let e = self.last_seen.entry(k).or_insert(now);
-        *e = (*e).max(now);
+        if now < *e {
+            return; // reordered observation: nothing moved
+        }
+        *e = now;
+        self.suspected.remove(&k);
+        self.deadlines.push(Reverse((now + self.timeout, k)));
     }
 
     /// Stops tracking `k` entirely.
     pub fn forget(&mut self, k: K) {
         self.last_seen.remove(&k);
+        self.suspected.remove(&k);
+        // Stale heap entries for `k` are discarded lazily on pop.
     }
 
     /// Last observation of `k`, if any.
@@ -88,13 +110,40 @@ impl<K: Ord + Copy> HeartbeatMonitor<K> {
         }
     }
 
+    /// Pops every deadline that expired by `now` into the suspected set;
+    /// entries invalidated by a newer observation are discarded.  Cost is
+    /// O(expired · log n) — the periodic scan no longer touches live
+    /// components at all.
+    fn advance(&mut self, now: SimTime) {
+        while let Some(&Reverse((deadline, k))) = self.deadlines.peek() {
+            if deadline >= now {
+                break;
+            }
+            self.deadlines.pop();
+            if let Some(&seen) = self.last_seen.get(&k) {
+                if seen + self.timeout == deadline {
+                    self.suspected.insert(k);
+                }
+            }
+        }
+    }
+
+    /// O(1) in the common all-alive case: true iff some tracked component
+    /// is currently suspected at `now`.
+    pub fn has_suspects(&mut self, now: SimTime) -> bool {
+        self.advance(now);
+        self.suspected.iter().any(|&k| self.is_suspect(k, now))
+    }
+
     /// All currently suspected components, in key order.
-    pub fn suspects(&self, now: SimTime) -> Vec<K> {
-        self.last_seen
-            .iter()
-            .filter(|(_, &t)| now.since(t) > self.timeout)
-            .map(|(&k, _)| k)
-            .collect()
+    pub fn suspects(&mut self, now: SimTime) -> Vec<K> {
+        self.advance(now);
+        if self.suspected.is_empty() {
+            return Vec::new();
+        }
+        // The filter guards against a caller probing an earlier `now`
+        // than a previous scan (set membership only advances).
+        self.suspected.iter().copied().filter(|&k| self.is_suspect(k, now)).collect()
     }
 
     /// All components being tracked.
@@ -127,9 +176,10 @@ mod tests {
 
     #[test]
     fn fresh_component_not_suspected() {
-        let m: HeartbeatMonitor<u32> = HeartbeatMonitor::paper_default();
+        let mut m: HeartbeatMonitor<u32> = HeartbeatMonitor::paper_default();
         assert!(!m.is_suspect(1, S(1000)));
         assert!(m.suspects(S(1000)).is_empty());
+        assert!(!m.has_suspects(S(1000)));
         assert!(m.is_empty());
     }
 
@@ -176,5 +226,32 @@ mod tests {
         m.observe(1, S(0));
         m.observe(2, S(100));
         assert_eq!(m.suspects(S(50)), vec![1, 3]);
+    }
+
+    #[test]
+    fn suspicion_survives_repeated_scans_until_reobserved() {
+        // The heap pops a deadline only once; the suspected set must keep
+        // reporting it across scans, and a fresh beat must clear it.
+        let mut m = HeartbeatMonitor::paper_default();
+        m.observe(5u32, S(0));
+        assert_eq!(m.suspects(S(40)), vec![5]);
+        assert_eq!(m.suspects(S(41)), vec![5], "still suspect on the next scan");
+        assert!(m.has_suspects(S(42)));
+        m.observe(5, S(42));
+        assert!(m.suspects(S(43)).is_empty());
+        assert!(!m.has_suspects(S(43)));
+        // Silence again: the new deadline expires anew.
+        assert_eq!(m.suspects(S(80)), vec![5]);
+    }
+
+    #[test]
+    fn earlier_probe_after_later_scan_is_consistent() {
+        // A scan at t=40 marks the component; probing an earlier instant
+        // must not report it (set membership is filtered by `now`).
+        let mut m = HeartbeatMonitor::paper_default();
+        m.observe(9u32, S(0));
+        assert_eq!(m.suspects(S(40)), vec![9]);
+        assert!(m.suspects(S(20)).is_empty());
+        assert_eq!(m.suspects(S(40)), vec![9]);
     }
 }

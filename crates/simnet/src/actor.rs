@@ -166,6 +166,16 @@ impl<'a, M: WireSized> Ctx<'a, M> {
     /// network is memoryless).
     pub fn send(&mut self, to: NodeId, msg: M) -> SimTime {
         let size = msg.wire_size();
+        self.send_sized(to, msg, size)
+    }
+
+    /// Like [`Self::send`], but with the wire size supplied by the caller.
+    ///
+    /// `wire_size` is an O(message) encode-count; layers that already
+    /// computed it (e.g. to record transfer metrics for the same frame)
+    /// pass it in instead of paying for a second full walk of the payload.
+    pub fn send_sized(&mut self, to: NodeId, msg: M, size: u64) -> SimTime {
+        debug_assert_eq!(size, msg.wire_size(), "caller-supplied wire size must be exact");
         self.stats.sent += 1;
         self.stats.bytes_sent += size;
         let service = self.spec.nic_per_op + SimDuration::for_bytes(size, self.spec.nic_bw_out);

@@ -94,6 +94,10 @@ struct NodeSlot<M> {
     res: HostResources,
     rng: DetRng,
     durable: DurableImage,
+    /// Timer ids with a queued `Timer` event (armed and not yet popped).
+    /// Guards `cancelled` against cancel-after-fire entries that would
+    /// otherwise never be purged.
+    armed: BTreeSet<u64>,
     cancelled: BTreeSet<u64>,
 }
 
@@ -185,6 +189,7 @@ impl<M: WireSized + 'static> World<M> {
             res,
             rng,
             durable: DurableImage::none(),
+            armed: BTreeSet::new(),
             cancelled: BTreeSet::new(),
         });
         id
@@ -350,7 +355,20 @@ impl<M: WireSized + 'static> World<M> {
                 } else {
                     slot.res.nic_in.acquire(self.now, service).end
                 };
-                self.push_event(at, EventKind::Handle { to, from, msg });
+                let kind = EventKind::Handle { to, from, msg };
+                // Fast path: when handling lands at this same instant and
+                // no other event is queued for it, the pushed entry would
+                // be popped right back (it gets the largest seq, and the
+                // queue head is strictly later) — dispatch inline and skip
+                // the heap round trip.  Ordering, trace, and the event
+                // count are identical to the slow path.
+                if at == self.now && self.queue.peek().is_none_or(|Reverse(e)| e.at > self.now) {
+                    self.seq += 1;
+                    let seq = self.seq;
+                    self.dispatch(QEntry { at, seq, kind });
+                } else {
+                    self.push_event(at, kind);
+                }
             }
             EventKind::Handle { to, from, msg } => {
                 let slot = &self.nodes[to.0 as usize];
@@ -365,10 +383,14 @@ impl<M: WireSized + 'static> World<M> {
             }
             EventKind::Timer { node, inc, id, kind } => {
                 let slot = &mut self.nodes[node.0 as usize];
+                // Purge the arming/cancellation records on pop regardless
+                // of the liveness outcome, so neither set accumulates.
+                slot.armed.remove(&id.0);
+                let was_cancelled = slot.cancelled.remove(&id.0);
                 if !slot.up || slot.inc != inc {
                     return;
                 }
-                if slot.cancelled.remove(&id.0) {
+                if was_cancelled {
                     return;
                 }
                 if slot.actor.is_none() {
@@ -395,6 +417,7 @@ impl<M: WireSized + 'static> World<M> {
                 slot.up = false;
                 slot.inc += 1;
                 slot.res.reset(now);
+                slot.armed.clear();
                 slot.cancelled.clear();
                 self.stats.crashes += 1;
                 self.trace.push(now, node, TraceKind::Crash, "");
@@ -478,10 +501,17 @@ impl<M: WireSized + 'static> World<M> {
                     self.push_event(arrival, EventKind::Deliver { to, from, msg, size });
                 }
                 Effect::TimerSet { at, kind, id } => {
+                    self.nodes[node.0 as usize].armed.insert(id.0);
                     self.push_event(at, EventKind::Timer { node, inc, id, kind });
                 }
                 Effect::TimerCancel { id } => {
-                    self.nodes[node.0 as usize].cancelled.insert(id.0);
+                    // Only a still-armed timer needs a cancellation record;
+                    // cancelling an already-fired timer is a no-op (and must
+                    // not leave a tombstone behind).
+                    let slot = &mut self.nodes[node.0 as usize];
+                    if slot.armed.contains(&id.0) {
+                        slot.cancelled.insert(id.0);
+                    }
                 }
             }
         }

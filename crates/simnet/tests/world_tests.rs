@@ -290,6 +290,80 @@ fn determinism_same_seed_same_trace_hash() {
     assert_ne!(h1, h3, "different seeds should diverge");
 }
 
+/// Actor for the pinned reference run: mixes zero-size messages (which
+/// deliver and handle at the same instant — the inline-dispatch fast
+/// path), control-sized and bulk frames, timers with cancellation, and
+/// bounce chains, so every kernel path contributes to the trace.
+struct Churn {
+    peer: NodeId,
+    cancel_target: Option<TimerId>,
+}
+
+impl Actor<Msg> for Churn {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        ctx.set_timer(SimDuration::from_millis(700), 1);
+        let id = ctx.set_timer(SimDuration::from_secs(2), 2);
+        self.cancel_target = Some(id);
+        ctx.set_timer(SimDuration::from_secs(4), 3);
+        // Zero-size frames handle at their delivery instant; the bulk frame
+        // exercises NIC serialization.
+        ctx.send(self.peer, Msg { hops: 6, size: 0 });
+        ctx.send(self.peer, Msg { hops: 2, size: 2000 });
+        ctx.send(self.peer, Msg { hops: 0, size: 5_000_000 });
+    }
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: Msg) {
+        if from != NodeId::EXTERNAL && msg.hops > 0 {
+            ctx.send(from, Msg { hops: msg.hops - 1, size: msg.size });
+        }
+        if msg.hops == 5 {
+            if let Some(id) = self.cancel_target.take() {
+                ctx.cancel_timer(id);
+            }
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, _id: TimerId, kind: u64) {
+        if kind == 1 {
+            ctx.send(self.peer, Msg { hops: 1, size: 0 });
+        }
+    }
+}
+
+/// Regression guard for the event-kernel fast paths (same-instant inline
+/// dispatch, cancelled-timer purging): they are pure optimizations and
+/// must not change the observable event sequence.  The constants were
+/// captured from the pre-optimization kernel; a mismatch means the fast
+/// path changed scheduling order, not just cost.
+#[test]
+fn reference_trace_is_stable_across_kernel_optimizations() {
+    let run = || {
+        let mut w = World::<Msg>::new(0xFEED);
+        let a = w.add_host(HostSpec::named("a"));
+        let b = w.add_host(HostSpec::named("b"));
+        w.net_mut().set_link_bidir(a, b, LinkParams { loss: 0.2, ..LinkParams::lan() });
+        w.install(b, move |_| Box::new(Churn { peer: a, cancel_target: None }));
+        w.install(a, move |_| Box::new(Churn { peer: b, cancel_target: None }));
+        w.schedule_control(SimTime::from_millis(1200), Control::Crash(b));
+        w.schedule_control(SimTime::from_millis(1800), Control::Restart(b));
+        w.run_until_idle(SimTime::from_secs(60));
+        (w.trace().hash(), w.events_processed(), w.stats().clone())
+    };
+    let (hash, events, stats) = run();
+    let (hash2, events2, _) = run();
+    assert_eq!(hash, hash2, "reference run must be deterministic");
+    assert_eq!(events, events2);
+    assert_eq!(
+        (hash, events, stats.sent, stats.delivered),
+        (REF_HASH, REF_EVENTS, REF_SENT, REF_DELIVERED),
+        "kernel fast paths changed the observable event sequence"
+    );
+}
+
+// Golden values captured from the seed kernel (pre-fast-path).
+const REF_HASH: u64 = 11447109914663400899;
+const REF_EVENTS: u64 = 64;
+const REF_SENT: u64 = 28;
+const REF_DELIVERED: u64 = 25;
+
 #[test]
 fn run_until_advances_clock_even_when_idle() {
     let mut w = World::<Msg>::new(29);

@@ -31,6 +31,26 @@ struct JobRow {
     version: u64,
 }
 
+/// Per-client registration high-water mark, versioned so replication
+/// deltas can carry only the marks that changed since the base version
+/// (instead of re-sending every known client's mark each round).
+#[derive(Debug, Clone, Copy)]
+struct MarkRow {
+    mark: u64,
+    version: u64,
+}
+
+/// What a replication-version index entry points at.  Every mutation
+/// re-stamps its row with a fresh version and moves the row's single
+/// index entry, so `changed` always holds exactly one entry per live
+/// row and `delta_since(base)` is a range read over `(base, head]`.
+#[derive(Debug, Clone, Copy)]
+enum Changed {
+    Job(JobKey),
+    Task(TaskId),
+    Mark(ClientKey),
+}
+
 #[derive(Debug, Clone)]
 struct ArchiveRow {
     payload: Blob,
@@ -78,9 +98,27 @@ pub struct CoordinatorDb {
     by_server: BTreeMap<ServerId, BTreeSet<TaskId>>,
     archives: BTreeMap<JobKey, ArchiveRow>,
     finished_jobs: BTreeSet<JobKey>,
-    client_max: BTreeMap<ClientKey, u64>,
+    client_max: BTreeMap<ClientKey, MarkRow>,
     task_counter: u64,
     duplicate_results: u64,
+    /// Version-ordered change index: one entry per live row, keyed by the
+    /// row's current version.  Backs O(changed) [`Self::delta_since`].
+    changed: BTreeMap<u64, Changed>,
+    /// Next attempt number per job (replaces the per-creation full task
+    /// scan; folded with replicated attempt numbers on delta application).
+    attempts: BTreeMap<JobKey, u32>,
+    /// Finished jobs whose archive is not held here — maintained at every
+    /// archive/finished transition so the periodic refresh never scans.
+    missing: BTreeSet<JobKey>,
+    /// Queue entries whose task is still in the `Pending` state (dead
+    /// entries — popped-state rows — are what compaction drops).
+    queued_live: usize,
+    /// Live queue entries per job, to adjust [`Self::pending_count`] in
+    /// O(log n) when a whole job flips (un)finished.
+    pending_by_job: BTreeMap<JobKey, u32>,
+    /// Dispatchable queue entries: live entries of unfinished jobs.  This
+    /// *is* `pending_count()`, maintained instead of recomputed.
+    pending_live: usize,
 }
 
 impl CoordinatorDb {
@@ -98,6 +136,12 @@ impl CoordinatorDb {
             client_max: BTreeMap::new(),
             task_counter: 0,
             duplicate_results: 0,
+            changed: BTreeMap::new(),
+            attempts: BTreeMap::new(),
+            missing: BTreeSet::new(),
+            queued_live: 0,
+            pending_by_job: BTreeMap::new(),
+            pending_live: 0,
         }
     }
 
@@ -111,9 +155,102 @@ impl CoordinatorDb {
         self.version
     }
 
-    fn bump(&mut self) -> u64 {
-        self.version += 1;
-        self.version
+    /// Advances the version counter and moves a row's single change-index
+    /// entry from `old_version` (0 = new row) to the fresh version.  Takes
+    /// the two fields explicitly so callers holding a `&mut` row borrow
+    /// can still re-stamp it.
+    fn touch(
+        changed: &mut BTreeMap<u64, Changed>,
+        version: &mut u64,
+        old_version: u64,
+        r: Changed,
+    ) -> u64 {
+        if old_version != 0 {
+            changed.remove(&old_version);
+        }
+        *version += 1;
+        changed.insert(*version, r);
+        *version
+    }
+
+    /// Raises `client`'s registration high-water mark to `mark` (no-op if
+    /// not higher), versioning the change so deltas carry only moved marks.
+    fn note_mark(&mut self, client: ClientKey, mark: u64) {
+        match self.client_max.get_mut(&client) {
+            Some(row) => {
+                if mark > row.mark {
+                    row.mark = mark;
+                    row.version = Self::touch(
+                        &mut self.changed,
+                        &mut self.version,
+                        row.version,
+                        Changed::Mark(client),
+                    );
+                }
+            }
+            None => {
+                let v = Self::touch(&mut self.changed, &mut self.version, 0, Changed::Mark(client));
+                self.client_max.insert(client, MarkRow { mark, version: v });
+            }
+        }
+    }
+
+    /// A queue entry's task left the `Pending` state without being popped:
+    /// the entry is now dead and stops counting.
+    fn entry_died(
+        queued_live: &mut usize,
+        pending_by_job: &mut BTreeMap<JobKey, u32>,
+        pending_live: &mut usize,
+        finished_jobs: &BTreeSet<JobKey>,
+        job: JobKey,
+    ) {
+        *queued_live = queued_live.saturating_sub(1);
+        if let Some(n) = pending_by_job.get_mut(&job) {
+            *n -= 1;
+            if *n == 0 {
+                pending_by_job.remove(&job);
+            }
+        }
+        if !finished_jobs.contains(&job) {
+            *pending_live = pending_live.saturating_sub(1);
+        }
+    }
+
+    /// Enqueues a freshly inserted `Pending` task.
+    fn push_pending(&mut self, id: TaskId, job: JobKey) {
+        self.pending.push_back(id);
+        self.queued_live += 1;
+        *self.pending_by_job.entry(job).or_insert(0) += 1;
+        if !self.finished_jobs.contains(&job) {
+            self.pending_live += 1;
+        }
+    }
+
+    /// Records `job` as finished, retiring its still-queued live instances
+    /// from the dispatchable count and flagging the archive as missing when
+    /// it is not held here.
+    fn mark_job_finished(&mut self, job: JobKey) {
+        if self.finished_jobs.insert(job) {
+            let stale = self.pending_by_job.get(&job).copied().unwrap_or(0) as usize;
+            self.pending_live = self.pending_live.saturating_sub(stale);
+            if !self.archives.contains_key(&job) {
+                self.missing.insert(job);
+            }
+        }
+    }
+
+    /// Drops dead entries (tasks no longer `Pending`) once they outnumber
+    /// live ones: the FCFS queue stays within 2× of its useful length, so
+    /// `next_pending` never grinds through an old stale prefix.
+    fn maybe_compact_pending(&mut self) {
+        let len = self.pending.len();
+        if len < 64 || (len - self.queued_live) * 2 <= len {
+            return;
+        }
+        let tasks = &self.tasks;
+        self.pending
+            .retain(|id| tasks.get(id).is_some_and(|r| matches!(r.state, TaskState::Pending)));
+        debug_assert_eq!(self.pending.len(), self.queued_live);
     }
 
     // --- job registration -------------------------------------------------
@@ -129,8 +266,8 @@ impl CoordinatorDb {
         let params_len = spec.params.len();
         let key = spec.key;
         let replication = spec.replication.max(1);
-        let v = self.bump();
-        self.client_max.entry(key.client).and_modify(|m| *m = (*m).max(key.seq)).or_insert(key.seq);
+        let v = Self::touch(&mut self.changed, &mut self.version, 0, Changed::Job(key));
+        self.note_mark(key.client, key.seq);
         self.jobs.insert(key, JobRow { spec, version: v });
         let mut charge = Charge::db(1, params_len);
         for _ in 0..replication {
@@ -156,11 +293,8 @@ impl CoordinatorDb {
             bytes += spec.params.len();
             let key = spec.key;
             let replication = spec.replication.max(1);
-            let v = self.bump();
-            self.client_max
-                .entry(key.client)
-                .and_modify(|m| *m = (*m).max(key.seq))
-                .or_insert(key.seq);
+            let v = Self::touch(&mut self.changed, &mut self.version, 0, Changed::Job(key));
+            self.note_mark(key.client, key.seq);
             self.jobs.insert(key, JobRow { spec, version: v });
             for _ in 0..replication {
                 self.create_instance(key);
@@ -179,21 +313,20 @@ impl CoordinatorDb {
     /// Highest registered submission timestamp for `client` (0 if none) —
     /// the coordinator's half of the client synchronization handshake.
     pub fn client_max(&self, client: ClientKey) -> u64 {
-        self.client_max.get(&client).copied().unwrap_or(0)
+        self.client_max.get(&client).map(|r| r.mark).unwrap_or(0)
     }
 
     fn create_instance(&mut self, job: JobKey) -> Option<TaskId> {
         let spec = self.jobs.get(&job)?.spec.clone();
-        let attempt = self
-            .tasks
-            .values()
-            .filter(|t| t.desc.job == job)
-            .map(|t| t.desc.attempt + 1)
-            .max()
-            .unwrap_or(0);
+        let attempt = {
+            let next = self.attempts.entry(job).or_insert(0);
+            let a = *next;
+            *next += 1;
+            a
+        };
         self.task_counter += 1;
         let id = TaskId::compose(self.me, self.task_counter);
-        let v = self.bump();
+        let v = Self::touch(&mut self.changed, &mut self.version, 0, Changed::Task(id));
         let desc = TaskDesc {
             id,
             job,
@@ -214,7 +347,7 @@ impl CoordinatorDb {
                 version: v,
             },
         );
-        self.pending.push_back(id);
+        self.push_pending(id, job);
         Some(id)
     }
 
@@ -225,31 +358,49 @@ impl CoordinatorDb {
     /// Skips tasks of already-finished jobs (a sibling instance or another
     /// replica's execution produced the result first).
     pub fn next_pending(&mut self, server: ServerId, now: SimTime) -> (Option<TaskDesc>, Charge) {
+        self.maybe_compact_pending();
         let mut ops = 1; // the queue lookup itself
         while let Some(id) = self.pending.pop_front() {
             ops += 1;
             let Some(row) = self.tasks.get_mut(&id) else { continue };
             if !matches!(row.state, TaskState::Pending) {
-                continue;
+                continue; // dead entry: stopped counting when its state moved
             }
-            if self.finished_jobs.contains(&row.desc.job) {
-                continue;
+            // A live entry leaves the queue here, dispatched or skipped.
+            let job = row.desc.job;
+            self.queued_live = self.queued_live.saturating_sub(1);
+            if let Some(n) = self.pending_by_job.get_mut(&job) {
+                *n -= 1;
+                if *n == 0 {
+                    self.pending_by_job.remove(&job);
+                }
             }
+            if self.finished_jobs.contains(&job) {
+                continue; // sibling instance already produced the result
+            }
+            self.pending_live = self.pending_live.saturating_sub(1);
             row.state = TaskState::Ongoing { server, since: now };
             row.locally_dispatched = true;
             let desc = row.desc.clone();
             let params = desc_params(&desc);
-            let v = self.version + 1;
+            let v =
+                Self::touch(&mut self.changed, &mut self.version, row.version, Changed::Task(id));
             row.version = v;
-            self.version = v;
             self.by_server.entry(server).or_default().insert(id);
             return (Some(desc), Charge::db(ops, params));
         }
         (None, Charge::ops(ops))
     }
 
-    /// Number of dispatchable pending tasks.
+    /// Number of dispatchable pending tasks (a maintained counter — O(1)).
     pub fn pending_count(&self) -> usize {
+        self.pending_live
+    }
+
+    /// Scan-based reference definition of [`Self::pending_count`], kept for
+    /// the equivalence property tests and perf comparisons.
+    #[doc(hidden)]
+    pub fn pending_count_scan(&self) -> usize {
         self.pending
             .iter()
             .filter(|id| {
@@ -280,15 +431,28 @@ impl CoordinatorDb {
         let size = archive.len();
         // Clear the server index and mark the instance finished if known.
         if let Some(row) = self.tasks.get_mut(&task) {
-            if let TaskState::Ongoing { server: s, .. } = row.state {
-                if let Some(set) = self.by_server.get_mut(&s) {
-                    set.remove(&task);
+            match row.state {
+                TaskState::Ongoing { server: s, .. } => {
+                    if let Some(set) = self.by_server.get_mut(&s) {
+                        set.remove(&task);
+                    }
                 }
+                TaskState::Pending => {
+                    // Its queue entry dies in place (never popped).
+                    Self::entry_died(
+                        &mut self.queued_live,
+                        &mut self.pending_by_job,
+                        &mut self.pending_live,
+                        &self.finished_jobs,
+                        row.desc.job,
+                    );
+                }
+                TaskState::Finished { .. } => {}
             }
             row.state = TaskState::Finished { result_size: size };
-            let v = self.version + 1;
+            let v =
+                Self::touch(&mut self.changed, &mut self.version, row.version, Changed::Task(task));
             row.version = v;
-            self.version = v;
         } else if !self.jobs.contains_key(&job) {
             return (CompleteOutcome::UnknownJob, Charge::ops(1));
         }
@@ -297,7 +461,9 @@ impl CoordinatorDb {
             return (CompleteOutcome::Duplicate, Charge::ops(2));
         }
         self.archives.insert(job, ArchiveRow { payload: archive, size, collected: false });
-        self.finished_jobs.insert(job);
+        self.missing.remove(&job);
+        self.mark_job_finished(job);
+        self.maybe_compact_pending();
         let _ = server;
         // 2 db ops (task + job rows) plus the archive write to the
         // filesystem store.
@@ -306,8 +472,26 @@ impl CoordinatorDb {
 
     /// Jobs finished according to replicated state but whose archive we do
     /// not hold (archives are never replicated) — these are requested back
-    /// from servers during synchronization.
+    /// from servers during synchronization.  Served from a maintained set:
+    /// O(missing), not O(finished).
     pub fn missing_archives(&self) -> Vec<JobKey> {
+        self.missing.iter().copied().collect()
+    }
+
+    /// Iterator form of [`Self::missing_archives`] (no allocation).
+    pub fn missing_archives_iter(&self) -> impl Iterator<Item = JobKey> + '_ {
+        self.missing.iter().copied()
+    }
+
+    /// O(1) fast path for the common nothing-missing case.
+    pub fn has_missing_archives(&self) -> bool {
+        !self.missing.is_empty()
+    }
+
+    /// Scan-based reference definition of [`Self::missing_archives`], kept
+    /// for the equivalence property tests.
+    #[doc(hidden)]
+    pub fn missing_archives_scan(&self) -> Vec<JobKey> {
         self.finished_jobs.iter().filter(|j| !self.archives.contains_key(*j)).copied().collect()
     }
 
@@ -318,7 +502,8 @@ impl CoordinatorDb {
             return Charge::ops(1);
         }
         self.archives.insert(job, ArchiveRow { payload: archive, size, collected: false });
-        self.finished_jobs.insert(job);
+        self.missing.remove(&job);
+        self.mark_job_finished(job);
         Charge::db(1, 0) + Charge::disk(size)
     }
 
@@ -328,7 +513,12 @@ impl CoordinatorDb {
         if self.archives.contains_key(&job) || !self.jobs.contains_key(&job) {
             return (None, Charge::ops(1));
         }
-        self.finished_jobs.remove(&job);
+        if self.finished_jobs.remove(&job) {
+            // Still-queued live instances of the job become dispatchable
+            // again, exactly as the scan-based count would see them.
+            self.pending_live += self.pending_by_job.get(&job).copied().unwrap_or(0) as usize;
+            self.missing.remove(&job);
+        }
         let id = self.create_instance(job);
         (id, Charge::ops(2))
     }
@@ -451,11 +641,19 @@ impl CoordinatorDb {
 
     // --- client result collection --------------------------------------------
 
+    /// All `JobKey`s of one client, as an index range (`JobKey` orders by
+    /// client first, so a client's rows are contiguous in every map).
+    fn client_range(client: ClientKey) -> std::ops::RangeInclusive<JobKey> {
+        JobKey { client, seq: 0 }..=JobKey { client, seq: u64::MAX }
+    }
+
     /// Results for `client` not yet collected: `(seq, size)` pairs.
+    /// Indexed range scan over the client's contiguous key range — cost
+    /// follows the client's own rows, not the whole archive table.
     pub fn uncollected_results(&self, client: ClientKey) -> Vec<(u64, u64)> {
         self.archives
-            .iter()
-            .filter(|(job, row)| job.client == client && !row.collected)
+            .range(Self::client_range(client))
+            .filter(|(_, row)| !row.collected)
             .map(|(job, row)| (job.seq, row.size))
             .collect()
     }
@@ -468,8 +666,7 @@ impl CoordinatorDb {
     /// already garbage-collected are truly gone.
     pub fn results_catalog(&self, client: ClientKey) -> Vec<(u64, u64)> {
         self.archives
-            .iter()
-            .filter(|(job, _)| job.client == client)
+            .range(Self::client_range(client))
             .map(|(job, row)| (job.seq, row.size))
             .collect()
     }
@@ -500,6 +697,11 @@ impl CoordinatorDb {
         for k in &victims {
             if let Some(row) = self.archives.remove(k) {
                 freed += row.size;
+                // The job stays finished but its archive is gone again —
+                // keep the missing set equal to finished ∖ archived.
+                if self.finished_jobs.contains(k) {
+                    self.missing.insert(*k);
+                }
             }
         }
         (freed, Charge::ops(victims.len() as u64 + 1))
@@ -508,7 +710,59 @@ impl CoordinatorDb {
     // --- replication -----------------------------------------------------------
 
     /// Builds the delta of everything changed since `base` version.
+    ///
+    /// A range read over the version-ordered change index: only rows with
+    /// `version > base` are visited — O(changed · log n), independent of
+    /// table size.  Client marks are versioned like any other row, so a
+    /// steady-state round carries only the marks that actually moved
+    /// (the full-table predecessor re-sent every known client each round).
     pub fn delta_since(&self, base: u64) -> ReplicationDelta {
+        let mut jobs = Vec::new();
+        let mut tasks = Vec::new();
+        let mut client_marks = Vec::new();
+        for (_, r) in
+            self.changed.range((std::ops::Bound::Excluded(base), std::ops::Bound::Unbounded))
+        {
+            match *r {
+                Changed::Job(key) => {
+                    if let Some(row) = self.jobs.get(&key) {
+                        jobs.push(row.spec.clone());
+                    }
+                }
+                Changed::Task(id) => {
+                    if let Some(row) = self.tasks.get(&id) {
+                        tasks.push(TaskRecord {
+                            id: row.desc.id,
+                            job: row.desc.job,
+                            attempt: row.desc.attempt,
+                            state: row.state,
+                            origin: row.origin,
+                        });
+                    }
+                }
+                Changed::Mark(client) => {
+                    if let Some(row) = self.client_max.get(&client) {
+                        client_marks.push((client, row.mark));
+                    }
+                }
+            }
+        }
+        ReplicationDelta {
+            from: self.me,
+            base_version: base,
+            head_version: self.version,
+            jobs,
+            tasks,
+            client_marks,
+        }
+    }
+
+    /// Full-table-scan reference definition of [`Self::delta_since`], kept
+    /// for the equivalence property tests and the micro-bench comparison.
+    /// (Marks carry no per-row version in this definition, so it re-sends
+    /// every known client's mark, as the pre-index implementation did.)
+    #[doc(hidden)]
+    pub fn delta_since_scan(&self, base: u64) -> ReplicationDelta {
         ReplicationDelta {
             from: self.me,
             base_version: base,
@@ -526,7 +780,7 @@ impl CoordinatorDb {
                     origin: r.origin,
                 })
                 .collect(),
-            client_marks: self.client_max.iter().map(|(&c, &m)| (c, m)).collect(),
+            client_marks: self.client_max.iter().map(|(&c, r)| (c, r.mark)).collect(),
         }
     }
 
@@ -542,25 +796,28 @@ impl CoordinatorDb {
             let key = spec.key;
             if !self.jobs.contains_key(&key) {
                 let params_len = spec.params.len();
-                let v = self.bump();
+                let v = Self::touch(&mut self.changed, &mut self.version, 0, Changed::Job(key));
                 self.jobs.insert(key, JobRow { spec: spec.clone(), version: v });
                 charge += Charge::db(1, params_len);
             } else {
                 charge += Charge::ops(1);
             }
-            self.client_max
-                .entry(key.client)
-                .and_modify(|m| *m = (*m).max(key.seq))
-                .or_insert(key.seq);
+            self.note_mark(key.client, key.seq);
         }
         for rec in &delta.tasks {
             charge += Charge::ops(1);
             let Some(spec) = self.jobs.get(&rec.job).map(|r| r.spec.clone()) else {
                 continue; // task for an unknown job: ignore (will come later)
             };
+            // Deferred past the row borrow: finished-job bookkeeping needs
+            // `&mut self` as a whole.
+            let mut newly_finished = false;
             match self.tasks.get_mut(&rec.id) {
                 None => {
-                    let v = self.bump();
+                    let v =
+                        Self::touch(&mut self.changed, &mut self.version, 0, Changed::Task(rec.id));
+                    let next = self.attempts.entry(rec.job).or_insert(0);
+                    *next = (*next).max(rec.attempt + 1);
                     let desc = TaskDesc {
                         id: rec.id,
                         job: rec.job,
@@ -582,33 +839,46 @@ impl CoordinatorDb {
                         },
                     );
                     match rec.state {
-                        TaskState::Pending => self.pending.push_back(rec.id),
+                        TaskState::Pending => self.push_pending(rec.id, rec.job),
                         TaskState::Ongoing { .. } => {} // held until release_origin
                         TaskState::Finished { result_size } => {
-                            if result_size > 0 {
-                                self.finished_jobs.insert(rec.job);
-                            }
+                            newly_finished = result_size > 0;
                         }
                     }
                 }
                 Some(row) => {
                     if state_rank(&rec.state) > state_rank(&row.state) {
+                        if matches!(row.state, TaskState::Pending) {
+                            Self::entry_died(
+                                &mut self.queued_live,
+                                &mut self.pending_by_job,
+                                &mut self.pending_live,
+                                &self.finished_jobs,
+                                rec.job,
+                            );
+                        }
                         row.state = rec.state;
-                        let v = self.version + 1;
+                        let v = Self::touch(
+                            &mut self.changed,
+                            &mut self.version,
+                            row.version,
+                            Changed::Task(rec.id),
+                        );
                         row.version = v;
-                        self.version = v;
                         if let TaskState::Finished { result_size } = rec.state {
-                            if result_size > 0 {
-                                self.finished_jobs.insert(rec.job);
-                            }
+                            newly_finished = result_size > 0;
                         }
                     }
                 }
             }
+            if newly_finished {
+                self.mark_job_finished(rec.job);
+            }
         }
         for &(client, mark) in &delta.client_marks {
-            self.client_max.entry(client).and_modify(|m| *m = (*m).max(mark)).or_insert(mark);
+            self.note_mark(client, mark);
         }
+        self.maybe_compact_pending();
         charge
     }
 

@@ -63,7 +63,9 @@ pub struct ReplicationDelta {
     pub jobs: Vec<JobSpec>,
     /// Task rows created/changed since `base_version`.
     pub tasks: Vec<TaskRecord>,
-    /// Per-client maximum registered submission timestamps.
+    /// Per-client maximum registered submission timestamps — only the
+    /// marks that moved since `base_version` (marks are versioned rows in
+    /// the sender's change index, like jobs and tasks).
     pub client_marks: Vec<(ClientKey, u64)>,
 }
 

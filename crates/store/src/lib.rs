@@ -8,7 +8,11 @@
 //!
 //! * [`CoordinatorDb`] — jobs, tasks (with the paper's
 //!   pending/ongoing/finished states), per-client timestamp high-water
-//!   marks, FCFS scheduling queue, secondary indexes by server and job;
+//!   marks, FCFS scheduling queue, secondary indexes by server and job.
+//!   Every periodic read (replication deltas, missing archives, pending
+//!   counts) is served from incrementally maintained indexes in
+//!   O(changed), never by a table scan — see ROADMAP.md "Performance
+//!   notes" for the invariants and their equivalence property tests;
 //! * [`ReplicationDelta`] — the versioned "abstract of its state" a
 //!   coordinator pushes to its ring successor, carrying job descriptions
 //!   (including parameter payloads — Fig. 5's replication cost grows with

@@ -92,6 +92,113 @@ proptest! {
         prop_assert!(seen.len() as u64 <= n_jobs);
     }
 
+    /// Index/scan equivalence: for arbitrary op sequences (registration,
+    /// dispatch, completion, replication from a peer, archive hand-off,
+    /// GC, re-execution, server suspicion), the incremental structures
+    /// must agree with their full-scan reference definitions at every
+    /// step — `pending_count`/`missing_archives` continuously, and
+    /// `delta_since(base)` for every base version the run passed through.
+    #[test]
+    fn indexed_views_match_scan_definitions(
+        ops in proptest::collection::vec((1u64..25, 0u8..10, 0u8..8), 1..60),
+    ) {
+        let client = ClientKey::new(1, 1);
+        let mut a = CoordinatorDb::new(CoordId(1));
+        let mut b = CoordinatorDb::new(CoordId(2));
+        // Mirror replica fed exclusively with incremental deltas — if an
+        // indexed delta ever omits a changed row or moved client mark, the
+        // mirror diverges from the full-state reference below.
+        let mut mirror = CoordinatorDb::new(CoordId(3));
+        let mut mirror_base = 0u64;
+        let now = SimTime::ZERO;
+        let mut bases = vec![0u64];
+        for (seq, action, aux) in ops {
+            match action {
+                0 | 1 => {
+                    a.register_job(job(seq, 50).with_replication(1 + (aux % 2) as u32));
+                }
+                2 => {
+                    let _ = a.next_pending(ServerId((aux % 3) as u64 + 1), now);
+                }
+                3 => {
+                    if let (Some(d), _) = a.next_pending(ServerId(9), now) {
+                        a.complete_task(d.id, d.job, Blob::synthetic(16, seq), ServerId(9));
+                    }
+                }
+                4 => {
+                    // Peer work replicated in: held ongoing tasks, foreign
+                    // origins, finished-without-archive rows.
+                    b.register_job(job(100 + seq, 30));
+                    let _ = b.next_pending(ServerId(5), now);
+                    if let (Some(d), _) = b.next_pending(ServerId(5), now) {
+                        b.complete_task(d.id, d.job, Blob::synthetic(16, seq), ServerId(5));
+                    }
+                    a.apply_delta(&b.delta_since(0));
+                }
+                5 => {
+                    let first_missing = a.missing_archives_iter().next();
+                    if let Some(j) = first_missing {
+                        a.reexecute_job(j);
+                    }
+                }
+                6 => {
+                    a.mark_collected(client, &[seq]);
+                    let _ = a.gc_collected();
+                }
+                7 => {
+                    a.store_archive(JobKey::new(client, seq), Blob::synthetic(8, seq));
+                }
+                8 => {
+                    a.server_suspected(ServerId((aux % 3) as u64 + 1));
+                }
+                _ => {
+                    let (_, _) = a.next_pending(ServerId(2), now);
+                    a.apply_delta(&b.delta_since((aux as u64) * 5));
+                }
+            }
+            // Continuous equivalence of the maintained structures.
+            prop_assert_eq!(a.pending_count(), a.pending_count_scan());
+            prop_assert_eq!(a.missing_archives(), a.missing_archives_scan());
+            // Feed the mirror only what changed since its last sync.
+            mirror.apply_delta(&a.delta_since(mirror_base));
+            mirror_base = a.version();
+            bases.push(a.version());
+        }
+        // Indexed delta == scan delta for every base the run saw (and the
+        // in-between versions around each).
+        for &base in &bases {
+            for base in [base, base.saturating_sub(1)] {
+                let idx = a.delta_since(base);
+                let scan = a.delta_since_scan(base);
+                prop_assert_eq!(idx.head_version, scan.head_version);
+                let mut ij: Vec<_> = idx.jobs.iter().map(|s| s.key).collect();
+                let mut sj: Vec<_> = scan.jobs.iter().map(|s| s.key).collect();
+                ij.sort();
+                sj.sort();
+                prop_assert_eq!(ij, sj);
+                let mut it = idx.tasks.clone();
+                let mut st = scan.tasks.clone();
+                it.sort_by_key(|t| t.id);
+                st.sort_by_key(|t| t.id);
+                prop_assert_eq!(it, st);
+                // Marks in the indexed delta carry current values; the scan
+                // reference re-sends every mark, so indexed ⊆ scan.
+                for &(c, m) in &idx.client_marks {
+                    prop_assert_eq!(m, a.client_max(c));
+                    prop_assert!(scan.client_marks.contains(&(c, m)));
+                }
+            }
+        }
+        // The incrementally-fed mirror converged to the same replicated
+        // state as a from-scratch full application.
+        let mut full = CoordinatorDb::new(CoordId(3));
+        full.apply_delta(&a.delta_since_scan(0));
+        prop_assert_eq!(mirror.stats().jobs, full.stats().jobs);
+        prop_assert_eq!(mirror.stats().tasks, full.stats().tasks);
+        prop_assert_eq!(mirror.client_max(client), full.client_max(client));
+        prop_assert_eq!(mirror.finished_count(), full.finished_count());
+    }
+
     /// At-least-once accounting: for any completion order (including
     /// duplicates), archived + duplicates equals total completions, and
     /// each job has at most one archive.
