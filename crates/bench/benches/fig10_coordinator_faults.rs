@@ -69,29 +69,27 @@ fn main() {
                 phase = Phase::LilleDown;
                 phase_minute = minute;
             }
-            Phase::LilleDown => {
+            Phase::LilleDown
                 // Labels 4–5: LRI visibly took over (its count clearly
                 // passed Lille's pre-fault level).  Label 6: restart Lille
                 // once everyone has switched — give the takeover several
                 // suspicion periods to play out.
-                if r >= lille_at_kill + tasks as u64 / 10 && minute >= phase_minute + 5 {
+                if r >= lille_at_kill + tasks as u64 / 10 && minute >= phase_minute + 5 => {
                     grid.world.restart_now(lille);
                     events.row_labelled("6:restart_lille", &[minute as f64]);
                     phase = Phase::LilleRestarted;
                     phase_minute = minute;
                 }
-            }
-            Phase::LilleRestarted => {
+            Phase::LilleRestarted
                 // Label 7: Lille resynchronized from LRI's replication
                 // (close to LRI, at least one replication period elapsed).
                 // Label 8: kill LRI.
-                if minute >= phase_minute + 5 && l + tasks as u64 / 20 >= r {
+                if minute >= phase_minute + 5 && l + tasks as u64 / 20 >= r => {
                     grid.world.crash_now(lri);
                     events.row_labelled("8:kill_lri", &[minute as f64]);
                     phase = Phase::LriDown;
                     phase_minute = minute;
                 }
-            }
             _ => {}
         }
 

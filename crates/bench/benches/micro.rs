@@ -167,6 +167,18 @@ fn bench_store_scale(c: &mut Criterion) {
     done_db.apply_delta(&primary.delta_since(0));
     assert_eq!(done_db.missing_archives().len(), 10, "setup: 10 missing archives");
 
+    // Catalog case: 50k archived results, 10 fresh completions since the
+    // client's last beat.  The indexed delta reads only the 10; the scan
+    // reference rebuilds the whole catalog every beat.
+    let client = ClientKey::new(1, 1);
+    let cat_base = done_db.version();
+    for i in 70_001..=70_010u64 {
+        done_db.register_job(JobSpec::new(JobKey::new(client, i), "svc", Blob::synthetic(64, i)));
+        if let (Some(d), _) = done_db.next_pending(ServerId(3), rpcv_simnet::SimTime::ZERO) {
+            done_db.complete_task(d.id, d.job, Blob::synthetic(16, i), ServerId(3));
+        }
+    }
+
     let mut g = c.benchmark_group("store_scale");
     g.bench_function("delta_since_50k_small_indexed", |b| b.iter(|| db.delta_since(base)));
     g.bench_function("delta_since_50k_small_scan", |b| b.iter(|| db.delta_since_scan(base)));
@@ -174,13 +186,17 @@ fn bench_store_scale(c: &mut Criterion) {
     g.bench_function("pending_count_50k_scan", |b| b.iter(|| db.pending_count_scan()));
     g.bench_function("missing_archives_50k_indexed", |b| b.iter(|| done_db.missing_archives()));
     g.bench_function("missing_archives_50k_scan", |b| b.iter(|| done_db.missing_archives_scan()));
+    g.bench_function("catalog_since_50k_10new_indexed", |b| {
+        b.iter(|| done_db.results_catalog_since(client, cat_base))
+    });
+    g.bench_function("catalog_50k_scan", |b| b.iter(|| done_db.results_catalog_scan(client)));
     g.finish();
 }
 
 fn bench_detect(c: &mut Criterion) {
     c.bench_function("detect/observe_and_scan_1000", |b| {
         b.iter_batched(
-            || HeartbeatMonitor::<u64>::paper_default(),
+            HeartbeatMonitor::<u64>::paper_default,
             |mut mon| {
                 for i in 0..1000 {
                     mon.observe(i, rpcv_simnet::SimTime::from_secs(i % 40));

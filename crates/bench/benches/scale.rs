@@ -2,23 +2,32 @@
 //!
 //! Not a paper figure: this harness exists to catch O(everything) creep in
 //! the periodic control plane (replication deltas, suspicion scans,
-//! scheduling) as the grid grows.  It sweeps grid sizes (servers × jobs),
-//! runs each full workload to completion on the deterministic simulator,
-//! and reports, per cell:
+//! scheduling, catalog sync) as the grid grows.  It sweeps grid sizes
+//! (servers × jobs × clients), runs each full workload to completion on
+//! the deterministic simulator, and reports, per cell:
 //!
 //! * `events_per_sec` — simulator kernel throughput (events / wall second),
 //! * `wall_seconds` / `sim_seconds` — real and virtual run time,
 //! * `delta_bytes_per_round` — mean replication payload per round: the
 //!   direct observable of the O(changed) invariant (a full-table
 //!   replicator makes this grow linearly with run length),
+//! * `catalog_bytes_per_beat` — mean result-catalog payload per client
+//!   sync reply: the observable of the incremental catalog (the old
+//!   full-catalog reply grows with the job count; the delta form tracks
+//!   the per-beat completion rate and stays flat as jobs grow),
 //! * completion counts, so a silently-stalled run cannot masquerade as a
 //!   fast one.
+//!
+//! The `clients` axis splits the same total job count across N concurrent
+//! submitters sharing the coordinators, so a cell isolates the cost of
+//! *having* more clients from the cost of more work.
 //!
 //! Results go to stdout, `target/figures/scale_trajectory.csv`, and —
 //! the part future PRs consume — `BENCH_scale.json` at the repo root.
 //! Run `cargo bench -p rpcv-bench --bench scale` for the full sweep or
-//! `-- --smoke` for the tiny CI variant.  The JSON schema is documented
-//! in ROADMAP.md ("Performance notes").
+//! `-- --smoke` for the tiny CI variant.  The JSON schema
+//! (`schema_version: 2`) is documented in ROADMAP.md ("Performance
+//! notes").
 
 use std::fmt::Write as _;
 use std::fs;
@@ -28,14 +37,14 @@ use std::time::Instant;
 use rpcv_bench::Figure;
 use rpcv_core::coordinator::CoordinatorActor;
 use rpcv_core::grid::{GridSpec, SimGrid};
-use rpcv_core::util::CallSpec;
 use rpcv_simnet::{SimDuration, SimTime};
-use rpcv_wire::Blob;
+use rpcv_workload::SyntheticBench;
 
 /// One measured grid cell.
 struct Cell {
     servers: usize,
     jobs: usize,
+    clients: usize,
     events: u64,
     wall_seconds: f64,
     events_per_sec: f64,
@@ -43,14 +52,22 @@ struct Cell {
     completed: usize,
     repl_rounds: usize,
     delta_bytes_per_round: f64,
+    catalog_bytes_per_beat: f64,
     done: bool,
 }
 
-fn run_cell(servers: usize, jobs: usize) -> Cell {
-    let plan: Vec<CallSpec> = (0..jobs)
-        .map(|i| CallSpec::new("scale", Blob::synthetic(256, i as u64), 0.05, 64))
-        .collect();
-    let mut spec = GridSpec::confined(2, servers).with_plan(plan).with_seed(0x5CA1E);
+fn run_cell(servers: usize, jobs: usize, clients: usize) -> Cell {
+    let bench = SyntheticBench {
+        calls: jobs,
+        param_bytes: 256,
+        exec_secs: 0.05,
+        result_bytes: 64,
+        replication: 1,
+        seed: 0x5CA1E,
+    };
+    let mut spec = GridSpec::confined(2, servers)
+        .with_client_plans(bench.split_across(clients))
+        .with_seed(0x5CA1E);
     // The confined database model (3 ms/op, per the 2004 testbed) would
     // make the *modelled* MySQL the only thing this bench measures; give
     // the coordinators a modern database so kernel + index costs dominate.
@@ -62,8 +79,12 @@ fn run_cell(servers: usize, jobs: usize) -> Cell {
     let gc_every = SimDuration::from_secs(50);
     let mut next_gc = SimTime::ZERO + gc_every;
     let started = Instant::now();
+    let all_done = |grid: &SimGrid| {
+        (0..grid.client_count())
+            .all(|i| grid.client_at(i).is_some_and(|c| c.metrics.done_at.is_some()))
+    };
     let done = loop {
-        if grid.client().and_then(|c| c.metrics.done_at).is_some() {
+        if all_done(&grid) {
             break true;
         }
         if grid.world.now() >= horizon {
@@ -92,16 +113,24 @@ fn run_cell(servers: usize, jobs: usize) -> Cell {
             (rounds.len(), rounds.iter().map(|r| r.bytes).sum::<u64>())
         })
         .unwrap_or((0, 0));
+    // Catalog traffic aggregates over every coordinator: beats land
+    // wherever each client's preference currently points.
+    let (sync_replies, catalog_bytes) = (0..grid.coords.len())
+        .filter_map(|i| grid.coordinator(i))
+        .fold((0u64, 0u64), |(n, b), c| (n + c.metrics.sync_replies, b + c.metrics.catalog_bytes));
+    let completed = (0..grid.client_count()).map(|i| grid.client_results_at(i)).sum();
     Cell {
         servers,
         jobs,
+        clients,
         events,
         wall_seconds,
         events_per_sec: events as f64 / wall_seconds.max(1e-9),
         sim_seconds: grid.world.now().as_secs_f64(),
-        completed: grid.client_results(),
+        completed,
         repl_rounds,
         delta_bytes_per_round: delta_bytes as f64 / (repl_rounds.max(1)) as f64,
+        catalog_bytes_per_beat: catalog_bytes as f64 / (sync_replies.max(1)) as f64,
         done,
     }
 }
@@ -116,19 +145,20 @@ fn write_json(cells: &[Cell], smoke: bool) {
     let mut out = String::new();
     let _ = writeln!(out, "{{");
     let _ = writeln!(out, "  \"bench\": \"scale\",");
-    let _ = writeln!(out, "  \"schema_version\": 1,");
+    let _ = writeln!(out, "  \"schema_version\": 2,");
     let _ = writeln!(out, "  \"smoke\": {smoke},");
     let _ = writeln!(out, "  \"grid\": [");
     for (i, c) in cells.iter().enumerate() {
         let comma = if i + 1 < cells.len() { "," } else { "" };
         let _ = writeln!(
             out,
-            "    {{\"servers\": {}, \"jobs\": {}, \"events_processed\": {}, \
+            "    {{\"servers\": {}, \"jobs\": {}, \"clients\": {}, \"events_processed\": {}, \
              \"wall_seconds\": {:.3}, \"events_per_sec\": {:.0}, \"sim_seconds\": {:.1}, \
              \"jobs_completed\": {}, \"repl_rounds\": {}, \"delta_bytes_per_round\": {:.1}, \
-             \"completed\": {}}}{comma}",
+             \"catalog_bytes_per_beat\": {:.1}, \"completed\": {}}}{comma}",
             c.servers,
             c.jobs,
+            c.clients,
             c.events,
             c.wall_seconds,
             c.events_per_sec,
@@ -136,6 +166,7 @@ fn write_json(cells: &[Cell], smoke: bool) {
             c.completed,
             c.repl_rounds,
             c.delta_bytes_per_round,
+            c.catalog_bytes_per_beat,
             c.done,
         );
     }
@@ -163,18 +194,53 @@ fn write_json(cells: &[Cell], smoke: bool) {
     }
 }
 
+/// The incremental-catalog invariant, asserted on the sweep itself: for
+/// cell pairs that differ *only* in job count, the per-beat catalog
+/// payload must not grow with the jobs (within 2× — it tracks the
+/// completion rate, not the backlog).
+fn check_catalog_flatness(cells: &[Cell]) {
+    for a in cells {
+        for b in cells {
+            if (a.servers, a.clients) == (b.servers, b.clients) && a.jobs < b.jobs {
+                let (lo, hi) = (a.catalog_bytes_per_beat, b.catalog_bytes_per_beat);
+                assert!(
+                    hi <= (lo * 2.0).max(64.0),
+                    "catalog bytes/beat must stay flat as jobs grow: \
+                     {}x{}c at {} jobs = {lo:.1} B, at {} jobs = {hi:.1} B",
+                    a.servers,
+                    a.clients,
+                    a.jobs,
+                    b.jobs,
+                );
+            }
+        }
+    }
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
-    let cells_spec: &[(usize, usize)] = if smoke {
-        &[(10, 200), (25, 500), (50, 1_000)]
+    // (servers, jobs, clients): the clients axis splits the same job total
+    // across concurrent submitters.
+    // Smoke includes one pair differing only in job count — (25, 500, 4)
+    // vs (25, 1500, 4) — so `check_catalog_flatness` gates a real
+    // comparison in CI, not a vacuous loop.
+    let cells_spec: &[(usize, usize, usize)] = if smoke {
+        &[(10, 200, 1), (25, 500, 4), (25, 1_500, 4), (50, 1_000, 16)]
     } else {
-        &[(50, 10_000), (200, 30_000), (1_000, 100_000)]
+        &[
+            (50, 10_000, 1),
+            (200, 30_000, 4),
+            (200, 10_000, 16),
+            (200, 100_000, 16),
+            (1_000, 100_000, 1),
+        ]
     };
     let mut fig = Figure::new(
         "scale_trajectory",
         &[
             "servers",
             "jobs",
+            "clients",
             "events",
             "wall_s",
             "events_per_s",
@@ -182,14 +248,15 @@ fn main() {
             "completed",
             "repl_rounds",
             "delta_bytes_per_round",
+            "catalog_bytes_per_beat",
         ],
     );
     let mut cells = Vec::new();
-    for &(servers, jobs) in cells_spec {
-        let c = run_cell(servers, jobs);
+    for &(servers, jobs, clients) in cells_spec {
+        let c = run_cell(servers, jobs, clients);
         assert!(
             c.done && c.completed == c.jobs,
-            "cell {servers}x{jobs} must run to completion ({}/{} results, done={})",
+            "cell {servers}x{jobs}x{clients} must run to completion ({}/{} results, done={})",
             c.completed,
             c.jobs,
             c.done
@@ -197,6 +264,7 @@ fn main() {
         fig.row(&[
             c.servers as f64,
             c.jobs as f64,
+            c.clients as f64,
             c.events as f64,
             c.wall_seconds,
             c.events_per_sec,
@@ -204,8 +272,10 @@ fn main() {
             c.completed as f64,
             c.repl_rounds as f64,
             c.delta_bytes_per_round,
+            c.catalog_bytes_per_beat,
         ]);
         cells.push(c);
     }
+    check_catalog_flatness(&cells);
     write_json(&cells, smoke);
 }

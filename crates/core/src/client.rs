@@ -105,8 +105,13 @@ pub struct ClientActor {
     acked_max: u64,
     /// When `acked_max` last advanced (registration progress watermark).
     progress_at: SimTime,
-    /// Last advertised result catalog: seq → size.
+    /// Merged result catalog: seq → size.  Built incrementally from
+    /// per-beat catalog deltas (never re-shipped in full).
     catalog: BTreeMap<u64, u64>,
+    /// Catalog high-water mark at the current coordinator incarnation: the
+    /// highest catalog version already merged.  Echoed in every beat so
+    /// the sync reply carries only what changed since.
+    catalog_hw: u64,
     /// Last ResultsRequest instant (pull pacing).
     last_pull: Option<SimTime>,
     /// Submissions whose interaction has not completed yet (keeps the
@@ -154,6 +159,7 @@ impl ClientActor {
             acked_max: 0,
             progress_at: SimTime::ZERO,
             catalog: BTreeMap::new(),
+            catalog_hw: 0,
             last_pull: None,
             in_flight_submissions: 0,
             last_reply: None,
@@ -291,7 +297,12 @@ impl ClientActor {
         }
         ctx.send(
             node,
-            Msg::ClientBeat { client: self.params.key, max_seq: self.log.max_seq(), collected },
+            Msg::ClientBeat {
+                client: self.params.key,
+                max_seq: self.log.max_seq(),
+                collected,
+                catalog_seq: self.catalog_hw,
+            },
         );
     }
 
@@ -339,6 +350,10 @@ impl ClientActor {
             }
             self.coord_epoch = current;
             self.acked_max = 0;
+            // Catalog versions are meaningless across incarnations: start
+            // from scratch (the merged catalog itself stays — seqs are
+            // incarnation-independent identities).
+            self.catalog_hw = 0;
             self.progress_at = now;
         }
         if coord_max < self.acked_max {
@@ -356,16 +371,25 @@ impl ClientActor {
         ctx: &mut Ctx<'_, Msg>,
         coord_max: u64,
         epoch: u64,
+        catalog_head: u64,
         available: Vec<(u64, u64)>,
+        removed: Vec<u64>,
     ) {
         let now = ctx.now();
         self.last_reply = Some(now);
         if let Some(c) = self.current_coord {
             self.coords.trust(c.0);
         }
+        let prev_incarnation = self.coord_epoch;
         if !self.reconcile_epoch(now, epoch, coord_max) {
             return;
         }
+        // Did *this very reply* rebase us onto a new coordinator
+        // incarnation?  Then its catalog delta was computed against the
+        // old incarnation's high-water mark and may silently omit history
+        // below that mark — discard it; the next beat (carrying the reset
+        // mark) fetches the full catalog.
+        let rebased = prev_incarnation.is_some() && prev_incarnation != self.coord_epoch;
         let local_max = self.log.max_seq();
         if coord_max > local_max {
             // The coordinator knows submissions our (optimistic) log lost:
@@ -377,8 +401,19 @@ impl ClientActor {
             self.replay_missing(ctx, coord_max);
         }
         self.log.ack_up_to(coord_max);
-        for &(seq, size) in &available {
-            self.catalog.insert(seq, size);
+        // Merge the catalog *delta* — O(changed), never a rescan.  A
+        // reordered reply older than what we already merged is skipped
+        // wholesale: its additions are already here and replaying its
+        // removals could undo a newer addition.
+        if !rebased && catalog_head >= self.catalog_hw {
+            for &(seq, size) in &available {
+                self.catalog.insert(seq, size);
+            }
+            for &seq in &removed {
+                self.catalog.remove(&seq);
+                self.requested.remove(&seq);
+            }
+            self.catalog_hw = catalog_head;
         }
         self.pull_missing(ctx);
     }
@@ -536,8 +571,8 @@ impl Actor<Msg> for ClientActor {
                     }
                 }
             }
-            Msg::ClientSyncReply { coord_max, epoch, available } => {
-                self.handle_sync_reply(ctx, coord_max, epoch, available);
+            Msg::ClientSyncReply { coord_max, epoch, catalog_head, available, removed } => {
+                self.handle_sync_reply(ctx, coord_max, epoch, catalog_head, available, removed);
             }
             Msg::ResultsReply { results } => {
                 self.last_reply = Some(ctx.now());

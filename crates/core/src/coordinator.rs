@@ -13,6 +13,7 @@ use std::collections::BTreeMap;
 use rpcv_detect::{CoordinatorList, HeartbeatMonitor};
 use rpcv_simnet::{Actor, Ctx, DurableImage, NodeId, SimTime, TimerId, WireSized};
 use rpcv_store::{Charge, CoordinatorDb, ReplicationDelta};
+use rpcv_wire::WireEncode;
 use rpcv_xw::{ClientKey, CoordId, JobKey, ServerId};
 
 use crate::config::ProtocolConfig;
@@ -46,6 +47,12 @@ pub struct CoordMetrics {
     /// Completed-task count over time: `(time, total-finished)` staircase,
     /// the series Figs. 9–11 plot.
     pub completion_timeline: Vec<(SimTime, u64)>,
+    /// Client sync replies sent (one per handled beat).
+    pub sync_replies: u64,
+    /// Total wire bytes of the catalog delta portions (available +
+    /// removed) across all sync replies — divide by `sync_replies` for the
+    /// per-beat catalog cost the scale bench watches.
+    pub catalog_bytes: u64,
     /// Server suspicions raised.
     pub server_suspicions: u64,
     /// Coordinator (predecessor) suspicions raised.
@@ -220,11 +227,11 @@ impl CoordinatorActor {
         }
         let mut replied = false;
         // Peer-wise comparison: of the offered archives, which do we lack?
+        // (`wants_archive` also rules out `Collected` jobs — a delivered
+        // and reclaimed result must not be re-acquired.)
         if !offered.is_empty() {
-            let needed: Vec<JobKey> = offered
-                .into_iter()
-                .filter(|j| self.db.knows_job(j) && self.db.archive(j).is_none())
-                .collect();
+            let needed: Vec<JobKey> =
+                offered.into_iter().filter(|j| self.db.wants_archive(j)).collect();
             if !needed.is_empty() {
                 ctx.send(from, Msg::NeedArchives { jobs: needed });
                 replied = true;
@@ -276,27 +283,48 @@ impl CoordinatorActor {
         client: ClientKey,
         max_seq: u64,
         collected: Vec<u64>,
+        catalog_seq: u64,
     ) {
         self.client_addr.insert(client, from);
         let mut charge = Charge::ZERO;
         if !collected.is_empty() {
             charge += self.db.mark_collected(client, &collected);
         }
+        // The beat acknowledges everything up to `catalog_seq`: removal
+        // tombstones at or below it have served their single consumer and
+        // are dropped, keeping the catalog index bounded by live entries
+        // plus the un-acked window.
+        let pruned = self.db.prune_catalog_acked(client, catalog_seq);
+        if pruned > 0 {
+            charge += Charge::ops(1 + pruned / 4);
+        }
         let coord_max = self.db.client_max(client);
-        let available = self.db.results_catalog(client);
-        // Listing results is an indexed range scan (amortized), while the
-        // per-archive *fetch* in `handle_results_request` pays per row —
-        // that asymmetry plus the extra round trip is Fig. 6's
-        // "additional overhead" of coordinator-side logs.
-        charge += Charge::ops(1 + available.len() as u64 / 4);
+        // The catalog *delta* since the client's high-water mark: a range
+        // read over the per-client catalog change index, so a steady-state
+        // beat pays for the results that actually changed, never for the
+        // client's whole backlog.  The per-archive *fetch* in
+        // `handle_results_request` still pays per row — that asymmetry
+        // plus the extra round trip is Fig. 6's "additional overhead" of
+        // coordinator-side logs.
+        let delta = self.db.results_catalog_since(client, catalog_seq);
+        let changed = (delta.added.len() + delta.removed.len()) as u64;
+        charge += Charge::ops(1 + changed / 4);
         let done = self.pay(ctx, charge);
         let _ = max_seq; // the client decides resend/fast-forward from coord_max
         let epoch = self.epoch;
+        self.metrics.sync_replies += 1;
+        self.metrics.catalog_bytes += delta.added.encoded_len() + delta.removed.encoded_len();
         self.deferred.send_at(
             ctx,
             done,
             from,
-            Msg::ClientSyncReply { coord_max, epoch, available },
+            Msg::ClientSyncReply {
+                coord_max,
+                epoch,
+                catalog_head: delta.head,
+                available: delta.added,
+                removed: delta.removed,
+            },
             K_SEND,
             0,
         );
@@ -519,8 +547,8 @@ impl Actor<Msg> for CoordinatorActor {
                     0,
                 );
             }
-            Msg::ClientBeat { client, max_seq, collected } => {
-                self.handle_client_beat(ctx, from, client, max_seq, collected);
+            Msg::ClientBeat { client, max_seq, collected, catalog_seq } => {
+                self.handle_client_beat(ctx, from, client, max_seq, collected, catalog_seq);
             }
             Msg::ResultsRequest { client, want } => {
                 self.handle_results_request(ctx, from, client, want);

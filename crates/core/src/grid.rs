@@ -4,6 +4,14 @@
 //! (§5.1: 16 servers, 4 coordinators, 1 client on switched 100 Mbit/s
 //! Ethernet) and the real-life Internet deployment (§5.2: ~280 desktop
 //! servers in three universities, two coordinators 300 km apart).
+//!
+//! Beyond the paper's single-client testbeds, a grid can host any number
+//! of concurrently submitting clients ([`GridSpec::clients`] /
+//! [`GridSpec::with_client_plans`]) — the BOINC-style multi-tenant shape
+//! where many submitters share one coordinator set.  Client `i` gets
+//! identity `ClientKey::new(i + 1, 1)` and plan `i`; the single-client
+//! accessors ([`SimGrid::client`], [`SimGrid::client_results`]) keep
+//! working as aliases for client 0.
 
 use rpcv_simnet::{HostSpec, LinkParams, NodeId, SimDuration, SimTime, World};
 use rpcv_xw::{ClientKey, CoordId, SandboxLimits, ServerId, ServiceRegistry};
@@ -41,8 +49,11 @@ pub struct GridSpec {
     pub registry: ServiceRegistry,
     /// Sandbox limits on every server.
     pub limits: SandboxLimits,
-    /// The client's workload plan.
-    pub plan: Vec<CallSpec>,
+    /// Number of client actors (≥ 1; the paper's testbeds wire exactly 1).
+    pub clients: usize,
+    /// Per-client workload plans: plan `i` drives client `i`.  Clients
+    /// beyond the list length start with an empty plan (API-driven).
+    pub plans: Vec<Vec<CallSpec>>,
 }
 
 impl GridSpec {
@@ -61,7 +72,8 @@ impl GridSpec {
             coord_link: None,
             registry: ServiceRegistry::new(),
             limits: SandboxLimits::default(),
-            plan: Vec::new(),
+            clients: 1,
+            plans: Vec::new(),
         }
     }
 
@@ -79,7 +91,8 @@ impl GridSpec {
             coord_link: Some(calibration::wan_link()),
             registry: ServiceRegistry::new(),
             limits: SandboxLimits::default(),
-            plan: Vec::new(),
+            clients: 1,
+            plans: Vec::new(),
         }
     }
 
@@ -95,9 +108,24 @@ impl GridSpec {
         self
     }
 
-    /// Builder: workload plan.
+    /// Builder: single-client workload plan (the paper's testbed shape —
+    /// equivalent to `with_client_plans(vec![plan])`).
     pub fn with_plan(mut self, plan: Vec<CallSpec>) -> Self {
-        self.plan = plan;
+        self.plans = vec![plan];
+        self
+    }
+
+    /// Builder: number of clients (plans assigned separately; extra
+    /// clients start with empty plans).
+    pub fn with_clients(mut self, clients: usize) -> Self {
+        self.clients = clients.max(1);
+        self
+    }
+
+    /// Builder: one plan per client; sets the client count to match.
+    pub fn with_client_plans(mut self, plans: Vec<Vec<CallSpec>>) -> Self {
+        self.clients = plans.len().max(1);
+        self.plans = plans;
         self
     }
 
@@ -112,14 +140,19 @@ impl GridSpec {
 pub struct SimGrid {
     /// The world; run it with `run_until`/`run_for` or step scenarios.
     pub world: World<Msg>,
-    /// The client's node.
+    /// Clients in id order (client `i` is `ClientKey::new(i + 1, 1)`).
+    pub clients: Vec<(ClientKey, NodeId)>,
+    /// The first client's node (single-client shorthand).
     pub client_node: NodeId,
-    /// The client's identity.
+    /// The first client's identity (single-client shorthand).
     pub client_key: ClientKey,
     /// Coordinators in id order.
     pub coords: Vec<(CoordId, NodeId)>,
     /// Servers in id order.
     pub servers: Vec<(ServerId, NodeId)>,
+    /// Clients whose initial plan is non-empty — the set
+    /// [`Self::run_until_done`] waits for.
+    planned: Vec<usize>,
 }
 
 impl SimGrid {
@@ -153,10 +186,18 @@ impl SimGrid {
             servers.push((ServerId(i as u64 + 1), node));
         }
 
-        let mut client_host = spec.client_host.clone();
-        client_host.name = "client".into();
-        let client_node = world.add_host(client_host);
-        let client_key = ClientKey::new(1, 1);
+        let n_clients = spec.clients.max(spec.plans.len()).max(1);
+        let mut clients = Vec::new();
+        let mut planned = Vec::new();
+        for i in 0..n_clients {
+            let mut client_host = spec.client_host.clone();
+            client_host.name = if i == 0 { "client".into() } else { format!("client{i}") };
+            let node = world.add_host(client_host);
+            clients.push((ClientKey::new(i as u64 + 1, 1), node));
+            if spec.plans.get(i).is_some_and(|p| !p.is_empty()) {
+                planned.push(i);
+            }
+        }
 
         for &(id, node) in &coords {
             let params =
@@ -173,20 +214,39 @@ impl SimGrid {
             };
             world.install(node, ServerActor::factory(params));
         }
-        let client_params = ClientParams {
-            key: client_key,
-            cfg: spec.cfg.clone(),
-            directory,
-            plan: spec.plan.clone(),
-        };
-        world.install(client_node, ClientActor::factory(client_params));
+        for (i, &(key, node)) in clients.iter().enumerate() {
+            let client_params = ClientParams {
+                key,
+                cfg: spec.cfg.clone(),
+                directory: directory.clone(),
+                plan: spec.plans.get(i).cloned().unwrap_or_default(),
+            };
+            world.install(node, ClientActor::factory(client_params));
+        }
 
-        SimGrid { world, client_node, client_key, coords, servers }
+        let (client_key, client_node) = clients[0];
+        SimGrid { world, clients, client_node, client_key, coords, servers, planned }
     }
 
-    /// The client actor (when its node is up).
+    /// Number of clients wired into the grid.
+    pub fn client_count(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Client actor `i` (when its node is up).
+    pub fn client_at(&self, i: usize) -> Option<&ClientActor> {
+        self.world.actor::<ClientActor>(self.clients[i].1)
+    }
+
+    /// The client actor with identity `key` (when up).
+    pub fn client_of(&self, key: ClientKey) -> Option<&ClientActor> {
+        let (_, node) = *self.clients.iter().find(|&&(k, _)| k == key)?;
+        self.world.actor::<ClientActor>(node)
+    }
+
+    /// The first client actor (single-client shorthand, when up).
     pub fn client(&self) -> Option<&ClientActor> {
-        self.world.actor::<ClientActor>(self.client_node)
+        self.client_at(0)
     }
 
     /// Coordinator actor `i` (when up).
@@ -199,12 +259,25 @@ impl SimGrid {
         self.world.actor::<ServerActor>(self.servers[i].1)
     }
 
-    /// Runs until the client's plan completed or `max` elapses; returns the
-    /// completion instant if reached.
+    /// When every planned client finished (the latest `done_at`), or
+    /// `None` while any is still working (or down).
+    fn all_plans_done(&self) -> Option<SimTime> {
+        if self.planned.is_empty() {
+            return None;
+        }
+        let mut latest = SimTime::ZERO;
+        for &i in &self.planned {
+            latest = latest.max(self.client_at(i)?.metrics.done_at?);
+        }
+        Some(latest)
+    }
+
+    /// Runs until every client's plan completed or `max` elapses; returns
+    /// the completion instant (the last client's `done_at`) if reached.
     pub fn run_until_done(&mut self, max: SimTime) -> Option<SimTime> {
         let chunk = SimDuration::from_millis(500);
         loop {
-            if let Some(done) = self.client().and_then(|c| c.metrics.done_at) {
+            if let Some(done) = self.all_plans_done() {
                 return Some(done);
             }
             if self.world.now() >= max {
@@ -214,9 +287,15 @@ impl SimGrid {
         }
     }
 
-    /// Total results the client has received.
+    /// Total results client `i` has received.
+    pub fn client_results_at(&self, i: usize) -> usize {
+        self.client_at(i).map(|c| c.results_count()).unwrap_or(0)
+    }
+
+    /// Total results the first client has received (single-client
+    /// shorthand).
     pub fn client_results(&self) -> usize {
-        self.client().map(|c| c.results_count()).unwrap_or(0)
+        self.client_results_at(0)
     }
 
     /// Convenience: a no-op message type hint for generic code.

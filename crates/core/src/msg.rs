@@ -48,6 +48,11 @@ pub enum Msg {
         /// Result seqs durably collected since the last beat (coordinator
         /// marks them GC-eligible).
         collected: Vec<u64>,
+        /// Catalog high-water mark: the coordinator catalog version this
+        /// client already merged (0 = send everything).  Lets the reply
+        /// carry only the catalog entries that changed since the last
+        /// beat instead of re-shipping the full catalog every period.
+        catalog_seq: u64,
     },
     /// One RPC submission (possibly a resend during synchronization).
     Submit {
@@ -91,8 +96,15 @@ pub enum Msg {
         coord_max: u64,
         /// Coordinator boot epoch (see [`Msg::SubmitAck::epoch`]).
         epoch: u64,
-        /// Available result `(seq, size)` pairs not yet collected.
+        /// Catalog version after this delta; the client echoes it as
+        /// [`Msg::ClientBeat::catalog_seq`] on its next beat.
+        catalog_head: u64,
+        /// Result `(seq, size)` pairs that became available since the
+        /// client's `catalog_seq` — a delta, not the full catalog; the
+        /// client *merges* instead of rescanning.
         available: Vec<(u64, u64)>,
+        /// Result seqs reclaimed (garbage-collected) since `catalog_seq`.
+        removed: Vec<u64>,
     },
     /// Reply to [`Msg::ResultsRequest`].
     ResultsReply {
@@ -276,10 +288,11 @@ impl WireEncode for Msg {
     fn encode<W: WireWrite + ?Sized>(&self, w: &mut W) {
         w.put_u8(self.tag());
         match self {
-            Msg::ClientBeat { client, max_seq, collected } => {
+            Msg::ClientBeat { client, max_seq, collected, catalog_seq } => {
                 client.encode(w);
                 w.put_uvarint(*max_seq);
                 collected.encode(w);
+                w.put_uvarint(*catalog_seq);
             }
             Msg::Submit { spec } => spec.encode(w),
             Msg::SubmitBatch { specs } => specs.encode(w),
@@ -292,10 +305,12 @@ impl WireEncode for Msg {
                 w.put_uvarint(*coord_max);
                 w.put_uvarint(*epoch);
             }
-            Msg::ClientSyncReply { coord_max, epoch, available } => {
+            Msg::ClientSyncReply { coord_max, epoch, catalog_head, available, removed } => {
                 w.put_uvarint(*coord_max);
                 w.put_uvarint(*epoch);
+                w.put_uvarint(*catalog_head);
                 available.encode(w);
+                removed.encode(w);
             }
             Msg::ResultsReply { results } => results.encode(w),
             Msg::ServerBeat { server, want_work, running, offered } => {
@@ -348,6 +363,7 @@ impl WireDecode for Msg {
                 client: ClientKey::decode(r)?,
                 max_seq: r.get_uvarint()?,
                 collected: Vec::<u64>::decode(r)?,
+                catalog_seq: r.get_uvarint()?,
             },
             1 => Msg::Submit { spec: JobSpec::decode(r)? },
             2 => Msg::SubmitBatch { specs: Vec::<JobSpec>::decode(r)? },
@@ -362,7 +378,9 @@ impl WireDecode for Msg {
             5 => Msg::ClientSyncReply {
                 coord_max: r.get_uvarint()?,
                 epoch: r.get_uvarint()?,
+                catalog_head: r.get_uvarint()?,
                 available: Vec::<(u64, u64)>::decode(r)?,
+                removed: Vec::<u64>::decode(r)?,
             },
             6 => Msg::ResultsReply { results: Vec::<RpcResult>::decode(r)? },
             7 => Msg::ServerBeat {
@@ -409,7 +427,12 @@ mod tests {
 
     fn samples() -> Vec<Msg> {
         vec![
-            Msg::ClientBeat { client: ClientKey::new(1, 2), max_seq: 9, collected: vec![1, 2] },
+            Msg::ClientBeat {
+                client: ClientKey::new(1, 2),
+                max_seq: 9,
+                collected: vec![1, 2],
+                catalog_seq: 17,
+            },
             Msg::Submit {
                 spec: JobSpec::new(
                     JobKey::new(ClientKey::new(1, 2), 3),
@@ -420,7 +443,13 @@ mod tests {
             Msg::SubmitBatch { specs: vec![] },
             Msg::ResultsRequest { client: ClientKey::new(1, 2), want: vec![4, 5] },
             Msg::SubmitAck { job: JobKey::new(ClientKey::new(1, 2), 3), coord_max: 3, epoch: 9 },
-            Msg::ClientSyncReply { coord_max: 5, epoch: 9, available: vec![(1, 100), (2, 5000)] },
+            Msg::ClientSyncReply {
+                coord_max: 5,
+                epoch: 9,
+                catalog_head: 41,
+                available: vec![(1, 100), (2, 5000)],
+                removed: vec![3],
+            },
             Msg::ResultsReply {
                 results: vec![RpcResult {
                     job: JobKey::new(ClientKey::new(1, 2), 1),
@@ -491,7 +520,12 @@ mod tests {
 
     #[test]
     fn heartbeat_is_small() {
-        let m = Msg::ClientBeat { client: ClientKey::new(1, 1), max_seq: 1000, collected: vec![] };
+        let m = Msg::ClientBeat {
+            client: ClientKey::new(1, 1),
+            max_seq: 1000,
+            collected: vec![],
+            catalog_seq: 1_000_000,
+        };
         assert!(m.wire_size() < 32, "beats must stay cheap, got {}", m.wire_size());
     }
 

@@ -23,9 +23,11 @@ use crate::server::ServerActor;
 pub struct LiveGrid {
     handle: RealtimeHandle<Msg>,
     join: Option<JoinHandle<World<Msg>>>,
-    /// The client's node.
+    /// Clients in id order.
+    pub clients: Vec<(ClientKey, NodeId)>,
+    /// The first client's node (single-client shorthand).
     pub client_node: NodeId,
-    /// The client's identity.
+    /// The first client's identity (single-client shorthand).
     pub client_key: ClientKey,
     /// Coordinators in id order.
     pub coords: Vec<(CoordId, NodeId)>,
@@ -40,9 +42,9 @@ impl LiveGrid {
     /// wall-clock second.
     pub fn launch(spec: GridSpec, time_scale: f64) -> LiveGrid {
         let sim = SimGrid::build(spec);
-        let SimGrid { world, client_node, client_key, coords, servers } = sim;
+        let SimGrid { world, clients, client_node, client_key, coords, servers, .. } = sim;
         let (handle, join) = spawn_realtime(world, time_scale);
-        LiveGrid { handle, join: Some(join), client_node, client_key, coords, servers }
+        LiveGrid { handle, join: Some(join), clients, client_node, client_key, coords, servers }
     }
 
     /// The raw command handle.
@@ -59,13 +61,22 @@ impl LiveGrid {
         self.handle.with(f)
     }
 
-    /// Reads the client actor.
+    /// Reads the first client actor (single-client shorthand).
     pub fn with_client<R, F>(&self, f: F) -> Option<R>
     where
         R: Send + 'static,
         F: FnOnce(&ClientActor) -> R + Send + 'static,
     {
-        let node = self.client_node;
+        self.with_client_at(0, f)
+    }
+
+    /// Reads client `i` (None when crashed).
+    pub fn with_client_at<R, F>(&self, i: usize, f: F) -> Option<R>
+    where
+        R: Send + 'static,
+        F: FnOnce(&ClientActor) -> R + Send + 'static,
+    {
+        let node = self.clients[i].1;
         self.handle.with(move |w| w.actor::<ClientActor>(node).map(f)).flatten()
     }
 

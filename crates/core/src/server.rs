@@ -302,9 +302,8 @@ impl ServerActor {
             })
             .map(|(&id, _)| id)
             .next()?;
-        self.running.remove(&id).map(|e| {
+        self.running.remove(&id).inspect(|_e| {
             self.checkpoints.remove(&id);
-            e
         })
     }
 
@@ -445,12 +444,10 @@ impl Actor<Msg> for ServerActor {
             K_SEND => {
                 let _ = self.deferred.fire(ctx, id);
             }
-            K_CKPT => {
-                if !self.running.is_empty() {
-                    self.checkpoint_running(ctx);
-                    if let Some(interval) = self.params.cfg.checkpoint_interval {
-                        ctx.set_timer(interval, K_CKPT);
-                    }
+            K_CKPT if !self.running.is_empty() => {
+                self.checkpoint_running(ctx);
+                if let Some(interval) = self.params.cfg.checkpoint_interval {
+                    ctx.set_timer(interval, K_CKPT);
                 }
             }
             _ => {}

@@ -81,6 +81,7 @@ impl Deferred {
     /// [`Self::send_at`] with a caller-computed wire size, so a message
     /// whose size was already measured (replication deltas record it as a
     /// transfer metric) is not encode-counted a second time at send.
+    #[allow(clippy::too_many_arguments)] // mirrors `send_at` + the size; a struct would obscure the call sites
     pub fn send_at_sized(
         &mut self,
         ctx: &mut Ctx<'_, Msg>,
@@ -94,6 +95,7 @@ impl Deferred {
         self.send_at_inner(ctx, at, to, msg, Some(size), kind, token)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn send_at_inner(
         &mut self,
         ctx: &mut Ctx<'_, Msg>,

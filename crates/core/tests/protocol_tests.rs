@@ -186,7 +186,7 @@ fn grid_runs_are_deterministic() {
         let victim = grid.servers[1].1;
         grid.world.schedule_control(SimTime::from_secs(5), Control::Crash(victim));
         grid.run_until_done(SimTime::from_secs(2000));
-        (grid.world.trace().hash(), grid.world.stats().clone())
+        (grid.world.trace().hash(), *grid.world.stats())
     };
     let (h1, s1) = run(7);
     let (h2, s2) = run(7);

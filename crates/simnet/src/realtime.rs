@@ -15,6 +15,9 @@ use crate::node::NodeId;
 use crate::time::{SimDuration, SimTime};
 use crate::world::{Control, World};
 
+/// A boxed closure run against the world on the driver thread.
+pub type WorldFn<M> = Box<dyn FnOnce(&mut World<M>) + Send>;
+
 /// Commands accepted by a running driver.
 pub enum Command<M> {
     /// Deliver `msg` to `to` as an external stimulus.
@@ -27,7 +30,7 @@ pub enum Command<M> {
     /// Apply a fault/topology control.
     Control(Control),
     /// Run a closure against the world (inspection or mutation).
-    With(Box<dyn FnOnce(&mut World<M>) + Send>),
+    With(WorldFn<M>),
     /// Stop the driver and return the world.
     Shutdown,
 }

@@ -280,7 +280,7 @@ fn determinism_same_seed_same_trace_hash() {
         w.schedule_control(SimTime::from_millis(3), Control::Crash(b));
         w.schedule_control(SimTime::from_millis(5), Control::Restart(b));
         w.run_until_idle(SimTime::from_secs(100));
-        (w.trace().hash(), w.stats().clone())
+        (w.trace().hash(), *w.stats())
     };
     let (h1, s1) = run(42);
     let (h2, s2) = run(42);
@@ -345,7 +345,7 @@ fn reference_trace_is_stable_across_kernel_optimizations() {
         w.schedule_control(SimTime::from_millis(1200), Control::Crash(b));
         w.schedule_control(SimTime::from_millis(1800), Control::Restart(b));
         w.run_until_idle(SimTime::from_secs(60));
-        (w.trace().hash(), w.events_processed(), w.stats().clone())
+        (w.trace().hash(), w.events_processed(), *w.stats())
     };
     let (hash, events, stats) = run();
     let (hash2, events2, _) = run();

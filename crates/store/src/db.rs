@@ -58,6 +58,22 @@ struct ArchiveRow {
     collected: bool,
 }
 
+/// Incremental view of one client's result catalog since a version the
+/// client already holds: the additions and removals to merge, plus the new
+/// high-water mark to beat with next time.  This is what
+/// [`CoordinatorDb::results_catalog_since`] returns and what
+/// `ClientSyncReply` ships instead of the full catalog.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CatalogDelta {
+    /// Version high-water mark after this delta; the client echoes it in
+    /// its next beat.
+    pub head: u64,
+    /// Results that became available since the base: `(seq, size)`.
+    pub added: Vec<(u64, u64)>,
+    /// Result seqs no longer retained (garbage-collected after collection).
+    pub removed: Vec<u64>,
+}
+
 /// Result of registering a completed task.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CompleteOutcome {
@@ -84,6 +100,9 @@ pub struct DbStats {
     pub archived: u64,
     /// Duplicate results dropped (at-least-once re-executions).
     pub duplicate_results: u64,
+    /// Jobs in the `Collected` terminal state (client pulled the result,
+    /// archive garbage-collected).
+    pub collected: u64,
 }
 
 /// The coordinator's durable state: job/task tables, FCFS queue, archive
@@ -110,6 +129,25 @@ pub struct CoordinatorDb {
     /// Finished jobs whose archive is not held here — maintained at every
     /// archive/finished transition so the periodic refresh never scans.
     missing: BTreeSet<JobKey>,
+    /// `Collected` terminal state: the client durably pulled the result and
+    /// the archive was garbage-collected.  Terminal means the job is exempt
+    /// from missing-archive re-execution and from archive re-acquisition —
+    /// the result was *delivered*; nothing is missing.
+    collected_jobs: BTreeSet<JobKey>,
+    /// Per-client catalog change index: `(client, version) → seq`, one
+    /// entry per *live* archive row, re-stamped with a fresh version on
+    /// every catalog transition.  Backs O(changed)
+    /// [`Self::results_catalog_since`].
+    catalog: BTreeMap<(ClientKey, u64), u64>,
+    /// Removal tombstones: `(client, version) → seq` for archives
+    /// garbage-collected after collection.  Kept separate from the live
+    /// index so acknowledged tombstones can be pruned in O(pruned)
+    /// ([`Self::prune_catalog_acked`]) without walking live entries.
+    catalog_removed: BTreeMap<(ClientKey, u64), u64>,
+    /// Current catalog-index version per job (0 = no entry yet); lets a
+    /// transition move the job's single entry instead of accumulating one
+    /// per event.
+    catalog_pos: BTreeMap<JobKey, u64>,
     /// Queue entries whose task is still in the `Pending` state (dead
     /// entries — popped-state rows — are what compaction drops).
     queued_live: usize,
@@ -139,6 +177,10 @@ impl CoordinatorDb {
             changed: BTreeMap::new(),
             attempts: BTreeMap::new(),
             missing: BTreeSet::new(),
+            collected_jobs: BTreeSet::new(),
+            catalog: BTreeMap::new(),
+            catalog_removed: BTreeMap::new(),
+            catalog_pos: BTreeMap::new(),
             queued_live: 0,
             pending_by_job: BTreeMap::new(),
             pending_live: 0,
@@ -193,6 +235,24 @@ impl CoordinatorDb {
                 self.client_max.insert(client, MarkRow { mark, version: v });
             }
         }
+    }
+
+    /// Re-stamps `job`'s single catalog-index entry with a fresh version,
+    /// placing it in the live index or the tombstone index according to
+    /// whether the archive is (still) held.
+    fn touch_catalog(&mut self, job: JobKey) {
+        let old = self.catalog_pos.get(&job).copied().unwrap_or(0);
+        if old != 0 {
+            self.catalog.remove(&(job.client, old));
+            self.catalog_removed.remove(&(job.client, old));
+        }
+        self.version += 1;
+        if self.archives.contains_key(&job) {
+            self.catalog.insert((job.client, self.version), job.seq);
+        } else {
+            self.catalog_removed.insert((job.client, self.version), job.seq);
+        }
+        self.catalog_pos.insert(job, self.version);
     }
 
     /// A queue entry's task left the `Pending` state without being popped:
@@ -376,7 +436,21 @@ impl CoordinatorDb {
                 }
             }
             if self.finished_jobs.contains(&job) {
-                continue; // sibling instance already produced the result
+                // Sibling instance already produced the result: retire the
+                // instance outright.  Its queue entry is gone, so the row
+                // must leave the `Pending` state too — a later transition
+                // (duplicate completion, replicated state upgrade) would
+                // otherwise run the entry-died accounting a second time
+                // and corrupt the maintained pending counters.
+                row.state = TaskState::Finished { result_size: 0 };
+                let v = Self::touch(
+                    &mut self.changed,
+                    &mut self.version,
+                    row.version,
+                    Changed::Task(id),
+                );
+                row.version = v;
+                continue;
             }
             self.pending_live = self.pending_live.saturating_sub(1);
             row.state = TaskState::Ongoing { server, since: now };
@@ -456,11 +530,12 @@ impl CoordinatorDb {
         } else if !self.jobs.contains_key(&job) {
             return (CompleteOutcome::UnknownJob, Charge::ops(1));
         }
-        if self.archives.contains_key(&job) {
+        if self.archives.contains_key(&job) || self.collected_jobs.contains(&job) {
             self.duplicate_results += 1;
             return (CompleteOutcome::Duplicate, Charge::ops(2));
         }
         self.archives.insert(job, ArchiveRow { payload: archive, size, collected: false });
+        self.touch_catalog(job);
         self.missing.remove(&job);
         self.mark_job_finished(job);
         self.maybe_compact_pending();
@@ -489,28 +564,54 @@ impl CoordinatorDb {
     }
 
     /// Scan-based reference definition of [`Self::missing_archives`], kept
-    /// for the equivalence property tests.
+    /// for the equivalence property tests.  `Collected` is terminal: a
+    /// delivered-then-GC'd result is not missing.
     #[doc(hidden)]
     pub fn missing_archives_scan(&self) -> Vec<JobKey> {
-        self.finished_jobs.iter().filter(|j| !self.archives.contains_key(*j)).copied().collect()
+        self.finished_jobs
+            .iter()
+            .filter(|j| !self.archives.contains_key(*j) && !self.collected_jobs.contains(*j))
+            .copied()
+            .collect()
     }
 
     /// Stores an archive re-sent by a server for a job finished elsewhere.
+    /// A `Collected` job's result was already delivered and reclaimed —
+    /// re-storing it would only resurrect a dead catalog entry.
     pub fn store_archive(&mut self, job: JobKey, archive: Blob) -> Charge {
         let size = archive.len();
-        if self.archives.contains_key(&job) {
+        if self.archives.contains_key(&job) || self.collected_jobs.contains(&job) {
             return Charge::ops(1);
         }
         self.archives.insert(job, ArchiveRow { payload: archive, size, collected: false });
+        self.touch_catalog(job);
         self.missing.remove(&job);
         self.mark_job_finished(job);
         Charge::db(1, 0) + Charge::disk(size)
     }
 
+    /// True when this coordinator would benefit from receiving `job`'s
+    /// archive (known, not held, and not already delivered to the client).
+    pub fn wants_archive(&self, job: &JobKey) -> bool {
+        self.jobs.contains_key(job)
+            && !self.archives.contains_key(job)
+            && !self.collected_jobs.contains(job)
+    }
+
+    /// True when `job` reached the `Collected` terminal state.
+    pub fn is_collected(&self, job: &JobKey) -> bool {
+        self.collected_jobs.contains(job)
+    }
+
     /// Reverts a job to pending execution because its result archive is
     /// unrecoverable (server lost its log): at-least-once re-execution.
+    /// Refused for `Collected` jobs — the client already holds the result,
+    /// so there is nothing to recover (the post-GC re-execution leak).
     pub fn reexecute_job(&mut self, job: JobKey) -> (Option<TaskId>, Charge) {
-        if self.archives.contains_key(&job) || !self.jobs.contains_key(&job) {
+        if self.archives.contains_key(&job)
+            || self.collected_jobs.contains(&job)
+            || !self.jobs.contains_key(&job)
+        {
             return (None, Charge::ops(1));
         }
         if self.finished_jobs.remove(&job) {
@@ -665,10 +766,67 @@ impl CoordinatorDb {
     /// results and RPC status using the unique IDs", §4.2); only archives
     /// already garbage-collected are truly gone.
     pub fn results_catalog(&self, client: ClientKey) -> Vec<(u64, u64)> {
+        self.results_catalog_scan(client)
+    }
+
+    /// Scan-based reference definition of the full result catalog, kept for
+    /// the equivalence property tests (a client merging
+    /// [`Self::results_catalog_since`] deltas from base 0 must converge to
+    /// exactly this).
+    #[doc(hidden)]
+    pub fn results_catalog_scan(&self, client: ClientKey) -> Vec<(u64, u64)> {
         self.archives
             .range(Self::client_range(client))
             .map(|(job, row)| (job.seq, row.size))
             .collect()
+    }
+
+    /// Incremental result catalog: everything that changed in `client`'s
+    /// catalog since version `since` (0 = full catalog).  A range read over
+    /// the per-client catalog change index — O(changed · log n), never a
+    /// rescan of the archive table.  The client echoes the returned `head`
+    /// in its next beat, so a steady-state beat carries only the results
+    /// that finished (or were reclaimed) since the previous one.
+    pub fn results_catalog_since(&self, client: ClientKey, since: u64) -> CatalogDelta {
+        let mut delta = CatalogDelta { head: self.version, ..CatalogDelta::default() };
+        if since >= self.version {
+            return delta;
+        }
+        let lo = (client, since + 1);
+        let hi = (client, u64::MAX);
+        for (&(_, _), &seq) in self.catalog.range(lo..=hi) {
+            if let Some(row) = self.archives.get(&JobKey { client, seq }) {
+                delta.added.push((seq, row.size));
+            }
+        }
+        for (&(_, _), &seq) in self.catalog_removed.range(lo..=hi) {
+            delta.removed.push(seq);
+        }
+        delta
+    }
+
+    /// Drops removal tombstones `client` has already merged (catalog
+    /// versions ≤ `upto`, its acknowledged high-water mark).  The catalog
+    /// index is single-consumer — client `C` is the only reader of `C`'s
+    /// range — so an acknowledged removal record can never be needed
+    /// again; without pruning, the index (and every post-epoch-change
+    /// full catalog fetch) would grow with the lifetime GC count instead
+    /// of staying bounded by live entries + the un-acked window.
+    /// Returns the number of tombstones dropped.
+    pub fn prune_catalog_acked(&mut self, client: ClientKey, upto: u64) -> u64 {
+        if upto == 0 {
+            return 0;
+        }
+        let dead: Vec<(u64, u64)> = self
+            .catalog_removed
+            .range((client, 1)..=(client, upto))
+            .map(|(&(_, v), &seq)| (v, seq))
+            .collect();
+        for &(v, seq) in &dead {
+            self.catalog_removed.remove(&(client, v));
+            self.catalog_pos.remove(&JobKey { client, seq });
+        }
+        dead.len() as u64
     }
 
     /// The archive payload for one job.
@@ -690,6 +848,11 @@ impl CoordinatorDb {
     }
 
     /// Drops collected archives (triggered GC); returns bytes freed.
+    ///
+    /// The reclaimed jobs enter the `Collected` terminal state: the client
+    /// confirmed durably holding the result, so the job is *delivered*, not
+    /// missing — it must never be re-executed or re-acquired from servers
+    /// just because its archive is gone.
     pub fn gc_collected(&mut self) -> (u64, Charge) {
         let victims: Vec<JobKey> =
             self.archives.iter().filter(|(_, r)| r.collected).map(|(k, _)| *k).collect();
@@ -697,11 +860,10 @@ impl CoordinatorDb {
         for k in &victims {
             if let Some(row) = self.archives.remove(k) {
                 freed += row.size;
-                // The job stays finished but its archive is gone again —
-                // keep the missing set equal to finished ∖ archived.
-                if self.finished_jobs.contains(k) {
-                    self.missing.insert(*k);
-                }
+                self.collected_jobs.insert(*k);
+                self.missing.remove(k);
+                // The entry flips to a removal record for catalog deltas.
+                self.touch_catalog(*k);
             }
         }
         (freed, Charge::ops(victims.len() as u64 + 1))
@@ -907,6 +1069,7 @@ impl CoordinatorDb {
             ongoing,
             archived: self.archives.len() as u64,
             duplicate_results: self.duplicate_results,
+            collected: self.collected_jobs.len() as u64,
         }
     }
 
@@ -1144,6 +1307,166 @@ mod tests {
         assert!(d.archive(&t.job).is_none());
         // Finished state survives GC (no re-execution).
         assert_eq!(d.finished_count(), 1);
+    }
+
+    #[test]
+    fn collected_is_terminal_no_reexecution_leak() {
+        // A GC'd job whose client already pulled the result must never
+        // return to the missing-archive set (the post-GC re-execution
+        // leak) nor be re-executable or re-acquirable.
+        let mut d = db();
+        d.register_job(job(1));
+        let (t, _) = d.next_pending(ServerId(1), T0);
+        let t = t.unwrap();
+        d.complete_task(t.id, t.job, Blob::synthetic(500, 0), ServerId(1));
+        let client = ClientKey::new(1, 1);
+        d.mark_collected(client, &[1]);
+        d.gc_collected();
+        assert!(d.is_collected(&t.job));
+        assert_eq!(d.stats().collected, 1);
+        assert!(d.missing_archives().is_empty(), "collected ⇒ not missing");
+        assert_eq!(d.missing_archives(), d.missing_archives_scan());
+        let (tid, _) = d.reexecute_job(t.job);
+        assert!(tid.is_none(), "re-execution refused for collected jobs");
+        assert!(!d.wants_archive(&t.job), "no archive re-acquisition either");
+        let c = d.store_archive(t.job, Blob::synthetic(500, 0));
+        assert_eq!(c.disk_bytes, 0, "re-store is a no-op");
+        assert_eq!(d.archived_count(), 0);
+        // A late duplicate from a still-running replica instance is
+        // recognized as a duplicate, not a fresh result.
+        let (o, _) = d.complete_task(t.id, t.job, Blob::synthetic(500, 1), ServerId(2));
+        assert_eq!(o, CompleteOutcome::Duplicate);
+    }
+
+    #[test]
+    fn catalog_delta_tracks_store_and_gc() {
+        let client = ClientKey::new(1, 1);
+        let mut d = db();
+        d.register_job(job(1));
+        d.register_job(job(2));
+        let mut hw = 0;
+        let d0 = d.results_catalog_since(client, hw);
+        assert!(d0.added.is_empty() && d0.removed.is_empty());
+        hw = d0.head;
+        // First result lands: delta carries exactly it.
+        let (t, _) = d.next_pending(ServerId(1), T0);
+        let t = t.unwrap();
+        d.complete_task(t.id, t.job, Blob::synthetic(100, 0), ServerId(1));
+        let d1 = d.results_catalog_since(client, hw);
+        assert_eq!(d1.added, vec![(1, 100)]);
+        assert!(d1.removed.is_empty());
+        hw = d1.head;
+        // Nothing changed: empty delta, head stable for the catalog.
+        let d2 = d.results_catalog_since(client, hw);
+        assert!(d2.added.is_empty() && d2.removed.is_empty());
+        // Collect + GC: the same seq comes back as a removal.
+        d.mark_collected(client, &[1]);
+        d.gc_collected();
+        let d3 = d.results_catalog_since(client, hw);
+        assert!(d3.added.is_empty());
+        assert_eq!(d3.removed, vec![1]);
+        // From base 0 the merged delta equals the scan reference.
+        let full = d.results_catalog_since(client, 0);
+        let mut merged: std::collections::BTreeMap<u64, u64> = full.added.into_iter().collect();
+        for s in full.removed {
+            merged.remove(&s);
+        }
+        let merged: Vec<(u64, u64)> = merged.into_iter().collect();
+        assert_eq!(merged, d.results_catalog_scan(client));
+    }
+
+    #[test]
+    fn catalog_delta_is_per_client() {
+        let c1 = ClientKey::new(1, 1);
+        let c2 = ClientKey::new(2, 1);
+        let mut d = db();
+        d.register_job(job(1)); // client 1
+        d.register_job(JobSpec::new(JobKey::new(c2, 1), "svc", Blob::synthetic(10, 9)));
+        while let (Some(t), _) = d.next_pending(ServerId(1), T0) {
+            d.complete_task(t.id, t.job, Blob::synthetic(64, t.job.seq), ServerId(1));
+        }
+        let d1 = d.results_catalog_since(c1, 0);
+        let d2 = d.results_catalog_since(c2, 0);
+        assert_eq!(d1.added.len(), 1, "client 1 sees only its own result");
+        assert_eq!(d2.added.len(), 1, "client 2 sees only its own result");
+        assert_eq!(d.results_catalog_scan(c1), d1.added);
+        assert_eq!(d.results_catalog_scan(c2), d2.added);
+    }
+
+    #[test]
+    fn skipped_sibling_instance_is_retired_not_left_pending() {
+        // Regression: `next_pending`'s finished-job skip consumed the
+        // queue entry but left the task row `Pending`; a later replicated
+        // state upgrade then re-ran the entry-died accounting, stealing a
+        // fresh instance's counts and desynchronizing `pending_count`
+        // from its scan reference.
+        let job1 = JobKey::new(ClientKey::new(1, 1), 1);
+        let mut a = db();
+        a.register_job(job(1).with_replication(2)); // T1, T2 queued at A
+        let mut b = CoordinatorDb::new(CoordId(2));
+        b.apply_delta(&a.delta_since(0));
+        // B executes T1; A learns the job finished (archive missing at A).
+        let (t1, _) = b.next_pending(ServerId(1), T0);
+        let t1 = t1.unwrap();
+        b.complete_task(t1.id, job1, Blob::synthetic(8, 1), ServerId(1));
+        let v_b = b.version();
+        a.apply_delta(&b.delta_since(0));
+        // A pops T2's still-live entry and skips it (job finished).
+        let (none, _) = a.next_pending(ServerId(9), T0);
+        assert!(none.is_none());
+        assert_eq!(a.pending_count(), a.pending_count_scan());
+        // A re-executes the missing-archive job: fresh instance T3.
+        let (t3, _) = a.reexecute_job(job1);
+        assert!(t3.is_some());
+        assert_eq!(a.pending_count(), 1);
+        // An off-line server delivers T2's result late to B (at-least-once
+        // duplicate; B still marks the instance Finished).  The replicated
+        // upgrade must not steal T3's pending accounting at A.
+        let t2_id = if t1.id == TaskId::compose(CoordId(1), 1) {
+            TaskId::compose(CoordId(1), 2)
+        } else {
+            TaskId::compose(CoordId(1), 1)
+        };
+        let (o, _) = b.complete_task(t2_id, job1, Blob::synthetic(8, 2), ServerId(1));
+        assert_eq!(o, CompleteOutcome::Duplicate);
+        a.apply_delta(&b.delta_since(v_b));
+        assert_eq!(a.pending_count(), a.pending_count_scan(), "maintained == scan");
+        // Another re-execution round: with corrupted counters this is
+        // where the maintained count and the scan diverged.
+        let first_missing = a.missing_archives().first().copied();
+        if let Some(j) = first_missing {
+            a.reexecute_job(j);
+        }
+        assert_eq!(a.pending_count(), a.pending_count_scan(), "post-reexec: maintained == scan");
+        assert_eq!(a.missing_archives(), a.missing_archives_scan());
+    }
+
+    #[test]
+    fn acked_tombstones_are_pruned() {
+        let client = ClientKey::new(1, 1);
+        let mut d = db();
+        for seq in 1..=3 {
+            d.register_job(job(seq));
+        }
+        while let (Some(t), _) = d.next_pending(ServerId(1), T0) {
+            d.complete_task(t.id, t.job, Blob::synthetic(100, t.job.seq), ServerId(1));
+        }
+        let hw = d.results_catalog_since(client, 0).head;
+        d.mark_collected(client, &[1, 2]);
+        d.gc_collected();
+        // The removals are still pending delivery: pruning at the old
+        // high-water mark must not drop them.
+        assert_eq!(d.prune_catalog_acked(client, hw), 0);
+        let delta = d.results_catalog_since(client, hw);
+        assert_eq!(delta.removed, vec![1, 2]);
+        // Once the client beats with the new head, the tombstones die.
+        assert_eq!(d.prune_catalog_acked(client, delta.head), 2);
+        assert_eq!(d.prune_catalog_acked(client, delta.head), 0, "idempotent");
+        // Post-prune, a from-zero fetch ships only live entries.
+        let full = d.results_catalog_since(client, 0);
+        assert_eq!(full.added, vec![(3, 100)]);
+        assert!(full.removed.is_empty());
+        assert_eq!(full.added, d.results_catalog_scan(client));
     }
 
     #[test]

@@ -29,5 +29,5 @@ pub mod db;
 pub mod delta;
 
 pub use charge::Charge;
-pub use db::{CompleteOutcome, CoordinatorDb, TaskRow};
+pub use db::{CatalogDelta, CompleteOutcome, CoordinatorDb, TaskRow};
 pub use delta::{ReplicationDelta, TaskRecord};

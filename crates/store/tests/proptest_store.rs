@@ -110,6 +110,11 @@ proptest! {
         // mirror diverges from the full-state reference below.
         let mut mirror = CoordinatorDb::new(CoordId(3));
         let mut mirror_base = 0u64;
+        // Client-side catalog mirror fed exclusively with incremental
+        // catalog deltas (the ClientSyncReply path) — it must track the
+        // full-scan catalog through stores, collections and GCs.
+        let mut cat_mirror: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+        let mut cat_hw = 0u64;
         let now = SimTime::ZERO;
         let mut bases = vec![0u64];
         for (seq, action, aux) in ops {
@@ -159,6 +164,31 @@ proptest! {
             // Continuous equivalence of the maintained structures.
             prop_assert_eq!(a.pending_count(), a.pending_count_scan());
             prop_assert_eq!(a.missing_archives(), a.missing_archives_scan());
+            // Merge the incremental catalog delta exactly as a client does
+            // and compare against the full-scan reference catalog.
+            let cd = a.results_catalog_since(client, cat_hw);
+            prop_assert!(cd.head >= cat_hw);
+            for &(seq, size) in &cd.added {
+                cat_mirror.insert(seq, size);
+            }
+            for &seq in &cd.removed {
+                cat_mirror.remove(&seq);
+            }
+            cat_hw = cd.head;
+            let merged: Vec<(u64, u64)> = cat_mirror.iter().map(|(&s, &z)| (s, z)).collect();
+            prop_assert_eq!(merged, a.results_catalog_scan(client));
+            // The next beat acknowledges `cat_hw`: acked tombstones are
+            // pruned (single consumer) and the merge must stay exact.
+            a.prune_catalog_acked(client, cat_hw);
+            // A from-scratch merge (base 0) must also equal the scan.
+            let full = a.results_catalog_since(client, 0);
+            let mut from_zero: std::collections::BTreeMap<u64, u64> =
+                full.added.iter().copied().collect();
+            for seq in &full.removed {
+                from_zero.remove(seq);
+            }
+            let from_zero: Vec<(u64, u64)> = from_zero.into_iter().collect();
+            prop_assert_eq!(from_zero, a.results_catalog_scan(client));
             // Feed the mirror only what changed since its last sync.
             mirror.apply_delta(&a.delta_since(mirror_base));
             mirror_base = a.version();

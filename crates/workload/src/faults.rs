@@ -66,7 +66,7 @@ impl FaultPlan {
         let mut t = from;
         loop {
             let gap = SimDuration::from_secs_f64(rng.exp(mean_gap_secs));
-            t = t + gap;
+            t += gap;
             if t >= until {
                 break;
             }

@@ -92,6 +92,32 @@ impl SyntheticBench {
         let rounds = self.calls.div_ceil(servers.max(1));
         rounds as f64 * self.exec_secs
     }
+
+    /// Per-client plans for a multi-tenant grid: every client submits the
+    /// full `calls` workload, with payload seeds disjoint across clients
+    /// (aggregate offered load scales with the client count).
+    pub fn plans_per_client(&self, clients: usize) -> Vec<Vec<CallSpec>> {
+        (0..clients.max(1))
+            .map(|c| {
+                let mut b = self.clone();
+                b.seed = self.seed.wrapping_add((c as u64) << 32);
+                b.plan()
+            })
+            .collect()
+    }
+
+    /// Splits the single-client workload across `clients` concurrent
+    /// submitters (round-robin, so total offered load stays equal to
+    /// [`Self::plan`] — the shape the scale bench sweeps to isolate the
+    /// cost of *having* more clients from the cost of more work).
+    pub fn split_across(&self, clients: usize) -> Vec<Vec<CallSpec>> {
+        let clients = clients.max(1);
+        let mut plans: Vec<Vec<CallSpec>> = vec![Vec::new(); clients];
+        for (i, call) in self.plan().into_iter().enumerate() {
+            plans[i % clients].push(call);
+        }
+        plans
+    }
 }
 
 #[cfg(test)]
@@ -113,6 +139,26 @@ mod tests {
         assert!(plan.iter().all(|c| c.params.len() == 1024));
         // Payload seeds differ call to call.
         assert!(!plan[0].params.content_eq(&plan[1].params));
+    }
+
+    #[test]
+    fn per_client_plans_are_disjoint_and_full_size() {
+        let b = SyntheticBench::small_calls(10);
+        let plans = b.plans_per_client(3);
+        assert_eq!(plans.len(), 3);
+        assert!(plans.iter().all(|p| p.len() == 10));
+        // Different clients get different payloads for the same call index.
+        assert!(!plans[0][0].params.content_eq(&plans[1][0].params));
+    }
+
+    #[test]
+    fn split_across_conserves_total_calls() {
+        let b = SyntheticBench::small_calls(10);
+        let plans = b.split_across(3);
+        assert_eq!(plans.iter().map(|p| p.len()).sum::<usize>(), 10);
+        assert_eq!(plans[0].len(), 4, "round-robin: client 0 gets the remainder");
+        assert_eq!(b.split_across(1).len(), 1);
+        assert_eq!(b.split_across(0).len(), 1, "floors at one client");
     }
 
     #[test]

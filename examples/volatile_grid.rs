@@ -37,7 +37,7 @@ fn main() {
         let completed = grid.client_results();
         let stats = grid.world.stats();
         let dup = grid.coordinator(0).map(|c| c.db().stats().duplicate_results).unwrap_or(0);
-        if minute % 5 == 0 || completed >= 300 {
+        if minute.is_multiple_of(5) || completed >= 300 {
             println!("{minute:>6}  {completed:>9}  {:>7}  {dup:>10}", stats.crashes);
         }
         if completed >= 300 {

@@ -1,0 +1,89 @@
+//! Multi-client grids: many concurrent submitters sharing one coordinator
+//! set (the BOINC-style multi-tenant shape the paper's single-client
+//! testbed never exercises), driven through the `rpcv` facade.
+//!
+//! The key risks these tests pin down: per-client keying of the
+//! coordinator database (a result must never leak across `ClientKey`s),
+//! the incremental result-catalog protocol under coordinator crash +
+//! recovery (the catalog high-water mark resets with the boot epoch), and
+//! plan completion for *every* client, not just the first.
+
+use rpcv::core::grid::{GridSpec, SimGrid};
+use rpcv::core::util::CallSpec;
+use rpcv::simnet::{Control, SimTime};
+use rpcv::wire::Blob;
+use rpcv::workload::SyntheticBench;
+
+/// Two clients with overlapping submission windows (and overlapping seq
+/// ranges — seqs are only unique *per client*) run through a coordinator
+/// crash and recovery.  Both plans must complete and neither client may
+/// see the other's results.
+#[test]
+fn two_clients_overlapping_plans_survive_coordinator_crash() {
+    // Distinct result sizes per client: received archives betray their
+    // owner by length, so cross-client leakage cannot hide.
+    let plan_a: Vec<CallSpec> =
+        (0..10).map(|i| CallSpec::new("b", Blob::synthetic(400, i), 3.0, 300)).collect();
+    let plan_b: Vec<CallSpec> =
+        (0..8).map(|i| CallSpec::new("b", Blob::synthetic(500, 100 + i), 3.0, 700)).collect();
+    let spec = GridSpec::confined(2, 4).with_client_plans(vec![plan_a, plan_b]).with_seed(0xBEEF);
+    let mut grid = SimGrid::build(spec);
+    assert_eq!(grid.client_count(), 2);
+    assert_ne!(grid.clients[0].0, grid.clients[1].0, "distinct identities");
+
+    // Crash the preferred coordinator mid-run; restart it later (durable
+    // database, fresh boot epoch — clients must resync their catalog
+    // high-water marks and keep merging deltas).
+    let c0 = grid.coords[0].1;
+    grid.world.schedule_control(SimTime::from_secs(6), Control::Crash(c0));
+    grid.world.schedule_control(SimTime::from_secs(40), Control::Restart(c0));
+
+    grid.run_until_done(SimTime::from_secs(3600))
+        .expect("both plans must complete through coordinator crash + recovery");
+
+    assert_eq!(grid.client_results_at(0), 10);
+    assert_eq!(grid.client_results_at(1), 8);
+    let a = grid.client_at(0).unwrap();
+    for seq in 1..=10 {
+        assert_eq!(a.result_archive(seq).map(|b| b.len()), Some(300), "A's own result {seq}");
+    }
+    let b = grid.client_at(1).unwrap();
+    for seq in 1..=8 {
+        assert_eq!(b.result_archive(seq).map(|b| b.len()), Some(700), "B's own result {seq}");
+    }
+    assert!(b.result_archive(9).is_none(), "B must not hold A's seq 9");
+    assert!(b.result_archive(10).is_none(), "B must not hold A's seq 10");
+
+    // The shared database keyed everything per client.
+    let db = grid.coordinator(0).unwrap().db();
+    assert_eq!(db.stats().jobs, 18);
+    assert_eq!(db.client_max(grid.clients[0].0), 10);
+    assert_eq!(db.client_max(grid.clients[1].0), 8);
+}
+
+/// A wider grid: four clients splitting one synthetic workload, with one
+/// client crashing and restarting mid-run.  Everyone finishes, and the
+/// per-client result counts add up to exactly the total workload (no
+/// duplicate delivery across clients).
+#[test]
+fn four_clients_split_workload_with_client_crash() {
+    let bench = SyntheticBench::small_calls(32).with_exec_secs(2.0);
+    let spec = GridSpec::confined(2, 6).with_client_plans(bench.split_across(4)).with_seed(0x5EED);
+    let mut grid = SimGrid::build(spec);
+    assert_eq!(grid.client_count(), 4);
+
+    // Client 2 disappears for a while (volatility is the norm).
+    let victim = grid.clients[2].1;
+    grid.world.schedule_control(SimTime::from_secs(5), Control::Crash(victim));
+    grid.world.schedule_control(SimTime::from_secs(30), Control::Restart(victim));
+
+    grid.run_until_done(SimTime::from_secs(3600)).expect("all four plans complete");
+
+    let per_client: Vec<usize> = (0..4).map(|i| grid.client_results_at(i)).collect();
+    assert_eq!(per_client.iter().sum::<usize>(), 32, "no loss, no cross-delivery");
+    assert_eq!(per_client, vec![8, 8, 8, 8], "round-robin split: 8 calls each");
+    for i in 0..4 {
+        let done = grid.client_at(i).and_then(|c| c.metrics.done_at);
+        assert!(done.is_some(), "client {i} must report completion");
+    }
+}
