@@ -10,7 +10,11 @@
 //! * `wall_seconds` / `sim_seconds` — real and virtual run time,
 //! * `delta_bytes_per_round` — mean replication payload per round: the
 //!   direct observable of the O(changed) invariant (a full-table
-//!   replicator makes this grow linearly with run length),
+//!   replicator makes this grow linearly with run length).  The delta now
+//!   carries collection acknowledgements too, and the sweep is
+//!   collected-heavy (clients collect everything, the harness GCs), so
+//!   the sweep itself asserts this stays flat across cells that differ
+//!   only in job count,
 //! * `catalog_bytes_per_beat` — mean result-catalog payload per client
 //!   sync reply: the observable of the incremental catalog (the old
 //!   full-catalog reply grows with the job count; the delta form tracks
@@ -217,6 +221,34 @@ fn check_catalog_flatness(cells: &[Cell]) {
     }
 }
 
+/// The O(changed) replication invariant, asserted on the sweep itself.
+/// Every cell is collected-heavy — clients collect all results and the
+/// harness GCs periodically — so collection acknowledgements now flow
+/// through the delta too.  For cell pairs that differ *only* in job count,
+/// the per-round replication payload must not grow with run length
+/// (within 2×): it tracks the offered load per round, never the
+/// accumulated history.  A regression that re-sends collected knowledge
+/// (or any table) each round makes the longer run's rounds fatter and
+/// trips this.
+fn check_delta_flatness(cells: &[Cell]) {
+    for a in cells {
+        for b in cells {
+            if (a.servers, a.clients) == (b.servers, b.clients) && a.jobs < b.jobs {
+                let (lo, hi) = (a.delta_bytes_per_round, b.delta_bytes_per_round);
+                assert!(
+                    hi <= (lo * 2.0).max(4096.0),
+                    "delta bytes/round must stay flat as jobs grow: \
+                     {}x{}c at {} jobs = {lo:.1} B, at {} jobs = {hi:.1} B",
+                    a.servers,
+                    a.clients,
+                    a.jobs,
+                    b.jobs,
+                );
+            }
+        }
+    }
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     // (servers, jobs, clients): the clients axis splits the same job total
@@ -277,5 +309,6 @@ fn main() {
         cells.push(c);
     }
     check_catalog_flatness(&cells);
+    check_delta_flatness(&cells);
     write_json(&cells, smoke);
 }

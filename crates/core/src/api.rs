@@ -20,7 +20,9 @@
 
 use std::time::{Duration as StdDuration, Instant};
 
+use rpcv_simnet::NodeId;
 use rpcv_wire::Blob;
+use rpcv_xw::ClientKey;
 
 use crate::runtime::LiveGrid;
 use crate::util::CallSpec;
@@ -56,26 +58,50 @@ impl std::fmt::Display for GridError {
 impl std::error::Error for GridError {}
 
 /// GridRPC-style client over a [`LiveGrid`].
+///
+/// A grid can host many client actors ([`crate::grid::GridSpec::clients`]);
+/// each API handle binds to exactly one of them via [`GridClient::at`], so
+/// N tenants drive the same coordinators through N independent sessions.
 pub struct GridClient<'g> {
     grid: &'g LiveGrid,
+    client_idx: usize,
+    client_node: NodeId,
     submitted: u64,
     cancelled: Vec<u64>,
     poll_interval: StdDuration,
 }
 
 impl<'g> GridClient<'g> {
-    /// Client bound to a running grid.
+    /// Client bound to the grid's first client actor (the paper's
+    /// single-tenant shape) — shorthand for `GridClient::at(grid, 0)`.
+    pub fn new(grid: &'g LiveGrid) -> Self {
+        Self::at(grid, 0)
+    }
+
+    /// Client bound to the grid's client actor `i`.
     ///
-    /// Assumes this is the only submitter for the grid's client actor (the
+    /// Assumes this is the only submitter for that client actor (the
     /// sequential timestamp mapping requires it — one `GridClient` per
     /// client session, exactly like one GridRPC session per client).
-    pub fn new(grid: &'g LiveGrid) -> Self {
+    ///
+    /// # Panics
+    ///
+    /// Panics when the grid has no client `i`.
+    pub fn at(grid: &'g LiveGrid, i: usize) -> Self {
+        assert!(i < grid.clients.len(), "grid has {} clients, no index {i}", grid.clients.len());
         GridClient {
             grid,
+            client_idx: i,
+            client_node: grid.clients[i].1,
             submitted: 0,
             cancelled: Vec::new(),
             poll_interval: StdDuration::from_millis(10),
         }
+    }
+
+    /// The identity of the client actor this handle drives.
+    pub fn client_key(&self) -> ClientKey {
+        self.grid.clients[self.client_idx].0
     }
 
     /// Non-blocking call (GridRPC `grpc_call_async`): submits and returns a
@@ -84,7 +110,7 @@ impl<'g> GridClient<'g> {
         self.submitted += 1;
         let seq = self.submitted;
         self.grid.handle().inject(
-            self.grid.client_node,
+            self.client_node,
             crate::msg::Msg::ApiSubmit {
                 service: call.service,
                 params: call.params,
@@ -105,7 +131,9 @@ impl<'g> GridClient<'g> {
     /// Non-blocking completion test (GridRPC `grpc_probe`).
     pub fn probe(&self, h: RpcHandle) -> bool {
         let seq = h.seq;
-        self.grid.with_client(move |c| c.result_archive(seq).is_some()).unwrap_or(false)
+        self.grid
+            .with_client_at(self.client_idx, move |c| c.result_archive(seq).is_some())
+            .unwrap_or(false)
     }
 
     /// Blocks until the result arrives (GridRPC `grpc_wait`).
@@ -116,7 +144,8 @@ impl<'g> GridClient<'g> {
         let deadline = Instant::now() + timeout;
         loop {
             let seq = h.seq;
-            match self.grid.with_client(move |c| c.result_archive(seq).cloned()) {
+            match self.grid.with_client_at(self.client_idx, move |c| c.result_archive(seq).cloned())
+            {
                 Some(Some(blob)) => return Ok(blob),
                 Some(None) => {}
                 None => {
@@ -137,7 +166,10 @@ impl<'g> GridClient<'g> {
         let deadline = Instant::now() + timeout;
         let expected = self.submitted - self.cancelled.len() as u64;
         loop {
-            let have = self.grid.with_client(|c| c.results_count() as u64).unwrap_or(0);
+            let have = self
+                .grid
+                .with_client_at(self.client_idx, |c| c.results_count() as u64)
+                .unwrap_or(0);
             if have >= expected {
                 return Ok(());
             }

@@ -93,6 +93,12 @@ pub struct ClientActor {
     log: SenderLog<JobSpec>,
     next_plan_idx: usize,
     results: BTreeMap<u64, ResultRec>,
+    /// Seqs of held results not yet acknowledged to the current
+    /// coordinator incarnation — the index behind the per-beat collected
+    /// list, so a steady-state beat is O(unacked), never a walk of the
+    /// whole result history (the client-side mirror of `PeerLog`'s
+    /// unacked index).
+    unacked_results: std::collections::BTreeSet<u64>,
     /// Seqs whose payloads were requested but not yet received:
     /// `(last request, attempts)` — re-requests back off exponentially so
     /// large archives in flight are not requested again every beat.
@@ -137,6 +143,8 @@ impl ClientActor {
                 actor.next_plan_idx = d.log.max_seq() as usize;
                 actor.log = d.log;
                 actor.results = d.results;
+                actor.unacked_results =
+                    actor.results.iter().filter(|(_, r)| !r.acked).map(|(&s, _)| s).collect();
                 actor.metrics = d.metrics;
             }
             Box::new(actor)
@@ -153,6 +161,7 @@ impl ClientActor {
             log,
             next_plan_idx: 0,
             results: BTreeMap::new(),
+            unacked_results: std::collections::BTreeSet::new(),
             requested: BTreeMap::new(),
             sent_at: BTreeMap::new(),
             coord_epoch: None,
@@ -283,17 +292,25 @@ impl ClientActor {
         self.check_coordinator_liveness(ctx);
         let now = ctx.now();
         let Some((_, node)) = self.coordinator(now) else { return };
-        // Ack results that are durable locally and not yet acked.
+        // Ack results that are durable locally and not yet acked — served
+        // from the unacked index, O(unacked) per beat.  Windowed: after an
+        // incarnation change every held result is re-announced, and a
+        // long-lived client must not fold its whole history into one beat —
+        // the remainder rides the following beats (only what this beat
+        // carries is marked acked below).
+        const MAX_COLLECTED_PER_BEAT: usize = 512;
         let collected: Vec<u64> = self
-            .results
+            .unacked_results
             .iter()
-            .filter(|(_, r)| !r.acked && r.durable_at <= now)
-            .map(|(&s, _)| s)
+            .filter(|s| self.results.get(s).is_some_and(|r| r.durable_at <= now))
+            .copied()
+            .take(MAX_COLLECTED_PER_BEAT)
             .collect();
         for s in &collected {
             if let Some(r) = self.results.get_mut(s) {
                 r.acked = true;
             }
+            self.unacked_results.remove(s);
         }
         ctx.send(
             node,
@@ -321,6 +338,7 @@ impl ClientActor {
                 seq,
                 ResultRec { archive: r.archive, durable_at: out.durable_at, acked: false },
             );
+            self.unacked_results.insert(seq);
             self.metrics.results_received.insert(seq, now);
         }
         if self.metrics.done_at.is_none()
@@ -347,6 +365,16 @@ impl ClientActor {
             if self.coord_epoch.is_some() {
                 self.sent_at.clear();
                 self.requested.clear();
+                // Re-announce every durably held result as collected: a
+                // promoted successor (or a restarted primary whose last GC
+                // predates our acks) may have missed the collection
+                // acknowledgements, and without them it would queue the
+                // delivered jobs for pointless re-execution.  Re-acking is
+                // idempotent on the coordinator side.
+                for r in self.results.values_mut() {
+                    r.acked = false;
+                }
+                self.unacked_results = self.results.keys().copied().collect();
             }
             self.coord_epoch = current;
             self.acked_max = 0;

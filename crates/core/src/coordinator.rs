@@ -33,7 +33,7 @@ pub struct ReplRound {
     pub started: SimTime,
     /// Acknowledgement arrival.
     pub acked_at: Option<SimTime>,
-    /// Job + task records carried.
+    /// Delta rows carried (jobs, tasks, marks, collection acks).
     pub records: u64,
     /// Modelled bytes transferred.
     pub bytes: u64,
@@ -59,6 +59,10 @@ pub struct CoordMetrics {
     pub coordinator_suspicions: u64,
     /// Jobs re-executed because their archive was unrecoverable.
     pub reexecutions: u64,
+    /// Collection acknowledgements learned through replication deltas —
+    /// jobs this coordinator, once promoted, will neither re-execute nor
+    /// re-acquire because the old primary's client already collected them.
+    pub collected_marks_applied: u64,
 }
 
 /// State surviving a coordinator crash: the database (MySQL + archive
@@ -228,12 +232,29 @@ impl CoordinatorActor {
         let mut replied = false;
         // Peer-wise comparison: of the offered archives, which do we lack?
         // (`wants_archive` also rules out `Collected` jobs — a delivered
-        // and reclaimed result must not be re-acquired.)
+        // and reclaimed result must not be re-acquired.)  Offers that are
+        // settled — archive already stored here, or the client durably
+        // collected the result — are acknowledged explicitly: the server's
+        // only other ack path is the archive request we will never send,
+        // so staying silent would strand its log entry (re-offered forever,
+        // never GC-eligible).  Offers for jobs unknown here stay pending:
+        // replication may still teach us we need them.
         if !offered.is_empty() {
-            let needed: Vec<JobKey> =
-                offered.into_iter().filter(|j| self.db.wants_archive(j)).collect();
+            let mut needed = Vec::new();
+            let mut settled = Vec::new();
+            for job in offered {
+                if self.db.wants_archive(&job) {
+                    needed.push(job);
+                } else if self.db.has_collected_knowledge(&job) || self.db.archive(&job).is_some() {
+                    settled.push(job);
+                }
+            }
             if !needed.is_empty() {
                 ctx.send(from, Msg::NeedArchives { jobs: needed });
+                replied = true;
+            }
+            if !settled.is_empty() {
+                ctx.send(from, Msg::ArchivesSettled { jobs: settled });
                 replied = true;
             }
         }
@@ -370,7 +391,16 @@ impl CoordinatorActor {
         // its origin are held once more.
         self.released.remove(&peer);
         let head = delta.head_version;
+        // Collection acknowledgements that are news here: once applied,
+        // the jobs leave the missing-archive watch list for good —
+        // delivered work must not sit in the re-execution pipeline.
+        let newly_collected: Vec<JobKey> =
+            delta.collected().filter(|j| !self.db.has_collected_knowledge(j)).collect();
         let charge = self.db.apply_delta(&delta);
+        for job in &newly_collected {
+            self.missing_since.remove(job);
+        }
+        self.metrics.collected_marks_applied += newly_collected.len() as u64;
         let done = self.pay(ctx, charge);
         self.refresh_missing(now);
         self.record_completion(now);
@@ -432,8 +462,8 @@ impl CoordinatorActor {
         let delta = self.db.delta_since(base);
         // Building the delta reads every changed row (and only those: the
         // version index makes this O(changed), not O(tables)).
-        let read_ops = 1 + (delta.jobs.len() + delta.tasks.len()) as u64;
-        let records = (delta.jobs.len() + delta.tasks.len()) as u64;
+        let read_ops = 1 + delta.len() as u64;
+        let records = delta.len() as u64;
         let done = ctx.db(read_ops, 0);
         let head = delta.head_version;
         self.inflight_repl = Some((succ, head, now));

@@ -11,7 +11,8 @@
 //! where many submitters share one coordinator set.  Client `i` gets
 //! identity `ClientKey::new(i + 1, 1)` and plan `i`; the single-client
 //! accessors ([`SimGrid::client`], [`SimGrid::client_results`]) keep
-//! working as aliases for client 0.
+//! working as aliases for client 0.  On a live grid each tenant gets its
+//! own API handle (`GridClient::at(&grid, i)`), bound to client actor `i`.
 
 use rpcv_simnet::{HostSpec, LinkParams, NodeId, SimDuration, SimTime, World};
 use rpcv_xw::{ClientKey, CoordId, SandboxLimits, ServerId, ServiceRegistry};

@@ -160,6 +160,17 @@ pub enum Msg {
         /// Jobs whose archives should be re-sent.
         jobs: Vec<JobKey>,
     },
+    /// Of the archives the server offered, these are settled: the result
+    /// is already stored here or was durably delivered to the client
+    /// (`Collected`), so the server's retained copy will never be
+    /// requested.  Acknowledges the offer exactly like a `TaskDoneAck`
+    /// would, letting the server's pessimistic log reclaim the archive —
+    /// without this, a server whose original ack was lost to a
+    /// coordinator crash would re-offer a delivered result forever.
+    ArchivesSettled {
+        /// Jobs the server may mark acknowledged.
+        jobs: Vec<JobKey>,
+    },
 
     // ----- coordinator ↔ coordinator ---------------------------------------------
     /// Passive-replication push to the ring successor.
@@ -224,6 +235,7 @@ const TAGS: &[(&str, u8)] = &[
     ("ReplAck", 14),
     ("ApiSubmit", 15),
     ("ReplArchives", 16),
+    ("ArchivesSettled", 17),
 ];
 
 impl Msg {
@@ -251,6 +263,7 @@ impl Msg {
             Msg::ReplAck { .. } => 14,
             Msg::ApiSubmit { .. } => 15,
             Msg::ReplArchives { .. } => 16,
+            Msg::ArchivesSettled { .. } => 17,
         }
     }
 
@@ -270,7 +283,7 @@ impl Msg {
             Msg::ResultsReply { results } => results.iter().map(|r| extra(&r.archive)).sum(),
             Msg::TaskDone { archive, .. } => extra(archive),
             Msg::Assign { task } => extra(&task.params),
-            Msg::ReplDelta { delta, .. } => delta.jobs.iter().map(|j| extra(&j.params)).sum(),
+            Msg::ReplDelta { delta, .. } => delta.jobs().map(|j| extra(&j.params)).sum(),
             Msg::ReplArchives { results, .. } => results.iter().map(|r| extra(&r.archive)).sum(),
             Msg::ApiSubmit { params, .. } => extra(params),
             _ => 0,
@@ -332,6 +345,7 @@ impl WireEncode for Msg {
                 job.encode(w);
             }
             Msg::NeedArchives { jobs } => jobs.encode(w),
+            Msg::ArchivesSettled { jobs } => jobs.encode(w),
             Msg::ReplDelta { delta, want_archives } => {
                 delta.encode(w);
                 want_archives.encode(w);
@@ -415,6 +429,7 @@ impl WireDecode for Msg {
                 from: CoordId::decode(r)?,
                 results: Vec::<RpcResult>::decode(r)?,
             },
+            17 => Msg::ArchivesSettled { jobs: Vec::<JobKey>::decode(r)? },
             tag => return Err(WireError::InvalidTag { ty: "Msg", tag: tag as u64 }),
         })
     }
@@ -471,6 +486,7 @@ mod tests {
             Msg::NoWork,
             Msg::TaskDoneAck { task: TaskId(7), job: JobKey::new(ClientKey::new(1, 2), 1) },
             Msg::NeedArchives { jobs: vec![JobKey::new(ClientKey::new(1, 2), 1)] },
+            Msg::ArchivesSettled { jobs: vec![JobKey::new(ClientKey::new(1, 2), 2)] },
             Msg::ReplAck { from: CoordId(1), head_version: 42 },
             Msg::ReplArchives {
                 from: CoordId(2),

@@ -52,6 +52,12 @@ impl LiveGrid {
         &self.handle
     }
 
+    /// Number of client actors wired into the grid (one
+    /// [`crate::api::GridClient`] handle each, via `GridClient::at`).
+    pub fn client_count(&self) -> usize {
+        self.clients.len()
+    }
+
     /// Runs a closure against the world on the driver thread.
     pub fn with<R, F>(&self, f: F) -> Option<R>
     where

@@ -177,6 +177,12 @@ impl ServerActor {
         self.running.len()
     }
 
+    /// Result archives retained in the log without a coordinator
+    /// acknowledgement (harness inspection).
+    pub fn unacked_results(&self) -> usize {
+        self.plog.unacked_len()
+    }
+
     fn coordinator(&mut self, now: SimTime) -> Option<(CoordId, NodeId)> {
         let id = match self.current_coord {
             Some(c) if self.coords.is_eligible(c.0, now) => c,
@@ -232,10 +238,12 @@ impl ServerActor {
         let want = capacity.saturating_sub(self.running.len() + self.backlog.len()) as u32;
         // Offer unacknowledged archives (the peer-wise comparison half),
         // excluding those whose delivery is plausibly still in flight.
+        // Served from the log's maintained unacked index: a long-lived
+        // server with a large acknowledged history pays O(unacked) per
+        // beat, not O(log entries).
         let offered: Vec<JobKey> = self
             .plog
-            .iter()
-            .filter(|e| !e.acked)
+            .iter_unacked()
             .filter(|e| self.may_send_result(ctx, &e.value.job, e.value.archive.len()))
             .take(64)
             .map(|e| e.value.job)
@@ -424,6 +432,19 @@ impl Actor<Msg> for ServerActor {
             Msg::NeedArchives { jobs } => {
                 self.last_reply = Some(ctx.now());
                 self.resend_archives(ctx, jobs);
+            }
+            Msg::ArchivesSettled { jobs } => {
+                // The coordinator will never request these (stored there or
+                // delivered to the client): acknowledge them so the log can
+                // reclaim the archives and the offer window frees up.
+                self.last_reply = Some(ctx.now());
+                if let Some(c) = self.current_coord {
+                    self.coords.trust(c.0);
+                }
+                for job in jobs {
+                    self.plog.ack((job.client.as_peer(), job.seq));
+                    self.result_sent_at.remove(&job);
+                }
             }
             _ => {}
         }

@@ -12,7 +12,7 @@
 //! logging protocol is necessarily pessimistic" — the archive only exists
 //! once it is fully written.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use rpcv_simnet::{Disk, SimTime};
 
@@ -40,6 +40,10 @@ pub struct PeerEntry<T> {
 #[derive(Debug, Clone)]
 pub struct PeerLog<T> {
     entries: BTreeMap<PeerKey, PeerEntry<T>>,
+    /// Keys of entries no coordinator acknowledged yet — maintained at
+    /// every append/ack/crash so the per-beat offer scan is O(unacked),
+    /// not O(log entries).  Scan reference: [`Self::unacked_scan`].
+    unacked: BTreeSet<PeerKey>,
     gc: GcPolicy,
     bytes: u64,
 }
@@ -47,7 +51,7 @@ pub struct PeerLog<T> {
 impl<T: Clone> PeerLog<T> {
     /// Empty log under `gc`.
     pub fn new(gc: GcPolicy) -> Self {
-        PeerLog { entries: BTreeMap::new(), gc, bytes: 0 }
+        PeerLog { entries: BTreeMap::new(), unacked: BTreeSet::new(), gc, bytes: 0 }
     }
 
     /// Number of retained archives.
@@ -85,6 +89,7 @@ impl<T: Clone> PeerLog<T> {
         {
             self.bytes -= old.size;
         }
+        self.unacked.insert(key);
         self.bytes += size;
         out.durable_at
     }
@@ -98,6 +103,7 @@ impl<T: Clone> PeerLog<T> {
     pub fn ack(&mut self, key: PeerKey) {
         if let Some(e) = self.entries.get_mut(&key) {
             e.acked = true;
+            self.unacked.remove(&key);
         }
     }
 
@@ -128,6 +134,8 @@ impl<T: Clone> PeerLog<T> {
         let before = self.entries.len();
         self.entries.retain(|_, e| e.durable_at <= now);
         self.bytes = self.entries.values().map(|e| e.size).sum();
+        let entries = &self.entries;
+        self.unacked.retain(|k| entries.contains_key(k));
         before - self.entries.len()
     }
 
@@ -155,6 +163,25 @@ impl<T: Clone> PeerLog<T> {
     /// Iterates retained entries in key order.
     pub fn iter(&self) -> impl Iterator<Item = &PeerEntry<T>> {
         self.entries.values()
+    }
+
+    /// Iterates entries not yet acknowledged by any coordinator, in key
+    /// order — the server's per-beat archive offer.  Served from the
+    /// maintained unacked index: O(unacked), never a walk of the whole log.
+    pub fn iter_unacked(&self) -> impl Iterator<Item = &PeerEntry<T>> {
+        self.unacked.iter().filter_map(|k| self.entries.get(k))
+    }
+
+    /// Number of unacknowledged entries (O(1)).
+    pub fn unacked_len(&self) -> usize {
+        self.unacked.len()
+    }
+
+    /// Scan-based reference definition of [`Self::iter_unacked`]'s key
+    /// set, kept for the equivalence property tests.
+    #[doc(hidden)]
+    pub fn unacked_scan(&self) -> Vec<PeerKey> {
+        self.entries.values().filter(|e| !e.acked).map(|e| e.key).collect()
     }
 }
 
@@ -221,6 +248,42 @@ mod tests {
         let out = log.collect_garbage();
         assert!(out.dropped >= 4);
         assert!(log.bytes() <= 25);
+    }
+
+    #[test]
+    fn unacked_index_matches_scan_through_lifecycle() {
+        let mut log: PeerLog<String> = PeerLog::new(GcPolicy::bounded(25));
+        let mut disk = Disk::new(DiskSpec::default());
+        let check = |log: &PeerLog<String>| {
+            let via_index: Vec<PeerKey> = log.iter_unacked().map(|e| e.key).collect();
+            assert_eq!(via_index, log.unacked_scan(), "index == scan");
+            assert_eq!(log.unacked_len(), via_index.len());
+        };
+        for i in 0..5u64 {
+            log.append((1, i), "r".into(), 10, SimTime::ZERO, &mut disk);
+            check(&log);
+        }
+        log.ack((1, 1));
+        log.ack((1, 3));
+        log.ack((9, 9)); // unknown key: no-op
+        check(&log);
+        assert_eq!(log.unacked_len(), 3);
+        // Re-appending an acked key makes it unacked again (fresh archive).
+        let settled = log.append((1, 1), "r2".into(), 10, SimTime::ZERO, &mut disk);
+        check(&log);
+        assert_eq!(log.unacked_len(), 4);
+        // GC only reclaims acked entries; the index must not change.
+        log.collect_garbage();
+        check(&log);
+        assert_eq!(log.unacked_len(), 4);
+        // A crash drops non-durable entries from index and log alike (the
+        // FIFO disk makes every earlier append durable by `settled`).
+        let late = log.append((2, 1), "r".into(), 50_000_000, settled, &mut disk);
+        assert!(late > settled);
+        log.survive_crash(settled);
+        check(&log);
+        assert_eq!(log.unacked_len(), 4, "only the in-flight append was lost");
+        assert!(!log.iter_unacked().any(|e| e.key == (2, 1)));
     }
 
     #[test]

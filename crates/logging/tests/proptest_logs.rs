@@ -96,6 +96,34 @@ proptest! {
         }
     }
 
+    /// The maintained unacked index equals its scan reference through
+    /// arbitrary append/ack/crash/GC interleavings (the index serves the
+    /// server's per-beat archive offer, so a divergence would silently
+    /// strand or duplicate result deliveries).
+    #[test]
+    fn peer_unacked_index_matches_scan(ops in proptest::collection::vec(
+        ((0u64..4, 0u64..8), 0u8..4), 1..80)) {
+        let mut log: PeerLog<u64> = PeerLog::new(GcPolicy::bounded(200));
+        let mut disk = Disk::new(DiskSpec::default());
+        let mut t = SimTime::ZERO;
+        for (key, action) in ops {
+            match action {
+                0 | 1 => {
+                    t = log.append(key, 0, 30, t, &mut disk);
+                }
+                2 => log.ack(key),
+                _ => {
+                    // Crash at the current durable horizon, then GC.
+                    log.survive_crash(t);
+                    log.collect_garbage();
+                }
+            }
+            let via_index: Vec<_> = log.iter_unacked().map(|e| e.key).collect();
+            prop_assert_eq!(&via_index, &log.unacked_scan());
+            prop_assert_eq!(log.unacked_len(), via_index.len());
+        }
+    }
+
     /// Peer log byte accounting stays consistent through replaces and GC.
     #[test]
     fn peer_bytes_consistent(ops in proptest::collection::vec(

@@ -7,7 +7,7 @@ use rpcv_wire::Blob;
 use rpcv_xw::{ClientKey, CoordId, JobKey, JobSpec, ServerId, TaskDesc, TaskId, TaskState};
 
 use crate::charge::Charge;
-use crate::delta::{ReplicationDelta, TaskRecord};
+use crate::delta::{DeltaRow, ReplicationDelta, TaskRecord};
 
 /// One stored task row.
 #[derive(Debug, Clone)]
@@ -49,6 +49,9 @@ enum Changed {
     Job(JobKey),
     Task(TaskId),
     Mark(ClientKey),
+    /// The client durably acknowledged collecting this job's result —
+    /// replicated so a promoted successor treats the job as delivered.
+    Collected(JobKey),
 }
 
 #[derive(Debug, Clone)]
@@ -134,6 +137,11 @@ pub struct CoordinatorDb {
     /// from missing-archive re-execution and from archive re-acquisition —
     /// the result was *delivered*; nothing is missing.
     collected_jobs: BTreeSet<JobKey>,
+    /// Current change-index version of each job's collected-knowledge row
+    /// (absent = no collection acknowledged yet).  One entry per job that
+    /// ever reached collected knowledge, moved (never duplicated) on
+    /// re-stamp, so `delta_since` carries collection acks O(changed).
+    collected_pos: BTreeMap<JobKey, u64>,
     /// Per-client catalog change index: `(client, version) → seq`, one
     /// entry per *live* archive row, re-stamped with a fresh version on
     /// every catalog transition.  Backs O(changed)
@@ -178,6 +186,7 @@ impl CoordinatorDb {
             attempts: BTreeMap::new(),
             missing: BTreeSet::new(),
             collected_jobs: BTreeSet::new(),
+            collected_pos: BTreeMap::new(),
             catalog: BTreeMap::new(),
             catalog_removed: BTreeMap::new(),
             catalog_pos: BTreeMap::new(),
@@ -253,6 +262,54 @@ impl CoordinatorDb {
             self.catalog_removed.insert((job.client, self.version), job.seq);
         }
         self.catalog_pos.insert(job, self.version);
+    }
+
+    /// Re-stamps `job`'s single collected-knowledge row in the change
+    /// index (0 = first acknowledgement), so replication deltas carry it.
+    fn touch_collected(&mut self, job: JobKey) {
+        let old = self.collected_pos.get(&job).copied().unwrap_or(0);
+        let v = Self::touch(&mut self.changed, &mut self.version, old, Changed::Collected(job));
+        self.collected_pos.insert(job, v);
+    }
+
+    /// True when this coordinator knows `job`'s result was delivered to
+    /// the client: either the retained archive carries the collected flag
+    /// (GC-eligible) or the job already reached the `Collected` terminal
+    /// state (archive reclaimed).
+    pub fn has_collected_knowledge(&self, job: &JobKey) -> bool {
+        self.collected_jobs.contains(job) || self.archives.get(job).is_some_and(|r| r.collected)
+    }
+
+    /// Records the client's durable collection acknowledgement for `job`
+    /// as replicable knowledge.  Idempotent; ignored for jobs unknown here
+    /// (the job row always precedes its collected row in a version-ordered
+    /// delta, so this only drops acks for jobs we never heard of at all).
+    /// Returns true when the knowledge is news.
+    fn note_collected(&mut self, job: JobKey) -> bool {
+        if self.collected_jobs.contains(&job) {
+            return false;
+        }
+        if let Some(row) = self.archives.get_mut(&job) {
+            if row.collected {
+                return false;
+            }
+            // Archive retained here: flag it GC-eligible and replicate the
+            // acknowledgement.
+            row.collected = true;
+            self.touch_collected(job);
+            return true;
+        }
+        if !self.jobs.contains_key(&job) {
+            return false;
+        }
+        // No archive held: delivered knowledge is terminal — the job must
+        // never be re-executed or re-acquired just because the archive is
+        // elsewhere (or gone).
+        self.collected_jobs.insert(job);
+        self.mark_job_finished(job);
+        self.missing.remove(&job);
+        self.touch_collected(job);
+        true
     }
 
     /// A queue entry's task left the `Pending` state without being popped:
@@ -577,10 +634,17 @@ impl CoordinatorDb {
 
     /// Stores an archive re-sent by a server for a job finished elsewhere.
     /// A `Collected` job's result was already delivered and reclaimed —
-    /// re-storing it would only resurrect a dead catalog entry.
+    /// re-storing it would only resurrect a dead catalog entry.  Archives
+    /// for unknown jobs are refused: every archive pull originates from a
+    /// known finished job, so an unknown key is a stale or misdirected
+    /// hand-off (and an archive row without its job row would break the
+    /// job-before-collected ordering of the replication feed).
     pub fn store_archive(&mut self, job: JobKey, archive: Blob) -> Charge {
         let size = archive.len();
-        if self.archives.contains_key(&job) || self.collected_jobs.contains(&job) {
+        if self.archives.contains_key(&job)
+            || self.collected_jobs.contains(&job)
+            || !self.jobs.contains_key(&job)
+        {
             return Charge::ops(1);
         }
         self.archives.insert(job, ArchiveRow { payload: archive, size, collected: false });
@@ -834,13 +898,16 @@ impl CoordinatorDb {
         self.archives.get(job).map(|r| &r.payload)
     }
 
-    /// Marks results as collected by the client (GC eligibility).
+    /// Marks results as collected by the client (GC eligibility), recording
+    /// the acknowledgement as replicable knowledge.  A known job without a
+    /// retained archive goes straight to the `Collected` terminal state —
+    /// this is how a promoted successor learns collection directly from a
+    /// client's re-acknowledgement when the old primary died before
+    /// replicating it.
     pub fn mark_collected(&mut self, client: ClientKey, seqs: &[u64]) -> Charge {
         let mut ops = 0;
         for &seq in seqs {
-            let key = JobKey { client, seq };
-            if let Some(row) = self.archives.get_mut(&key) {
-                row.collected = true;
+            if self.note_collected(JobKey { client, seq }) {
                 ops += 1;
             }
         }
@@ -875,74 +942,166 @@ impl CoordinatorDb {
     ///
     /// A range read over the version-ordered change index: only rows with
     /// `version > base` are visited — O(changed · log n), independent of
-    /// table size.  Client marks are versioned like any other row, so a
-    /// steady-state round carries only the marks that actually moved
-    /// (the full-table predecessor re-sent every known client each round).
+    /// table size.  Client marks and collection acknowledgements are
+    /// versioned like any other row, so a steady-state round carries only
+    /// the marks that actually moved and the collections acknowledged
+    /// since the last round (the full-table predecessor re-sent every
+    /// known client each round).  Rows come out in version order, which
+    /// guarantees a job row precedes its task and collected rows.
     pub fn delta_since(&self, base: u64) -> ReplicationDelta {
-        let mut jobs = Vec::new();
-        let mut tasks = Vec::new();
-        let mut client_marks = Vec::new();
+        let mut rows = Vec::new();
         for (_, r) in
             self.changed.range((std::ops::Bound::Excluded(base), std::ops::Bound::Unbounded))
         {
             match *r {
                 Changed::Job(key) => {
                     if let Some(row) = self.jobs.get(&key) {
-                        jobs.push(row.spec.clone());
+                        rows.push(DeltaRow::Job(row.spec.clone()));
                     }
                 }
                 Changed::Task(id) => {
                     if let Some(row) = self.tasks.get(&id) {
-                        tasks.push(TaskRecord {
+                        rows.push(DeltaRow::Task(TaskRecord {
                             id: row.desc.id,
                             job: row.desc.job,
                             attempt: row.desc.attempt,
                             state: row.state,
                             origin: row.origin,
-                        });
+                        }));
                     }
                 }
                 Changed::Mark(client) => {
                     if let Some(row) = self.client_max.get(&client) {
-                        client_marks.push((client, row.mark));
+                        rows.push(DeltaRow::Mark { client, mark: row.mark });
+                    }
+                }
+                Changed::Collected(job) => {
+                    if self.has_collected_knowledge(&job) {
+                        rows.push(DeltaRow::Collected { job });
                     }
                 }
             }
         }
-        ReplicationDelta {
-            from: self.me,
-            base_version: base,
-            head_version: self.version,
-            jobs,
-            tasks,
-            client_marks,
-        }
+        ReplicationDelta { from: self.me, base_version: base, head_version: self.version, rows }
     }
 
     /// Full-table-scan reference definition of [`Self::delta_since`], kept
     /// for the equivalence property tests and the micro-bench comparison.
-    /// (Marks carry no per-row version in this definition, so it re-sends
-    /// every known client's mark, as the pre-index implementation did.)
+    /// (Marks and collection acknowledgements carry no per-row version in
+    /// this definition, so it re-sends every known client's mark and every
+    /// collected job, as a pre-index implementation would.)
     #[doc(hidden)]
     pub fn delta_since_scan(&self, base: u64) -> ReplicationDelta {
+        let jobs =
+            self.jobs.values().filter(|r| r.version > base).map(|r| DeltaRow::Job(r.spec.clone()));
+        let tasks = self.tasks.values().filter(|r| r.version > base).map(|r| {
+            DeltaRow::Task(TaskRecord {
+                id: r.desc.id,
+                job: r.desc.job,
+                attempt: r.desc.attempt,
+                state: r.state,
+                origin: r.origin,
+            })
+        });
+        let marks =
+            self.client_max.iter().map(|(&c, r)| DeltaRow::Mark { client: c, mark: r.mark });
+        let collected = self
+            .collected_jobs
+            .iter()
+            .copied()
+            .chain(self.archives.iter().filter(|(_, r)| r.collected).map(|(&k, _)| k))
+            .map(|job| DeltaRow::Collected { job });
         ReplicationDelta {
             from: self.me,
             base_version: base,
             head_version: self.version,
-            jobs: self.jobs.values().filter(|r| r.version > base).map(|r| r.spec.clone()).collect(),
-            tasks: self
-                .tasks
-                .values()
-                .filter(|r| r.version > base)
-                .map(|r| TaskRecord {
-                    id: r.desc.id,
-                    job: r.desc.job,
-                    attempt: r.desc.attempt,
-                    state: r.state,
-                    origin: r.origin,
-                })
-                .collect(),
-            client_marks: self.client_max.iter().map(|(&c, r)| (c, r.mark)).collect(),
+            rows: jobs.chain(tasks).chain(marks).chain(collected).collect(),
+        }
+    }
+
+    /// Applies one replicated job description.
+    fn apply_job_row(&mut self, spec: &JobSpec) -> Charge {
+        let key = spec.key;
+        let charge = if !self.jobs.contains_key(&key) {
+            let params_len = spec.params.len();
+            let v = Self::touch(&mut self.changed, &mut self.version, 0, Changed::Job(key));
+            self.jobs.insert(key, JobRow { spec: spec.clone(), version: v });
+            Charge::db(1, params_len)
+        } else {
+            Charge::ops(1)
+        };
+        self.note_mark(key.client, key.seq);
+        charge
+    }
+
+    /// Applies one replicated task row under the paper's merge rules.
+    fn apply_task_row(&mut self, rec: &TaskRecord) {
+        let Some(spec) = self.jobs.get(&rec.job).map(|r| r.spec.clone()) else {
+            return; // task for an unknown job: ignore (will come later)
+        };
+        // Deferred past the row borrow: finished-job bookkeeping needs
+        // `&mut self` as a whole.
+        let mut newly_finished = false;
+        match self.tasks.get_mut(&rec.id) {
+            None => {
+                let v = Self::touch(&mut self.changed, &mut self.version, 0, Changed::Task(rec.id));
+                let next = self.attempts.entry(rec.job).or_insert(0);
+                *next = (*next).max(rec.attempt + 1);
+                let desc = TaskDesc {
+                    id: rec.id,
+                    job: rec.job,
+                    attempt: rec.attempt,
+                    service: spec.service.clone(),
+                    cmdline: spec.cmdline.clone(),
+                    params: spec.params.clone(),
+                    exec_cost: spec.exec_cost,
+                    result_size_hint: spec.result_size_hint,
+                };
+                self.tasks.insert(
+                    rec.id,
+                    TaskRow {
+                        desc,
+                        state: rec.state,
+                        origin: rec.origin,
+                        locally_dispatched: false,
+                        version: v,
+                    },
+                );
+                match rec.state {
+                    TaskState::Pending => self.push_pending(rec.id, rec.job),
+                    TaskState::Ongoing { .. } => {} // held until release_origin
+                    TaskState::Finished { result_size } => {
+                        newly_finished = result_size > 0;
+                    }
+                }
+            }
+            Some(row) => {
+                if state_rank(&rec.state) > state_rank(&row.state) {
+                    if matches!(row.state, TaskState::Pending) {
+                        Self::entry_died(
+                            &mut self.queued_live,
+                            &mut self.pending_by_job,
+                            &mut self.pending_live,
+                            &self.finished_jobs,
+                            rec.job,
+                        );
+                    }
+                    row.state = rec.state;
+                    let v = Self::touch(
+                        &mut self.changed,
+                        &mut self.version,
+                        row.version,
+                        Changed::Task(rec.id),
+                    );
+                    row.version = v;
+                    if let TaskState::Finished { result_size } = rec.state {
+                        newly_finished = result_size > 0;
+                    }
+                }
+            }
+        }
+        if newly_finished {
+            self.mark_job_finished(rec.job);
         }
     }
 
@@ -952,93 +1111,26 @@ impl CoordinatorDb {
     /// peer is *held* (not schedulable) until [`Self::release_origin`];
     /// pending becomes locally schedulable.  State precedence
     /// finished > ongoing > pending prevents downgrades from stale deltas.
+    /// Collection acknowledgements are terminal knowledge: a collected job
+    /// is exempt from re-execution and archive re-acquisition here exactly
+    /// as it was on the sender.  Rows are applied in the sender's version
+    /// order, which places every job before the task/collected rows that
+    /// reference it.
     pub fn apply_delta(&mut self, delta: &ReplicationDelta) -> Charge {
         let mut charge = Charge::ops(1);
-        for spec in &delta.jobs {
-            let key = spec.key;
-            if !self.jobs.contains_key(&key) {
-                let params_len = spec.params.len();
-                let v = Self::touch(&mut self.changed, &mut self.version, 0, Changed::Job(key));
-                self.jobs.insert(key, JobRow { spec: spec.clone(), version: v });
-                charge += Charge::db(1, params_len);
-            } else {
-                charge += Charge::ops(1);
-            }
-            self.note_mark(key.client, key.seq);
-        }
-        for rec in &delta.tasks {
-            charge += Charge::ops(1);
-            let Some(spec) = self.jobs.get(&rec.job).map(|r| r.spec.clone()) else {
-                continue; // task for an unknown job: ignore (will come later)
-            };
-            // Deferred past the row borrow: finished-job bookkeeping needs
-            // `&mut self` as a whole.
-            let mut newly_finished = false;
-            match self.tasks.get_mut(&rec.id) {
-                None => {
-                    let v =
-                        Self::touch(&mut self.changed, &mut self.version, 0, Changed::Task(rec.id));
-                    let next = self.attempts.entry(rec.job).or_insert(0);
-                    *next = (*next).max(rec.attempt + 1);
-                    let desc = TaskDesc {
-                        id: rec.id,
-                        job: rec.job,
-                        attempt: rec.attempt,
-                        service: spec.service.clone(),
-                        cmdline: spec.cmdline.clone(),
-                        params: spec.params.clone(),
-                        exec_cost: spec.exec_cost,
-                        result_size_hint: spec.result_size_hint,
-                    };
-                    self.tasks.insert(
-                        rec.id,
-                        TaskRow {
-                            desc,
-                            state: rec.state,
-                            origin: rec.origin,
-                            locally_dispatched: false,
-                            version: v,
-                        },
-                    );
-                    match rec.state {
-                        TaskState::Pending => self.push_pending(rec.id, rec.job),
-                        TaskState::Ongoing { .. } => {} // held until release_origin
-                        TaskState::Finished { result_size } => {
-                            newly_finished = result_size > 0;
-                        }
-                    }
+        for row in &delta.rows {
+            match row {
+                DeltaRow::Job(spec) => charge += self.apply_job_row(spec),
+                DeltaRow::Task(rec) => {
+                    charge += Charge::ops(1);
+                    self.apply_task_row(rec);
                 }
-                Some(row) => {
-                    if state_rank(&rec.state) > state_rank(&row.state) {
-                        if matches!(row.state, TaskState::Pending) {
-                            Self::entry_died(
-                                &mut self.queued_live,
-                                &mut self.pending_by_job,
-                                &mut self.pending_live,
-                                &self.finished_jobs,
-                                rec.job,
-                            );
-                        }
-                        row.state = rec.state;
-                        let v = Self::touch(
-                            &mut self.changed,
-                            &mut self.version,
-                            row.version,
-                            Changed::Task(rec.id),
-                        );
-                        row.version = v;
-                        if let TaskState::Finished { result_size } = rec.state {
-                            newly_finished = result_size > 0;
-                        }
-                    }
+                DeltaRow::Mark { client, mark } => self.note_mark(*client, *mark),
+                DeltaRow::Collected { job } => {
+                    charge += Charge::ops(1);
+                    self.note_collected(*job);
                 }
             }
-            if newly_finished {
-                self.mark_job_finished(rec.job);
-            }
-        }
-        for &(client, mark) in &delta.client_marks {
-            self.note_mark(client, mark);
         }
         self.maybe_compact_pending();
         charge
@@ -1231,8 +1323,8 @@ mod tests {
         primary.complete_task(tb.id, tb.job, Blob::synthetic(10, 0), ServerId(2));
 
         let delta = primary.delta_since(0);
-        assert_eq!(delta.jobs.len(), 3);
-        assert_eq!(delta.tasks.len(), 3);
+        assert_eq!(delta.jobs().count(), 3);
+        assert_eq!(delta.tasks().count(), 3);
 
         let mut backup = CoordinatorDb::new(CoordId(2));
         backup.apply_delta(&delta);
@@ -1258,11 +1350,11 @@ mod tests {
         d.register_job(job(1));
         let v1 = d.version();
         let delta1 = d.delta_since(0);
-        assert_eq!(delta1.jobs.len(), 1);
+        assert_eq!(delta1.jobs().count(), 1);
         d.register_job(job(2));
         let delta2 = d.delta_since(v1);
-        assert_eq!(delta2.jobs.len(), 1, "only the new job since v1");
-        assert_eq!(delta2.jobs[0].key.seq, 2);
+        assert_eq!(delta2.jobs().count(), 1, "only the new job since v1");
+        assert_eq!(delta2.jobs().next().unwrap().key.seq, 2);
     }
 
     #[test]
@@ -1276,8 +1368,10 @@ mod tests {
 
         // Build a stale delta claiming the task is still pending.
         let mut stale = full.clone();
-        for rec in &mut stale.tasks {
-            rec.state = TaskState::Pending;
+        for row in &mut stale.rows {
+            if let DeltaRow::Task(rec) = row {
+                rec.state = TaskState::Pending;
+            }
         }
 
         let mut backup = CoordinatorDb::new(CoordId(2));
@@ -1511,5 +1605,104 @@ mod tests {
         let mut b = CoordinatorDb::new(CoordId(2));
         b.apply_delta(&a.delta_since(0));
         assert_eq!(b.client_max(ClientKey::new(1, 1)), 5);
+    }
+
+    /// Runs one job to completion on `d` and returns its key.
+    fn complete_one(d: &mut CoordinatorDb, size: u64) -> JobKey {
+        let (t, _) = d.next_pending(ServerId(1), T0);
+        let t = t.unwrap();
+        d.complete_task(t.id, t.job, Blob::synthetic(size, 0), ServerId(1));
+        t.job
+    }
+
+    #[test]
+    fn collected_knowledge_replicates_after_gc() {
+        // The ROADMAP "Collected is local knowledge" leak: the primary's
+        // client collected and GC reclaimed; the replica must learn it
+        // through the delta and refuse re-execution/re-acquisition.
+        let client = ClientKey::new(1, 1);
+        let mut primary = db();
+        primary.register_job(job(1));
+        let key = complete_one(&mut primary, 500);
+        primary.mark_collected(client, &[1]);
+        primary.gc_collected();
+        let delta = primary.delta_since(0);
+        assert_eq!(delta.collected().collect::<Vec<_>>(), vec![key]);
+        let mut backup = CoordinatorDb::new(CoordId(2));
+        backup.apply_delta(&delta);
+        assert!(backup.is_collected(&key));
+        assert!(backup.missing_archives().is_empty(), "delivered is not missing");
+        assert_eq!(backup.missing_archives(), backup.missing_archives_scan());
+        assert!(!backup.wants_archive(&key), "no archive re-acquisition");
+        let (tid, _) = backup.reexecute_job(key);
+        assert!(tid.is_none(), "re-execution refused for replicated-collected jobs");
+        let (none, _) = backup.next_pending(ServerId(7), T0);
+        assert!(none.is_none(), "nothing schedulable");
+    }
+
+    #[test]
+    fn collected_flag_replicates_before_gc() {
+        // Collection acks travel as soon as the client acknowledged —
+        // before any GC ran on the primary (the archive is still held
+        // there, merely flagged).
+        let client = ClientKey::new(1, 1);
+        let mut primary = db();
+        primary.register_job(job(1));
+        let key = complete_one(&mut primary, 100);
+        primary.mark_collected(client, &[1]);
+        assert!(primary.has_collected_knowledge(&key));
+        assert!(!primary.is_collected(&key), "archive still retained on the primary");
+        let mut backup = CoordinatorDb::new(CoordId(2));
+        backup.apply_delta(&primary.delta_since(0));
+        assert!(backup.is_collected(&key), "no archive here ⇒ terminal collected");
+        assert!(!backup.wants_archive(&key));
+        assert!(backup.missing_archives().is_empty());
+    }
+
+    #[test]
+    fn collected_rows_are_incremental_and_idempotent() {
+        let client = ClientKey::new(1, 1);
+        let mut primary = db();
+        primary.register_job(job(1));
+        complete_one(&mut primary, 100);
+        let v = primary.version();
+        primary.mark_collected(client, &[1]);
+        let delta = primary.delta_since(v);
+        assert_eq!(delta.collected().count(), 1, "only the fresh acknowledgement");
+        assert_eq!(delta.jobs().count(), 0, "the job row did not move");
+        // Re-acknowledging changes nothing: no version churn, empty delta.
+        let v2 = primary.version();
+        primary.mark_collected(client, &[1]);
+        assert_eq!(primary.version(), v2, "idempotent re-ack does not re-stamp");
+        assert!(primary.delta_since(v2).is_empty());
+        // Applying the same collected row twice on a replica is a no-op.
+        let mut backup = CoordinatorDb::new(CoordId(2));
+        backup.apply_delta(&primary.delta_since(0));
+        let v3 = backup.version();
+        backup.apply_delta(&primary.delta_since(0));
+        assert_eq!(backup.version(), v3);
+    }
+
+    #[test]
+    fn client_reack_on_successor_records_collected() {
+        // A promoted successor that only knows "finished without archive"
+        // learns delivery straight from the client's re-acknowledgement.
+        let client = ClientKey::new(1, 1);
+        let mut primary = db();
+        primary.register_job(job(1));
+        let key = complete_one(&mut primary, 100);
+        let mut backup = CoordinatorDb::new(CoordId(2));
+        // Replicate *without* the collection (the primary died first).
+        backup.apply_delta(&primary.delta_since(0));
+        assert_eq!(backup.missing_archives(), vec![key]);
+        backup.mark_collected(client, &[1]);
+        assert!(backup.is_collected(&key));
+        assert!(backup.missing_archives().is_empty());
+        assert_eq!(backup.missing_archives(), backup.missing_archives_scan());
+        let (tid, _) = backup.reexecute_job(key);
+        assert!(tid.is_none());
+        // Acks for jobs never heard of are dropped, not recorded.
+        backup.mark_collected(client, &[99]);
+        assert!(!backup.is_collected(&JobKey { client, seq: 99 }));
     }
 }

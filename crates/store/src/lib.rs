@@ -30,4 +30,4 @@ pub mod delta;
 
 pub use charge::Charge;
 pub use db::{CatalogDelta, CompleteOutcome, CoordinatorDb, TaskRow};
-pub use delta::{ReplicationDelta, TaskRecord};
+pub use delta::{DeltaRow, ReplicationDelta, TaskRecord};

@@ -147,8 +147,12 @@ proptest! {
                     }
                 }
                 6 => {
+                    // Sometimes ack-without-GC: the flagged-but-retained
+                    // archive state must also surface as a collected row.
                     a.mark_collected(client, &[seq]);
-                    let _ = a.gc_collected();
+                    if aux % 2 == 0 {
+                        let _ = a.gc_collected();
+                    }
                 }
                 7 => {
                     a.store_archive(JobKey::new(client, seq), Blob::synthetic(8, seq));
@@ -201,21 +205,35 @@ proptest! {
                 let idx = a.delta_since(base);
                 let scan = a.delta_since_scan(base);
                 prop_assert_eq!(idx.head_version, scan.head_version);
-                let mut ij: Vec<_> = idx.jobs.iter().map(|s| s.key).collect();
-                let mut sj: Vec<_> = scan.jobs.iter().map(|s| s.key).collect();
+                let mut ij: Vec<_> = idx.jobs().map(|s| s.key).collect();
+                let mut sj: Vec<_> = scan.jobs().map(|s| s.key).collect();
                 ij.sort();
                 sj.sort();
                 prop_assert_eq!(ij, sj);
-                let mut it = idx.tasks.clone();
-                let mut st = scan.tasks.clone();
+                let mut it: Vec<_> = idx.tasks().cloned().collect();
+                let mut st: Vec<_> = scan.tasks().cloned().collect();
                 it.sort_by_key(|t| t.id);
                 st.sort_by_key(|t| t.id);
                 prop_assert_eq!(it, st);
                 // Marks in the indexed delta carry current values; the scan
                 // reference re-sends every mark, so indexed ⊆ scan.
-                for &(c, m) in &idx.client_marks {
+                let scan_marks: Vec<_> = scan.marks().collect();
+                for (c, m) in idx.marks() {
                     prop_assert_eq!(m, a.client_max(c));
-                    prop_assert!(scan.client_marks.contains(&(c, m)));
+                    prop_assert!(scan_marks.contains(&(c, m)));
+                }
+                // Collected rows carry live knowledge; the scan reference
+                // re-sends every collected job, so indexed ⊆ scan.
+                let scan_collected: std::collections::BTreeSet<_> = scan.collected().collect();
+                for job in idx.collected() {
+                    prop_assert!(a.has_collected_knowledge(&job));
+                    prop_assert!(scan_collected.contains(&job));
+                }
+                // From base 0 the indexed feed covers the complete
+                // collected-knowledge set (one versioned row per job).
+                if base == 0 {
+                    let full: std::collections::BTreeSet<_> = idx.collected().collect();
+                    prop_assert_eq!(full, scan_collected);
                 }
             }
         }
@@ -227,6 +245,16 @@ proptest! {
         prop_assert_eq!(mirror.stats().tasks, full.stats().tasks);
         prop_assert_eq!(mirror.client_max(client), full.client_max(client));
         prop_assert_eq!(mirror.finished_count(), full.finished_count());
+        // Collected knowledge propagated row-for-row: the delta-fed mirror
+        // holds exactly the terminal set a full application produces, and
+        // it never re-executes or re-acquires any of it.
+        prop_assert_eq!(mirror.stats().collected, full.stats().collected);
+        for job in a.delta_since_scan(0).collected() {
+            prop_assert!(mirror.is_collected(&job));
+            prop_assert!(!mirror.wants_archive(&job));
+            let (tid, _) = mirror.reexecute_job(job);
+            prop_assert!(tid.is_none(), "mirror must refuse re-executing collected work");
+        }
     }
 
     /// At-least-once accounting: for any completion order (including

@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""Assert the O(changed) payload invariants on a BENCH_scale.json sweep.
+
+For every pair of cells that differ only in job count, the per-round
+replication payload must stay flat (within 2x, floor 4 KiB): the sweep is
+collected-heavy — clients collect every result and the harness GCs — so a
+regression that re-sends collected knowledge (or any table) per round
+makes the longer run's rounds fatter and trips this.  Mirrors
+`check_delta_flatness` in crates/bench/benches/scale.rs, which gates the
+run itself; this script gates the committed/regenerated artifact.
+
+Usage: check_bench_flatness.py BENCH_scale.json
+"""
+
+import json
+import sys
+
+
+def main() -> None:
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_scale.json"
+    with open(path) as f:
+        doc = json.load(f)
+    grid = doc["grid"]
+    pairs = 0
+    for a in grid:
+        for b in grid:
+            if (a["servers"], a["clients"]) == (b["servers"], b["clients"]) \
+                    and a["jobs"] < b["jobs"]:
+                pairs += 1
+                lo, hi = a["delta_bytes_per_round"], b["delta_bytes_per_round"]
+                assert hi <= max(lo * 2.0, 4096.0), \
+                    f"delta bytes/round grew with run length: {a} -> {b}"
+    assert pairs >= 1, "sweep must include a cell pair differing only in job count"
+    print(f"{path}: delta flatness OK across {pairs} jobs-only cell pair(s)")
+
+
+if __name__ == "__main__":
+    main()

@@ -104,6 +104,111 @@ fn double_crash_optimistic_reexecutes_submissions() {
     assert_eq!(g.client_results(), 8);
 }
 
+/// Complete-knowledge replication: the primary dies *after* the client
+/// durably collected every result but *before* any GC ran.  The promoted
+/// successor learned "finished without archive" for all jobs through
+/// replication — without collected marks in the delta it would schedule
+/// them all for pointless re-execution once the missing-archive horizon
+/// passes (the PR-3 "Collected is local knowledge" leak).  With the
+/// collection acknowledgements riding the same delta, it must re-execute
+/// zero jobs and re-acquire zero archives.
+#[test]
+fn failover_after_collection_never_reexecutes_collected_jobs() {
+    let mut cfg = ProtocolConfig::confined()
+        .with_heartbeat(SimDuration::from_secs(1))
+        .with_suspicion(SimDuration::from_secs(5))
+        // One long replication period: the whole submit→execute→collect
+        // cycle fits before the first round, so the successor learns
+        // "finished" and "collected" from the very same delta.
+        .with_replication_period(SimDuration::from_secs(20));
+    // A short missing-archive timeout so a re-execution leak would fire
+    // well inside the test horizon (the effective horizon still scales to
+    // 3 replication periods = 60 s).
+    cfg.missing_archive_timeout = SimDuration::from_secs(10);
+    let plan: Vec<CallSpec> =
+        (0..8).map(|i| CallSpec::new("b", Blob::synthetic(10_000, i), 2.0, 128)).collect();
+    let mut g = SimGrid::build(GridSpec::confined(2, 4).with_cfg(cfg).with_plan(plan));
+
+    let done = g.run_until_done(SimTime::from_secs(1800)).expect("workload completes");
+    assert!(
+        done < SimTime::from_secs(18),
+        "workload must finish before the first replication round, done at {done:?}"
+    );
+    // Let the collection acks land on the primary (beats) and the t=20s
+    // replication round carry the complete knowledge to the successor.
+    g.world.run_until(SimTime::from_secs(25));
+    let client_key = g.client_key;
+    let jobs: Vec<_> = (1..=8u64).map(|seq| rpcv::xw::JobKey::new(client_key, seq)).collect();
+    {
+        let successor = g.coordinator(1).expect("successor up");
+        assert!(
+            successor.metrics.collected_marks_applied >= 8,
+            "collection acks must arrive through the replication delta, got {}",
+            successor.metrics.collected_marks_applied
+        );
+        for job in &jobs {
+            assert!(successor.db().has_collected_knowledge(job), "collected {job:?} replicated");
+            assert!(!successor.db().wants_archive(job), "no archive re-acquisition for {job:?}");
+        }
+    }
+    let tasks_before = g.coordinator(1).unwrap().db().stats().tasks;
+
+    // The primary dies for good — before any GC ever ran (its archives die
+    // with it).  The successor inherits the grid.
+    g.world.crash_now(g.coords[0].1);
+    g.world.run_until(SimTime::from_secs(150)); // well past the 60 s re-execution horizon
+
+    let successor = g.coordinator(1).expect("successor up");
+    assert_eq!(successor.metrics.reexecutions, 0, "delivered work must never be re-executed");
+    let stats = successor.db().stats();
+    assert_eq!(stats.tasks, tasks_before, "no new instances dispatched after failover");
+    assert_eq!(stats.pending, 0);
+    assert_eq!(stats.ongoing, 0);
+    // The client's results are untouched by the failover.
+    assert_eq!(g.client_results(), 8);
+}
+
+/// A lost `TaskDoneAck` must not strand the server's pessimistic log once
+/// the result is delivered: the coordinator stored the archive but its ack
+/// never reached the server (one-way outage), and by the time the link
+/// heals the client has collected the result.  The coordinator will never
+/// request the offered archive (`Collected` ⇒ not wanted), so it must
+/// *settle* the offer explicitly — otherwise the entry is re-offered
+/// forever and the server's log GC can never reclaim it.
+#[test]
+fn delivered_results_settle_stranded_server_logs() {
+    let cfg = ProtocolConfig::confined().with_heartbeat(SimDuration::from_secs(1));
+    let plan = vec![CallSpec::new("b", Blob::synthetic(10_000, 1), 5.0, 128)];
+    let mut g = SimGrid::build(GridSpec::confined(1, 1).with_cfg(cfg).with_plan(plan));
+    let coord_node = g.coords[0].1;
+    let server_node = g.servers[0].1;
+    // Sever coordinator→server after the assignment is out but before the
+    // 5 s execution completes: the TaskDone gets through, its ack does not.
+    g.world.schedule_control(
+        SimTime::from_secs(3),
+        rpcv::simnet::Control::Block { from: coord_node, to: server_node, bidir: false },
+    );
+    g.world.schedule_control(
+        SimTime::from_secs(20),
+        rpcv::simnet::Control::Unblock { from: coord_node, to: server_node, bidir: false },
+    );
+    g.run_until_done(SimTime::from_secs(1800)).expect("result reaches the client regardless");
+    assert_eq!(g.client_results(), 1);
+    g.world.run_until(SimTime::from_secs(19));
+    assert_eq!(
+        g.server(0).unwrap().unacked_results(),
+        1,
+        "ack lost to the outage: the log entry is stranded until the offer settles"
+    );
+    // After the heal, the next offered beat must come back ArchivesSettled.
+    g.world.run_until(SimTime::from_secs(40));
+    let server = g.server(0).unwrap();
+    assert_eq!(server.unacked_results(), 0, "offer settled, log reclaimable");
+    assert_eq!(server.metrics.archives_resent, 0, "settled, never re-requested");
+    let coord = g.coordinator(0).unwrap();
+    assert_eq!(coord.db().stats().duplicate_results, 0, "no duplicate delivery either");
+}
+
 /// Blocked-on-durability guarantee: under blocking-pessimistic logging a
 /// crash at any instant never loses a submission whose interaction
 /// completed — sweep the crash instant across the whole submission phase.

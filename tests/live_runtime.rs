@@ -115,6 +115,49 @@ fn sandbox_violations_do_not_take_down_the_grid() {
 }
 
 #[test]
+fn per_index_grid_clients_see_no_cross_tenant_results() {
+    // Four tenants on one live grid, one GridClient handle per client
+    // actor.  Each tenant's payloads are distinct, so any cross-tenant
+    // delivery (a result landing at the wrong actor, or a handle reading
+    // another tenant's session) shows up as a wrong decoded value or a
+    // wrong per-actor result count.
+    let spec =
+        GridSpec::confined(2, 4).with_cfg(fast_cfg()).with_registry(registry()).with_clients(4);
+    let grid = LiveGrid::launch(spec, 100.0);
+    assert_eq!(grid.client_count(), 4);
+    let mut clients: Vec<GridClient> = (0..4).map(|i| GridClient::at(&grid, i)).collect();
+    let keys: Vec<_> = clients.iter().map(|c| c.client_key()).collect();
+    assert_eq!(keys.iter().collect::<std::collections::BTreeSet<_>>().len(), 4);
+    let calls_per_tenant = 3u64;
+    let mut handles = Vec::new();
+    for (i, c) in clients.iter_mut().enumerate() {
+        let hs: Vec<_> = (0..calls_per_tenant)
+            .map(|j| {
+                let payload = i as u64 * 1000 + j;
+                c.call_async(CallSpec::new(
+                    "test/double",
+                    Blob::from_vec(to_bytes(&payload)),
+                    0.1,
+                    16,
+                ))
+            })
+            .collect();
+        handles.push(hs);
+    }
+    for (i, c) in clients.iter().enumerate() {
+        c.wait_all(Duration::from_secs(60)).unwrap_or_else(|e| panic!("tenant {i}: {e}"));
+        for (j, h) in handles[i].iter().enumerate() {
+            let v = decode_result(c.wait(*h, Duration::from_secs(10)).expect("result"));
+            assert_eq!(v, (i as u64 * 1000 + j as u64) * 2, "tenant {i} call {j}");
+        }
+        // Exactly its own results — nothing leaked in from other tenants.
+        let count = grid.with_client_at(i, |cl| cl.results_count()).expect("client up");
+        assert_eq!(count, calls_per_tenant as usize, "tenant {i} result count");
+    }
+    grid.shutdown();
+}
+
+#[test]
 fn shutdown_returns_final_world() {
     let spec = GridSpec::confined(1, 1).with_cfg(fast_cfg()).with_registry(registry());
     let grid = LiveGrid::launch(spec, 100.0);
