@@ -67,6 +67,7 @@ fn run_cell(servers: usize, jobs: usize, clients: usize) -> Cell {
         exec_secs: 0.05,
         result_bytes: 64,
         replication: 1,
+        work_units: 1,
         seed: 0x5CA1E,
     };
     let mut spec = GridSpec::confined(2, servers)

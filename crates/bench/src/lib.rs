@@ -8,8 +8,10 @@
 //!
 //! Beyond the figures, `--bench scale` sweeps grid sizes and records the
 //! repo's perf trajectory in `BENCH_scale.json` at the repo root (schema
-//! in ROADMAP.md "Performance notes"), and `--bench micro` includes the
-//! `store_scale` group comparing the incremental coordinator indexes
+//! in ROADMAP.md "Performance notes"), `--bench ckpt` sweeps checkpoint
+//! policies against heterogeneous volatility into `BENCH_ckpt.json`
+//! (wasted work vs checkpoint bytes paid), and `--bench micro` includes
+//! the `store_scale` group comparing the incremental coordinator indexes
 //! against their retained full-scan reference implementations.
 
 use std::fmt::Write as _;

@@ -1,0 +1,40 @@
+//! # rpcv-ckpt — adaptive task checkpointing for volatile servers
+//!
+//! RPC-V's baseline fault handling re-executes a crashed server's task
+//! *from scratch* ("when a coordinator suspects a server failure, it
+//! schedules new instances of all RPC calls forwarded to the suspect",
+//! §4.2) — fine for short tasks, ruinous for long ones on a grid where
+//! node lifetimes are short.  The paper itself flags checkpointing as
+//! future work (§6).  This crate supplies the missing subsystem, following
+//! the interval-adaptation idea of Ni & Harwood's adaptive checkpointing
+//! for P2P volunteer computing (arXiv:0711.3949): checkpoint often on
+//! nodes that die often, rarely on nodes that do not.
+//!
+//! Pieces:
+//!
+//! * [`policy`] — [`CheckpointPolicy`]: off, fixed-interval, or
+//!   [`AdaptiveCheckpoint`], which widens/narrows the interval from the
+//!   node's *observed* volatility;
+//! * [`volatility`] — [`VolatilityObserver`]: a server's running estimate
+//!   of its own mean lifetime, fed by its crash/restart history (the
+//!   durable image carries it across restarts);
+//! * [`frame`] — [`CheckpointFrame`]: the CRC-64-verified wire blob a
+//!   server ships to its coordinator so a successor instance *on a
+//!   different server* can resume from the last durable unit instead of
+//!   unit zero.  Verification uses the shared `rpcv_wire::verify_digest`
+//!   helper (same layout discipline as result archives).
+//!
+//! Tasks declare progress in *work units* (`TaskDesc::work_units`); a
+//! checkpoint records the unit high-water mark plus an opaque state blob.
+//! Resume points are monotone: replaying any prefix of checkpoint uploads
+//! in any order yields a non-decreasing high-water mark (property-tested
+//! in `rpcv-store`, which versions checkpoint knowledge into the
+//! replication delta).
+
+pub mod frame;
+pub mod policy;
+pub mod volatility;
+
+pub use frame::CheckpointFrame;
+pub use policy::{AdaptiveCheckpoint, CheckpointPolicy};
+pub use volatility::VolatilityObserver;

@@ -1,0 +1,111 @@
+//! A server's running estimate of its own volatility.
+//!
+//! Desktop-grid nodes crash with wildly different frequencies — an office
+//! machine rebooted nightly versus a lab server up for months.  The
+//! adaptive checkpoint policy needs a per-node *lifetime* estimate to pick
+//! an interval; this observer provides it from the only signal a node
+//! reliably has about itself: its own crash history (each crash hands the
+//! uptime-at-crash to the durable image, so the estimate survives the
+//! restart it describes).
+
+use rpcv_simnet::SimDuration;
+
+/// Exponentially weighted estimate of a node's mean lifetime.
+///
+/// `alpha = 1/2`: the estimate halves its memory every observation, so a
+/// node whose churn regime changes (overnight idle → busy office hours)
+/// re-converges within a few crashes.  Deterministic — no clock reads, the
+/// caller supplies every uptime.
+#[derive(Debug, Clone, Default)]
+pub struct VolatilityObserver {
+    mean_lifetime: Option<SimDuration>,
+    crashes: u64,
+}
+
+impl VolatilityObserver {
+    /// Fresh observer with no history (the node looks stable until proven
+    /// otherwise).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one crash after `uptime` of continuous execution.
+    pub fn record_crash(&mut self, uptime: SimDuration) {
+        self.mean_lifetime = Some(match self.mean_lifetime {
+            None => uptime,
+            Some(prev) => (prev + uptime) / 2,
+        });
+        self.crashes += 1;
+    }
+
+    /// Current mean-lifetime estimate (`None` until the first crash).
+    pub fn mean_lifetime(&self) -> Option<SimDuration> {
+        self.mean_lifetime
+    }
+
+    /// Lifetime estimate given that the node has *already* survived
+    /// `uptime` this incarnation: the current run is a censored
+    /// observation, so the true lifetime is at least that.  This is what
+    /// lets a formerly volatile node that stabilized widen its interval
+    /// again without waiting for a crash it will never have — and a node
+    /// with no history at all start cautious and earn trust with age.
+    pub fn lifetime_given_uptime(&self, uptime: SimDuration) -> SimDuration {
+        self.mean_lifetime.map_or(uptime, |m| m.max(uptime))
+    }
+
+    /// Crashes observed so far.
+    pub fn crashes(&self) -> u64 {
+        self.crashes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const S: fn(u64) -> SimDuration = SimDuration::from_secs;
+
+    #[test]
+    fn no_history_means_no_estimate() {
+        let v = VolatilityObserver::new();
+        assert_eq!(v.mean_lifetime(), None);
+        assert_eq!(v.crashes(), 0);
+    }
+
+    #[test]
+    fn first_crash_sets_the_estimate() {
+        let mut v = VolatilityObserver::new();
+        v.record_crash(S(100));
+        assert_eq!(v.mean_lifetime(), Some(S(100)));
+        assert_eq!(v.crashes(), 1);
+    }
+
+    #[test]
+    fn estimate_tracks_recent_lifetimes() {
+        let mut v = VolatilityObserver::new();
+        v.record_crash(S(400));
+        v.record_crash(S(100));
+        // (400 + 100) / 2
+        assert_eq!(v.mean_lifetime(), Some(S(250)));
+        // A run of short lifetimes pulls the estimate down fast.
+        v.record_crash(S(10));
+        v.record_crash(S(10));
+        v.record_crash(S(10));
+        let est = v.mean_lifetime().unwrap();
+        assert!(est < S(50), "estimate must converge toward churn, got {est:?}");
+        assert_eq!(v.crashes(), 5);
+    }
+
+    #[test]
+    fn uptime_censors_the_estimate_from_below() {
+        let mut v = VolatilityObserver::new();
+        // No history: the current uptime is the whole estimate.
+        assert_eq!(v.lifetime_given_uptime(S(40)), S(40));
+        v.record_crash(S(30));
+        // Young incarnation: the crash history dominates.
+        assert_eq!(v.lifetime_given_uptime(S(5)), S(30));
+        // Outliving the estimate raises it: stability is observable even
+        // without a crash to record.
+        assert_eq!(v.lifetime_given_uptime(S(300)), S(300));
+    }
+}

@@ -117,6 +117,7 @@ impl<'g> GridClient<'g> {
                 exec_cost: call.exec_cost,
                 result_size: call.result_size,
                 replication: call.replication,
+                work_units: call.work_units,
             },
         );
         RpcHandle { seq }

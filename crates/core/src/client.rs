@@ -244,6 +244,7 @@ impl ClientActor {
             exec_cost: call.exec_cost,
             result_size_hint: call.result_size,
             replication: call.replication,
+            work_units: call.work_units,
         };
         // Marshalling cost, then the strategy-mediated log write.
         let marshal_done = ctx.cpu(spec.params.len() as f64 / MARSHAL_BW);
@@ -608,10 +609,11 @@ impl Actor<Msg> for ClientActor {
                 // Continuation pull: fetch the next window right away.
                 self.pull_missing(ctx);
             }
-            Msg::ApiSubmit { service, params, exec_cost, result_size, replication } => {
+            Msg::ApiSubmit { service, params, exec_cost, result_size, replication, work_units } => {
                 self.params.plan.push(
                     CallSpec::new(service, params, exec_cost, result_size)
-                        .with_replication(replication),
+                        .with_replication(replication)
+                        .with_work_units(work_units),
                 );
                 // Restart the pump only when no completion continuation is
                 // pending; otherwise that continuation submits this call.

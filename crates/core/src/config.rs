@@ -1,5 +1,6 @@
 //! Protocol configuration knobs.
 
+use rpcv_ckpt::CheckpointPolicy;
 use rpcv_log::{GcPolicy, LogStrategy};
 use rpcv_simnet::SimDuration;
 
@@ -40,9 +41,13 @@ pub struct ProtocolConfig {
     /// How long a replicated-finished job may lack its archive before the
     /// coordinator schedules a re-execution (at-least-once recovery).
     pub missing_archive_timeout: SimDuration,
-    /// EXTENSION (paper §6 future work): if set, servers checkpoint running
-    /// tasks at this interval and resume them across crashes.
-    pub checkpoint_interval: Option<SimDuration>,
+    /// EXTENSION (paper §6 future work): the server task-checkpointing
+    /// policy.  When enabled, servers snapshot running tasks (fixed
+    /// interval, or adapted to the node's observed volatility), upload the
+    /// snapshots to the coordinator as digest-verified frames, and a
+    /// successor instance — on *any* server — resumes from the last
+    /// durable unit instead of unit zero.
+    pub checkpoint: CheckpointPolicy,
 }
 
 impl Default for ProtocolConfig {
@@ -57,7 +62,7 @@ impl Default for ProtocolConfig {
             exec_mode: ExecMode::Simulated,
             server_capacity: 1,
             missing_archive_timeout: SimDuration::from_secs(60),
-            checkpoint_interval: None,
+            checkpoint: CheckpointPolicy::Disabled,
         }
     }
 }
@@ -104,9 +109,16 @@ impl ProtocolConfig {
         self
     }
 
-    /// Builder: server checkpointing (extension).
+    /// Builder: fixed-interval server checkpointing (extension) —
+    /// shorthand for `with_checkpoint_policy(CheckpointPolicy::Fixed(_))`.
     pub fn with_checkpointing(mut self, interval: SimDuration) -> Self {
-        self.checkpoint_interval = Some(interval);
+        self.checkpoint = CheckpointPolicy::Fixed(interval);
+        self
+    }
+
+    /// Builder: full checkpoint policy (extension).
+    pub fn with_checkpoint_policy(mut self, policy: CheckpointPolicy) -> Self {
+        self.checkpoint = policy;
         self
     }
 }
@@ -138,6 +150,10 @@ mod tests {
         assert_eq!(c.replication_period, SimDuration::from_secs(9));
         assert_eq!(c.log_strategy, LogStrategy::Optimistic);
         assert_eq!(c.exec_mode, ExecMode::Real);
-        assert_eq!(c.checkpoint_interval, Some(SimDuration::from_secs(20)));
+        assert_eq!(c.checkpoint, CheckpointPolicy::Fixed(SimDuration::from_secs(20)));
+        let adaptive = rpcv_ckpt::AdaptiveCheckpoint::default_grid();
+        let c = c.with_checkpoint_policy(CheckpointPolicy::Adaptive(adaptive));
+        assert_eq!(c.checkpoint, CheckpointPolicy::Adaptive(adaptive));
+        assert_eq!(ProtocolConfig::confined().checkpoint, CheckpointPolicy::Disabled);
     }
 }

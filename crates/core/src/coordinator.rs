@@ -63,6 +63,13 @@ pub struct CoordMetrics {
     /// jobs this coordinator, once promoted, will neither re-execute nor
     /// re-acquire because the old primary's client already collected them.
     pub collected_marks_applied: u64,
+    /// Checkpoint uploads recorded (the mark advanced and is durable).
+    pub ckpt_records: u64,
+    /// Checkpoint uploads rejected for a digest/range failure — counted,
+    /// never silently dropped.
+    pub ckpt_rejected: u64,
+    /// Assignments dispatched with a resume point attached.
+    pub resumes_dispatched: u64,
 }
 
 /// State surviving a coordinator crash: the database (MySQL + archive
@@ -264,10 +271,31 @@ impl CoordinatorActor {
             let done = self.pay(ctx, charge);
             match task {
                 Some(desc) => {
+                    // A durable checkpoint for the job rides along: the
+                    // (successor) instance resumes from the recorded unit
+                    // high-water mark instead of unit zero.  Reading the
+                    // state blob back is one archive-filesystem access.
+                    let resume = self.db.resume_point(&desc.job).map(|(unit_hw, blob)| {
+                        crate::msg::ResumeFrom { unit_hw, blob: blob.clone() }
+                    });
+                    let done = match &resume {
+                        Some(r) => {
+                            self.metrics.resumes_dispatched += 1;
+                            done.max(ctx.disk_read(r.blob.len()))
+                        }
+                        None => done,
+                    };
                     // The assignment leaves once the database write lands;
                     // the reconciliation grace must count from then.
                     self.db.restamp_ongoing(desc.id, done);
-                    self.deferred.send_at(ctx, done, from, Msg::Assign { task: desc }, K_SEND, 0);
+                    self.deferred.send_at(
+                        ctx,
+                        done,
+                        from,
+                        Msg::Assign { task: desc, resume },
+                        K_SEND,
+                        0,
+                    );
                     replied = true;
                 }
                 None => break,
@@ -295,6 +323,63 @@ impl CoordinatorActor {
         self.missing_since.remove(&job);
         self.record_completion(now);
         self.deferred.send_at(ctx, done, from, Msg::TaskDoneAck { task, job }, K_SEND, 0);
+    }
+
+    fn handle_ckpt_offer(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        from: NodeId,
+        server: ServerId,
+        frame: rpcv_ckpt::CheckpointFrame,
+    ) {
+        let now = ctx.now();
+        self.server_mon.observe(server.0, now);
+        self.server_addr.insert(server, from);
+        // Integrity gate (shared digest discipline with result archives):
+        // a frame whose digest or unit range fails verification is
+        // rejected with the typed error — counted, logged, never recorded
+        // and never silently dropped.
+        if let Err(e) = frame.verify() {
+            ctx.note(format!("checkpoint rejected: {e}"));
+            self.metrics.ckpt_rejected += 1;
+            return;
+        }
+        // The frame's own `units_total` is uploader-declared; the
+        // *registered* job is the authority.  A frame that disagrees with
+        // it — or claims completion-level progress — is an over-claim from
+        // a weakly controlled node, not a resume point.
+        if let Some(units) = self.db.job_work_units(&frame.job) {
+            if frame.units_total != units || frame.unit_hw >= units {
+                ctx.note("checkpoint rejected: progress out of range for the registered job");
+                self.metrics.ckpt_rejected += 1;
+                return;
+            }
+        }
+        let (advanced, charge) = self.db.record_checkpoint(frame.job, frame.unit_hw, frame.blob);
+        let done = self.pay(ctx, charge);
+        if advanced {
+            self.metrics.ckpt_records += 1;
+        }
+        // Acknowledge only marks we actually hold durably (even when this
+        // upload did not advance one — the server may be retrying after a
+        // lost ack and needs the high-water mark to stop re-offering).  No
+        // row means nothing to acknowledge: claiming durability for an
+        // unknown job (a promoted successor ahead of its replication
+        // delta) would permanently suppress the server's re-offer of a
+        // mark nobody holds; staying silent lets the retry horizon land it
+        // once the delta teaches us the job.
+        let Some(hw) = self.db.ckpt_high_water(&frame.job) else {
+            ctx.note("checkpoint offer held: job unknown here (awaiting replication)");
+            return;
+        };
+        self.deferred.send_at(
+            ctx,
+            done,
+            from,
+            Msg::CkptAck { task: frame.task, job: frame.job, unit_hw: hw },
+            K_SEND,
+            0,
+        );
     }
 
     fn handle_client_beat(
@@ -588,6 +673,9 @@ impl Actor<Msg> for CoordinatorActor {
             }
             Msg::TaskDone { server, task, job, archive } => {
                 self.handle_task_done(ctx, from, server, task, job, archive);
+            }
+            Msg::CkptOffer { server, frame } => {
+                self.handle_ckpt_offer(ctx, from, server, frame);
             }
             Msg::ReplDelta { delta, want_archives } => {
                 self.handle_repl_delta(ctx, from, delta, want_archives)

@@ -63,6 +63,6 @@ pub use client::{ClientActor, ClientMetrics, ClientParams};
 pub use config::{ExecMode, ProtocolConfig};
 pub use coordinator::{CoordMetrics, CoordParams, CoordinatorActor, ReplRound};
 pub use grid::{GridSpec, SimGrid};
-pub use msg::{Msg, RpcResult};
+pub use msg::{Msg, ResumeFrom, RpcResult};
 pub use server::{ServerActor, ServerMetrics, ServerParams};
 pub use util::{CallSpec, Deferred, Directory};

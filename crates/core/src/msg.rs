@@ -7,6 +7,7 @@
 //! reply to clients and servers requests").  Heartbeats double as sync
 //! handshakes and work requests to keep traffic down.
 
+use rpcv_ckpt::CheckpointFrame;
 use rpcv_simnet::WireSized;
 use rpcv_store::ReplicationDelta;
 use rpcv_wire::{Blob, Reader, WireDecode, WireEncode, WireError, WireWrite};
@@ -31,6 +32,32 @@ impl WireEncode for RpcResult {
 impl WireDecode for RpcResult {
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         Ok(RpcResult { job: JobKey::decode(r)?, archive: Blob::decode(r)? })
+    }
+}
+
+/// Resume directive riding an [`Msg::Assign`]: the assigned instance
+/// starts from `unit_hw` with `blob` as its restored state, instead of
+/// from unit zero.  Carried inline with the assignment (not as a separate
+/// datagram) so a successor can never observe the task without its resume
+/// point on an asynchronous, reordering network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResumeFrom {
+    /// Units already completed and durable at the coordinator.
+    pub unit_hw: u32,
+    /// The checkpointed state to restore.
+    pub blob: Blob,
+}
+
+impl WireEncode for ResumeFrom {
+    fn encode<W: WireWrite + ?Sized>(&self, w: &mut W) {
+        w.put_uvarint(self.unit_hw as u64);
+        self.blob.encode(w);
+    }
+}
+
+impl WireDecode for ResumeFrom {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(ResumeFrom { unit_hw: u32::decode(r)?, blob: Blob::decode(r)? })
     }
 }
 
@@ -136,12 +163,35 @@ pub enum Msg {
         /// Result archive.
         archive: Blob,
     },
+    /// A running task's checkpoint, shipped as a CRC-64-verified frame
+    /// (extension): the coordinator records the unit high-water mark so a
+    /// successor instance on *any* server resumes there instead of at
+    /// unit zero.
+    CkptOffer {
+        /// Uploading server.
+        server: ServerId,
+        /// The sealed checkpoint.
+        frame: CheckpointFrame,
+    },
 
     // ----- coordinator → server (replies only) ----------------------------------
-    /// Work assignment.
+    /// Work assignment; [`ResumeFrom`] rides along when the coordinator
+    /// holds a durable checkpoint for the job.
     Assign {
         /// The task to execute.
         task: TaskDesc,
+        /// Resume point, when one exists.
+        resume: Option<ResumeFrom>,
+    },
+    /// Acknowledges a recorded checkpoint: the server may stop re-offering
+    /// marks at or below `unit_hw` for this task.
+    CkptAck {
+        /// The checkpointed instance.
+        task: TaskId,
+        /// Owning job.
+        job: JobKey,
+        /// Unit high-water mark now durable at the coordinator.
+        unit_hw: u32,
     },
     /// Nothing to do right now.
     NoWork,
@@ -214,6 +264,8 @@ pub enum Msg {
         result_size: u64,
         /// Redundant-replication factor.
         replication: u32,
+        /// Checkpointable work-unit count (1 = atomic).
+        work_units: u32,
     },
 }
 
@@ -236,6 +288,8 @@ const TAGS: &[(&str, u8)] = &[
     ("ApiSubmit", 15),
     ("ReplArchives", 16),
     ("ArchivesSettled", 17),
+    ("CkptOffer", 18),
+    ("CkptAck", 19),
 ];
 
 impl Msg {
@@ -264,6 +318,8 @@ impl Msg {
             Msg::ApiSubmit { .. } => 15,
             Msg::ReplArchives { .. } => 16,
             Msg::ArchivesSettled { .. } => 17,
+            Msg::CkptOffer { .. } => 18,
+            Msg::CkptAck { .. } => 19,
         }
     }
 
@@ -282,8 +338,14 @@ impl Msg {
             Msg::SubmitBatch { specs } => specs.iter().map(|s| extra(&s.params)).sum(),
             Msg::ResultsReply { results } => results.iter().map(|r| extra(&r.archive)).sum(),
             Msg::TaskDone { archive, .. } => extra(archive),
-            Msg::Assign { task } => extra(&task.params),
-            Msg::ReplDelta { delta, .. } => delta.jobs().map(|j| extra(&j.params)).sum(),
+            Msg::Assign { task, resume } => {
+                extra(&task.params) + resume.as_ref().map_or(0, |r| extra(&r.blob))
+            }
+            Msg::CkptOffer { frame, .. } => extra(&frame.blob),
+            Msg::ReplDelta { delta, .. } => {
+                delta.jobs().map(|j| extra(&j.params)).sum::<u64>()
+                    + delta.ckpts().map(|(_, _, b)| extra(b)).sum::<u64>()
+            }
             Msg::ReplArchives { results, .. } => results.iter().map(|r| extra(&r.archive)).sum(),
             Msg::ApiSubmit { params, .. } => extra(params),
             _ => 0,
@@ -338,7 +400,19 @@ impl WireEncode for Msg {
                 job.encode(w);
                 archive.encode(w);
             }
-            Msg::Assign { task } => task.encode(w),
+            Msg::Assign { task, resume } => {
+                task.encode(w);
+                resume.encode(w);
+            }
+            Msg::CkptOffer { server, frame } => {
+                server.encode(w);
+                frame.encode(w);
+            }
+            Msg::CkptAck { task, job, unit_hw } => {
+                task.encode(w);
+                job.encode(w);
+                w.put_uvarint(*unit_hw as u64);
+            }
             Msg::NoWork => {}
             Msg::TaskDoneAck { task, job } => {
                 task.encode(w);
@@ -354,12 +428,13 @@ impl WireEncode for Msg {
                 from.encode(w);
                 w.put_uvarint(*head_version);
             }
-            Msg::ApiSubmit { service, params, exec_cost, result_size, replication } => {
+            Msg::ApiSubmit { service, params, exec_cost, result_size, replication, work_units } => {
                 w.put_str(service);
                 params.encode(w);
                 w.put_f64(*exec_cost);
                 w.put_uvarint(*result_size);
                 w.put_uvarint(*replication as u64);
+                w.put_uvarint(*work_units as u64);
             }
             Msg::ReplArchives { from, results } => {
                 from.encode(w);
@@ -409,7 +484,9 @@ impl WireDecode for Msg {
                 job: JobKey::decode(r)?,
                 archive: Blob::decode(r)?,
             },
-            9 => Msg::Assign { task: TaskDesc::decode(r)? },
+            9 => {
+                Msg::Assign { task: TaskDesc::decode(r)?, resume: Option::<ResumeFrom>::decode(r)? }
+            }
             10 => Msg::NoWork,
             11 => Msg::TaskDoneAck { task: TaskId::decode(r)?, job: JobKey::decode(r)? },
             12 => Msg::NeedArchives { jobs: Vec::<JobKey>::decode(r)? },
@@ -424,12 +501,21 @@ impl WireDecode for Msg {
                 exec_cost: r.get_f64()?,
                 result_size: r.get_uvarint()?,
                 replication: u32::decode(r)?,
+                work_units: u32::decode(r)?,
             },
             16 => Msg::ReplArchives {
                 from: CoordId::decode(r)?,
                 results: Vec::<RpcResult>::decode(r)?,
             },
             17 => Msg::ArchivesSettled { jobs: Vec::<JobKey>::decode(r)? },
+            18 => {
+                Msg::CkptOffer { server: ServerId::decode(r)?, frame: CheckpointFrame::decode(r)? }
+            }
+            19 => Msg::CkptAck {
+                task: TaskId::decode(r)?,
+                job: JobKey::decode(r)?,
+                unit_hw: u32::decode(r)?,
+            },
             tag => return Err(WireError::InvalidTag { ty: "Msg", tag: tag as u64 }),
         })
     }
@@ -483,6 +569,36 @@ mod tests {
                 job: JobKey::new(ClientKey::new(1, 2), 1),
                 archive: Blob::synthetic(5000, 2),
             },
+            Msg::Assign {
+                task: rpcv_xw::TaskDesc {
+                    id: TaskId(7),
+                    job: JobKey::new(ClientKey::new(1, 2), 1),
+                    attempt: 1,
+                    service: "svc".into(),
+                    cmdline: String::new(),
+                    params: Blob::synthetic(300, 3),
+                    exec_cost: 60.0,
+                    result_size_hint: 64,
+                    work_units: 60,
+                },
+                resume: Some(ResumeFrom { unit_hw: 24, blob: Blob::synthetic(2000, 4) }),
+            },
+            Msg::CkptOffer {
+                server: ServerId(3),
+                frame: CheckpointFrame::seal(
+                    JobKey::new(ClientKey::new(1, 2), 1),
+                    TaskId(7),
+                    0,
+                    24,
+                    60,
+                    Blob::synthetic(2000, 4),
+                ),
+            },
+            Msg::CkptAck {
+                task: TaskId(7),
+                job: JobKey::new(ClientKey::new(1, 2), 1),
+                unit_hw: 24,
+            },
             Msg::NoWork,
             Msg::TaskDoneAck { task: TaskId(7), job: JobKey::new(ClientKey::new(1, 2), 1) },
             Msg::NeedArchives { jobs: vec![JobKey::new(ClientKey::new(1, 2), 1)] },
@@ -501,6 +617,7 @@ mod tests {
                 exec_cost: 1.0,
                 result_size: 10,
                 replication: 1,
+                work_units: 4,
             },
         ]
     }
@@ -551,6 +668,24 @@ mod tests {
             from_bytes::<Msg>(&[200]),
             Err(WireError::InvalidTag { ty: "Msg", tag: 200 })
         ));
+    }
+
+    #[test]
+    fn assign_and_offer_charge_checkpoint_state() {
+        let samples = samples();
+        let assign = samples.iter().find(|m| matches!(m, Msg::Assign { .. })).unwrap();
+        // 300 B params + 2000 B resume state, both synthetic.
+        assert!(assign.wire_size() >= 2300, "resume blob must be charged");
+        let offer = samples.iter().find(|m| matches!(m, Msg::CkptOffer { .. })).unwrap();
+        assert!(offer.wire_size() >= 2000, "checkpoint state must be charged");
+        assert!(offer.encoded_len() < 100, "the frame itself stays small");
+        // And the shipped frame still verifies after a wire roundtrip.
+        let back: Msg = from_bytes(&to_bytes(offer)).unwrap();
+        if let Msg::CkptOffer { frame, .. } = back {
+            assert!(frame.verify().is_ok());
+        } else {
+            panic!("roundtrip changed the variant");
+        }
     }
 
     #[test]

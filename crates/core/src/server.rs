@@ -15,11 +15,16 @@
 //! execution and re-connect the coordinator later for sending RPC
 //! results").
 //!
-//! EXTENSION (paper §6 future work): optional task checkpointing — running
-//! tasks periodically persist their progress and resume after a crash.
+//! EXTENSION (paper §6 future work): task checkpointing — running tasks
+//! declare progress in work units, snapshot at a [`CheckpointPolicy`]'s
+//! cadence (fixed, or adapted to this node's observed volatility), persist
+//! locally *and* upload the snapshot to the coordinator as a
+//! CRC-64-verified frame, so a successor instance on any server resumes
+//! from the last durable unit instead of unit zero.
 
 use std::collections::{BTreeMap, VecDeque};
 
+use rpcv_ckpt::{CheckpointFrame, VolatilityObserver};
 use rpcv_detect::CoordinatorList;
 use rpcv_log::{GcPolicy, PeerLog};
 use rpcv_simnet::{Actor, Ctx, DurableImage, NodeId, SimTime, TimerId};
@@ -54,6 +59,21 @@ pub struct ServerMetrics {
     pub archives_resent: u64,
     /// Coordinator switches.
     pub coordinator_switches: u64,
+    /// Work units actually computed here: completions count the units each
+    /// execution ran (total minus its resume bank), crashes count the
+    /// partial progress thrown away.  `Σ units_spent − Σ job units` across
+    /// the grid is exactly the wasted work the checkpoint bench reports.
+    pub units_spent: u64,
+    /// Work units skipped thanks to a resume point (local or shipped by
+    /// the coordinator with the assignment).
+    pub units_resumed: u64,
+    /// Checkpoint frames uploaded to a coordinator.
+    pub ckpt_uploads: u64,
+    /// Checkpoint uploads acknowledged as durable by a coordinator.
+    pub ckpt_acks: u64,
+    /// Modelled checkpoint state bytes shipped (the byte budget the
+    /// adaptive policy is judged against).
+    pub ckpt_bytes: u64,
 }
 
 /// A result retained in the server's (pessimistic) log.
@@ -64,25 +84,42 @@ struct StoredResult {
     archive: Blob,
 }
 
-/// A running execution.
+/// A running execution, progressing through declared work units.
 #[derive(Debug, Clone)]
 struct Exec {
     desc: TaskDesc,
-    /// Total work-units this task needs.
-    work_total: f64,
-    /// Work already banked by a checkpoint.
-    work_banked: f64,
+    /// Declared unit count (≥ 1).
+    units_total: u32,
+    /// Units already banked by a resume point when this execution started.
+    banked_units: u32,
+    /// Seconds of simulated CPU per unit.
+    secs_per_unit: f64,
     /// When the (remaining) execution started.
     started: SimTime,
     /// Result archive if the service really ran (ExecMode::Real).
     real_archive: Option<Blob>,
 }
 
+impl Exec {
+    /// Units completed by `now` (banked + elapsed whole units, capped).
+    ///
+    /// The 1 µs grace only absorbs the nanosecond rounding of the
+    /// completion timer (so the K_EXEC instant credits its final unit) —
+    /// it can never credit a whole unit of work that was not computed,
+    /// which matters because these marks end up in checkpoint frames the
+    /// coordinator treats as durable progress.
+    fn progress_units(&self, now: SimTime) -> u32 {
+        let elapsed = now.since(self.started).as_secs_f64() + 1e-6;
+        let done = (elapsed / self.secs_per_unit.max(1e-12)) as u64;
+        (self.banked_units as u64 + done).min(self.units_total as u64) as u32
+    }
+}
+
 /// Checkpoint image of one running task (extension).
 #[derive(Debug, Clone)]
 struct Checkpoint {
     desc: TaskDesc,
-    work_banked: f64,
+    banked_units: u32,
 }
 
 /// State that survives a server crash.
@@ -90,6 +127,7 @@ struct ServerDurable {
     plog: PeerLog<StoredResult>,
     checkpoints: BTreeMap<TaskId, Checkpoint>,
     metrics: ServerMetrics,
+    volatility: VolatilityObserver,
 }
 
 /// Construction parameters.
@@ -117,11 +155,39 @@ pub struct ServerActor {
     running: BTreeMap<TaskId, Exec>,
     /// Assignments accepted beyond current capacity (a beat/assignment
     /// race can over-assign; the worker queues and drains them rather than
-    /// dropping work that the coordinator believes is ongoing here).
-    backlog: VecDeque<TaskDesc>,
-    /// Results whose durability barrier has not passed yet (task → send
-    /// deadline), correlated through `deferred` tokens.
+    /// dropping work that the coordinator believes is ongoing here), each
+    /// with the resume bank it arrived with.
+    backlog: VecDeque<(TaskDesc, u32)>,
+    /// Locally durable checkpoints of running tasks (same-node resume
+    /// after a restart).
     checkpoints: BTreeMap<TaskId, Checkpoint>,
+    /// Unit marks the coordinator *acknowledged* as durable, per task: the
+    /// upload path offers only checkpoints that moved past this, so a
+    /// steady-interval snapshot of an idle-progress task costs nothing on
+    /// the wire.  Cleared on a coordinator switch — the successor may not
+    /// have the predecessor's rows yet, and re-uploading is idempotent
+    /// (monotone merge), exactly like the client's collected re-announce.
+    ckpt_acked: BTreeMap<TaskId, u32>,
+    /// Uploads in flight: `task → (mark, sent at)`.  Dedups re-sends while
+    /// an acknowledgement is plausibly still travelling, but — unlike an
+    /// optimistic "shipped" mark — an offer lost to a coordinator crash is
+    /// retried once the horizon passes, even when the mark can no longer
+    /// move (e.g. the last unit boundary of the task).
+    ckpt_inflight: BTreeMap<TaskId, (u32, SimTime)>,
+    /// Tasks whose execution finished here but whose result delivery is
+    /// not acknowledged yet.  Beats keep reporting them as running: a
+    /// periodic beat in the durability/transfer window would otherwise
+    /// show the task as gone and trigger a spurious reconcile
+    /// re-execution of work that is already done.
+    completing: BTreeMap<TaskId, JobKey>,
+    /// Whether a checkpoint timer chain is live (one chain per server, not
+    /// one per task start — the adaptive policy can pick short intervals).
+    ckpt_armed: bool,
+    /// This node's own crash history — drives the adaptive policy's
+    /// interval (survives restarts via the durable image).
+    volatility: VolatilityObserver,
+    /// When this incarnation started (uptime accounting for volatility).
+    boot_at: SimTime,
     /// When each result archive last left for a coordinator (and how many
     /// times): offers and resends back off by size-aware horizons so a
     /// multi-second archive transfer is not re-sent on every beat.
@@ -143,6 +209,7 @@ impl ServerActor {
                 actor.plog = d.plog;
                 actor.checkpoints = d.checkpoints;
                 actor.metrics = d.metrics;
+                actor.volatility = d.volatility;
             }
             Box::new(actor)
         }
@@ -160,6 +227,12 @@ impl ServerActor {
             running: BTreeMap::new(),
             backlog: VecDeque::new(),
             checkpoints: BTreeMap::new(),
+            ckpt_acked: BTreeMap::new(),
+            ckpt_inflight: BTreeMap::new(),
+            completing: BTreeMap::new(),
+            ckpt_armed: false,
+            volatility: VolatilityObserver::new(),
+            boot_at: SimTime::ZERO,
             result_sent_at: BTreeMap::new(),
             last_reply: None,
             deferred: Deferred::new(),
@@ -204,6 +277,11 @@ impl ServerActor {
                 self.coords.suspect(c.0, now);
                 self.current_coord = None;
                 self.metrics.coordinator_switches += 1;
+                // The successor may lack the dead coordinator's checkpoint
+                // rows: re-announce every running task's mark to whoever
+                // answers next (idempotent — the merge is monotone).
+                self.ckpt_acked.clear();
+                self.ckpt_inflight.clear();
             }
         }
     }
@@ -249,14 +327,15 @@ impl ServerActor {
             .map(|e| e.value.job)
             .collect();
         let mut running: Vec<TaskId> = self.running.keys().copied().collect();
-        running.extend(self.backlog.iter().map(|t| t.id));
+        running.extend(self.backlog.iter().map(|(t, _)| t.id));
+        running.extend(self.completing.keys().copied());
         ctx.send(
             node,
             Msg::ServerBeat { server: self.params.id, want_work: want, running, offered },
         );
     }
 
-    fn start_task(&mut self, ctx: &mut Ctx<'_, Msg>, desc: TaskDesc, banked: f64) {
+    fn start_task(&mut self, ctx: &mut Ctx<'_, Msg>, desc: TaskDesc, banked_units: u32) {
         let now = ctx.now();
         if self.running.contains_key(&desc.id) {
             return;
@@ -266,13 +345,19 @@ impl ServerActor {
             // current execution — the coordinator believes this instance is
             // ongoing here, so dropping it would stall the job until a
             // (never-coming) suspicion.
-            if !self.backlog.iter().any(|t| t.id == desc.id) {
-                self.backlog.push_back(desc);
+            if !self.backlog.iter().any(|(t, _)| t.id == desc.id) {
+                self.backlog.push_back((desc, banked_units));
             }
             return;
         }
         let (work_total, _) = self.executor.simulate(&desc);
-        let remaining = (work_total - banked).max(1e-9);
+        let units_total = desc.units();
+        let banked_units = banked_units.min(units_total);
+        let secs_per_unit = work_total / units_total as f64;
+        let remaining = ((units_total - banked_units) as f64 * secs_per_unit).max(1e-9);
+        if banked_units > 0 {
+            self.metrics.units_resumed += banked_units as u64;
+        }
         let real_archive = match self.params.cfg.exec_mode {
             ExecMode::Real => Some(match self.executor.execute(&desc) {
                 Ok(a) => Blob::from_vec(a.pack()),
@@ -289,12 +374,10 @@ impl ServerActor {
         };
         let done_at = ctx.cpu(remaining);
         ctx.set_timer_at(done_at, K_EXEC);
-        if let Some(interval) = self.params.cfg.checkpoint_interval {
-            ctx.set_timer(interval, K_CKPT);
-        }
+        self.arm_checkpoint_timer(ctx);
         self.running.insert(
             desc.id,
-            Exec { desc, work_total, work_banked: banked, started: now, real_archive },
+            Exec { desc, units_total, banked_units, secs_per_unit, started: now, real_archive },
         );
     }
 
@@ -304,14 +387,14 @@ impl ServerActor {
         let id = self
             .running
             .iter()
-            .filter(|(_, e)| {
-                let elapsed = now.since(e.started).as_secs_f64() * 1.001 + 1e-6;
-                elapsed + e.work_banked >= e.work_total
-            })
+            .filter(|(_, e)| e.progress_units(now) >= e.units_total)
             .map(|(&id, _)| id)
             .next()?;
-        self.running.remove(&id).inspect(|_e| {
+        self.running.remove(&id).inspect(|e| {
+            self.metrics.units_spent += (e.units_total - e.banked_units) as u64;
             self.checkpoints.remove(&id);
+            self.ckpt_acked.remove(&id);
+            self.ckpt_inflight.remove(&id);
         })
     }
 
@@ -325,6 +408,9 @@ impl ServerActor {
         // Necessarily pessimistic: the archive only counts once durable.
         let durable_at = self.plog.append(key, stored, archive.len() + 64, now, ctx.disk_mut());
         self.metrics.executed += 1;
+        // Reported as running until the coordinator acknowledges delivery
+        // (see the `completing` field).
+        self.completing.insert(exec.desc.id, exec.desc.job);
         if let Some((_, node)) = self.coordinator(now) {
             self.mark_result_sent(now, exec.desc.job);
             self.deferred.send_at(
@@ -342,8 +428,8 @@ impl ServerActor {
             );
         }
         // Drain the local backlog before asking for more work.
-        if let Some(desc) = self.backlog.pop_front() {
-            self.start_task(ctx, desc, 0.0);
+        if let Some((desc, banked)) = self.backlog.pop_front() {
+            self.start_task(ctx, desc, banked);
         }
         // Ask for more work as soon as the result is out.
         ctx.set_timer_at(durable_at, K_NUDGE);
@@ -380,31 +466,101 @@ impl ServerActor {
         }
     }
 
+    /// Arms the next checkpoint tick at the policy's current interval —
+    /// re-evaluated every time so the adaptive policy's narrowing/widening
+    /// takes effect at the very next tick, not the next restart.  At most
+    /// one chain is live per server; it dies on an idle tick and is
+    /// re-armed by the next task start.
+    fn arm_checkpoint_timer(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        if self.ckpt_armed {
+            return;
+        }
+        let uptime = ctx.now().since(self.boot_at);
+        if let Some(interval) = self.params.cfg.checkpoint.next_interval(&self.volatility, uptime) {
+            ctx.set_timer(interval, K_CKPT);
+            self.ckpt_armed = true;
+        }
+    }
+
+    /// The modelled size of one task's checkpoint state: a compact
+    /// progress record plus a slice of its working set.
+    fn ckpt_state_bytes(desc: &TaskDesc) -> u64 {
+        256 + desc.result_size_hint / 4 + desc.params.len() / 64
+    }
+
+    /// Snapshots every running task at its current unit boundary: the
+    /// snapshot is made locally durable (same-node resume), and every mark
+    /// that moved past what this server already shipped is uploaded to the
+    /// coordinator as a sealed [`CheckpointFrame`] (different-node resume
+    /// after a suspicion).  Unmoved marks cost nothing on the wire.
     fn checkpoint_running(&mut self, ctx: &mut Ctx<'_, Msg>) {
         let now = ctx.now();
         let mut bytes = 0;
+        let mut frames: Vec<CheckpointFrame> = Vec::new();
         for (id, exec) in &self.running {
-            let elapsed = now.since(exec.started).as_secs_f64();
-            let banked = (exec.work_banked + elapsed).min(exec.work_total);
-            self.checkpoints
-                .insert(*id, Checkpoint { desc: exec.desc.clone(), work_banked: banked });
-            bytes += 256 + exec.desc.params.len() / 64; // compact progress record
+            let progress = exec.progress_units(now).min(exec.units_total.saturating_sub(1));
+            let prev = self.checkpoints.get(id).map(|c| c.banked_units).unwrap_or(0);
+            let hw = progress.max(prev);
+            // Local snapshot (and its disk write) only when a whole unit
+            // finished since the last one.
+            if hw > prev || !self.checkpoints.contains_key(id) {
+                self.checkpoints
+                    .insert(*id, Checkpoint { desc: exec.desc.clone(), banked_units: hw });
+                bytes += Self::ckpt_state_bytes(&exec.desc);
+            }
+            // The upload decision runs for *every* task, moved or not:
+            // ship marks past the last *acknowledged* one.  An upload with
+            // an acknowledgement plausibly still travelling is not
+            // re-sent; one lost to a coordinator crash is retried once the
+            // horizon passes — even when the mark itself can never move
+            // again (the task's last unit boundary) — and a coordinator
+            // switch (which clears `ckpt_acked`) re-announces it here.
+            let acked = self.ckpt_acked.get(id).copied().unwrap_or(0);
+            let retry_horizon = self.params.cfg.heartbeat * 4;
+            let in_flight = matches!(self.ckpt_inflight.get(id),
+                Some(&(sent_hw, at)) if sent_hw >= hw && now.since(at) <= retry_horizon);
+            if hw > acked && hw > 0 && !in_flight {
+                let state_bytes = Self::ckpt_state_bytes(&exec.desc);
+                let blob =
+                    Blob::synthetic(state_bytes, Blob::derive_seed(exec.desc.id.0, hw as u64));
+                frames.push(CheckpointFrame::seal(
+                    exec.desc.job,
+                    *id,
+                    exec.desc.attempt,
+                    hw,
+                    exec.units_total,
+                    blob,
+                ));
+            }
         }
         if bytes > 0 {
             // Checkpoints must be durable to be worth anything.
             ctx.disk_write(bytes, true);
+        }
+        if frames.is_empty() {
+            return;
+        }
+        let Some((_, node)) = self.coordinator(now) else { return };
+        for frame in frames {
+            self.ckpt_inflight.insert(frame.task, (frame.unit_hw, now));
+            self.metrics.ckpt_uploads += 1;
+            self.metrics.ckpt_bytes += frame.blob.len();
+            ctx.send(node, Msg::CkptOffer { server: self.params.id, frame });
         }
     }
 }
 
 impl Actor<Msg> for ServerActor {
     fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
-        // Resume checkpointed executions (extension).
+        self.boot_at = ctx.now();
+        // Resume locally checkpointed executions (extension): a restart on
+        // the *same* node continues from its own durable snapshots without
+        // waiting for the coordinator.
         let resumable: Vec<Checkpoint> = self.checkpoints.values().cloned().collect();
         self.checkpoints.clear();
         for c in resumable {
             self.metrics.resumed += 1;
-            self.start_task(ctx, c.desc, c.work_banked);
+            self.start_task(ctx, c.desc, c.banked_units);
         }
         self.beat(ctx);
         ctx.set_timer(self.params.cfg.heartbeat, K_BEAT);
@@ -412,12 +568,35 @@ impl Actor<Msg> for ServerActor {
 
     fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, _from: NodeId, msg: Msg) {
         match msg {
-            Msg::Assign { task } => {
+            Msg::Assign { task, resume } => {
                 self.last_reply = Some(ctx.now());
                 if let Some(c) = self.current_coord {
                     self.coords.trust(c.0);
                 }
-                self.start_task(ctx, task, 0.0);
+                // A successor instance starts from the coordinator's
+                // durable resume point instead of unit zero.  The state
+                // blob's restore is modelled by the bank itself; a local
+                // checkpoint (same-node restart race) wins if higher.
+                let banked = resume.map(|r| r.unit_hw).unwrap_or(0);
+                self.start_task(ctx, task, banked);
+            }
+            Msg::CkptAck { task, job: _, unit_hw } => {
+                self.last_reply = Some(ctx.now());
+                if let Some(c) = self.current_coord {
+                    self.coords.trust(c.0);
+                }
+                self.metrics.ckpt_acks += 1;
+                if let Some(&(sent_hw, _)) = self.ckpt_inflight.get(&task) {
+                    if unit_hw >= sent_hw {
+                        self.ckpt_inflight.remove(&task);
+                    }
+                }
+                // Only tasks still alive here keep an acked mark: a late
+                // ack for a completed task must not grow the map forever.
+                if self.running.contains_key(&task) {
+                    let e = self.ckpt_acked.entry(task).or_insert(0);
+                    *e = (*e).max(unit_hw);
+                }
             }
             Msg::NoWork => {
                 self.last_reply = Some(ctx.now());
@@ -425,9 +604,10 @@ impl Actor<Msg> for ServerActor {
                     self.coords.trust(c.0);
                 }
             }
-            Msg::TaskDoneAck { task: _, job } => {
+            Msg::TaskDoneAck { task, job } => {
                 self.last_reply = Some(ctx.now());
                 self.plog.ack((job.client.as_peer(), job.seq));
+                self.completing.remove(&task);
             }
             Msg::NeedArchives { jobs } => {
                 self.last_reply = Some(ctx.now());
@@ -444,6 +624,7 @@ impl Actor<Msg> for ServerActor {
                 for job in jobs {
                     self.plog.ack((job.client.as_peer(), job.seq));
                     self.result_sent_at.remove(&job);
+                    self.completing.retain(|_, j| *j != job);
                 }
             }
             _ => {}
@@ -465,10 +646,11 @@ impl Actor<Msg> for ServerActor {
             K_SEND => {
                 let _ = self.deferred.fire(ctx, id);
             }
-            K_CKPT if !self.running.is_empty() => {
-                self.checkpoint_running(ctx);
-                if let Some(interval) = self.params.cfg.checkpoint_interval {
-                    ctx.set_timer(interval, K_CKPT);
+            K_CKPT => {
+                self.ckpt_armed = false;
+                if !self.running.is_empty() {
+                    self.checkpoint_running(ctx);
+                    self.arm_checkpoint_timer(ctx);
                 }
             }
             _ => {}
@@ -481,6 +663,23 @@ impl Actor<Msg> for ServerActor {
         let mut metrics = self.metrics;
         metrics.lost_executions +=
             self.running.keys().filter(|id| !self.checkpoints.contains_key(id)).count() as u64;
-        DurableImage::of(ServerDurable { plog, checkpoints: self.checkpoints.clone(), metrics })
+        // Partial progress dies with the crash: charge the units this
+        // incarnation computed but never completed (a resumed successor
+        // re-pays only what was not checkpointed — the accounting shows
+        // exactly that recompute as spent twice).
+        metrics.units_spent += self
+            .running
+            .values()
+            .map(|e| (e.progress_units(now) - e.banked_units) as u64)
+            .sum::<u64>();
+        // The node's own crash history feeds the adaptive policy.
+        let mut volatility = self.volatility.clone();
+        volatility.record_crash(now.since(self.boot_at));
+        DurableImage::of(ServerDurable {
+            plog,
+            checkpoints: self.checkpoints.clone(),
+            metrics,
+            volatility,
+        })
     }
 }

@@ -153,17 +153,34 @@ pub struct CallSpec {
     pub result_size: u64,
     /// Redundant-replication factor (extension; 1 = paper baseline).
     pub replication: u32,
+    /// Checkpointable work-unit count (extension; 1 = atomic, the paper
+    /// baseline).  An N-unit call can snapshot progress at unit boundaries
+    /// and resume mid-task after a server crash.
+    pub work_units: u32,
 }
 
 impl CallSpec {
     /// A call with the given service/cost/sizes.
     pub fn new(service: impl Into<String>, params: Blob, exec_cost: f64, result_size: u64) -> Self {
-        CallSpec { service: service.into(), params, exec_cost, result_size, replication: 1 }
+        CallSpec {
+            service: service.into(),
+            params,
+            exec_cost,
+            result_size,
+            replication: 1,
+            work_units: 1,
+        }
     }
 
     /// Builder: redundancy factor.
     pub fn with_replication(mut self, n: u32) -> Self {
         self.replication = n.max(1);
+        self
+    }
+
+    /// Builder: checkpointable work-unit count (floors at 1).
+    pub fn with_work_units(mut self, n: u32) -> Self {
+        self.work_units = n.max(1);
         self
     }
 }
@@ -184,7 +201,9 @@ mod tests {
 
     #[test]
     fn callspec_builder() {
-        let c = CallSpec::new("s", Blob::empty(), 2.0, 64).with_replication(0);
+        let c = CallSpec::new("s", Blob::empty(), 2.0, 64).with_replication(0).with_work_units(0);
         assert_eq!(c.replication, 1, "replication floors at 1");
+        assert_eq!(c.work_units, 1, "work units floor at 1");
+        assert_eq!(c.with_work_units(30).work_units, 30);
     }
 }

@@ -161,10 +161,12 @@ fn redundant_replication_flag_completes_and_dedups() {
 
 #[test]
 fn checkpointing_extension_resumes_across_server_restart() {
-    // One long task; the server crashes at 60 s and restarts quickly.
-    // With checkpointing the work banked before the crash survives.
+    // One long task declaring 100 work units; the server crashes at 60 s
+    // and restarts quickly.  With checkpointing the units banked before
+    // the crash survive the restart.
     let cfg = ProtocolConfig::confined().with_checkpointing(SimDuration::from_secs(10));
-    let spec = GridSpec::confined(1, 1).with_cfg(cfg).with_plan(plan(1, 100.0, 100, 100));
+    let call = CallSpec::new("bench", Blob::synthetic(100, 0), 100.0, 100).with_work_units(100);
+    let spec = GridSpec::confined(1, 1).with_cfg(cfg).with_plan(vec![call]);
     let mut grid = SimGrid::build(spec);
     let s0 = grid.servers[0].1;
     grid.world.schedule_control(SimTime::from_secs(60), Control::Crash(s0));
@@ -172,10 +174,21 @@ fn checkpointing_extension_resumes_across_server_restart() {
     let done = grid.run_until_done(SimTime::from_secs(1000)).expect("finishes");
     let server = grid.server(0).unwrap();
     assert!(server.metrics.resumed >= 1, "must resume from checkpoint");
+    assert!(server.metrics.units_resumed >= 40, "banked units survive the restart");
     // Without checkpointing the task restarts from zero after suspicion
     // (≥ 30 s) ⇒ ≥ 60 + 100 s. With a 10 s checkpoint interval, banked
     // work caps the loss: finish well before the naive bound.
     assert!(done < SimTime::from_secs(125), "took {done}");
+    // And an atomic (1-unit) task under the same policy banks nothing —
+    // the unit axis is what makes a task checkpointable.
+    let cfg = ProtocolConfig::confined().with_checkpointing(SimDuration::from_secs(10));
+    let spec = GridSpec::confined(1, 1).with_cfg(cfg).with_plan(plan(1, 30.0, 100, 100));
+    let mut grid = SimGrid::build(spec);
+    let s0 = grid.servers[0].1;
+    grid.world.schedule_control(SimTime::from_secs(20), Control::Crash(s0));
+    grid.world.schedule_control(SimTime::from_secs(25), Control::Restart(s0));
+    grid.run_until_done(SimTime::from_secs(1000)).expect("finishes");
+    assert_eq!(grid.server(0).unwrap().metrics.units_resumed, 0);
 }
 
 #[test]

@@ -52,6 +52,18 @@ enum Changed {
     /// The client durably acknowledged collecting this job's result —
     /// replicated so a promoted successor treats the job as delivered.
     Collected(JobKey),
+    /// The job's checkpoint high-water mark moved — replicated so a
+    /// promoted successor inherits the resume point.
+    Ckpt(JobKey),
+}
+
+/// One stored checkpoint: the highest durable work-unit mark a successor
+/// instance of the job may resume from, plus the opaque resume state.
+#[derive(Debug, Clone)]
+struct CkptRow {
+    unit_hw: u32,
+    blob: Blob,
+    version: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -106,6 +118,8 @@ pub struct DbStats {
     /// Jobs in the `Collected` terminal state (client pulled the result,
     /// archive garbage-collected).
     pub collected: u64,
+    /// Jobs with a stored checkpoint (resume point).
+    pub ckpts: u64,
 }
 
 /// The coordinator's durable state: job/task tables, FCFS queue, archive
@@ -142,6 +156,16 @@ pub struct CoordinatorDb {
     /// ever reached collected knowledge, moved (never duplicated) on
     /// re-stamp, so `delta_since` carries collection acks O(changed).
     collected_pos: BTreeMap<JobKey, u64>,
+    /// Retained archives whose client acknowledged collection (the
+    /// GC-eligible set).  Maintained at flag/reclaim transitions so
+    /// explicit GC is O(flagged), never an archive-table scan; scan
+    /// reference: [`Self::collected_flagged_scan`].
+    collected_flagged: BTreeSet<JobKey>,
+    /// Checkpoint rows: per job, the highest durable unit mark and resume
+    /// state.  Versioned into the change index (`Changed::Ckpt`) so
+    /// resume points ride the replication delta O(changed); merges are
+    /// monotone (a lower mark never overwrites a higher one).
+    ckpts: BTreeMap<JobKey, CkptRow>,
     /// Per-client catalog change index: `(client, version) → seq`, one
     /// entry per *live* archive row, re-stamped with a fresh version on
     /// every catalog transition.  Backs O(changed)
@@ -187,6 +211,8 @@ impl CoordinatorDb {
             missing: BTreeSet::new(),
             collected_jobs: BTreeSet::new(),
             collected_pos: BTreeMap::new(),
+            collected_flagged: BTreeSet::new(),
+            ckpts: BTreeMap::new(),
             catalog: BTreeMap::new(),
             catalog_removed: BTreeMap::new(),
             catalog_pos: BTreeMap::new(),
@@ -294,8 +320,9 @@ impl CoordinatorDb {
                 return false;
             }
             // Archive retained here: flag it GC-eligible and replicate the
-            // acknowledgement.
+            // acknowledgement.  The flag set keeps explicit GC O(flagged).
             row.collected = true;
+            self.collected_flagged.insert(job);
             self.touch_collected(job);
             return true;
         }
@@ -453,6 +480,7 @@ impl CoordinatorDb {
             params: spec.params.clone(),
             exec_cost: spec.exec_cost,
             result_size_hint: spec.result_size_hint,
+            work_units: spec.work_units,
         };
         self.tasks.insert(
             id,
@@ -920,9 +948,12 @@ impl CoordinatorDb {
     /// confirmed durably holding the result, so the job is *delivered*, not
     /// missing — it must never be re-executed or re-acquired from servers
     /// just because its archive is gone.
+    ///
+    /// Served from the maintained collected-flag set: O(flagged), never an
+    /// archive-table scan (reference: [`Self::collected_flagged_scan`]).
     pub fn gc_collected(&mut self) -> (u64, Charge) {
         let victims: Vec<JobKey> =
-            self.archives.iter().filter(|(_, r)| r.collected).map(|(k, _)| *k).collect();
+            std::mem::take(&mut self.collected_flagged).into_iter().collect();
         let mut freed = 0;
         for k in &victims {
             if let Some(row) = self.archives.remove(k) {
@@ -934,6 +965,99 @@ impl CoordinatorDb {
             }
         }
         (freed, Charge::ops(victims.len() as u64 + 1))
+    }
+
+    /// The GC-eligible set: retained archives whose collection the client
+    /// acknowledged (maintained incrementally — O(flagged) to read).
+    pub fn collected_flagged(&self) -> Vec<JobKey> {
+        self.collected_flagged.iter().copied().collect()
+    }
+
+    /// Scan-based reference definition of [`Self::collected_flagged`],
+    /// kept for the equivalence property tests: what a pre-index GC would
+    /// find by walking the archive table.
+    #[doc(hidden)]
+    pub fn collected_flagged_scan(&self) -> Vec<JobKey> {
+        self.archives.iter().filter(|(_, r)| r.collected).map(|(k, _)| *k).collect()
+    }
+
+    // --- task checkpoints (extension) -------------------------------------------
+
+    /// Monotone checkpoint merge shared by the upload path and delta
+    /// application: records `unit_hw`/`blob` for `job` unless an equal or
+    /// higher mark is already held (replaying any prefix of uploads, in
+    /// any order, therefore yields a non-decreasing resume mark).  Returns
+    /// true when the row moved (and was re-stamped into the change index).
+    fn note_ckpt(&mut self, job: JobKey, unit_hw: u32, blob: Blob) -> bool {
+        if !self.jobs.contains_key(&job) {
+            return false; // a job row always precedes its ckpt rows
+        }
+        let old = match self.ckpts.get(&job) {
+            Some(row) if row.unit_hw >= unit_hw => return false,
+            Some(row) => row.version,
+            None => 0,
+        };
+        let v = Self::touch(&mut self.changed, &mut self.version, old, Changed::Ckpt(job));
+        self.ckpts.insert(job, CkptRow { unit_hw, blob, version: v });
+        true
+    }
+
+    /// The registered work-unit count of `job` (the authority a checkpoint
+    /// upload's self-declared progress is checked against).
+    pub fn job_work_units(&self, job: &JobKey) -> Option<u32> {
+        self.jobs.get(job).map(|r| r.spec.work_units.max(1))
+    }
+
+    /// Records a checkpoint uploaded by a server.  Refused (beyond the
+    /// monotone rule) for jobs already finished or collected — their
+    /// result exists, so a resume point is dead weight — for unknown
+    /// jobs, and for marks at or past the job's *registered* unit count:
+    /// the frame's own `units_total` is uploader-declared, and a weakly
+    /// controlled node must not be able to over-claim progress and hand a
+    /// successor a near-complete bank for work never computed.  Returns
+    /// whether the mark advanced, plus the storage cost.
+    pub fn record_checkpoint(&mut self, job: JobKey, unit_hw: u32, blob: Blob) -> (bool, Charge) {
+        if self.finished_jobs.contains(&job) || self.collected_jobs.contains(&job) {
+            return (false, Charge::ops(1));
+        }
+        match self.job_work_units(&job) {
+            Some(units) if unit_hw < units => {}
+            _ => return (false, Charge::ops(1)),
+        }
+        let size = blob.len();
+        if self.note_ckpt(job, unit_hw, blob) {
+            // One row update plus the state blob to the archive filesystem.
+            (true, Charge::db(1, 0) + Charge::disk(size))
+        } else {
+            (false, Charge::ops(1))
+        }
+    }
+
+    /// The resume point a fresh instance of `job` should start from:
+    /// `(unit high-water mark, state)`.  `None` when there is no useful
+    /// point — no checkpoint recorded, or the job already has its result
+    /// (finished/collected), so nothing will be dispatched anyway.
+    pub fn resume_point(&self, job: &JobKey) -> Option<(u32, &Blob)> {
+        if self.finished_jobs.contains(job) || self.collected_jobs.contains(job) {
+            return None;
+        }
+        let row = self.ckpts.get(job)?;
+        (row.unit_hw > 0).then_some((row.unit_hw, &row.blob))
+    }
+
+    /// Raw checkpoint high-water mark for `job`, finished or not
+    /// (introspection/harness use; dispatch goes through
+    /// [`Self::resume_point`]).
+    pub fn ckpt_high_water(&self, job: &JobKey) -> Option<u32> {
+        self.ckpts.get(job).map(|r| r.unit_hw)
+    }
+
+    /// Scan-based reference view of every checkpoint row, kept for the
+    /// equivalence property tests: `(job, unit high-water mark)` in key
+    /// order.
+    #[doc(hidden)]
+    pub fn ckpt_scan(&self) -> Vec<(JobKey, u32)> {
+        self.ckpts.iter().map(|(&j, r)| (j, r.unit_hw)).collect()
     }
 
     // --- replication -----------------------------------------------------------
@@ -980,6 +1104,15 @@ impl CoordinatorDb {
                         rows.push(DeltaRow::Collected { job });
                     }
                 }
+                Changed::Ckpt(job) => {
+                    if let Some(row) = self.ckpts.get(&job) {
+                        rows.push(DeltaRow::Ckpt {
+                            job,
+                            unit_hw: row.unit_hw,
+                            blob: row.blob.clone(),
+                        });
+                    }
+                }
             }
         }
         ReplicationDelta { from: self.me, base_version: base, head_version: self.version, rows }
@@ -987,9 +1120,10 @@ impl CoordinatorDb {
 
     /// Full-table-scan reference definition of [`Self::delta_since`], kept
     /// for the equivalence property tests and the micro-bench comparison.
-    /// (Marks and collection acknowledgements carry no per-row version in
-    /// this definition, so it re-sends every known client's mark and every
-    /// collected job, as a pre-index implementation would.)
+    /// (Marks, collection acknowledgements and checkpoints carry no
+    /// per-row version in this definition, so it re-sends every known
+    /// client's mark, every collected job and every checkpoint row, as a
+    /// pre-index implementation would.)
     #[doc(hidden)]
     pub fn delta_since_scan(&self, base: u64) -> ReplicationDelta {
         let jobs =
@@ -1011,11 +1145,16 @@ impl CoordinatorDb {
             .copied()
             .chain(self.archives.iter().filter(|(_, r)| r.collected).map(|(&k, _)| k))
             .map(|job| DeltaRow::Collected { job });
+        let ckpts = self.ckpts.iter().map(|(&job, r)| DeltaRow::Ckpt {
+            job,
+            unit_hw: r.unit_hw,
+            blob: r.blob.clone(),
+        });
         ReplicationDelta {
             from: self.me,
             base_version: base,
             head_version: self.version,
-            rows: jobs.chain(tasks).chain(marks).chain(collected).collect(),
+            rows: jobs.chain(tasks).chain(marks).chain(collected).chain(ckpts).collect(),
         }
     }
 
@@ -1056,6 +1195,7 @@ impl CoordinatorDb {
                     params: spec.params.clone(),
                     exec_cost: spec.exec_cost,
                     result_size_hint: spec.result_size_hint,
+                    work_units: spec.work_units,
                 };
                 self.tasks.insert(
                     rec.id,
@@ -1130,6 +1270,16 @@ impl CoordinatorDb {
                     charge += Charge::ops(1);
                     self.note_collected(*job);
                 }
+                DeltaRow::Ckpt { job, unit_hw, blob } => {
+                    // Knowledge merge (not an upload gate): monotone on the
+                    // mark, accepted even for locally finished jobs so a
+                    // delta-fed replica holds exactly the sender's rows.
+                    if self.note_ckpt(*job, *unit_hw, blob.clone()) {
+                        charge += Charge::db(1, 0) + Charge::disk(blob.len());
+                    } else {
+                        charge += Charge::ops(1);
+                    }
+                }
             }
         }
         self.maybe_compact_pending();
@@ -1162,6 +1312,7 @@ impl CoordinatorDb {
             archived: self.archives.len() as u64,
             duplicate_results: self.duplicate_results,
             collected: self.collected_jobs.len() as u64,
+            ckpts: self.ckpts.len() as u64,
         }
     }
 
@@ -1196,6 +1347,7 @@ mod tests {
         JobSpec::new(JobKey::new(ClientKey::new(1, 1), seq), "svc", Blob::synthetic(1000, seq))
             .with_exec_cost(5.0)
             .with_result_size(64)
+            .with_work_units(64)
     }
 
     fn db() -> CoordinatorDb {
@@ -1704,5 +1856,118 @@ mod tests {
         // Acks for jobs never heard of are dropped, not recorded.
         backup.mark_collected(client, &[99]);
         assert!(!backup.is_collected(&JobKey { client, seq: 99 }));
+    }
+
+    #[test]
+    fn checkpoint_records_are_monotone() {
+        let mut d = db();
+        d.register_job(job(1));
+        let key = JobKey::new(ClientKey::new(1, 1), 1);
+        let (adv, c) = d.record_checkpoint(key, 4, Blob::synthetic(100, 1));
+        assert!(adv);
+        assert_eq!(c.disk_bytes, 100);
+        assert_eq!(d.resume_point(&key).map(|(hw, _)| hw), Some(4));
+        // A stale (lower) or equal mark never wins.
+        let (adv, c) = d.record_checkpoint(key, 3, Blob::synthetic(80, 2));
+        assert!(!adv);
+        assert_eq!(c.disk_bytes, 0);
+        let (adv, _) = d.record_checkpoint(key, 4, Blob::synthetic(80, 3));
+        assert!(!adv);
+        assert_eq!(d.resume_point(&key).map(|(hw, _)| hw), Some(4));
+        // A higher mark advances it.
+        let (adv, _) = d.record_checkpoint(key, 9, Blob::synthetic(120, 4));
+        assert!(adv);
+        assert_eq!(d.resume_point(&key).map(|(hw, _)| hw), Some(9));
+        assert_eq!(d.stats().ckpts, 1, "one row per job, re-stamped not duplicated");
+        // Unknown jobs are refused.
+        let (adv, _) = d.record_checkpoint(JobKey::new(ClientKey::new(9, 9), 1), 1, Blob::empty());
+        assert!(!adv);
+        // Over-claims are refused: the registered job has 64 units, so a
+        // mark at/past that could hand a successor a fabricated
+        // near-complete bank.
+        let key2 = JobKey::new(ClientKey::new(1, 1), 2);
+        d.register_job(job(2));
+        let (adv, _) = d.record_checkpoint(key2, 64, Blob::synthetic(10, 0));
+        assert!(!adv, "unit_hw == registered units is an over-claim");
+        let (adv, _) = d.record_checkpoint(key2, 999, Blob::synthetic(10, 0));
+        assert!(!adv);
+        assert_eq!(d.resume_point(&key2), None);
+        let (adv, _) = d.record_checkpoint(key2, 63, Blob::synthetic(10, 0));
+        assert!(adv, "the last unit boundary is the highest honest mark");
+    }
+
+    #[test]
+    fn finished_jobs_take_no_checkpoints_and_offer_no_resume() {
+        let mut d = db();
+        d.register_job(job(1));
+        let key = complete_one(&mut d, 64);
+        let (adv, _) = d.record_checkpoint(key, 5, Blob::synthetic(10, 0));
+        assert!(!adv, "a finished job's resume point is dead weight");
+        assert_eq!(d.resume_point(&key), None);
+        // But a checkpoint recorded *before* the finish stays readable raw.
+        d.register_job(job(2));
+        let k2 = JobKey::new(ClientKey::new(1, 1), 2);
+        d.record_checkpoint(k2, 7, Blob::synthetic(10, 1));
+        let key2 = complete_one(&mut d, 64);
+        assert_eq!(key2, k2);
+        assert_eq!(d.resume_point(&k2), None, "finished ⇒ nothing to resume");
+        assert_eq!(d.ckpt_high_water(&k2), Some(7), "row retained for introspection");
+    }
+
+    #[test]
+    fn resume_points_ride_the_delta_and_survive_failover() {
+        let mut primary = db();
+        primary.register_job(job(1));
+        let key = JobKey::new(ClientKey::new(1, 1), 1);
+        primary.record_checkpoint(key, 12, Blob::synthetic(300, 7));
+        let v = primary.version();
+        let mut backup = CoordinatorDb::new(CoordId(2));
+        backup.apply_delta(&primary.delta_since(0));
+        let (hw, blob) = backup.resume_point(&key).expect("resume point replicated");
+        assert_eq!(hw, 12);
+        assert_eq!(blob.len(), 300);
+        // Steady state: a round where no checkpoint moved carries none.
+        assert_eq!(primary.delta_since(v).ckpts().count(), 0);
+        // The mark advances ⇒ exactly one ckpt row rides the next delta.
+        primary.record_checkpoint(key, 20, Blob::synthetic(300, 8));
+        let delta = primary.delta_since(v);
+        assert_eq!(delta.ckpts().count(), 1);
+        assert_eq!(delta.jobs().count(), 0, "the job row did not move");
+        backup.apply_delta(&delta);
+        assert_eq!(backup.resume_point(&key).map(|(hw, _)| hw), Some(20));
+        // A stale delta replayed out of order cannot regress the mark.
+        backup.apply_delta(&primary.delta_since(0));
+        assert_eq!(backup.resume_point(&key).map(|(hw, _)| hw), Some(20));
+    }
+
+    #[test]
+    fn gc_uses_the_maintained_flag_set() {
+        let client = ClientKey::new(1, 1);
+        let mut d = db();
+        for seq in 1..=3 {
+            d.register_job(job(seq));
+        }
+        while let (Some(t), _) = d.next_pending(ServerId(1), T0) {
+            d.complete_task(t.id, t.job, Blob::synthetic(100, t.job.seq), ServerId(1));
+        }
+        assert!(d.collected_flagged().is_empty());
+        d.mark_collected(client, &[1, 3]);
+        assert_eq!(d.collected_flagged().len(), 2);
+        assert_eq!(d.collected_flagged(), d.collected_flagged_scan());
+        let (freed, charge) = d.gc_collected();
+        assert_eq!(freed, 200);
+        assert_eq!(charge.db_ops, 3, "O(flagged): 2 victims + 1");
+        assert!(d.collected_flagged().is_empty(), "flag set drained by GC");
+        assert_eq!(d.collected_flagged(), d.collected_flagged_scan());
+        // Idempotent: nothing flagged, nothing freed, O(1).
+        let (freed, charge) = d.gc_collected();
+        assert_eq!(freed, 0);
+        assert_eq!(charge.db_ops, 1);
+        // Re-execution of the re-acquirable survivor keeps the sets honest.
+        assert_eq!(d.archived_count(), 1);
+        d.mark_collected(client, &[2]);
+        assert_eq!(d.collected_flagged(), d.collected_flagged_scan());
+        d.gc_collected();
+        assert_eq!(d.stats().collected, 3);
     }
 }

@@ -17,7 +17,7 @@
 //! version order, which guarantees a job row always precedes the task and
 //! collected rows that reference it.
 
-use rpcv_wire::{Reader, WireDecode, WireEncode, WireError, WireWrite};
+use rpcv_wire::{Blob, Reader, WireDecode, WireEncode, WireError, WireWrite};
 use rpcv_xw::{ClientKey, CoordId, JobKey, JobSpec, TaskId, TaskState};
 
 /// Replicated view of one task row.
@@ -85,6 +85,20 @@ pub enum DeltaRow {
         /// The delivered job.
         job: JobKey,
     },
+    /// `job`'s checkpoint moved since the base version: the unit
+    /// high-water mark a successor instance may resume from, with the
+    /// resume state.  Checkpoint knowledge is a versioned row like any
+    /// other — a steady-state round carries only the checkpoints that
+    /// moved — and merges monotonically (a lower mark never wins), so a
+    /// promoted successor inherits every resume point O(changed).
+    Ckpt {
+        /// The checkpointed job.
+        job: JobKey,
+        /// Units completed and durable.
+        unit_hw: u32,
+        /// Opaque resume state.
+        blob: Blob,
+    },
 }
 
 impl WireEncode for DeltaRow {
@@ -107,6 +121,12 @@ impl WireEncode for DeltaRow {
                 w.put_u8(3);
                 job.encode(w);
             }
+            DeltaRow::Ckpt { job, unit_hw, blob } => {
+                w.put_u8(4);
+                job.encode(w);
+                w.put_uvarint(*unit_hw as u64);
+                blob.encode(w);
+            }
         }
     }
 }
@@ -119,6 +139,11 @@ impl WireDecode for DeltaRow {
             1 => DeltaRow::Task(TaskRecord::decode(r)?),
             2 => DeltaRow::Mark { client: ClientKey::decode(r)?, mark: r.get_uvarint()? },
             3 => DeltaRow::Collected { job: JobKey::decode(r)? },
+            4 => DeltaRow::Ckpt {
+                job: JobKey::decode(r)?,
+                unit_hw: u32::decode(r)?,
+                blob: Blob::decode(r)?,
+            },
             tag => return Err(WireError::InvalidTag { ty: "DeltaRow", tag: tag as u64 }),
         })
     }
@@ -181,11 +206,26 @@ impl ReplicationDelta {
         })
     }
 
+    /// Checkpoint rows carried: `(job, unit high-water mark, state)`.
+    pub fn ckpts(&self) -> impl Iterator<Item = (JobKey, u32, &Blob)> + '_ {
+        self.rows.iter().filter_map(|r| match r {
+            DeltaRow::Ckpt { job, unit_hw, blob } => Some((*job, *unit_hw, blob)),
+            _ => None,
+        })
+    }
+
     /// Modelled payload bytes: frame plus the parameter payloads carried by
-    /// the job descriptions (synthetic blobs keep the frame itself tiny,
-    /// but the *transfer* must be charged for the full parameter size).
+    /// the job descriptions and the resume-state blobs carried by the
+    /// checkpoint rows (synthetic blobs keep the frame itself tiny, but
+    /// the *transfer* must be charged for the full payload size).
     pub fn transfer_bytes(&self) -> u64 {
-        self.encoded_len() + self.jobs().map(|j| j.params.len()).sum::<u64>()
+        self.encoded_len()
+            + self.jobs().map(|j| j.params.len()).sum::<u64>()
+            + self
+                .ckpts()
+                .filter(|(_, _, b)| b.is_synthetic())
+                .map(|(_, _, b)| b.len())
+                .sum::<u64>()
     }
 }
 
@@ -234,6 +274,11 @@ mod tests {
                 }),
                 DeltaRow::Mark { client: ClientKey::new(1, 1), mark: 4 },
                 DeltaRow::Collected { job: JobKey::new(ClientKey::new(1, 1), 3) },
+                DeltaRow::Ckpt {
+                    job: JobKey::new(ClientKey::new(1, 1), 4),
+                    unit_hw: 12,
+                    blob: Blob::synthetic(2000, 8),
+                },
             ],
         }
     }
@@ -248,18 +293,23 @@ mod tests {
     #[test]
     fn typed_accessors_partition_the_rows() {
         let d = delta();
-        assert_eq!(d.len(), 4);
+        assert_eq!(d.len(), 5);
         assert_eq!(d.jobs().count(), 1);
         assert_eq!(d.tasks().count(), 1);
         assert_eq!(d.marks().collect::<Vec<_>>(), vec![(ClientKey::new(1, 1), 4)]);
         assert_eq!(d.collected().collect::<Vec<_>>(), vec![JobKey::new(ClientKey::new(1, 1), 3)]);
+        let ckpts: Vec<(JobKey, u32, u64)> = d.ckpts().map(|(j, hw, b)| (j, hw, b.len())).collect();
+        assert_eq!(ckpts, vec![(JobKey::new(ClientKey::new(1, 1), 4), 12, 2000)]);
     }
 
     #[test]
-    fn transfer_bytes_counts_params() {
+    fn transfer_bytes_counts_params_and_ckpt_state() {
         let d = delta();
-        assert!(d.transfer_bytes() >= 5000, "must include the 5000-byte params payload");
-        assert!(d.transfer_bytes() < 5000 + 200, "frame overhead should stay small");
+        assert!(
+            d.transfer_bytes() >= 5000 + 2000,
+            "must include the params payload and the checkpoint state"
+        );
+        assert!(d.transfer_bytes() < 5000 + 2000 + 200, "frame overhead should stay small");
     }
 
     #[test]

@@ -11,6 +11,7 @@ fn job(seq: u64, size: u64) -> JobSpec {
     JobSpec::new(JobKey::new(ClientKey::new(1, 1), seq), "svc", Blob::synthetic(size, seq))
         .with_exec_cost(1.0)
         .with_result_size(32)
+        .with_work_units(100)
 }
 
 proptest! {
@@ -94,13 +95,14 @@ proptest! {
 
     /// Index/scan equivalence: for arbitrary op sequences (registration,
     /// dispatch, completion, replication from a peer, archive hand-off,
-    /// GC, re-execution, server suspicion), the incremental structures
-    /// must agree with their full-scan reference definitions at every
-    /// step — `pending_count`/`missing_archives` continuously, and
-    /// `delta_since(base)` for every base version the run passed through.
+    /// GC, re-execution, server suspicion, checkpoint upload), the
+    /// incremental structures must agree with their full-scan reference
+    /// definitions at every step — `pending_count`/`missing_archives`/
+    /// `collected_flagged` continuously, and `delta_since(base)` for every
+    /// base version the run passed through.
     #[test]
     fn indexed_views_match_scan_definitions(
-        ops in proptest::collection::vec((1u64..25, 0u8..10, 0u8..8), 1..60),
+        ops in proptest::collection::vec((1u64..25, 0u8..11, 0u8..8), 1..60),
     ) {
         let client = ClientKey::new(1, 1);
         let mut a = CoordinatorDb::new(CoordId(1));
@@ -132,8 +134,14 @@ proptest! {
                 }
                 4 => {
                     // Peer work replicated in: held ongoing tasks, foreign
-                    // origins, finished-without-archive rows.
+                    // origins, finished-without-archive rows, and the
+                    // peer's checkpoint knowledge.
                     b.register_job(job(100 + seq, 30));
+                    b.record_checkpoint(
+                        JobKey::new(client, 100 + seq),
+                        (aux as u32 % 5) + 1,
+                        Blob::synthetic(24, seq),
+                    );
                     let _ = b.next_pending(ServerId(5), now);
                     if let (Some(d), _) = b.next_pending(ServerId(5), now) {
                         b.complete_task(d.id, d.job, Blob::synthetic(16, seq), ServerId(5));
@@ -160,6 +168,16 @@ proptest! {
                 8 => {
                     a.server_suspected(ServerId((aux % 3) as u64 + 1));
                 }
+                9 => {
+                    // Checkpoint upload for a (possibly finished, possibly
+                    // unknown) job: the monotone merge and the finished-job
+                    // gate both get exercised.
+                    a.record_checkpoint(
+                        JobKey::new(client, seq),
+                        (aux as u32 % 6) + 1,
+                        Blob::synthetic(32, seq ^ 0xCC),
+                    );
+                }
                 _ => {
                     let (_, _) = a.next_pending(ServerId(2), now);
                     a.apply_delta(&b.delta_since((aux as u64) * 5));
@@ -168,6 +186,7 @@ proptest! {
             // Continuous equivalence of the maintained structures.
             prop_assert_eq!(a.pending_count(), a.pending_count_scan());
             prop_assert_eq!(a.missing_archives(), a.missing_archives_scan());
+            prop_assert_eq!(a.collected_flagged(), a.collected_flagged_scan());
             // Merge the incremental catalog delta exactly as a client does
             // and compare against the full-scan reference catalog.
             let cd = a.results_catalog_since(client, cat_hw);
@@ -229,11 +248,23 @@ proptest! {
                     prop_assert!(a.has_collected_knowledge(&job));
                     prop_assert!(scan_collected.contains(&job));
                 }
+                // Checkpoint rows carry current marks; the scan reference
+                // re-sends every row, so indexed ⊆ scan.
+                let scan_ckpts: std::collections::BTreeMap<_, _> =
+                    scan.ckpts().map(|(j, hw, _)| (j, hw)).collect();
+                for (j, hw, _) in idx.ckpts() {
+                    prop_assert_eq!(a.ckpt_high_water(&j), Some(hw));
+                    prop_assert_eq!(scan_ckpts.get(&j).copied(), Some(hw));
+                }
                 // From base 0 the indexed feed covers the complete
-                // collected-knowledge set (one versioned row per job).
+                // collected-knowledge and checkpoint sets (one versioned
+                // row per job each).
                 if base == 0 {
                     let full: std::collections::BTreeSet<_> = idx.collected().collect();
                     prop_assert_eq!(full, scan_collected);
+                    let full_ckpts: std::collections::BTreeMap<_, _> =
+                        idx.ckpts().map(|(j, hw, _)| (j, hw)).collect();
+                    prop_assert_eq!(full_ckpts, scan_ckpts);
                 }
             }
         }
@@ -255,6 +286,42 @@ proptest! {
             let (tid, _) = mirror.reexecute_job(job);
             prop_assert!(tid.is_none(), "mirror must refuse re-executing collected work");
         }
+        // Checkpoint knowledge propagated row-for-row: the delta-fed mirror
+        // holds exactly the resume marks a from-scratch application does.
+        prop_assert_eq!(mirror.ckpt_scan(), full.ckpt_scan());
+        prop_assert_eq!(mirror.ckpt_scan(), a.ckpt_scan());
+    }
+
+    /// Checkpoint replay monotonicity: applying any prefix of an upload
+    /// sequence — directly, or through incremental replication deltas —
+    /// yields a resume high-water mark that equals the running maximum and
+    /// never decreases, and replaying a stale delta cannot regress it.
+    #[test]
+    fn ckpt_prefix_replay_is_monotone(
+        marks in proptest::collection::vec(0u32..100, 1..40),
+    ) {
+        let mut d = CoordinatorDb::new(CoordId(1));
+        d.register_job(job(1, 10));
+        let key = JobKey::new(ClientKey::new(1, 1), 1);
+        let mut replica = CoordinatorDb::new(CoordId(2));
+        let mut base = 0u64;
+        let mut best = 0u32;
+        let mut replica_prev = 0u32;
+        for (i, &hw) in marks.iter().enumerate() {
+            d.record_checkpoint(key, hw, Blob::synthetic(hw as u64 + 1, i as u64));
+            best = best.max(hw);
+            prop_assert_eq!(d.ckpt_high_water(&key).unwrap_or(0), best);
+            // The replica sees exactly this prefix, as incremental deltas.
+            replica.apply_delta(&d.delta_since(base));
+            base = d.version();
+            let rhw = replica.ckpt_high_water(&key).unwrap_or(0);
+            prop_assert!(rhw >= replica_prev, "resume mark must never decrease");
+            prop_assert_eq!(rhw, best);
+            replica_prev = rhw;
+        }
+        // An out-of-order replay of the full history cannot regress it.
+        replica.apply_delta(&d.delta_since(0));
+        prop_assert_eq!(replica.ckpt_high_water(&key).unwrap_or(0), best);
     }
 
     /// At-least-once accounting: for any completion order (including

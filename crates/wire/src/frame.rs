@@ -1,0 +1,98 @@
+//! Digest-sealed frames: the one shared CRC-64 verification helper.
+//!
+//! Several payloads cross the grid as opaque byte frames whose integrity
+//! must be checked at the receiver — result archives (`rpcv-xw`) and task
+//! checkpoints (`rpcv-ckpt`) both ride weakly controlled desktop nodes
+//! (paper §2.2).  Each used to re-implement the same "CRC-64 over
+//! everything before the tail" check inline; this module is the single
+//! definition both call, so a framing change or a digest upgrade happens
+//! in exactly one place.
+//!
+//! A sealed frame is `body ‖ crc64(body)` with the digest in 8
+//! little-endian tail bytes.  [`verify_digest`] is the bare check for
+//! callers that carry the digest out of band (e.g. a wire struct with an
+//! explicit digest field); [`seal_frame`]/[`open_frame`] handle the
+//! tail-appended layout.
+
+use crate::digest::crc64;
+use crate::error::WireError;
+
+/// Appends the CRC-64 of `body` as 8 little-endian tail bytes, producing a
+/// self-verifying frame for [`open_frame`].
+pub fn seal_frame(mut body: Vec<u8>) -> Vec<u8> {
+    let crc = crc64(&body);
+    body.extend_from_slice(&crc.to_le_bytes());
+    body
+}
+
+/// Checks a digest carried out of band: recomputes CRC-64 over `body` and
+/// compares against `declared`, returning the typed mismatch error on
+/// disagreement (never a silent drop).
+pub fn verify_digest(body: &[u8], declared: u64) -> Result<(), WireError> {
+    let actual = crc64(body);
+    if declared != actual {
+        return Err(WireError::DigestMismatch { expected: declared, actual });
+    }
+    Ok(())
+}
+
+/// Splits and verifies a frame produced by [`seal_frame`], returning the
+/// body on success.
+pub fn open_frame(frame: &[u8]) -> Result<&[u8], WireError> {
+    if frame.len() < 8 {
+        return Err(WireError::UnexpectedEof { needed: 8, have: frame.len() });
+    }
+    let (body, tail) = frame.split_at(frame.len() - 8);
+    let declared = u64::from_le_bytes(tail.try_into().expect("8-byte tail"));
+    verify_digest(body, declared)?;
+    Ok(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seal_open_roundtrip() {
+        let body = b"checkpoint state".to_vec();
+        let frame = seal_frame(body.clone());
+        assert_eq!(frame.len(), body.len() + 8);
+        assert_eq!(open_frame(&frame).unwrap(), &body[..]);
+    }
+
+    #[test]
+    fn empty_body_roundtrips() {
+        let frame = seal_frame(Vec::new());
+        assert_eq!(open_frame(&frame).unwrap(), b"");
+    }
+
+    #[test]
+    fn corruption_is_a_typed_error() {
+        let mut frame = seal_frame(vec![7u8; 100]);
+        frame[50] ^= 0x10;
+        assert!(matches!(open_frame(&frame), Err(WireError::DigestMismatch { .. })));
+    }
+
+    #[test]
+    fn tampered_digest_rejected() {
+        let mut frame = seal_frame(vec![7u8; 100]);
+        let n = frame.len();
+        frame[n - 3] ^= 0x01;
+        assert!(matches!(open_frame(&frame), Err(WireError::DigestMismatch { .. })));
+    }
+
+    #[test]
+    fn short_frame_rejected() {
+        assert!(matches!(open_frame(&[1, 2, 3]), Err(WireError::UnexpectedEof { .. })));
+    }
+
+    #[test]
+    fn out_of_band_digest_check() {
+        let body = b"abc";
+        let good = crate::digest::crc64(body);
+        assert!(verify_digest(body, good).is_ok());
+        let err = verify_digest(body, good ^ 1).unwrap_err();
+        assert!(matches!(err, WireError::DigestMismatch { expected, actual }
+            if expected == (good ^ 1) && actual == good));
+    }
+}

@@ -18,7 +18,9 @@
 //!   while still being materializable to deterministic bytes for the real
 //!   threaded runtime;
 //! * [`digest`] — CRC-64 (ECMA/XZ polynomial) and the splitmix64 mixer used
-//!   for deterministic seed derivation.
+//!   for deterministic seed derivation;
+//! * [`frame`] — digest-sealed frames: the shared CRC-64 verification
+//!   helper used by result archives and task checkpoints alike.
 //!
 //! ## Example
 //!
@@ -49,6 +51,7 @@ pub mod blob;
 pub mod codec;
 pub mod digest;
 pub mod error;
+pub mod frame;
 pub mod varint;
 
 pub use blob::Blob;
@@ -57,3 +60,4 @@ pub use codec::{
 };
 pub use digest::{crc64, mix64, Crc64};
 pub use error::WireError;
+pub use frame::{open_frame, seal_frame, verify_digest};

@@ -16,6 +16,10 @@ pub struct SyntheticBench {
     pub result_bytes: u64,
     /// Redundancy factor (extension; 1 = paper baseline).
     pub replication: u32,
+    /// Checkpointable work units per call (extension; 1 = atomic, the
+    /// paper baseline).  With N units a call snapshots progress at unit
+    /// boundaries, so a crashed server's successor resumes mid-task.
+    pub work_units: u32,
     /// Seed for the parameter payloads.
     pub seed: u64,
 }
@@ -30,6 +34,7 @@ impl SyntheticBench {
             exec_secs: 10.0,
             result_bytes: 64,
             replication: 1,
+            work_units: 1,
             seed: 7,
         }
     }
@@ -42,6 +47,7 @@ impl SyntheticBench {
             exec_secs: 1.0,
             result_bytes: 64,
             replication: 1,
+            work_units: 1,
             seed: 4,
         }
     }
@@ -54,6 +60,7 @@ impl SyntheticBench {
             exec_secs: 1.0,
             result_bytes: 64,
             replication: 1,
+            work_units: 1,
             seed: 6,
         }
     }
@@ -70,6 +77,12 @@ impl SyntheticBench {
         self
     }
 
+    /// Builder: checkpointable work units per call.
+    pub fn with_work_units(mut self, n: u32) -> Self {
+        self.work_units = n.max(1);
+        self
+    }
+
     /// Materializes the plan.
     pub fn plan(&self) -> Vec<CallSpec> {
         (0..self.calls)
@@ -81,6 +94,7 @@ impl SyntheticBench {
                     self.result_bytes,
                 )
                 .with_replication(self.replication)
+                .with_work_units(self.work_units)
             })
             .collect()
     }
@@ -159,6 +173,14 @@ mod tests {
         assert_eq!(plans[0].len(), 4, "round-robin: client 0 gets the remainder");
         assert_eq!(b.split_across(1).len(), 1);
         assert_eq!(b.split_across(0).len(), 1, "floors at one client");
+    }
+
+    #[test]
+    fn work_units_flow_into_the_plan() {
+        let plan = SyntheticBench::fig7().with_work_units(10).plan();
+        assert!(plan.iter().all(|c| c.work_units == 10));
+        let atomic = SyntheticBench::fig7().plan();
+        assert!(atomic.iter().all(|c| c.work_units == 1), "default stays atomic");
     }
 
     #[test]

@@ -7,7 +7,9 @@
 //! their framing must detect corruption: the frame ends with a CRC-64 over
 //! everything before it.
 
-use rpcv_wire::{crc64, Blob, Reader, WireDecode, WireEncode, WireError, WireWrite, Writer};
+use rpcv_wire::{
+    open_frame, seal_frame, Blob, Reader, WireDecode, WireEncode, WireError, WireWrite, Writer,
+};
 
 /// One file inside an archive.
 #[derive(Debug, Clone, PartialEq)]
@@ -64,27 +66,18 @@ impl Archive {
         self.entries.is_empty()
     }
 
-    /// Packs the archive into a checksummed frame.
+    /// Packs the archive into a checksummed frame (the shared
+    /// [`seal_frame`] layout, so archives and checkpoints verify the same
+    /// way).
     pub fn pack(&self) -> Vec<u8> {
         let mut w = Writer::new();
         self.entries.encode(&mut w);
-        let crc = crc64(w.as_slice());
-        let mut out = w.into_vec();
-        out.extend_from_slice(&crc.to_le_bytes());
-        out
+        seal_frame(w.into_vec())
     }
 
     /// Unpacks and verifies a frame produced by [`Archive::pack`].
     pub fn unpack(frame: &[u8]) -> Result<Archive, WireError> {
-        if frame.len() < 8 {
-            return Err(WireError::UnexpectedEof { needed: 8, have: frame.len() });
-        }
-        let (body, tail) = frame.split_at(frame.len() - 8);
-        let declared = u64::from_le_bytes(tail.try_into().expect("8-byte tail"));
-        let actual = crc64(body);
-        if declared != actual {
-            return Err(WireError::DigestMismatch { expected: declared, actual });
-        }
+        let body = open_frame(frame)?;
         let mut r = Reader::new(body);
         let entries = Vec::<ArchiveEntry>::decode(&mut r)?;
         r.expect_end()?;

@@ -31,6 +31,12 @@ pub struct JobSpec {
     /// anticipate potential failures.  However, this could be added easily
     /// with a replication flag associated with the task state").
     pub replication: u32,
+    /// Extension (checkpointing, paper §6 future work): how many
+    /// checkpointable *work units* the execution divides into.  `1` = an
+    /// atomic task (the paper baseline: progress is all-or-nothing); a
+    /// task of N units can snapshot at unit boundaries and a successor
+    /// instance resumes from the highest durable unit instead of zero.
+    pub work_units: u32,
 }
 
 impl JobSpec {
@@ -44,6 +50,7 @@ impl JobSpec {
             exec_cost: 0.0,
             result_size_hint: 0,
             replication: 1,
+            work_units: 1,
         }
     }
 
@@ -71,6 +78,12 @@ impl JobSpec {
         self
     }
 
+    /// Builder: checkpointable work-unit count (extension; floors at 1).
+    pub fn with_work_units(mut self, n: u32) -> Self {
+        self.work_units = n.max(1);
+        self
+    }
+
     /// Parameter payload size in bytes.
     pub fn params_len(&self) -> u64 {
         self.params.len()
@@ -86,6 +99,7 @@ impl WireEncode for JobSpec {
         w.put_f64(self.exec_cost);
         w.put_uvarint(self.result_size_hint);
         w.put_uvarint(self.replication as u64);
+        w.put_uvarint(self.work_units as u64);
     }
 }
 
@@ -99,6 +113,7 @@ impl WireDecode for JobSpec {
             exec_cost: r.get_f64()?,
             result_size_hint: r.get_uvarint()?,
             replication: u32::decode(r)?,
+            work_units: u32::decode(r)?,
         })
     }
 }
@@ -115,6 +130,7 @@ mod tests {
             .with_result_size(256)
             .with_cmdline("eval --config net.cfg")
             .with_replication(2)
+            .with_work_units(8)
     }
 
     #[test]
@@ -130,6 +146,7 @@ mod tests {
         assert_eq!(j.exec_cost, 10.0);
         assert_eq!(j.result_size_hint, 256);
         assert_eq!(j.replication, 2);
+        assert_eq!(j.work_units, 8);
         assert_eq!(j.params_len(), 1024);
     }
 
@@ -137,6 +154,13 @@ mod tests {
     fn replication_is_at_least_one() {
         let j = JobSpec::new(JobKey::default(), "s", Blob::empty()).with_replication(0);
         assert_eq!(j.replication, 1);
+    }
+
+    #[test]
+    fn work_units_floor_at_one() {
+        let j = JobSpec::new(JobKey::default(), "s", Blob::empty()).with_work_units(0);
+        assert_eq!(j.work_units, 1);
+        assert_eq!(JobSpec::new(JobKey::default(), "s", Blob::empty()).work_units, 1);
     }
 
     #[test]

@@ -105,12 +105,23 @@ pub struct TaskDesc {
     pub exec_cost: f64,
     /// Expected result size (workload model).
     pub result_size_hint: u64,
+    /// Checkpointable work-unit count (extension; `1` = atomic task).  A
+    /// server executing an N-unit task can snapshot progress at unit
+    /// boundaries; a successor instance resumes from the job's highest
+    /// durable unit instead of unit zero.
+    pub work_units: u32,
 }
 
 impl TaskDesc {
     /// Parameter payload size.
     pub fn params_len(&self) -> u64 {
         self.params.len()
+    }
+
+    /// Work-unit count with the ≥ 1 floor applied (a descriptor decoded
+    /// from an old peer may carry 0).
+    pub fn units(&self) -> u32 {
+        self.work_units.max(1)
     }
 }
 
@@ -124,6 +135,7 @@ impl WireEncode for TaskDesc {
         self.params.encode(w);
         w.put_f64(self.exec_cost);
         w.put_uvarint(self.result_size_hint);
+        w.put_uvarint(self.work_units as u64);
     }
 }
 
@@ -138,6 +150,7 @@ impl WireDecode for TaskDesc {
             params: Blob::decode(r)?,
             exec_cost: r.get_f64()?,
             result_size_hint: r.get_uvarint()?,
+            work_units: u32::decode(r)?,
         })
     }
 }
@@ -178,10 +191,30 @@ mod tests {
             params: Blob::synthetic(2048, 3),
             exec_cost: 12.5,
             result_size_hint: 100,
+            work_units: 16,
         };
         let back: TaskDesc = from_bytes(&to_bytes(&d)).unwrap();
         assert_eq!(back, d);
         assert_eq!(back.params_len(), 2048);
+        assert_eq!(back.units(), 16);
+    }
+
+    #[test]
+    fn units_floor_at_one() {
+        let mut d = TaskDesc {
+            id: TaskId::compose(CoordId(1), 1),
+            job: JobKey::new(ClientKey::new(1, 1), 1),
+            attempt: 0,
+            service: "svc".into(),
+            cmdline: String::new(),
+            params: Blob::empty(),
+            exec_cost: 1.0,
+            result_size_hint: 1,
+            work_units: 0,
+        };
+        assert_eq!(d.units(), 1);
+        d.work_units = 7;
+        assert_eq!(d.units(), 7);
     }
 
     #[test]

@@ -78,6 +78,7 @@ mod tests {
             params: Blob::from_vec(vec![5u8; 16]),
             exec_cost: 3.0,
             result_size_hint: 128,
+            work_units: 1,
         }
     }
 

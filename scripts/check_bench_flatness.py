@@ -1,25 +1,35 @@
 #!/usr/bin/env python3
-"""Assert the O(changed) payload invariants on a BENCH_scale.json sweep.
+"""Validate committed/regenerated bench artifacts (BENCH_*.json).
 
-For every pair of cells that differ only in job count, the per-round
-replication payload must stay flat (within 2x, floor 4 KiB): the sweep is
-collected-heavy — clients collect every result and the harness GCs — so a
-regression that re-sends collected knowledge (or any table) per round
-makes the longer run's rounds fatter and trips this.  Mirrors
-`check_delta_flatness` in crates/bench/benches/scale.rs, which gates the
-run itself; this script gates the committed/regenerated artifact.
+Dispatches on the artifact's "bench" tag:
 
-Usage: check_bench_flatness.py BENCH_scale.json
+* scale — assert the O(changed) payload invariants: for every pair of
+  cells that differ only in job count, the per-round replication payload
+  must stay flat (within 2x, floor 4 KiB).  The sweep is collected-heavy —
+  clients collect every result and the harness GCs — so a regression that
+  re-sends collected knowledge (or any table) per round makes the longer
+  run's rounds fatter and trips this.  Mirrors `check_delta_flatness` in
+  crates/bench/benches/scale.rs, which gates the run itself; this script
+  gates the artifact.
+
+* ckpt — validate the checkpoint-policy sweep's schema and its headline:
+  every cell completed, checkpointing policies report the bytes they paid,
+  and within each volatility group the adaptive policy wastes less work
+  than the from-scratch baseline — and, where churn is frequent enough to
+  learn from (>= 4 faults/min), no more than the budget-matched fixed
+  interval.  Mirrors `check_adaptive_wins` in crates/bench/benches/ckpt.rs.
+
+With --committed, additionally reject smoke artifacts: only full sweeps
+may be committed (a local `--smoke` run overwrites the same file).
+
+Usage: check_bench_flatness.py [--committed] BENCH_scale.json|BENCH_ckpt.json
 """
 
 import json
 import sys
 
 
-def main() -> None:
-    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_scale.json"
-    with open(path) as f:
-        doc = json.load(f)
+def check_scale(doc: dict, path: str) -> None:
     grid = doc["grid"]
     pairs = 0
     for a in grid:
@@ -32,6 +42,54 @@ def main() -> None:
                     f"delta bytes/round grew with run length: {a} -> {b}"
     assert pairs >= 1, "sweep must include a cell pair differing only in job count"
     print(f"{path}: delta flatness OK across {pairs} jobs-only cell pair(s)")
+
+
+def check_ckpt(doc: dict, path: str) -> None:
+    assert doc["schema_version"] == 1, "unknown ckpt schema version"
+    cells = doc["cells"]
+    assert len(cells) >= 3, "need baseline, adaptive and budget-matched cells"
+    groups = sorted({c["faults_per_min"] for c in cells})
+    for cell in cells:
+        assert cell["completed"] is True, f"cell did not complete: {cell}"
+        assert cell["spent_units"] >= cell["required_units"], f"bad accounting: {cell}"
+        if cell["policy"] == "off":
+            assert cell["ckpt_bytes"] == 0, f"baseline must pay no checkpoint bytes: {cell}"
+        else:
+            assert cell["ckpt_bytes"] > 0, f"checkpointing cell paid no bytes: {cell}"
+    checked = 0
+    for g in groups:
+        by = {c["policy"]: c for c in cells if c["faults_per_min"] == g}
+        off, adaptive = by["off"], by["adaptive"]
+        assert adaptive["wasted_units"] < off["wasted_units"], \
+            f"@{g}/min: adaptive must beat from-scratch re-execution: {adaptive} vs {off}"
+        if g >= 4.0:
+            matched = by["fixed-matched"]
+            assert adaptive["wasted_units"] <= matched["wasted_units"], \
+                f"@{g}/min: adaptive must beat the budget-matched fixed interval: " \
+                f"{adaptive} vs {matched}"
+            assert adaptive["ckpt_bytes"] <= matched["ckpt_bytes"] * 1.3, \
+                f"@{g}/min: comparison not budget-matched: {adaptive} vs {matched}"
+            checked += 1
+    assert checked >= 1, "sweep must include a >= 4 faults/min group for the headline"
+    print(f"{path}: ckpt sweep OK ({len(cells)} cells, "
+          f"adaptive wins the budget-matched comparison in {checked} group(s))")
+
+
+def main() -> None:
+    args = [a for a in sys.argv[1:] if a != "--committed"]
+    committed = "--committed" in sys.argv[1:]
+    path = args[0] if args else "BENCH_scale.json"
+    with open(path) as f:
+        doc = json.load(f)
+    if committed:
+        assert doc["smoke"] is False, \
+            f"committed {path} is a smoke run — regenerate with the full sweep"
+    if doc["bench"] == "scale":
+        check_scale(doc, path)
+    elif doc["bench"] == "ckpt":
+        check_ckpt(doc, path)
+    else:
+        raise AssertionError(f"unknown bench tag {doc['bench']!r} in {path}")
 
 
 if __name__ == "__main__":

@@ -13,7 +13,8 @@
 //! | [`wire`] | `rpcv-wire` | binary marshalling (varints, blobs, CRC-64) |
 //! | [`log`] | `rpcv-log` | sender-based message logging (3 strategies) |
 //! | [`detect`] | `rpcv-detect` | heartbeat fault suspicion + coordinator lists |
-//! | [`store`] | `rpcv-store` | coordinator job/task/archive database |
+//! | [`store`] | `rpcv-store` | coordinator job/task/archive/checkpoint database |
+//! | [`ckpt`] | `rpcv-ckpt` | adaptive task checkpointing: policies, volatility estimation, checkpoint frames |
 //! | [`xw`] | `rpcv-xw` | XtremWeb-like middleware substrate |
 //! | [`workload`] | `rpcv-workload` | synthetic + Alcatel-like workloads, fault plans |
 //!
@@ -38,6 +39,7 @@
 //! see `examples/quickstart.rs`): [`core::runtime::LiveGrid`] plus
 //! [`core::api::GridClient`].
 
+pub use rpcv_ckpt as ckpt;
 pub use rpcv_core as core;
 pub use rpcv_detect as detect;
 pub use rpcv_log as log;

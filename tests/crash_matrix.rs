@@ -209,6 +209,83 @@ fn delivered_results_settle_stranded_server_logs() {
     assert_eq!(coord.db().stats().duplicate_results, 0, "no duplicate delivery either");
 }
 
+/// The checkpointing extension's headline property, swept across crash
+/// instants: a server dies mid-way through a long task and the promoted
+/// instance — on a *different* server — resumes from the last checkpoint
+/// the coordinator holds, repeating zero checkpointed units.  Against the
+/// from-scratch baseline (checkpointing off), the successor executes
+/// strictly fewer units, and the grid's total unit spend stays under 2×
+/// the job's declared units.
+#[test]
+fn resumed_instance_skips_checkpointed_units() {
+    use rpcv::ckpt::CheckpointPolicy;
+
+    const UNITS: u32 = 90; // 90 units × 1 s/unit = one long 90 s task
+    let run = |policy: CheckpointPolicy, crash_at: u64| -> (u64, u64, u64, u32) {
+        let cfg = ProtocolConfig::confined()
+            .with_heartbeat(SimDuration::from_secs(1))
+            .with_suspicion(SimDuration::from_secs(5))
+            .with_checkpoint_policy(policy);
+        let call = CallSpec::new("b", Blob::synthetic(10_000, 1), UNITS as f64, 128)
+            .with_work_units(UNITS);
+        let mut g = SimGrid::build(GridSpec::confined(1, 2).with_cfg(cfg).with_plan(vec![call]));
+        g.world.run_until(SimTime::from_secs(crash_at));
+        // Crash whichever server is executing the task — permanently.
+        let victim = (0..2)
+            .find(|&i| g.server(i).is_some_and(|s| s.running_count() == 1))
+            .expect("one server must be mid-task at the crash instant");
+        let successor = 1 - victim;
+        g.world.crash_now(g.servers[victim].1);
+        // The resume point the successor will be handed: the last mark the
+        // victim shipped before dying (nothing can move it until the
+        // successor takes over).
+        let hw = g
+            .coordinator(0)
+            .unwrap()
+            .db()
+            .ckpt_high_water(&rpcv::xw::JobKey::new(g.client_key, 1))
+            .unwrap_or(0);
+        g.run_until_done(SimTime::from_secs(1800)).expect("workload completes after the crash");
+        assert_eq!(g.client_results(), 1);
+        let s = g.server(successor).unwrap();
+        let (succ_spent, succ_resumed) = (s.metrics.units_spent, s.metrics.units_resumed);
+        // Restart the victim only to read its durable metrics: the partial
+        // progress it burned before dying.
+        g.world.restart_now(g.servers[victim].1);
+        g.world.run_for(rpcv::simnet::SimDuration::from_millis(10));
+        let victim_spent = g.server(victim).unwrap().metrics.units_spent;
+        (succ_spent, succ_resumed, victim_spent, hw)
+    };
+
+    for crash_at in [12u64, 40, 70] {
+        let (succ_spent, succ_resumed, victim_spent, hw) =
+            run(CheckpointPolicy::Fixed(SimDuration::from_secs(5)), crash_at);
+        assert!(hw > 0, "crash at {crash_at}s: a checkpoint must be durable by then");
+        // Zero checkpointed units repeated: the successor banked exactly
+        // the coordinator's high-water mark and computed only the rest.
+        assert_eq!(succ_resumed, hw as u64, "crash at {crash_at}s");
+        assert_eq!(succ_spent, (UNITS - hw) as u64, "crash at {crash_at}s");
+        // Total executed units stay under 2× the job's units …
+        let total = succ_spent + victim_spent;
+        assert!(
+            total < 2 * UNITS as u64,
+            "crash at {crash_at}s: {total} units spent for a {UNITS}-unit job"
+        );
+        // … and under the from-scratch baseline, which re-executes all of
+        // it (strictly more successor work, no resume at all).
+        let (base_succ_spent, base_resumed, base_victim_spent, base_hw) =
+            run(CheckpointPolicy::Disabled, crash_at);
+        assert_eq!(base_hw, 0);
+        assert_eq!(base_resumed, 0);
+        assert_eq!(base_succ_spent, UNITS as u64, "baseline re-executes from unit zero");
+        assert!(
+            succ_spent < base_succ_spent,
+            "crash at {crash_at}s: resume must beat re-execution"
+        );
+        assert!(succ_spent + victim_spent < base_succ_spent + base_victim_spent);
+    }
+}
+
 /// Blocked-on-durability guarantee: under blocking-pessimistic logging a
 /// crash at any instant never loses a submission whose interaction
 /// completed — sweep the crash instant across the whole submission phase.
