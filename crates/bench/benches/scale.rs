@@ -111,6 +111,10 @@ fn run_cell(servers: usize, jobs: usize, clients: usize) -> Cell {
     };
     let wall_seconds = started.elapsed().as_secs_f64();
     let events = grid.world.events_processed();
+    eprintln!(
+        "# cell {servers}x{jobs}x{clients}: {events} events in {wall_seconds:.1}s ({:.0} ev/s)",
+        events as f64 / wall_seconds.max(1e-9)
+    );
     let (repl_rounds, delta_bytes) = grid
         .coordinator(0)
         .map(|c| {
@@ -257,7 +261,28 @@ fn main() {
     // Smoke includes one pair differing only in job count — (25, 500, 4)
     // vs (25, 1500, 4) — so `check_catalog_flatness` gates a real
     // comparison in CI, not a vacuous loop.
-    let cells_spec: &[(usize, usize, usize)] = if smoke {
+    // RPCV_SCALE_CELLS="200x20000x16;50x10000x1" overrides the sweep for
+    // ad-hoc probing (no JSON is written for an override run — the
+    // committed artifact only ever reflects the canonical sweeps).
+    let override_cells: Option<Vec<(usize, usize, usize)>> =
+        std::env::var("RPCV_SCALE_CELLS").ok().map(|s| {
+            s.split(';')
+                .filter(|c| !c.is_empty())
+                .map(|c| {
+                    let mut it = c.split('x').map(|n| n.parse().expect("RPCV_SCALE_CELLS number"));
+                    let cell = (
+                        it.next().expect("servers"),
+                        it.next().expect("jobs"),
+                        it.next().expect("clients"),
+                    );
+                    assert!(it.next().is_none(), "cell must be SxJxC");
+                    cell
+                })
+                .collect()
+        });
+    let cells_spec: &[(usize, usize, usize)] = if let Some(cells) = &override_cells {
+        cells
+    } else if smoke {
         &[(10, 200, 1), (25, 500, 4), (25, 1_500, 4), (50, 1_000, 16)]
     } else {
         &[
@@ -311,5 +336,7 @@ fn main() {
     }
     check_catalog_flatness(&cells);
     check_delta_flatness(&cells);
-    write_json(&cells, smoke);
+    if override_cells.is_none() {
+        write_json(&cells, smoke);
+    }
 }

@@ -105,6 +105,11 @@ pub struct ClientActor {
     requested: BTreeMap<u64, (SimTime, u32)>,
     /// When each submission last left this client (replay throttle).
     sent_at: BTreeMap<u64, SimTime>,
+    /// Highest seq ever sent to the current coordinator incarnation.
+    /// Submission is sequential, so every logged entry at or below this
+    /// mark has a `sent_at` stamp — the replay scan skips the whole
+    /// in-flight prefix instead of re-checking it entry by entry.
+    sent_hw: u64,
     /// `(coordinator, boot epoch)` of the last reply, plus the highest
     /// `coord_max` observed within it.
     coord_epoch: Option<(CoordId, u64)>,
@@ -164,6 +169,7 @@ impl ClientActor {
             unacked_results: std::collections::BTreeSet::new(),
             requested: BTreeMap::new(),
             sent_at: BTreeMap::new(),
+            sent_hw: 0,
             coord_epoch: None,
             acked_max: 0,
             progress_at: SimTime::ZERO,
@@ -259,6 +265,7 @@ impl ClientActor {
         // (the deferred send may fire a little later); a crash wipes this
         // map, so restored log entries correctly look never-sent.
         self.sent_at.insert(seq, now);
+        self.sent_hw = self.sent_hw.max(seq);
         if out.timing.barrier {
             self.barriers.insert(seq, out.timing.durable_at);
         }
@@ -277,6 +284,7 @@ impl ClientActor {
 
     fn finish_submission(&mut self, ctx: &mut Ctx<'_, Msg>, seq: u64, comm_end: SimTime) {
         self.sent_at.insert(seq, ctx.now());
+        self.sent_hw = self.sent_hw.max(seq);
         let barrier = self.barriers.remove(&seq);
         let end = barrier.map_or(comm_end, |b| b.max(comm_end));
         if let Some(t) = self.metrics.submissions.get_mut(&seq) {
@@ -365,6 +373,7 @@ impl ClientActor {
             // flight to it are genuine.)
             if self.coord_epoch.is_some() {
                 self.sent_at.clear();
+                self.sent_hw = 0;
                 self.requested.clear();
                 // Re-announce every durably held result as collected: a
                 // promoted successor (or a restarted primary whose last GC
@@ -426,10 +435,13 @@ impl ClientActor {
             // with exactly these timestamps before the crash.
             self.log.fast_forward(coord_max);
             self.next_plan_idx = self.next_plan_idx.max(coord_max as usize);
-        } else if coord_max < local_max {
+        }
+        // Ack first: the replay's backlog estimate reads the maintained
+        // unacked counter, which is exact once the mark is applied.
+        self.log.ack_up_to(coord_max);
+        if coord_max < local_max {
             self.replay_missing(ctx, coord_max);
         }
-        self.log.ack_up_to(coord_max);
         // Merge the catalog *delta* — O(changed), never a rescan.  A
         // reordered reply older than what we already merged is skipped
         // wholesale: its additions are already here and replaying its
@@ -468,12 +480,22 @@ impl ClientActor {
         // the acknowledged high-water mark has stalled longer than the
         // estimated drain of everything outstanding — otherwise a lagging
         // but live pipeline gets its queue doubled.
-        let pending_bytes: u64 = self.log.entries_after(coord_max).map(|e| e.size).sum();
+        let pending_bytes: u64 = if coord_max >= self.log.acked_hw() {
+            // Callers ack before replaying, so the suffix after `coord_max`
+            // is exactly the unacked set — a maintained O(1) counter.
+            self.log.unacked_bytes()
+        } else {
+            self.log.entries_after(coord_max).map(|e| e.size).sum()
+        };
         let drain_estimate = rpcv_simnet::SimDuration::from_secs_f64(pending_bytes as f64 / bw) * 4;
         let stalled = now.since(self.progress_at) > base_horizon + drain_estimate;
         let mut budget: i64 = 32 * 1024 * 1024;
         let mut specs: Vec<JobSpec> = Vec::new();
-        for e in self.log.entries_after(coord_max) {
+        // Without a stall, an entry already sent to this incarnation is
+        // never replayable — skip the whole contiguous sent prefix instead
+        // of re-testing every in-flight entry on every acknowledgement.
+        let scan_from = if stalled { coord_max } else { coord_max.max(self.sent_hw) };
+        for e in self.log.entries_after(scan_from) {
             if specs.len() >= 64 || budget < 0 {
                 break;
             }
@@ -492,6 +514,7 @@ impl ClientActor {
         if !specs.is_empty() {
             for spec in &specs {
                 self.sent_at.insert(spec.key.seq, now);
+                self.sent_hw = self.sent_hw.max(spec.key.seq);
             }
             self.metrics.log_replays += 1;
             // Reading the replayed entries back from the local log is one

@@ -107,6 +107,10 @@ pub struct CoordinatorActor {
     inflight_repl: Option<(CoordId, u64, SimTime)>,
     /// Missing-archive watch list: job → first-noticed.
     missing_since: BTreeMap<JobKey, SimTime>,
+    /// `missing_since` mirrored in stamp order, so the periodic scan reads
+    /// only entries whose re-execution horizon could have passed instead
+    /// of filtering the whole watch list every heartbeat.
+    missing_order: std::collections::BTreeSet<(SimTime, JobKey)>,
     /// Origins already released after predecessor suspicion.
     released: std::collections::BTreeSet<CoordId>,
     deferred: Deferred,
@@ -158,6 +162,7 @@ impl CoordinatorActor {
             acked_version: BTreeMap::new(),
             inflight_repl: None,
             missing_since: BTreeMap::new(),
+            missing_order: std::collections::BTreeSet::new(),
             released: std::collections::BTreeSet::new(),
             deferred: Deferred::new(),
             epoch: 0,
@@ -202,15 +207,47 @@ impl CoordinatorActor {
         self.metrics.completion_timeline.push((now, finished));
     }
 
+    /// Stamps `job` as missing-since-`now` unless already watched.
+    fn watch_missing(&mut self, job: JobKey, now: SimTime) {
+        if let std::collections::btree_map::Entry::Vacant(e) = self.missing_since.entry(job) {
+            e.insert(now);
+            self.missing_order.insert((now, job));
+        }
+    }
+
+    /// Drops `job` from the watch list (archive recovered or delivered).
+    fn unwatch_missing(&mut self, job: &JobKey) {
+        if let Some(at) = self.missing_since.remove(job) {
+            self.missing_order.remove(&(at, *job));
+        }
+    }
+
+    /// Full resync of the watch list against the database's missing set
+    /// (startup, where the restored database may hold entries that predate
+    /// this incarnation's journal).
     fn refresh_missing(&mut self, now: SimTime) {
         // The database maintains the missing set incrementally, so this is
         // O(missing) with an O(1) early exit — never a finished-jobs scan.
+        let _ = self.db.drain_missing_added();
         if !self.db.has_missing_archives() {
             return;
         }
-        let missing_since = &mut self.missing_since;
-        for job in self.db.missing_archives_iter() {
-            missing_since.entry(job).or_insert(now);
+        let jobs: Vec<JobKey> = self.db.missing_archives_iter().collect();
+        for job in jobs {
+            self.watch_missing(job, now);
+        }
+    }
+
+    /// Incremental refresh from the database's addition journal: O(newly
+    /// missing) per applied delta instead of O(missing).
+    fn refresh_missing_new(&mut self, now: SimTime) {
+        for job in self.db.drain_missing_added() {
+            // A key can leave the missing set again within the same delta
+            // (a later collected row); stamping it would strand a stale
+            // watch entry until its horizon fires a refused re-execution.
+            if self.db.is_missing_archive(&job) {
+                self.watch_missing(job, now);
+            }
         }
     }
 
@@ -256,13 +293,27 @@ impl CoordinatorActor {
                     settled.push(job);
                 }
             }
+            // Both halves of the verdict leave in a single frame: one
+            // datagram (header + transfer) instead of two back-to-back
+            // sends to the same server.  The receiver unpacks the parts
+            // in order, so behaviour matches the separate sends exactly.
+            let mut parts = Vec::new();
             if !needed.is_empty() {
-                ctx.send(from, Msg::NeedArchives { jobs: needed });
-                replied = true;
+                parts.push(Msg::NeedArchives { jobs: needed });
             }
             if !settled.is_empty() {
-                ctx.send(from, Msg::ArchivesSettled { jobs: settled });
-                replied = true;
+                parts.push(Msg::ArchivesSettled { jobs: settled });
+            }
+            match parts.len() {
+                0 => {}
+                1 => {
+                    ctx.send(from, parts.pop().unwrap());
+                    replied = true;
+                }
+                _ => {
+                    ctx.send(from, Msg::Batch { parts });
+                    replied = true;
+                }
             }
         }
         // Work assignment (pull model).
@@ -320,7 +371,7 @@ impl CoordinatorActor {
         self.server_addr.insert(server, from);
         let (_outcome, charge) = self.db.complete_task(task, job, archive, server);
         let done = self.pay(ctx, charge);
-        self.missing_since.remove(&job);
+        self.unwatch_missing(&job);
         self.record_completion(now);
         self.deferred.send_at(ctx, done, from, Msg::TaskDoneAck { task, job }, K_SEND, 0);
     }
@@ -482,12 +533,12 @@ impl CoordinatorActor {
         let newly_collected: Vec<JobKey> =
             delta.collected().filter(|j| !self.db.has_collected_knowledge(j)).collect();
         let charge = self.db.apply_delta(&delta);
-        for job in &newly_collected {
-            self.missing_since.remove(job);
+        for job in newly_collected.iter() {
+            self.unwatch_missing(job);
         }
         self.metrics.collected_marks_applied += newly_collected.len() as u64;
         let done = self.pay(ctx, charge);
-        self.refresh_missing(now);
+        self.refresh_missing_new(now);
         self.record_completion(now);
         self.deferred.send_at(
             ctx,
@@ -593,21 +644,25 @@ impl CoordinatorActor {
         // Unrecoverable archives ⇒ at-least-once re-execution.  The
         // horizon must outlast the archive pull over the replication ring
         // (one round to ask, one to receive), else re-execution races the
-        // recovery it is meant to back up.  The watch list holds only
-        // currently-missing archives, so this walk is O(missing).
+        // recovery it is meant to back up.  The stamp-ordered mirror makes
+        // this a prefix read of entries whose horizon passed — O(overdue),
+        // not a filter over the whole watch list every heartbeat.
         if self.missing_since.is_empty() {
             return;
         }
         let reexec_horizon =
             self.params.cfg.missing_archive_timeout.max(self.params.cfg.replication_period * 3);
-        let overdue: Vec<JobKey> = self
-            .missing_since
+        let mut overdue: Vec<JobKey> = self
+            .missing_order
             .iter()
-            .filter(|(_, &since)| now.since(since) > reexec_horizon)
-            .map(|(&j, _)| j)
+            .take_while(|&&(since, _)| now.since(since) > reexec_horizon)
+            .map(|&(_, j)| j)
             .collect();
+        // Key order, exactly as the old whole-list filter produced it (the
+        // re-execution order assigns task ids, so it must not change).
+        overdue.sort_unstable();
         for job in overdue {
-            self.missing_since.remove(&job);
+            self.unwatch_missing(&job);
             let (created, charge) = self.db.reexecute_job(job);
             if created.is_some() {
                 self.metrics.reexecutions += 1;
@@ -684,7 +739,7 @@ impl Actor<Msg> for CoordinatorActor {
                 self.peer_mon.observe(peer.0, ctx.now());
                 let mut charge = Charge::ZERO;
                 for r in results {
-                    self.missing_since.remove(&r.job);
+                    self.unwatch_missing(&r.job);
                     charge += self.db.store_archive(r.job, r.archive);
                 }
                 self.pay(ctx, charge);
@@ -709,6 +764,11 @@ impl Actor<Msg> for CoordinatorActor {
                             round.acked_at = Some(acked_at);
                         }
                     }
+                }
+            }
+            Msg::Batch { parts } => {
+                for part in parts {
+                    self.on_message(ctx, from, part);
                 }
             }
             _ => {}

@@ -267,6 +267,19 @@ pub enum Msg {
         /// Checkpointable work-unit count (1 = atomic).
         work_units: u32,
     },
+
+    // ----- framing ----------------------------------------------------------------
+    /// Several messages for the same destination sealed into one frame:
+    /// one datagram (one header, one transfer) where the protocol would
+    /// otherwise emit back-to-back sends from a single handler — e.g. a
+    /// beat reply carrying both the needed and the settled half of an
+    /// archive-offer verdict.  Receivers process parts in order exactly as
+    /// if they had arrived as separate messages.  Parts are never nested
+    /// batches.
+    Batch {
+        /// The bundled messages, in send order.
+        parts: Vec<Msg>,
+    },
 }
 
 const TAGS: &[(&str, u8)] = &[
@@ -290,6 +303,7 @@ const TAGS: &[(&str, u8)] = &[
     ("ArchivesSettled", 17),
     ("CkptOffer", 18),
     ("CkptAck", 19),
+    ("Batch", 20),
 ];
 
 impl Msg {
@@ -320,6 +334,7 @@ impl Msg {
             Msg::ArchivesSettled { .. } => 17,
             Msg::CkptOffer { .. } => 18,
             Msg::CkptAck { .. } => 19,
+            Msg::Batch { .. } => 20,
         }
     }
 
@@ -348,6 +363,7 @@ impl Msg {
             }
             Msg::ReplArchives { results, .. } => results.iter().map(|r| extra(&r.archive)).sum(),
             Msg::ApiSubmit { params, .. } => extra(params),
+            Msg::Batch { parts } => parts.iter().map(Msg::payload_extra).sum(),
             _ => 0,
         }
     }
@@ -440,6 +456,7 @@ impl WireEncode for Msg {
                 from.encode(w);
                 results.encode(w);
             }
+            Msg::Batch { parts } => parts.encode(w),
         }
     }
 }
@@ -516,6 +533,7 @@ impl WireDecode for Msg {
                 job: JobKey::decode(r)?,
                 unit_hw: u32::decode(r)?,
             },
+            20 => Msg::Batch { parts: Vec::<Msg>::decode(r)? },
             tag => return Err(WireError::InvalidTag { ty: "Msg", tag: tag as u64 }),
         })
     }
@@ -618,6 +636,12 @@ mod tests {
                 result_size: 10,
                 replication: 1,
                 work_units: 4,
+            },
+            Msg::Batch {
+                parts: vec![
+                    Msg::NeedArchives { jobs: vec![JobKey::new(ClientKey::new(1, 2), 1)] },
+                    Msg::ArchivesSettled { jobs: vec![JobKey::new(ClientKey::new(1, 2), 2)] },
+                ],
             },
         ]
     }

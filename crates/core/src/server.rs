@@ -22,7 +22,7 @@
 //! CRC-64-verified frame, so a successor instance on any server resumes
 //! from the last durable unit instead of unit zero.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use rpcv_ckpt::{CheckpointFrame, VolatilityObserver};
 use rpcv_detect::CoordinatorList;
@@ -192,6 +192,16 @@ pub struct ServerActor {
     /// times): offers and resends back off by size-aware horizons so a
     /// multi-second archive transfer is not re-sent on every beat.
     result_sent_at: BTreeMap<JobKey, (SimTime, u32)>,
+    /// Time-indexed view of `result_sent_at` over the unacked log: each
+    /// unacked archive appears exactly once, keyed by the instant its
+    /// backoff horizon expires (`SimTime::ZERO` = never sent, eligible
+    /// immediately).  Beats read eligible offers with a bounded prefix
+    /// scan instead of filtering the whole unacked set — at completion
+    /// bursts nearly every entry is in backoff, so the filter scan was
+    /// O(unacked) of rejections on every beat and nudge.
+    offer_after: BTreeSet<(SimTime, JobKey)>,
+    /// Reverse index for `offer_after`: job → its scheduled key time.
+    offer_slot: BTreeMap<JobKey, SimTime>,
     last_reply: Option<SimTime>,
     deferred: Deferred,
     /// Public observations.
@@ -210,6 +220,12 @@ impl ServerActor {
                 actor.checkpoints = d.checkpoints;
                 actor.metrics = d.metrics;
                 actor.volatility = d.volatility;
+                // `result_sent_at` is volatile: every surviving unacked
+                // archive is eligible for (re)offer immediately.
+                let jobs: Vec<JobKey> = actor.plog.iter_unacked().map(|e| e.value.job).collect();
+                for job in jobs {
+                    actor.offer_enqueue(job, SimTime::ZERO);
+                }
             }
             Box::new(actor)
         }
@@ -234,6 +250,8 @@ impl ServerActor {
             volatility: VolatilityObserver::new(),
             boot_at: SimTime::ZERO,
             result_sent_at: BTreeMap::new(),
+            offer_after: BTreeSet::new(),
+            offer_slot: BTreeMap::new(),
             last_reply: None,
             deferred: Deferred::new(),
             metrics: ServerMetrics::default(),
@@ -308,6 +326,37 @@ impl ServerActor {
         *e = (now, e.1 + 1);
     }
 
+    /// The instant after which [`Self::may_send_result`] turns true for
+    /// this archive — the key `offer_after` files it under.
+    fn next_offer_at(&self, ctx: &Ctx<'_, Msg>, job: &JobKey, size: u64) -> SimTime {
+        match self.result_sent_at.get(job) {
+            None => SimTime::ZERO,
+            Some(&(at, attempts)) => {
+                let base = self.params.cfg.heartbeat * 2;
+                let bw = ctx.spec().nic_bw_out.max(1.0);
+                let transfer = rpcv_simnet::SimDuration::from_secs_f64(size as f64 / bw);
+                let horizon = base * 2u64.saturating_pow(attempts.min(5)) + transfer * 4;
+                at + horizon
+            }
+        }
+    }
+
+    /// (Re)files `job` in the offer index at key time `at`, displacing any
+    /// previous slot so the entry stays unique.
+    fn offer_enqueue(&mut self, job: JobKey, at: SimTime) {
+        if let Some(old) = self.offer_slot.insert(job, at) {
+            self.offer_after.remove(&(old, job));
+        }
+        self.offer_after.insert((at, job));
+    }
+
+    /// Drops `job` from the offer index (archive acknowledged).
+    fn offer_dequeue(&mut self, job: &JobKey) {
+        if let Some(old) = self.offer_slot.remove(job) {
+            self.offer_after.remove(&(old, *job));
+        }
+    }
+
     fn beat(&mut self, ctx: &mut Ctx<'_, Msg>) {
         self.check_coordinator_liveness(ctx);
         let now = ctx.now();
@@ -316,16 +365,19 @@ impl ServerActor {
         let want = capacity.saturating_sub(self.running.len() + self.backlog.len()) as u32;
         // Offer unacknowledged archives (the peer-wise comparison half),
         // excluding those whose delivery is plausibly still in flight.
-        // Served from the log's maintained unacked index: a long-lived
-        // server with a large acknowledged history pays O(unacked) per
-        // beat, not O(log entries).
-        let offered: Vec<JobKey> = self
-            .plog
-            .iter_unacked()
-            .filter(|e| self.may_send_result(ctx, &e.value.job, e.value.archive.len()))
-            .take(64)
-            .map(|e| e.value.job)
-            .collect();
+        // Served from the time-indexed offer queue: the beat pays only for
+        // entries whose backoff horizon has expired, not an O(unacked)
+        // filter scan rejecting every in-flight archive.  Sorted back to
+        // log-key order so the window is byte-identical to the old filter
+        // whenever at most 64 entries are eligible.
+        let mut offered: Vec<JobKey> = Vec::new();
+        for &(at, job) in self.offer_after.iter() {
+            if at >= now || offered.len() == 64 {
+                break;
+            }
+            offered.push(job);
+        }
+        offered.sort_unstable_by_key(|j| (j.client.as_peer(), j.seq));
         let mut running: Vec<TaskId> = self.running.keys().copied().collect();
         running.extend(self.backlog.iter().map(|(t, _)| t.id));
         running.extend(self.completing.keys().copied());
@@ -406,6 +458,7 @@ impl ServerActor {
         let stored =
             StoredResult { task: exec.desc.id, job: exec.desc.job, archive: archive.clone() };
         // Necessarily pessimistic: the archive only counts once durable.
+        let size = archive.len();
         let durable_at = self.plog.append(key, stored, archive.len() + 64, now, ctx.disk_mut());
         self.metrics.executed += 1;
         // Reported as running until the coordinator acknowledges delivery
@@ -427,6 +480,8 @@ impl ServerActor {
                 exec.desc.id.0,
             );
         }
+        let eligible = self.next_offer_at(ctx, &exec.desc.job, size);
+        self.offer_enqueue(exec.desc.job, eligible);
         // Drain the local backlog before asking for more work.
         if let Some((desc, banked)) = self.backlog.pop_front() {
             self.start_task(ctx, desc, banked);
@@ -446,6 +501,8 @@ impl ServerActor {
                 }
                 let stored = entry.value.clone();
                 self.mark_result_sent(ctx.now(), job);
+                let eligible = self.next_offer_at(ctx, &job, stored.archive.len());
+                self.offer_enqueue(job, eligible);
                 // Reading the archive back from the local log.
                 let read_done = ctx.disk_read(stored.archive.len() + 64);
                 self.metrics.archives_resent += 1;
@@ -607,6 +664,7 @@ impl Actor<Msg> for ServerActor {
             Msg::TaskDoneAck { task, job } => {
                 self.last_reply = Some(ctx.now());
                 self.plog.ack((job.client.as_peer(), job.seq));
+                self.offer_dequeue(&job);
                 self.completing.remove(&task);
             }
             Msg::NeedArchives { jobs } => {
@@ -621,10 +679,19 @@ impl Actor<Msg> for ServerActor {
                 if let Some(c) = self.current_coord {
                     self.coords.trust(c.0);
                 }
-                for job in jobs {
+                for job in &jobs {
                     self.plog.ack((job.client.as_peer(), job.seq));
-                    self.result_sent_at.remove(&job);
-                    self.completing.retain(|_, j| *j != job);
+                    self.result_sent_at.remove(job);
+                    self.offer_dequeue(job);
+                }
+                // One retain over the batch instead of one O(completing)
+                // retain per settled job.
+                let settled: BTreeSet<JobKey> = jobs.into_iter().collect();
+                self.completing.retain(|_, j| !settled.contains(j));
+            }
+            Msg::Batch { parts } => {
+                for part in parts {
+                    self.on_message(ctx, _from, part);
                 }
             }
             _ => {}

@@ -41,12 +41,28 @@ pub struct SenderLog<T> {
     entries: BTreeMap<u64, SenderEntry<T>>,
     next_seq: u64,
     bytes: u64,
+    /// Highest timestamp every entry at or below which is already acked —
+    /// the resume point for [`Self::ack_up_to`], which would otherwise
+    /// re-walk the whole acknowledged prefix on every acknowledgement
+    /// (O(total log) per ack, quadratic over a long run).
+    acked_hw: u64,
+    /// Maintained sum of `size` over unacknowledged entries, so the
+    /// resend-backlog estimate is O(1) instead of a suffix walk per ack.
+    unacked_bytes: u64,
 }
 
 impl<T: Clone> SenderLog<T> {
     /// Empty log using `strategy` and `gc`.
     pub fn new(strategy: LogStrategy, gc: GcPolicy) -> Self {
-        SenderLog { strategy, gc, entries: BTreeMap::new(), next_seq: 1, bytes: 0 }
+        SenderLog {
+            strategy,
+            gc,
+            entries: BTreeMap::new(),
+            next_seq: 1,
+            bytes: 0,
+            acked_hw: 0,
+            unacked_bytes: 0,
+        }
     }
 
     /// The strategy in use.
@@ -104,15 +120,38 @@ impl<T: Clone> SenderLog<T> {
             SenderEntry { seq, value, size, durable_at: timing.durable_at, acked: false },
         );
         self.bytes += size;
+        self.unacked_bytes += size;
         AppendOutcome { seq, timing }
+    }
+
+    /// Highest timestamp at or below which everything is acknowledged.
+    pub fn acked_hw(&self) -> u64 {
+        self.acked_hw
+    }
+
+    /// Bytes retained in unacknowledged entries (maintained counter —
+    /// O(1); equals `entries_after(acked_hw()).map(|e| e.size).sum()`).
+    pub fn unacked_bytes(&self) -> u64 {
+        self.unacked_bytes
     }
 
     /// Marks all entries with `seq <= up_to` as registered on the
     /// coordinator (its synchronization replies carry its max timestamp).
+    ///
+    /// O(newly acked): acknowledgements arrive with monotonically growing
+    /// high-water marks, so only the range above the previous mark is
+    /// walked.
     pub fn ack_up_to(&mut self, up_to: u64) {
-        for (_, e) in self.entries.range_mut(..=up_to) {
-            e.acked = true;
+        if up_to <= self.acked_hw {
+            return;
         }
+        for (_, e) in self.entries.range_mut(self.acked_hw + 1..=up_to) {
+            if !e.acked {
+                e.acked = true;
+                self.unacked_bytes -= e.size;
+            }
+        }
+        self.acked_hw = up_to;
     }
 
     /// Entries strictly after `seq`, in order — the resend set for
@@ -134,7 +173,13 @@ impl<T: Clone> SenderLog<T> {
         let before = self.entries.len();
         self.entries.retain(|_, e| e.durable_at <= now);
         self.bytes = self.entries.values().map(|e| e.size).sum();
+        self.unacked_bytes = self.entries.values().filter(|e| !e.acked).map(|e| e.size).sum();
         self.next_seq = self.entries.keys().next_back().map_or(1, |&s| s + 1);
+        // The restarted counter may re-allocate timestamps at or below the
+        // old mark (acked-but-undurable entries died with the cache); the
+        // per-entry flags survive, so restarting the resume point only
+        // costs one re-walk of the acknowledged prefix at the next ack.
+        self.acked_hw = 0;
         before - self.entries.len()
     }
 

@@ -67,6 +67,7 @@ pub mod actor;
 pub mod disk;
 pub mod net;
 pub mod node;
+pub(crate) mod queue;
 pub mod realtime;
 pub mod resource;
 pub mod rng;

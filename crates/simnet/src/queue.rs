@@ -1,0 +1,359 @@
+//! The kernel event queue: a two-level calendar queue with a retained
+//! heap reference implementation.
+//!
+//! The simulator's event population is strongly bimodal: deliveries, NIC
+//! completions and submission continuations land within milliseconds of
+//! `now`, while heartbeats, suspicion timeouts and replication rounds sit
+//! seconds out.  A single global `BinaryHeap` pays `O(log n)` sift cost —
+//! over entries carrying whole protocol messages — for every one of them.
+//! The calendar queue splits the population:
+//!
+//! * **`cur`** — a small binary heap holding every entry at or below the
+//!   promotion frontier (`base`, a slot index).  All pops come from here,
+//!   so the sift working set tracks the *per-slot* population, not the
+//!   whole backlog.
+//! * **ring** — `NSLOTS` buckets of `SLOT_NANOS` width covering the open
+//!   window `(base, base + NSLOTS)`.  A push inside the window is an
+//!   `O(1)` `Vec::push`; bucket contents are promoted wholesale into
+//!   `cur` when the frontier reaches them.
+//! * **overflow** — a `BTreeMap` keyed by `(at, seq)` for events beyond
+//!   the window horizon (far timers).  Promotion drains exactly the slot
+//!   being entered, so a far event costs one map insert + one removal —
+//!   the same `O(log n)` it cost in the old heap, amortized over far
+//!   fewer entries.
+//!
+//! **Ordering invariant** (what makes the swap trace-invisible): every
+//! entry with slot ≤ `base` lives in `cur`; the ring covers `(base,
+//! base + NSLOTS)`; promotion advances `base` to the *minimum* of the
+//! next non-empty ring slot and the first overflow slot, draining both
+//! sources for that slot into `cur`.  Pops therefore observe the exact
+//! global `(at, seq)` total order the heap produced — FIFO by `seq`
+//! within an instant — and the golden-trace and queue-equivalence suites
+//! hold the two implementations to it event for event.
+//!
+//! [`ReferenceHeap`] is the original single-heap kernel, retained as the
+//! executable specification (same discipline as `delta_since_scan` next
+//! to `delta_since` in `rpcv-store`).
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+
+use crate::time::SimTime;
+
+/// Width of one calendar slot, in nanoseconds (1 ms).
+const SLOT_NANOS: u64 = 1_000_000;
+/// Number of ring slots (window horizon ≈ 4.1 s of virtual time).
+const NSLOTS: u64 = 4096;
+
+/// One queued event: total order is `(at, seq)`.
+struct Ent<T> {
+    at: SimTime,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for Ent<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<T> Eq for Ent<T> {}
+impl<T> PartialOrd for Ent<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Ent<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+#[inline]
+fn slot_of(at: SimTime) -> u64 {
+    at.0 / SLOT_NANOS
+}
+
+/// Two-level bucketed calendar queue (see module docs).
+pub(crate) struct CalendarQueue<T> {
+    /// Entries at or below the frontier slot, popped in `(at, seq)` order.
+    cur: BinaryHeap<Reverse<Ent<T>>>,
+    /// Near-term buckets for slots in `(base, base + NSLOTS)`, indexed by
+    /// absolute slot mod `NSLOTS`.  Within a bucket entries sit in push =
+    /// `seq` order; the promotion heapify restores `(at, seq)`.
+    ring: Vec<Vec<Ent<T>>>,
+    /// Total entries across all ring buckets.
+    ring_len: usize,
+    /// Promotion frontier: absolute slot index covered by `cur`.
+    base: u64,
+    /// Events beyond the window horizon, sorted by `(at, seq)`.
+    overflow: BTreeMap<(SimTime, u64), T>,
+    len: usize,
+}
+
+impl<T> CalendarQueue<T> {
+    fn new() -> Self {
+        CalendarQueue {
+            cur: BinaryHeap::new(),
+            ring: (0..NSLOTS).map(|_| Vec::new()).collect(),
+            ring_len: 0,
+            base: 0,
+            overflow: BTreeMap::new(),
+            len: 0,
+        }
+    }
+
+    fn push(&mut self, at: SimTime, seq: u64, item: T) {
+        let s = slot_of(at);
+        if s <= self.base {
+            self.cur.push(Reverse(Ent { at, seq, item }));
+        } else if s < self.base + NSLOTS {
+            self.ring[(s % NSLOTS) as usize].push(Ent { at, seq, item });
+            self.ring_len += 1;
+        } else {
+            self.overflow.insert((at, seq), item);
+        }
+        self.len += 1;
+    }
+
+    /// Advances the frontier until `cur` holds the globally earliest
+    /// entry (no-op while `cur` is non-empty — everything elsewhere is in
+    /// a strictly later slot).
+    fn ensure_cur(&mut self) {
+        if !self.cur.is_empty() || self.len == 0 {
+            return;
+        }
+        let ring_next = (self.ring_len > 0).then(|| {
+            (1..=NSLOTS)
+                .map(|k| self.base + k)
+                .find(|s| !self.ring[(s % NSLOTS) as usize].is_empty())
+                .expect("ring_len > 0 means some bucket is non-empty")
+        });
+        let over_next = self.overflow.keys().next().map(|&(at, _)| slot_of(at));
+        let s = match (ring_next, over_next) {
+            (Some(r), Some(o)) => r.min(o),
+            (Some(r), None) => r,
+            (None, Some(o)) => o,
+            (None, None) => unreachable!("len > 0"),
+        };
+        self.base = s;
+        if ring_next == Some(s) {
+            let bucket = std::mem::take(&mut self.ring[(s % NSLOTS) as usize]);
+            self.ring_len -= bucket.len();
+            self.cur.extend(bucket.into_iter().map(Reverse));
+        }
+        if over_next == Some(s) {
+            let end = SimTime((s + 1).saturating_mul(SLOT_NANOS));
+            let rest = self.overflow.split_off(&(end, 0));
+            let due = std::mem::replace(&mut self.overflow, rest);
+            self.cur
+                .extend(due.into_iter().map(|((at, seq), item)| Reverse(Ent { at, seq, item })));
+        }
+    }
+
+    fn next_at(&mut self) -> Option<SimTime> {
+        self.ensure_cur();
+        self.cur.peek().map(|Reverse(e)| e.at)
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, u64, T)> {
+        self.ensure_cur();
+        let Reverse(e) = self.cur.pop()?;
+        self.len -= 1;
+        Some((e.at, e.seq, e.item))
+    }
+
+    fn pop_at_most(&mut self, t: SimTime) -> Option<(SimTime, u64, T)> {
+        if self.next_at()? > t {
+            return None;
+        }
+        self.pop()
+    }
+
+    /// Non-mutating earliest-instant scan (`&self`, for idle callers like
+    /// the realtime driver; the dispatch loop uses [`Self::next_at`]).
+    fn peek_next_time(&self) -> Option<SimTime> {
+        let mut best = self.cur.peek().map(|Reverse(e)| e.at);
+        if best.is_none() && self.ring_len > 0 {
+            // Only consulted when `cur` is empty: the first non-empty
+            // bucket strictly precedes every other bucket, but its own
+            // entries are unsorted, so take the bucket-local minimum.
+            best = (1..=NSLOTS)
+                .map(|k| self.base + k)
+                .find(|s| !self.ring[(s % NSLOTS) as usize].is_empty())
+                .and_then(|s| self.ring[(s % NSLOTS) as usize].iter().map(|e| e.at).min());
+        }
+        match (best, self.overflow.keys().next().map(|&(at, _)| at)) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+}
+
+/// The original single-heap kernel, retained as the executable reference
+/// for the calendar queue (swap in via `World::use_reference_queue`).
+pub(crate) struct ReferenceHeap<T> {
+    heap: BinaryHeap<Reverse<Ent<T>>>,
+}
+
+/// The kernel event queue behind `push_event`/`peek_next_time`/`step`.
+pub(crate) enum EventQueue<T> {
+    /// Production implementation.
+    Calendar(CalendarQueue<T>),
+    /// Scan-style reference implementation (the pre-calendar kernel).
+    Reference(ReferenceHeap<T>),
+}
+
+impl<T> EventQueue<T> {
+    pub(crate) fn new() -> Self {
+        EventQueue::Calendar(CalendarQueue::new())
+    }
+
+    pub(crate) fn reference() -> Self {
+        EventQueue::Reference(ReferenceHeap { heap: BinaryHeap::new() })
+    }
+
+    pub(crate) fn is_reference(&self) -> bool {
+        matches!(self, EventQueue::Reference(_))
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            EventQueue::Calendar(q) => q.len,
+            EventQueue::Reference(q) => q.heap.len(),
+        }
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub(crate) fn push(&mut self, at: SimTime, seq: u64, item: T) {
+        match self {
+            EventQueue::Calendar(q) => q.push(at, seq, item),
+            EventQueue::Reference(q) => q.heap.push(Reverse(Ent { at, seq, item })),
+        }
+    }
+
+    /// Earliest queued instant; may advance internal bookkeeping but never
+    /// observable order.
+    pub(crate) fn next_at(&mut self) -> Option<SimTime> {
+        match self {
+            EventQueue::Calendar(q) => q.next_at(),
+            EventQueue::Reference(q) => q.heap.peek().map(|Reverse(e)| e.at),
+        }
+    }
+
+    /// Earliest queued instant without mutation (slower for the calendar:
+    /// a bucket scan instead of a promotion).
+    pub(crate) fn peek_next_time(&self) -> Option<SimTime> {
+        match self {
+            EventQueue::Calendar(q) => q.peek_next_time(),
+            EventQueue::Reference(q) => q.heap.peek().map(|Reverse(e)| e.at),
+        }
+    }
+
+    /// Pops the globally earliest entry.
+    pub(crate) fn pop(&mut self) -> Option<(SimTime, u64, T)> {
+        match self {
+            EventQueue::Calendar(q) => q.pop(),
+            EventQueue::Reference(q) => q.heap.pop().map(|Reverse(e)| (e.at, e.seq, e.item)),
+        }
+    }
+
+    /// Pops the earliest entry if it is due at or before `t`.
+    pub(crate) fn pop_at_most(&mut self, t: SimTime) -> Option<(SimTime, u64, T)> {
+        match self {
+            EventQueue::Calendar(q) => q.pop_at_most(t),
+            EventQueue::Reference(q) => {
+                if q.heap.peek().is_none_or(|Reverse(e)| e.at > t) {
+                    return None;
+                }
+                q.heap.pop().map(|Reverse(e)| (e.at, e.seq, e.item))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(q: &mut EventQueue<u32>) -> Vec<(u64, u64, u32)> {
+        let mut out = Vec::new();
+        while let Some((at, seq, item)) = q.pop() {
+            out.push((at.0, seq, item));
+        }
+        out
+    }
+
+    #[test]
+    fn pops_in_at_seq_order_across_levels() {
+        for make in [EventQueue::<u32>::new as fn() -> _, EventQueue::<u32>::reference] {
+            let mut q = make();
+            // Same instant (FIFO by seq), near window, far overflow, and a
+            // far event that lands earlier than a near bucket's tail.
+            q.push(SimTime(5), 1, 10);
+            q.push(SimTime(5), 2, 11);
+            q.push(SimTime(3 * SLOT_NANOS), 3, 12);
+            q.push(SimTime((NSLOTS + 7) * SLOT_NANOS), 4, 13);
+            q.push(SimTime(2), 5, 14);
+            let got = drain(&mut q);
+            assert_eq!(
+                got,
+                vec![
+                    (2, 5, 14),
+                    (5, 1, 10),
+                    (5, 2, 11),
+                    (3 * SLOT_NANOS, 3, 12),
+                    ((NSLOTS + 7) * SLOT_NANOS, 4, 13),
+                ]
+            );
+            assert!(q.is_empty());
+        }
+    }
+
+    #[test]
+    fn overflow_and_ring_same_slot_interleave() {
+        let mut q = EventQueue::new();
+        let far_slot = NSLOTS + 2;
+        // First an overflow entry for `far_slot`...
+        q.push(SimTime(far_slot * SLOT_NANOS + 50), 1, 1);
+        // ...advance the frontier so `far_slot` enters the window...
+        q.push(SimTime(3 * SLOT_NANOS), 2, 2);
+        assert_eq!(q.pop().unwrap().2, 2);
+        // ...then a ring entry in the same slot, *earlier* than the
+        // overflow one: promotion must merge both sources.
+        q.push(SimTime(far_slot * SLOT_NANOS + 10), 3, 3);
+        assert_eq!(q.pop().unwrap(), (SimTime(far_slot * SLOT_NANOS + 10), 3, 3));
+        assert_eq!(q.pop().unwrap(), (SimTime(far_slot * SLOT_NANOS + 50), 1, 1));
+    }
+
+    #[test]
+    fn pop_at_most_respects_bound() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(100), 1, 1);
+        q.push(SimTime(2 * SLOT_NANOS), 2, 2);
+        assert_eq!(q.pop_at_most(SimTime(99)), None);
+        assert_eq!(q.pop_at_most(SimTime(100)).unwrap().1, 1);
+        assert_eq!(q.pop_at_most(SimTime(SLOT_NANOS)), None);
+        assert_eq!(q.pop_at_most(SimTime(3 * SLOT_NANOS)).unwrap().1, 2);
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn peek_matches_next_pop() {
+        let mut q = EventQueue::new();
+        for (i, at) in [7u64, 3, SLOT_NANOS * 9, SLOT_NANOS * (NSLOTS + 1), 4].iter().enumerate() {
+            q.push(SimTime(*at), i as u64 + 1, i as u32);
+        }
+        while !q.is_empty() {
+            let scanned = q.peek_next_time().unwrap();
+            let lazy = q.next_at().unwrap();
+            let (at, _, _) = q.pop().unwrap();
+            assert_eq!(scanned, at);
+            assert_eq!(lazy, at);
+        }
+        assert_eq!(q.peek_next_time(), None);
+    }
+}

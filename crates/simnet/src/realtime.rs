@@ -131,7 +131,18 @@ where
                 Some(Command::Inject { to, msg }) => world.inject(at, to, msg),
                 Some(Command::Control(ctl)) => world.schedule_control(at, ctl),
                 Some(Command::With(f)) => f(&mut world),
-                Some(Command::Shutdown) | None => break,
+                Some(Command::Shutdown) | None => {
+                    // Draining to `at` itself consumes wall time, which is
+                    // virtual time here: follow-on events (a relayed send
+                    // one link latency out) can become due while the drain
+                    // runs.  A pure-sim run would deliver them, so keep
+                    // stepping against the advancing clock until the next
+                    // event is genuinely in the future, then return.
+                    while world.peek_next_time().is_some_and(|t| t <= virt_now()) {
+                        world.step();
+                    }
+                    break;
+                }
             }
         }
         world
@@ -164,13 +175,30 @@ mod tests {
         fn on_timer(&mut self, _ctx: &mut Ctx<'_, Tick>, _id: TimerId, _k: u64) {}
     }
 
+    /// Forwards every message to `peer`, adding one link latency of
+    /// in-flight time per hop.
+    struct Relay {
+        peer: NodeId,
+    }
+    impl Actor<Tick> for Relay {
+        fn on_start(&mut self, _ctx: &mut Ctx<'_, Tick>) {}
+        fn on_message(&mut self, ctx: &mut Ctx<'_, Tick>, _f: NodeId, msg: Tick) {
+            ctx.send(self.peer, msg);
+        }
+        fn on_timer(&mut self, _ctx: &mut Ctx<'_, Tick>, _id: TimerId, _k: u64) {}
+    }
+
     #[test]
     fn inject_with_and_shutdown() {
         let mut world = World::<Tick>::new(1);
         let n = world.add_host(HostSpec::named("n"));
+        let r = world.add_host(HostSpec::named("r"));
         world.install(n, |_| Box::new(Counter { seen: 0 }));
-        // Generous scale so the test is instant.
-        let (handle, join) = spawn_realtime(world, 1000.0);
+        world.install(r, move |_| Box::new(Relay { peer: n }));
+        // Aggressive scale: a link latency is sub-microsecond wall time, so
+        // relayed deliveries are always already due by the time the driver
+        // looks for them — including during the shutdown drain.
+        let (handle, join) = spawn_realtime(world, 1_000_000.0);
         handle.inject(n, Tick(5));
         handle.inject(n, Tick(7));
         // Wait for processing deterministically via the command channel:
@@ -186,9 +214,19 @@ mod tests {
             std::thread::sleep(StdDuration::from_millis(5));
         };
         assert_eq!(seen, 12);
+        // A relayed message still in flight at shutdown: the relay hop
+        // schedules the counter's delivery one link latency out, and the
+        // driver must drain everything due at the (advancing) virtual
+        // clock before returning — a pure-sim run would have made this
+        // delivery, so the returned world must report it too.
+        handle.inject(r, Tick(9));
         handle.shutdown();
         let world = join.join().expect("driver thread");
-        assert_eq!(world.stats().delivered, 2);
+        assert_eq!(world.stats().delivered, 4, "relayed delivery must drain before shutdown");
+        let counter: &Counter = world.actor(n).unwrap();
+        assert_eq!(counter.seen, 21);
+        // Post-drain invariant: nothing still queued was due at return.
+        assert!(world.peek_next_time().is_none_or(|t| t > world.now()));
     }
 
     #[test]

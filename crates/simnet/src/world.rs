@@ -1,11 +1,11 @@
 //! The simulation world: event queue, nodes, dispatch loop, fault control.
 
-use std::cmp::Reverse;
-use std::collections::{BTreeSet, BinaryHeap};
+use std::collections::BTreeSet;
 
 use crate::actor::{Actor, Ctx, DurableImage, Effect, TimerId, WireSized};
 use crate::net::{LinkParams, NetModel};
 use crate::node::{HostResources, HostSpec, NodeId};
+use crate::queue::EventQueue;
 use crate::rng::DetRng;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{NetStats, Trace, TraceKind};
@@ -60,29 +60,6 @@ enum EventKind<M> {
     Control(Control),
 }
 
-struct QEntry<M> {
-    at: SimTime,
-    seq: u64,
-    kind: EventKind<M>,
-}
-
-impl<M> PartialEq for QEntry<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<M> Eq for QEntry<M> {}
-impl<M> PartialOrd for QEntry<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M> Ord for QEntry<M> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
-}
-
 type Factory<M> = Box<dyn FnMut(DurableImage) -> Box<dyn Actor<M> + Send> + Send>;
 
 struct NodeSlot<M> {
@@ -105,7 +82,7 @@ struct NodeSlot<M> {
 pub struct World<M> {
     now: SimTime,
     seq: u64,
-    queue: BinaryHeap<Reverse<QEntry<M>>>,
+    queue: EventQueue<EventKind<M>>,
     nodes: Vec<NodeSlot<M>>,
     net: NetModel,
     trace: Trace,
@@ -122,7 +99,7 @@ impl<M: WireSized + 'static> World<M> {
         World {
             now: SimTime::ZERO,
             seq: 0,
-            queue: BinaryHeap::new(),
+            queue: EventQueue::new(),
             nodes: Vec::new(),
             net: NetModel::default(),
             trace: Trace::new(),
@@ -142,7 +119,24 @@ impl<M: WireSized + 'static> World<M> {
     /// Instant of the earliest queued event, if any (used by the realtime
     /// driver to sleep until the next thing happens).
     pub fn peek_next_time(&self) -> Option<SimTime> {
-        self.queue.peek().map(|Reverse(e)| e.at)
+        self.queue.peek_next_time()
+    }
+
+    /// Swaps the kernel event queue for the retained single-heap reference
+    /// implementation (the pre-calendar kernel).  Must be called before any
+    /// event is scheduled; the equivalence property tests run every
+    /// scenario under both kernels and require identical traces.
+    pub fn use_reference_queue(&mut self) {
+        assert!(
+            self.queue.is_empty() && self.events_processed == 0,
+            "switch queue implementations before scheduling events"
+        );
+        self.queue = EventQueue::reference();
+    }
+
+    /// True when running on the reference (heap) kernel.
+    pub fn is_reference_queue(&self) -> bool {
+        self.queue.is_reference()
     }
 
     /// Network model (setup: link classes, initial partitions).
@@ -173,6 +167,11 @@ impl<M: WireSized + 'static> World<M> {
     /// Events processed so far (throughput accounting).
     pub fn events_processed(&self) -> u64 {
         self.events_processed
+    }
+
+    /// Events currently queued (capacity/backlog observability).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
     }
 
     /// Adds a host; returns its id.  Hosts start `up` with no actor.
@@ -207,6 +206,13 @@ impl<M: WireSized + 'static> World<M> {
     {
         let actor = factory(DurableImage::none());
         let slot = &mut self.nodes[node.0 as usize];
+        if slot.actor.is_some() {
+            // Re-install over a live actor: the previous install's queued
+            // `Start` (and any armed timers) carry the old incarnation.
+            // Bump it so they go stale instead of firing `on_start` twice
+            // into the replacement actor.
+            slot.inc += 1;
+        }
         slot.actor = Some(actor);
         slot.factory = Some(Box::new(factory));
         let inc = slot.inc;
@@ -256,17 +262,13 @@ impl<M: WireSized + 'static> World<M> {
 
     fn push_event(&mut self, at: SimTime, kind: EventKind<M>) {
         self.seq += 1;
-        self.queue.push(Reverse(QEntry { at: at.max(self.now), seq: self.seq, kind }));
+        self.queue.push(at.max(self.now), self.seq, kind);
     }
 
     /// Runs all events up to and including `t`; leaves `now == t`.
     pub fn run_until(&mut self, t: SimTime) {
-        while let Some(Reverse(head)) = self.queue.peek() {
-            if head.at > t {
-                break;
-            }
-            let Reverse(entry) = self.queue.pop().expect("peeked");
-            self.dispatch(entry);
+        while let Some((at, _, kind)) = self.queue.pop_at_most(t) {
+            self.dispatch(at, kind);
         }
         self.now = self.now.max(t);
     }
@@ -278,25 +280,26 @@ impl<M: WireSized + 'static> World<M> {
     }
 
     /// Runs until the queue is empty or `max` is reached; returns the time
-    /// of the last processed event.
+    /// of the last processed event.  Like [`Self::run_until`], leaves
+    /// `now == max`: the horizon has been observed empty, so virtual time
+    /// has passed (previously `now` stuck at the last event, making
+    /// post-idle scheduling land earlier than the same calls after
+    /// `run_until`).
     pub fn run_until_idle(&mut self, max: SimTime) -> SimTime {
         let mut last = self.now;
-        while let Some(Reverse(head)) = self.queue.peek() {
-            if head.at > max {
-                break;
-            }
-            let Reverse(entry) = self.queue.pop().expect("peeked");
-            last = entry.at;
-            self.dispatch(entry);
+        while let Some((at, _, kind)) = self.queue.pop_at_most(max) {
+            last = at;
+            self.dispatch(at, kind);
         }
+        self.now = self.now.max(max);
         last
     }
 
     /// Processes a single event; returns false if the queue is empty.
     pub fn step(&mut self) -> bool {
         match self.queue.pop() {
-            Some(Reverse(entry)) => {
-                self.dispatch(entry);
+            Some((at, _, kind)) => {
+                self.dispatch(at, kind);
                 true
             }
             None => false,
@@ -305,35 +308,21 @@ impl<M: WireSized + 'static> World<M> {
 
     /// Crashes a node immediately.
     pub fn crash_now(&mut self, node: NodeId) {
-        let entry = QEntry {
-            at: self.now,
-            seq: {
-                self.seq += 1;
-                self.seq
-            },
-            kind: EventKind::Control(Control::Crash(node)),
-        };
-        self.dispatch(entry);
+        self.seq += 1;
+        self.dispatch(self.now, EventKind::Control(Control::Crash(node)));
     }
 
     /// Restarts a node immediately.
     pub fn restart_now(&mut self, node: NodeId) {
-        let entry = QEntry {
-            at: self.now,
-            seq: {
-                self.seq += 1;
-                self.seq
-            },
-            kind: EventKind::Control(Control::Restart(node)),
-        };
-        self.dispatch(entry);
+        self.seq += 1;
+        self.dispatch(self.now, EventKind::Control(Control::Restart(node)));
     }
 
-    fn dispatch(&mut self, entry: QEntry<M>) {
-        debug_assert!(entry.at >= self.now, "time must be monotone");
-        self.now = entry.at;
+    fn dispatch(&mut self, at: SimTime, kind: EventKind<M>) {
+        debug_assert!(at >= self.now, "time must be monotone");
+        self.now = at;
         self.events_processed += 1;
-        match entry.kind {
+        match kind {
             EventKind::Start { node, inc } => {
                 let slot = &self.nodes[node.0 as usize];
                 if slot.up && slot.inc == inc && slot.actor.is_some() {
@@ -362,10 +351,9 @@ impl<M: WireSized + 'static> World<M> {
                 // queue head is strictly later) — dispatch inline and skip
                 // the heap round trip.  Ordering, trace, and the event
                 // count are identical to the slow path.
-                if at == self.now && self.queue.peek().is_none_or(|Reverse(e)| e.at > self.now) {
+                if at == self.now && self.queue.next_at().is_none_or(|t| t > self.now) {
                     self.seq += 1;
-                    let seq = self.seq;
-                    self.dispatch(QEntry { at, seq, kind });
+                    self.dispatch(at, kind);
                 } else {
                     self.push_event(at, kind);
                 }

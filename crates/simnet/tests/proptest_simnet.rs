@@ -58,6 +58,72 @@ fn build(seed: u64, n: usize, loss: f64, faults: &[(u64, usize)]) -> World<M> {
     w
 }
 
+/// Actor for the queue-equivalence property: every message arms a fresh
+/// timer and pseudo-randomly cancels an older one, so the schedule mixes
+/// pushes, pops and cancellations at overlapping instants.  Chains are
+/// bounded: a firing timer relays at most one hop.
+struct CancelMix {
+    peer: NodeId,
+    pending: Vec<TimerId>,
+}
+impl Actor<M> for CancelMix {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, M>) {
+        self.pending.push(ctx.set_timer(SimDuration::from_millis(300), 1));
+    }
+    fn on_message(&mut self, ctx: &mut Ctx<'_, M>, _from: NodeId, msg: M) {
+        let id = ctx.set_timer(SimDuration::from_millis(100 + msg.0 % 900), msg.0);
+        self.pending.push(id);
+        if msg.0 % 2 == 1 && !self.pending.is_empty() {
+            let idx = (msg.0 as usize) % self.pending.len();
+            let stale = self.pending.remove(idx);
+            ctx.cancel_timer(stale);
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, M>, _id: TimerId, k: u64) {
+        // One relay hop for kinds divisible by 3; k+1 is never divisible
+        // by 3 right after, so every chain terminates.
+        if k.is_multiple_of(3) {
+            ctx.send(self.peer, M(k + 1));
+        }
+    }
+}
+
+fn build_cancel_mix(seed: u64, reference: bool) -> (World<M>, Vec<NodeId>) {
+    let mut w = World::<M>::new(seed);
+    if reference {
+        w.use_reference_queue();
+    }
+    let a = w.add_host(HostSpec::named("a"));
+    let b = w.add_host(HostSpec::named("b"));
+    w.install(a, move |_| Box::new(CancelMix { peer: b, pending: Vec::new() }));
+    w.install(b, move |_| Box::new(CancelMix { peer: a, pending: Vec::new() }));
+    (w, vec![a, b])
+}
+
+/// One random driver operation, decoded from a `(kind, a, b)` tuple and
+/// interpreted identically on both worlds: inject a message, process a
+/// few single steps, or run to a bounded horizon.
+fn apply_qop(w: &mut World<M>, nodes: &[NodeId], op: (u64, u64, u64)) {
+    let (kind, a, b) = op;
+    match kind % 3 {
+        0 => {
+            let at = w.now() + SimDuration::from_millis(a % 5000);
+            w.inject(at, nodes[b as usize % nodes.len()], M(b % 64));
+        }
+        1 => {
+            for _ in 0..(a % 8) {
+                if !w.step() {
+                    break;
+                }
+            }
+        }
+        _ => {
+            let t = w.now() + SimDuration::from_millis(a % 3000);
+            w.run_until(t);
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -124,5 +190,37 @@ proptest! {
         w.run_until_idle(SimTime::from_secs(60));
         let s = w.stats();
         prop_assert_eq!(s.sent, s.delivered + s.dropped_total());
+    }
+
+    /// The calendar queue is event-for-event equivalent to the reference
+    /// heap: the same random interleaving of injections, single steps and
+    /// bounded runs — with actors arming and cancelling timers throughout —
+    /// leaves both kernels at the same clock, event count and trace hash
+    /// after EVERY operation, not just at the end.
+    #[test]
+    fn calendar_queue_matches_reference_heap(
+        seed in any::<u64>(),
+        ops in proptest::collection::vec((0u64..3, any::<u64>(), any::<u64>()), 1..40),
+    ) {
+        let (mut cal, nodes) = build_cancel_mix(seed, false);
+        let (mut heap, nodes_r) = build_cancel_mix(seed, true);
+        prop_assert!(!cal.is_reference_queue());
+        prop_assert!(heap.is_reference_queue());
+        for &op in &ops {
+            apply_qop(&mut cal, &nodes, op);
+            apply_qop(&mut heap, &nodes_r, op);
+            // Lockstep check after every operation, not just at the end.
+            prop_assert_eq!(cal.now(), heap.now());
+            prop_assert_eq!(cal.events_processed(), heap.events_processed());
+            prop_assert_eq!(cal.trace().hash(), heap.trace().hash());
+        }
+        // Drain both to quiescence: full equivalence must persist.
+        cal.run_until_idle(SimTime::from_secs(120));
+        heap.run_until_idle(SimTime::from_secs(120));
+        prop_assert_eq!(cal.trace().hash(), heap.trace().hash());
+        prop_assert_eq!(cal.events_processed(), heap.events_processed());
+        prop_assert_eq!(*cal.stats(), *heap.stats());
+        prop_assert_eq!(cal.queue_len(), 0);
+        prop_assert_eq!(heap.queue_len(), 0);
     }
 }

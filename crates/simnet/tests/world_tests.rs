@@ -372,6 +372,41 @@ fn run_until_advances_clock_even_when_idle() {
 }
 
 #[test]
+fn run_until_idle_advances_clock_to_the_horizon() {
+    // `run_until_idle(max)` observes the horizon empty: virtual time has
+    // passed, so `now` must land on `max` exactly as `run_until` does.
+    // Otherwise a timer armed after going idle lands earlier than the
+    // same call after `run_until`.
+    let mut w = World::<Msg>::new(37);
+    let a = w.add_host(HostSpec::named("a"));
+    w.install(a, |_| Box::new(Pong::new(0)));
+    let last = w.run_until_idle(SimTime::from_secs(42));
+    assert!(last < SimTime::from_secs(42), "world goes idle long before the horizon");
+    assert_eq!(w.now(), SimTime::from_secs(42));
+
+    let mut v = World::<Msg>::new(37);
+    let b = v.add_host(HostSpec::named("a"));
+    v.install(b, |_| Box::new(Pong::new(0)));
+    v.run_until(SimTime::from_secs(42));
+    assert_eq!(v.now(), w.now(), "both run modes leave the clock at the horizon");
+}
+
+#[test]
+fn reinstall_over_live_actor_does_not_double_start() {
+    let mut w = World::<Msg>::new(41);
+    let a = w.add_host(HostSpec::named("a"));
+    w.install(a, |_| Box::new(Pong::new(7)));
+    // Replace before the first install's Start event is processed: that
+    // queued Start carries the old incarnation and must go stale instead
+    // of firing `on_start` a second time into the replacement actor.
+    w.install(a, |_| Box::new(Pong::new(9)));
+    w.run_until_idle(SimTime::from_secs(1));
+    let p: &Pong = w.actor(a).unwrap();
+    assert_eq!(p.restore_marker, 9, "replacement actor is the live one");
+    assert_eq!(p.started, 1, "on_start fires exactly once per (re)install");
+}
+
+#[test]
 fn nic_contention_serializes_concurrent_sends() {
     // One sender bursts 10 × 1.25 MB to two receivers; NIC-out at 12.5 MB/s
     // must serialize them: total ≈ 1 s regardless of destination.

@@ -146,6 +146,12 @@ pub struct CoordinatorDb {
     /// Finished jobs whose archive is not held here — maintained at every
     /// archive/finished transition so the periodic refresh never scans.
     missing: BTreeSet<JobKey>,
+    /// Append-only journal of additions to `missing` since the last
+    /// [`Self::drain_missing_added`]: the owner's watch list updates from
+    /// the drained increment instead of re-walking the whole missing set
+    /// after every applied delta.  (Entries may have left `missing` again
+    /// by drain time; consumers tolerate stale keys.)
+    missing_added: Vec<JobKey>,
     /// `Collected` terminal state: the client durably pulled the result and
     /// the archive was garbage-collected.  Terminal means the job is exempt
     /// from missing-archive re-execution and from archive re-acquisition —
@@ -209,6 +215,7 @@ impl CoordinatorDb {
             changed: BTreeMap::new(),
             attempts: BTreeMap::new(),
             missing: BTreeSet::new(),
+            missing_added: Vec::new(),
             collected_jobs: BTreeSet::new(),
             collected_pos: BTreeMap::new(),
             collected_flagged: BTreeSet::new(),
@@ -377,8 +384,8 @@ impl CoordinatorDb {
         if self.finished_jobs.insert(job) {
             let stale = self.pending_by_job.get(&job).copied().unwrap_or(0) as usize;
             self.pending_live = self.pending_live.saturating_sub(stale);
-            if !self.archives.contains_key(&job) {
-                self.missing.insert(job);
+            if !self.archives.contains_key(&job) && self.missing.insert(job) {
+                self.missing_added.push(job);
             }
         }
     }
@@ -648,6 +655,18 @@ impl CoordinatorDb {
         !self.missing.is_empty()
     }
 
+    /// Drains the journal of additions to the missing set since the last
+    /// call.  Keys may have left `missing` again in the meantime —
+    /// consumers must tolerate stale entries (they do their own lookups).
+    pub fn drain_missing_added(&mut self) -> Vec<JobKey> {
+        std::mem::take(&mut self.missing_added)
+    }
+
+    /// Whether `job` is currently in the missing-archive set.
+    pub fn is_missing_archive(&self, job: &JobKey) -> bool {
+        self.missing.contains(job)
+    }
+
     /// Scan-based reference definition of [`Self::missing_archives`], kept
     /// for the equivalence property tests.  `Collected` is terminal: a
     /// delivered-then-GC'd result is not missing.
@@ -772,13 +791,16 @@ impl CoordinatorDb {
         now: SimTime,
         grace: rpcv_simnet::SimDuration,
     ) -> (Vec<TaskId>, Charge) {
-        let running: std::collections::BTreeSet<TaskId> = running.iter().copied().collect();
+        // Sorted copy + binary search: same membership test as a set, no
+        // per-node allocations on this per-beat hot path.
+        let mut running: Vec<TaskId> = running.to_vec();
+        running.sort_unstable();
         let lost: Vec<(TaskId, JobKey)> = self
             .by_server
             .get(&server)
             .map(|set| {
                 set.iter()
-                    .filter(|id| !running.contains(id))
+                    .filter(|id| running.binary_search(id).is_err())
                     .filter_map(|id| self.tasks.get(id))
                     .filter(|r| match r.state {
                         TaskState::Ongoing { since, .. } => now.since(since) > grace,
@@ -1175,14 +1197,18 @@ impl CoordinatorDb {
 
     /// Applies one replicated task row under the paper's merge rules.
     fn apply_task_row(&mut self, rec: &TaskRecord) {
-        let Some(spec) = self.jobs.get(&rec.job).map(|r| r.spec.clone()) else {
+        if !self.jobs.contains_key(&rec.job) {
             return; // task for an unknown job: ignore (will come later)
-        };
+        }
         // Deferred past the row borrow: finished-job bookkeeping needs
         // `&mut self` as a whole.
         let mut newly_finished = false;
         match self.tasks.get_mut(&rec.id) {
             None => {
+                // The spec clone (service/cmdline/params strings) is only
+                // needed to mint a new row — the far more common
+                // state-update path below stays allocation-free.
+                let spec = self.jobs[&rec.job].spec.clone();
                 let v = Self::touch(&mut self.changed, &mut self.version, 0, Changed::Task(rec.id));
                 let next = self.attempts.entry(rec.job).or_insert(0);
                 *next = (*next).max(rec.attempt + 1);
@@ -1190,9 +1216,9 @@ impl CoordinatorDb {
                     id: rec.id,
                     job: rec.job,
                     attempt: rec.attempt,
-                    service: spec.service.clone(),
-                    cmdline: spec.cmdline.clone(),
-                    params: spec.params.clone(),
+                    service: spec.service,
+                    cmdline: spec.cmdline,
+                    params: spec.params,
                     exec_cost: spec.exec_cost,
                     result_size_hint: spec.result_size_hint,
                     work_units: spec.work_units,

@@ -22,6 +22,25 @@ pub fn write_uvarint(out: &mut Vec<u8>, mut v: u64) {
     }
 }
 
+/// Encodes `v` into a stack array; returns the buffer and encoded length.
+///
+/// The allocation-free twin of [`write_uvarint`] for per-field hot paths.
+#[inline]
+pub fn encode_uvarint(mut v: u64) -> ([u8; MAX_VARINT_LEN], usize) {
+    let mut buf = [0u8; MAX_VARINT_LEN];
+    let mut n = 0;
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf[n] = byte;
+            return (buf, n + 1);
+        }
+        buf[n] = byte | 0x80;
+        n += 1;
+    }
+}
+
 /// Number of bytes [`write_uvarint`] produces for `v`.
 #[inline]
 pub fn uvarint_len(v: u64) -> usize {
@@ -79,6 +98,16 @@ mod tests {
             let (back, used) = read_uvarint(&buf).unwrap();
             assert_eq!(back, v);
             assert_eq!(used, buf.len());
+        }
+    }
+
+    #[test]
+    fn stack_encode_matches_vec_encode() {
+        for v in [0u64, 1, 0x7f, 0x80, 0x3fff, 0x4000, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_uvarint(&mut buf, v);
+            let (arr, n) = encode_uvarint(v);
+            assert_eq!(&arr[..n], buf.as_slice(), "v={v}");
         }
     }
 

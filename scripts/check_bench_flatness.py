@@ -12,6 +12,13 @@ Dispatches on the artifact's "bench" tag:
   crates/bench/benches/scale.rs, which gates the run itself; this script
   gates the artifact.
 
+  Also enforces the kernel-throughput floor per cell: a full sweep must
+  hold >= 300k events/sec in EVERY cell (the calendar-queue kernel's
+  contract); smoke sweeps get a softer floor since CI runners are small
+  and the cells tiny.  An artifact whose grid rows lack the
+  events_per_sec/wall_seconds columns is rejected outright — the floor
+  must never silently pass by absence.
+
 * ckpt — validate the checkpoint-policy sweep's schema and its headline:
   every cell completed, checkpointing policies report the bytes they paid,
   and within each volatility group the adaptive policy wastes less work
@@ -29,8 +36,26 @@ import json
 import sys
 
 
+# Kernel-throughput floors (events / wall second, per cell).  The full
+# sweep's floor is the calendar-queue contract; the smoke floor is soft
+# because CI runners are slow, shared and the cells too small to amortize
+# startup.
+SCALE_FLOOR_FULL = 300_000
+SCALE_FLOOR_SMOKE = 30_000
+
+
 def check_scale(doc: dict, path: str) -> None:
     grid = doc["grid"]
+    floor = SCALE_FLOOR_SMOKE if doc["smoke"] else SCALE_FLOOR_FULL
+    for cell in grid:
+        label = f'{cell.get("servers")}x{cell.get("jobs")}x{cell.get("clients")}'
+        for col in ("events_per_sec", "wall_seconds"):
+            assert col in cell, \
+                f"{path}: cell {label} lacks the {col} column — " \
+                f"regenerate the artifact; the throughput floor cannot be checked"
+        assert cell["events_per_sec"] >= floor, \
+            f"{path}: cell {label} ran at {cell['events_per_sec']:.0f} events/sec, " \
+            f"below the {floor} floor — kernel throughput regressed"
     pairs = 0
     for a in grid:
         for b in grid:
@@ -41,7 +66,9 @@ def check_scale(doc: dict, path: str) -> None:
                 assert hi <= max(lo * 2.0, 4096.0), \
                     f"delta bytes/round grew with run length: {a} -> {b}"
     assert pairs >= 1, "sweep must include a cell pair differing only in job count"
-    print(f"{path}: delta flatness OK across {pairs} jobs-only cell pair(s)")
+    slowest = min(c["events_per_sec"] for c in grid)
+    print(f"{path}: delta flatness OK across {pairs} jobs-only cell pair(s); "
+          f"slowest cell {slowest:.0f} events/sec (floor {floor})")
 
 
 def check_ckpt(doc: dict, path: str) -> None:
