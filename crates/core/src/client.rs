@@ -54,6 +54,9 @@ pub struct ClientMetrics {
     pub coordinator_switches: u64,
     /// Synchronizations that had to resend log entries.
     pub log_replays: u64,
+    /// Frames that arrived unreadable (wire corruption) and were dropped
+    /// without touching protocol state.
+    pub bad_frames: u64,
 }
 
 /// A received result retained by the client.
@@ -202,6 +205,19 @@ impl ClientActor {
     /// The coordinator currently preferred, if any.
     pub fn current_coordinator(&self) -> Option<CoordId> {
         self.current_coord
+    }
+
+    /// Result seqs currently advertised by the coordinator's catalog but
+    /// not yet held here — the client's outstanding pull set.  Test/oracle
+    /// introspection: a live grid must drain this to empty.
+    pub fn unfetched_catalog_seqs(&self) -> Vec<u64> {
+        self.catalog.keys().filter(|s| !self.results.contains_key(s)).copied().collect()
+    }
+
+    /// The catalog high-water mark acknowledged to the coordinator
+    /// (version in its per-client change index).
+    pub fn catalog_watermark(&self) -> u64 {
+        self.catalog_hw
     }
 
     /// Appends extra calls to the plan (used by the API layer's
@@ -404,11 +420,15 @@ impl ClientActor {
         true
     }
 
+    // One parameter per `ClientSyncReply` field: the signature *is* the
+    // wire frame, destructured at the dispatch site.
+    #[allow(clippy::too_many_arguments)]
     fn handle_sync_reply(
         &mut self,
         ctx: &mut Ctx<'_, Msg>,
         coord_max: u64,
         epoch: u64,
+        catalog_base: u64,
         catalog_head: u64,
         available: Vec<(u64, u64)>,
         removed: Vec<u64>,
@@ -442,11 +462,16 @@ impl ClientActor {
         if coord_max < local_max {
             self.replay_missing(ctx, coord_max);
         }
-        // Merge the catalog *delta* — O(changed), never a rescan.  A
-        // reordered reply older than what we already merged is skipped
+        // Merge the catalog *delta* — O(changed), never a rescan, and
+        // only if it is *contiguous*: its base must not be ahead of our
+        // mark (`catalog_base <= catalog_hw`), else the span between the
+        // mark and the base would be skipped forever — a duplicated or
+        // reordered pre-rebase reply landing after the mark was reset is
+        // exactly such a gapped delta.  A reply older than what we
+        // already merged (`catalog_head < catalog_hw`) is skipped
         // wholesale: its additions are already here and replaying its
         // removals could undo a newer addition.
-        if !rebased && catalog_head >= self.catalog_hw {
+        if !rebased && catalog_base <= self.catalog_hw && catalog_head >= self.catalog_hw {
             for &(seq, size) in &available {
                 self.catalog.insert(seq, size);
             }
@@ -623,8 +648,23 @@ impl Actor<Msg> for ClientActor {
                     }
                 }
             }
-            Msg::ClientSyncReply { coord_max, epoch, catalog_head, available, removed } => {
-                self.handle_sync_reply(ctx, coord_max, epoch, catalog_head, available, removed);
+            Msg::ClientSyncReply {
+                coord_max,
+                epoch,
+                catalog_base,
+                catalog_head,
+                available,
+                removed,
+            } => {
+                self.handle_sync_reply(
+                    ctx,
+                    coord_max,
+                    epoch,
+                    catalog_base,
+                    catalog_head,
+                    available,
+                    removed,
+                );
             }
             Msg::ResultsReply { results } => {
                 self.last_reply = Some(ctx.now());
@@ -643,6 +683,11 @@ impl Actor<Msg> for ClientActor {
                 if self.in_flight_submissions == 0 {
                     self.submit_next(ctx);
                 }
+            }
+            Msg::Corrupt { .. } => {
+                // Unreadable bytes: count and drop.  No protocol state may
+                // change off a frame that failed to decode.
+                self.metrics.bad_frames += 1;
             }
             other => {
                 // Unexpected message (e.g. stale reply from a demoted

@@ -70,6 +70,9 @@ pub struct CoordMetrics {
     pub ckpt_rejected: u64,
     /// Assignments dispatched with a resume point attached.
     pub resumes_dispatched: u64,
+    /// Frames that arrived unreadable (wire corruption) and were dropped
+    /// without touching protocol state.
+    pub bad_frames: u64,
 }
 
 /// State surviving a coordinator crash: the database (MySQL + archive
@@ -304,16 +307,12 @@ impl CoordinatorActor {
             if !settled.is_empty() {
                 parts.push(Msg::ArchivesSettled { jobs: settled });
             }
-            match parts.len() {
-                0 => {}
-                1 => {
-                    ctx.send(from, parts.pop().unwrap());
-                    replied = true;
-                }
-                _ => {
-                    ctx.send(from, Msg::Batch { parts });
-                    replied = true;
-                }
+            if parts.len() > 1 {
+                ctx.send(from, Msg::Batch { parts });
+                replied = true;
+            } else if let Some(only) = parts.pop() {
+                ctx.send(from, only);
+                replied = true;
             }
         }
         // Work assignment (pull model).
@@ -478,6 +477,7 @@ impl CoordinatorActor {
             Msg::ClientSyncReply {
                 coord_max,
                 epoch,
+                catalog_base: catalog_seq,
                 catalog_head: delta.head,
                 available: delta.added,
                 removed: delta.removed,
@@ -770,6 +770,11 @@ impl Actor<Msg> for CoordinatorActor {
                 for part in parts {
                     self.on_message(ctx, from, part);
                 }
+            }
+            Msg::Corrupt { .. } => {
+                // Unreadable bytes: count and drop.  No protocol state may
+                // change off a frame that failed to decode.
+                self.metrics.bad_frames += 1;
             }
             _ => {}
         }

@@ -50,6 +50,7 @@
 
 pub mod api;
 pub mod calibration;
+pub mod chaos;
 pub mod client;
 pub mod config;
 pub mod coordinator;
@@ -59,6 +60,7 @@ pub mod runtime;
 pub mod server;
 pub mod util;
 
+pub use chaos::{ChaosConfig, ChaosCounters, ChaosOracle, ChaosReport, MsgChaos};
 pub use client::{ClientActor, ClientMetrics, ClientParams};
 pub use config::{ExecMode, ProtocolConfig};
 pub use coordinator::{CoordMetrics, CoordParams, CoordinatorActor, ReplRound};

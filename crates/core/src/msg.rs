@@ -123,6 +123,14 @@ pub enum Msg {
         coord_max: u64,
         /// Coordinator boot epoch (see [`Msg::SubmitAck::epoch`]).
         epoch: u64,
+        /// Catalog version this delta was computed *since* — the
+        /// `catalog_seq` of the beat being answered.  The client applies
+        /// the delta only if `catalog_base <=` its current high-water
+        /// mark: a reply whose base is ahead of the mark has a gap below
+        /// it (the mark was reset by a coordinator rebase while this
+        /// reply — possibly a chaos-duplicated copy — was in flight),
+        /// and merging it would skip catalog history forever.
+        catalog_base: u64,
         /// Catalog version after this delta; the client echoes it as
         /// [`Msg::ClientBeat::catalog_seq`] on its next beat.
         catalog_head: u64,
@@ -280,6 +288,15 @@ pub enum Msg {
         /// The bundled messages, in send order.
         parts: Vec<Msg>,
     },
+
+    /// A frame whose bytes failed to decode at the receiver.  The chaos
+    /// plane's bit-flipper substitutes this poison value when corruption
+    /// breaks the encoding entirely; every actor counts it in its
+    /// `bad_frames` metric and drops it without touching any other state.
+    Corrupt {
+        /// Byte length of the original (now unreadable) frame.
+        len: u64,
+    },
 }
 
 const TAGS: &[(&str, u8)] = &[
@@ -304,6 +321,7 @@ const TAGS: &[(&str, u8)] = &[
     ("CkptOffer", 18),
     ("CkptAck", 19),
     ("Batch", 20),
+    ("Corrupt", 21),
 ];
 
 impl Msg {
@@ -335,6 +353,7 @@ impl Msg {
             Msg::CkptOffer { .. } => 18,
             Msg::CkptAck { .. } => 19,
             Msg::Batch { .. } => 20,
+            Msg::Corrupt { .. } => 21,
         }
     }
 
@@ -396,9 +415,17 @@ impl WireEncode for Msg {
                 w.put_uvarint(*coord_max);
                 w.put_uvarint(*epoch);
             }
-            Msg::ClientSyncReply { coord_max, epoch, catalog_head, available, removed } => {
+            Msg::ClientSyncReply {
+                coord_max,
+                epoch,
+                catalog_base,
+                catalog_head,
+                available,
+                removed,
+            } => {
                 w.put_uvarint(*coord_max);
                 w.put_uvarint(*epoch);
+                w.put_uvarint(*catalog_base);
                 w.put_uvarint(*catalog_head);
                 available.encode(w);
                 removed.encode(w);
@@ -457,6 +484,7 @@ impl WireEncode for Msg {
                 results.encode(w);
             }
             Msg::Batch { parts } => parts.encode(w),
+            Msg::Corrupt { len } => w.put_uvarint(*len),
         }
     }
 }
@@ -484,6 +512,7 @@ impl WireDecode for Msg {
             5 => Msg::ClientSyncReply {
                 coord_max: r.get_uvarint()?,
                 epoch: r.get_uvarint()?,
+                catalog_base: r.get_uvarint()?,
                 catalog_head: r.get_uvarint()?,
                 available: Vec::<(u64, u64)>::decode(r)?,
                 removed: Vec::<u64>::decode(r)?,
@@ -533,7 +562,17 @@ impl WireDecode for Msg {
                 job: JobKey::decode(r)?,
                 unit_hw: u32::decode(r)?,
             },
-            20 => Msg::Batch { parts: Vec::<Msg>::decode(r)? },
+            20 => {
+                let parts = Vec::<Msg>::decode(r)?;
+                // A batch inside a batch would let corrupted or hostile
+                // bytes drive unbounded decode recursion; the protocol
+                // never produces one, so reject it as a typed error.
+                if parts.iter().any(|p| matches!(p, Msg::Batch { .. })) {
+                    return Err(WireError::Nested { ty: "Msg::Batch" });
+                }
+                Msg::Batch { parts }
+            }
+            21 => Msg::Corrupt { len: r.get_uvarint()? },
             tag => return Err(WireError::InvalidTag { ty: "Msg", tag: tag as u64 }),
         })
     }
@@ -565,6 +604,7 @@ mod tests {
             Msg::ClientSyncReply {
                 coord_max: 5,
                 epoch: 9,
+                catalog_base: 17,
                 catalog_head: 41,
                 available: vec![(1, 100), (2, 5000)],
                 removed: vec![3],
@@ -643,6 +683,7 @@ mod tests {
                     Msg::ArchivesSettled { jobs: vec![JobKey::new(ClientKey::new(1, 2), 2)] },
                 ],
             },
+            Msg::Corrupt { len: 77 },
         ]
     }
 
@@ -684,6 +725,22 @@ mod tests {
             catalog_seq: 1_000_000,
         };
         assert!(m.wire_size() < 32, "beats must stay cheap, got {}", m.wire_size());
+    }
+
+    #[test]
+    fn nested_batch_rejected() {
+        let inner = Msg::Batch { parts: vec![Msg::NoWork] };
+        let outer = Msg::Batch { parts: vec![Msg::NoWork, inner] };
+        let bytes = to_bytes(&outer);
+        assert_eq!(
+            from_bytes::<Msg>(&bytes),
+            Err(WireError::Nested { ty: "Msg::Batch" }),
+            "a batch containing a batch must be a typed decode error"
+        );
+        // A flat batch still roundtrips.
+        let flat = Msg::Batch { parts: vec![Msg::NoWork, Msg::Corrupt { len: 3 }] };
+        let back: Msg = from_bytes(&to_bytes(&flat)).unwrap();
+        assert_eq!(back, flat);
     }
 
     #[test]

@@ -74,6 +74,9 @@ pub struct ServerMetrics {
     /// Modelled checkpoint state bytes shipped (the byte budget the
     /// adaptive policy is judged against).
     pub ckpt_bytes: u64,
+    /// Frames that arrived unreadable (wire corruption) and were dropped
+    /// without touching protocol state.
+    pub bad_frames: u64,
 }
 
 /// A result retained in the server's (pessimistic) log.
@@ -693,6 +696,11 @@ impl Actor<Msg> for ServerActor {
                 for part in parts {
                     self.on_message(ctx, _from, part);
                 }
+            }
+            Msg::Corrupt { .. } => {
+                // Unreadable bytes: count and drop.  No protocol state may
+                // change off a frame that failed to decode.
+                self.metrics.bad_frames += 1;
             }
             _ => {}
         }

@@ -20,6 +20,27 @@ pub trait WireSized {
     fn wire_size(&self) -> u64;
 }
 
+/// Frame-level chaos operations over the world's message type.
+///
+/// The kernel is generic over `M` and requires neither `Clone` nor a codec,
+/// so duplicating or bit-flipping a frame needs a hook that understands the
+/// concrete message type.  Install one with
+/// [`crate::world::World::set_frame_ops`]; without a hook, duplication is
+/// inert and corruption only counts (the frame is delivered unmodified).
+/// Both paths consume RNG draws identically whether or not a hook is
+/// installed, so two worlds differing only in the hook stay lockstep in
+/// their *link-level* randomness.
+pub trait FrameOps<M>: Send {
+    /// Returns a copy of `msg` for a duplicate delivery, or `None` when
+    /// this frame cannot (or should not) be duplicated.
+    fn duplicate(&mut self, msg: &M) -> Option<M>;
+
+    /// Mangles a frame that the link corrupted.  Implementations typically
+    /// re-encode, flip a seeded random bit and re-decode — returning either
+    /// a garbled-but-valid message or a typed poison the receiver counts.
+    fn corrupt(&mut self, msg: M, rng: &mut DetRng) -> M;
+}
+
 /// Frames at or below this size are *control* traffic (heartbeats,
 /// acknowledgements, work requests): packet-level multiplexing on a real
 /// link interleaves them within milliseconds of bulk transfers, so they do
@@ -134,6 +155,7 @@ pub struct Ctx<'a, M> {
     pub(crate) trace: &'a mut Trace,
     pub(crate) stats: &'a mut NetStats,
     pub(crate) timer_seq: &'a mut u64,
+    pub(crate) frame_ops: &'a mut Option<Box<dyn FrameOps<M>>>,
 }
 
 impl<'a, M: WireSized> Ctx<'a, M> {
@@ -196,13 +218,61 @@ impl<'a, M: WireSized> Ctx<'a, M> {
             self.trace.push(self.now, self.node, TraceKind::DropLoss, "");
             return occ.end;
         }
+        // Chaos-plane faults.  Every draw is guarded by its probability so
+        // a zero-chaos link consumes exactly the RNG stream it always did
+        // (the golden reference trace depends on this).
+        let mut msg = msg;
+        if link.corrupt > 0.0 && self.rng.chance(link.corrupt) {
+            // Corrupted frames are *delivered*, not dropped: receivers must
+            // survive them.  The hook mangles the payload; without a hook
+            // the fault is still counted for accounting tests.
+            self.stats.corrupted += 1;
+            self.trace.push(self.now, self.node, TraceKind::Corrupt, "");
+            if let Some(ops) = self.frame_ops.as_mut() {
+                msg = ops.corrupt(msg, self.rng);
+            }
+        }
+        let dup = if link.dup > 0.0 && self.rng.chance(link.dup) {
+            self.frame_ops.as_mut().and_then(|ops| ops.duplicate(&msg))
+        } else {
+            None
+        };
         let jitter = if link.jitter > SimDuration::ZERO {
             SimDuration(self.rng.below(link.jitter.0))
         } else {
             SimDuration::ZERO
         };
-        let arrival = occ.end + link.latency + jitter;
+        let mut arrival = occ.end + link.latency + jitter;
+        if link.reorder > 0.0
+            && link.reorder_window > SimDuration::ZERO
+            && self.rng.chance(link.reorder)
+        {
+            // Held back: later sends on the same link may overtake it.
+            arrival += SimDuration(self.rng.below(link.reorder_window.0));
+            self.stats.reordered += 1;
+            self.trace.push(self.now, self.node, TraceKind::Reorder, "");
+        }
         self.trace.push(self.now, self.node, TraceKind::Send, "");
+        if let Some(copy) = dup {
+            // The duplicate takes its own jitter draw so the two copies
+            // interleave with other traffic independently; the wire charge
+            // is the original frame's size (same bytes on the wire twice).
+            let jitter2 = if link.jitter > SimDuration::ZERO {
+                SimDuration(self.rng.below(link.jitter.0))
+            } else {
+                SimDuration::ZERO
+            };
+            let arrival2 = occ.end + link.latency + jitter2;
+            self.stats.duplicated += 1;
+            self.trace.push(self.now, self.node, TraceKind::Dup, "");
+            self.effects.push(Effect::Deliver {
+                to,
+                from: self.node,
+                msg: copy,
+                arrival: arrival2,
+                size,
+            });
+        }
         self.effects.push(Effect::Deliver { to, from: self.node, msg, arrival, size });
         occ.end
     }

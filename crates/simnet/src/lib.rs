@@ -22,8 +22,11 @@
 //! * **Actors** ([`Actor`], [`Ctx`]): protocol state machines.  The same
 //!   implementations run under the threaded runtime of `rpcv-core`.
 //! * **Faults** ([`Control`]): abrupt crash (losing volatile state but
-//!   keeping the [`DurableImage`] the actor returns), restart, partition —
-//!   the paper's fault generator as schedulable events.
+//!   keeping the [`DurableImage`] the actor returns), restart, partition,
+//!   disk wipe, fabric-wide link degradation — the paper's fault generator
+//!   as schedulable events.  The [`chaos`] module generates whole seeded
+//!   fault schedules ([`FaultPlan`]) mixing crash storms, partition churn,
+//!   wipes and loss/dup/corrupt/reorder bursts, all fully healing.
 //!
 //! ## Determinism
 //!
@@ -64,6 +67,7 @@
 //! ```
 
 pub mod actor;
+pub mod chaos;
 pub mod disk;
 pub mod net;
 pub mod node;
@@ -75,7 +79,8 @@ pub mod time;
 pub mod trace;
 pub mod world;
 
-pub use actor::{Actor, Ctx, DurableImage, Effect, TimerId, WireSized};
+pub use actor::{Actor, Ctx, DurableImage, Effect, FrameOps, TimerId, WireSized};
+pub use chaos::{ChaosProfile, ChaosTargets, FaultCounts, FaultPlan};
 pub use disk::{Disk, DiskSpec, WriteOutcome};
 pub use net::{LinkParams, NetModel};
 pub use node::{HostResources, HostSpec, NodeId};

@@ -27,6 +27,19 @@ pub struct LinkParams {
     pub jitter: SimDuration,
     /// Probability that a datagram is silently dropped.
     pub loss: f64,
+    /// Probability that a datagram is delivered twice (duplication needs a
+    /// [`crate::world::World::set_frame_ops`] hook to copy the frame; the
+    /// knob is inert otherwise).
+    pub dup: f64,
+    /// Probability that a datagram arrives bit-flipped.  The frame is still
+    /// delivered — mangled through the installed frame-ops hook when one is
+    /// present — and counted in [`crate::NetStats::corrupted`].
+    pub corrupt: f64,
+    /// Probability that a datagram is held back by an extra delay drawn
+    /// uniformly from `[0, reorder_window)`, letting later sends overtake it.
+    pub reorder: f64,
+    /// Maximum extra holding delay for reordered datagrams.
+    pub reorder_window: SimDuration,
 }
 
 impl LinkParams {
@@ -36,6 +49,10 @@ impl LinkParams {
             latency: SimDuration::from_micros(100),
             jitter: SimDuration::from_micros(20),
             loss: 0.0,
+            dup: 0.0,
+            corrupt: 0.0,
+            reorder: 0.0,
+            reorder_window: SimDuration::ZERO,
         }
     }
 
@@ -45,7 +62,36 @@ impl LinkParams {
             latency: SimDuration::from_millis(50),
             jitter: SimDuration::from_millis(10),
             loss: 0.0,
+            dup: 0.0,
+            corrupt: 0.0,
+            reorder: 0.0,
+            reorder_window: SimDuration::ZERO,
         }
+    }
+
+    /// Builder: loss probability.
+    pub fn with_loss(mut self, p: f64) -> Self {
+        self.loss = p;
+        self
+    }
+
+    /// Builder: duplication probability.
+    pub fn with_dup(mut self, p: f64) -> Self {
+        self.dup = p;
+        self
+    }
+
+    /// Builder: bit-flip corruption probability.
+    pub fn with_corrupt(mut self, p: f64) -> Self {
+        self.corrupt = p;
+        self
+    }
+
+    /// Builder: reorder probability and holding window.
+    pub fn with_reorder(mut self, p: f64, window: SimDuration) -> Self {
+        self.reorder = p;
+        self.reorder_window = window;
+        self
     }
 }
 
@@ -69,6 +115,18 @@ impl NetModel {
     /// Network where every pair uses `default`.
     pub fn new(default: LinkParams) -> Self {
         NetModel { default, overrides: BTreeMap::new(), blocked: BTreeSet::new() }
+    }
+
+    /// Replaces the default parameters every non-overridden pair resolves
+    /// to (chaos bursts degrade the whole fabric this way, leaving pair
+    /// overrides — e.g. a dedicated coordinator link — untouched).
+    pub fn set_default(&mut self, params: LinkParams) {
+        self.default = params;
+    }
+
+    /// The current default link parameters.
+    pub fn default_link(&self) -> LinkParams {
+        self.default
     }
 
     /// Sets parameters for the directed pair `(from, to)`.
@@ -159,6 +217,35 @@ mod tests {
         assert!(net.link(N(3), N(2)).is_none(), "other direction stays blocked");
         net.unblock_bidir(N(2), N(3));
         assert_eq!(net.blocked_count(), 0);
+    }
+
+    #[test]
+    fn chaos_knobs_default_to_inert() {
+        for l in [LinkParams::lan(), LinkParams::wan(), LinkParams::default()] {
+            assert_eq!(l.dup, 0.0);
+            assert_eq!(l.corrupt, 0.0);
+            assert_eq!(l.reorder, 0.0);
+            assert_eq!(l.reorder_window, SimDuration::ZERO);
+        }
+        let l = LinkParams::lan()
+            .with_loss(0.1)
+            .with_dup(0.2)
+            .with_corrupt(0.3)
+            .with_reorder(0.4, SimDuration::from_millis(5));
+        assert_eq!((l.loss, l.dup, l.corrupt, l.reorder), (0.1, 0.2, 0.3, 0.4));
+        assert_eq!(l.reorder_window, SimDuration::from_millis(5));
+    }
+
+    #[test]
+    fn set_default_respects_overrides() {
+        let mut net = NetModel::new(LinkParams::lan());
+        net.set_link(N(0), N(1), LinkParams::wan());
+        net.set_default(LinkParams::lan().with_loss(0.5));
+        assert_eq!(net.default_link().loss, 0.5);
+        assert_eq!(net.link(N(1), N(2)).unwrap().loss, 0.5);
+        // The dedicated pair keeps its override through the burst.
+        assert_eq!(net.link(N(0), N(1)).unwrap().loss, 0.0);
+        assert_eq!(net.link(N(0), N(1)).unwrap().latency, SimDuration::from_millis(50));
     }
 
     #[test]

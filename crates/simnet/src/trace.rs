@@ -29,9 +29,33 @@ pub enum TraceKind {
     Timer,
     /// Free-form note from an actor.
     Note,
+    /// Message duplicated by the link (a second copy was scheduled).
+    Dup,
+    /// Message corrupted in flight (still delivered, possibly mangled).
+    Corrupt,
+    /// Message held back by a reorder delay (later sends may overtake it).
+    Reorder,
 }
 
 impl TraceKind {
+    /// Every kind, in code order.  [`NetStats::dropped_total`] and the
+    /// kind↔counter mapping below iterate this list, so the exhaustiveness
+    /// test breaks the build when a new kind is missing here.
+    pub const ALL: [TraceKind; 12] = [
+        TraceKind::Send,
+        TraceKind::Deliver,
+        TraceKind::DropPartition,
+        TraceKind::DropLoss,
+        TraceKind::DropDown,
+        TraceKind::Crash,
+        TraceKind::Restart,
+        TraceKind::Timer,
+        TraceKind::Note,
+        TraceKind::Dup,
+        TraceKind::Corrupt,
+        TraceKind::Reorder,
+    ];
+
     fn code(self) -> u64 {
         match self {
             TraceKind::Send => 1,
@@ -43,6 +67,47 @@ impl TraceKind {
             TraceKind::Restart => 7,
             TraceKind::Timer => 8,
             TraceKind::Note => 9,
+            TraceKind::Dup => 10,
+            TraceKind::Corrupt => 11,
+            TraceKind::Reorder => 12,
+        }
+    }
+
+    /// True for kinds that consume a sent frame without delivering it.
+    /// This is the single source of truth behind
+    /// [`NetStats::dropped_total`]: adding a drop-flavoured kind without
+    /// classifying it here breaks the exhaustive `match`.
+    pub const fn is_drop(self) -> bool {
+        match self {
+            TraceKind::DropPartition | TraceKind::DropLoss | TraceKind::DropDown => true,
+            TraceKind::Send
+            | TraceKind::Deliver
+            | TraceKind::Crash
+            | TraceKind::Restart
+            | TraceKind::Timer
+            | TraceKind::Note
+            | TraceKind::Dup
+            | TraceKind::Corrupt
+            | TraceKind::Reorder => false,
+        }
+    }
+
+    /// The [`NetStats`] counter this kind feeds, if any (`Timer` and
+    /// `Note` have no aggregate counter).  Exhaustive on purpose: a new
+    /// `TraceKind` cannot compile without declaring its counter here.
+    pub fn stat_of(self, s: &NetStats) -> Option<u64> {
+        match self {
+            TraceKind::Send => Some(s.sent),
+            TraceKind::Deliver => Some(s.delivered),
+            TraceKind::DropPartition => Some(s.dropped_partition),
+            TraceKind::DropLoss => Some(s.dropped_loss),
+            TraceKind::DropDown => Some(s.dropped_down),
+            TraceKind::Crash => Some(s.crashes),
+            TraceKind::Restart => Some(s.restarts),
+            TraceKind::Timer | TraceKind::Note => None,
+            TraceKind::Dup => Some(s.duplicated),
+            TraceKind::Corrupt => Some(s.corrupted),
+            TraceKind::Reorder => Some(s.reordered),
         }
     }
 }
@@ -151,12 +216,27 @@ pub struct NetStats {
     pub crashes: u64,
     /// Restarts performed.
     pub restarts: u64,
+    /// Messages duplicated by a link (extra copies scheduled, on top of
+    /// `sent`: conservation reads `sent + duplicated == delivered +
+    /// dropped_total()` after a drain).
+    pub duplicated: u64,
+    /// Messages corrupted in flight (still delivered — and therefore also
+    /// counted under `delivered` or a drop, never subtracted).
+    pub corrupted: u64,
+    /// Messages held back by a reorder delay (still delivered).
+    pub reordered: u64,
 }
 
 impl NetStats {
-    /// All drops combined.
+    /// All drops combined — derived from the exhaustive
+    /// [`TraceKind::is_drop`]/[`TraceKind::stat_of`] mapping so a new drop
+    /// kind can never be silently left out of the total.
     pub fn dropped_total(&self) -> u64 {
-        self.dropped_partition + self.dropped_loss + self.dropped_down
+        TraceKind::ALL
+            .iter()
+            .filter(|k| k.is_drop())
+            .map(|k| k.stat_of(self).expect("drop kinds always have a counter"))
+            .sum()
     }
 }
 
@@ -213,8 +293,70 @@ mod tests {
             dropped_loss: 2,
             dropped_partition: 3,
             dropped_down: 4,
+            duplicated: 7,
+            corrupted: 8,
+            reordered: 9,
             ..Default::default()
         };
+        // Corrupted/duplicated/reordered frames are delivered, not dropped.
         assert_eq!(s.dropped_total(), 9);
+    }
+
+    #[test]
+    fn all_kinds_enumerated_exactly_once() {
+        // One arm per variant and no wildcard: adding a `TraceKind` breaks
+        // this match, and the membership assertion breaks if the new kind
+        // was not added to `ALL`.
+        for kind in TraceKind::ALL {
+            match kind {
+                TraceKind::Send
+                | TraceKind::Deliver
+                | TraceKind::DropPartition
+                | TraceKind::DropLoss
+                | TraceKind::DropDown
+                | TraceKind::Crash
+                | TraceKind::Restart
+                | TraceKind::Timer
+                | TraceKind::Note
+                | TraceKind::Dup
+                | TraceKind::Corrupt
+                | TraceKind::Reorder => {}
+            }
+        }
+        let mut codes: Vec<u64> = TraceKind::ALL.iter().map(|k| k.code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), TraceKind::ALL.len(), "codes must be unique");
+        assert_eq!(codes, (1..=TraceKind::ALL.len() as u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stat_mapping_reads_the_right_counters() {
+        let s = NetStats {
+            sent: 1,
+            delivered: 2,
+            dropped_partition: 3,
+            dropped_loss: 4,
+            dropped_down: 5,
+            crashes: 6,
+            restarts: 7,
+            duplicated: 8,
+            corrupted: 9,
+            reordered: 10,
+            bytes_sent: 999,
+        };
+        assert_eq!(TraceKind::Send.stat_of(&s), Some(1));
+        assert_eq!(TraceKind::Deliver.stat_of(&s), Some(2));
+        assert_eq!(TraceKind::DropPartition.stat_of(&s), Some(3));
+        assert_eq!(TraceKind::DropLoss.stat_of(&s), Some(4));
+        assert_eq!(TraceKind::DropDown.stat_of(&s), Some(5));
+        assert_eq!(TraceKind::Crash.stat_of(&s), Some(6));
+        assert_eq!(TraceKind::Restart.stat_of(&s), Some(7));
+        assert_eq!(TraceKind::Dup.stat_of(&s), Some(8));
+        assert_eq!(TraceKind::Corrupt.stat_of(&s), Some(9));
+        assert_eq!(TraceKind::Reorder.stat_of(&s), Some(10));
+        assert_eq!(TraceKind::Timer.stat_of(&s), None);
+        assert_eq!(TraceKind::Note.stat_of(&s), None);
+        assert_eq!(s.dropped_total(), 12);
     }
 }

@@ -2,7 +2,7 @@
 
 use std::collections::BTreeSet;
 
-use crate::actor::{Actor, Ctx, DurableImage, Effect, TimerId, WireSized};
+use crate::actor::{Actor, Ctx, DurableImage, Effect, FrameOps, TimerId, WireSized};
 use crate::net::{LinkParams, NetModel};
 use crate::node::{HostResources, HostSpec, NodeId};
 use crate::queue::EventQueue;
@@ -15,12 +15,22 @@ use crate::trace::{NetStats, Trace, TraceKind};
 /// These model the paper's fault generator ("upon order, or from its own
 /// initiative ... kills abruptly the RPC-V component of the hosting
 /// machine") and the partition scenarios of Fig. 11.
-#[derive(Debug)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Control {
     /// Kill the node's process abruptly.
     Crash(NodeId),
     /// Restart the node from its durable image.
     Restart(NodeId),
+    /// Discard the node's durable image (disk loss / reinstallation): the
+    /// next restart begins from scratch.  Equivalent to
+    /// [`World::wipe_durable`], but schedulable inside a fault plan.
+    WipeDurable(NodeId),
+    /// Replace the network's *default* link parameters (loss/dup/corrupt
+    /// bursts degrade the whole fabric; pair overrides stay untouched).
+    SetDefaultLink {
+        /// The new default.
+        params: LinkParams,
+    },
     /// Block the directed pair (or both directions).
     Block {
         /// Source side.
@@ -91,6 +101,7 @@ pub struct World<M> {
     master_rng: DetRng,
     effects: Vec<Effect<M>>,
     events_processed: u64,
+    frame_ops: Option<Box<dyn FrameOps<M>>>,
 }
 
 impl<M: WireSized + 'static> World<M> {
@@ -108,7 +119,14 @@ impl<M: WireSized + 'static> World<M> {
             master_rng: DetRng::new(seed),
             effects: Vec::new(),
             events_processed: 0,
+            frame_ops: None,
         }
+    }
+
+    /// Installs the frame-level chaos hook (duplication copies, corruption
+    /// mangling).  Without one, `dup` is inert and `corrupt` only counts.
+    pub fn set_frame_ops(&mut self, ops: impl FrameOps<M> + 'static) {
+        self.frame_ops = Some(Box::new(ops));
     }
 
     /// Current virtual time.
@@ -330,7 +348,14 @@ impl<M: WireSized + 'static> World<M> {
                 }
             }
             EventKind::Deliver { to, from, msg, size } => {
-                let slot = &mut self.nodes[to.0 as usize];
+                // Frames addressed outside the world (an actor replying to
+                // an externally injected message, or a garbled destination)
+                // vanish like frames to a dead host — never a panic.
+                let Some(slot) = self.nodes.get_mut(to.0 as usize) else {
+                    self.stats.dropped_down += 1;
+                    self.trace.push(self.now, to, TraceKind::DropDown, "");
+                    return;
+                };
                 if !slot.up {
                     self.stats.dropped_down += 1;
                     self.trace.push(self.now, to, TraceKind::DropDown, "");
@@ -447,6 +472,8 @@ impl<M: WireSized + 'static> World<M> {
                     self.net.set_link(from, to, params);
                 }
             }
+            Control::WipeDurable(node) => self.wipe_durable(node),
+            Control::SetDefaultLink { params } => self.net.set_default(params),
         }
     }
 
@@ -475,6 +502,7 @@ impl<M: WireSized + 'static> World<M> {
                 trace: &mut self.trace,
                 stats: &mut self.stats,
                 timer_seq: &mut self.timer_seq,
+                frame_ops: &mut self.frame_ops,
             };
             f(actor.as_mut(), &mut ctx);
         }

@@ -42,10 +42,41 @@ impl Actor<M> for Gossip {
     }
 }
 
+/// Frame hook for `M`: duplication clones the counter, corruption knocks
+/// the counter *down* by a seeded amount.  Never increasing the value
+/// matters: gossip hop counts must stay monotone decreasing or the
+/// duplication branching factor turns the message population
+/// supercritical and worlds never drain.
+struct MOps;
+impl FrameOps<M> for MOps {
+    fn duplicate(&mut self, msg: &M) -> Option<M> {
+        Some(M(msg.0))
+    }
+    fn corrupt(&mut self, msg: M, rng: &mut DetRng) -> M {
+        M(msg.0.saturating_sub(rng.next_u64() & 0b111))
+    }
+}
+
 fn build(seed: u64, n: usize, loss: f64, faults: &[(u64, usize)]) -> World<M> {
+    build_chaos(seed, n, (loss, 0.0, 0.0, 0.0), faults)
+}
+
+fn build_chaos(
+    seed: u64,
+    n: usize,
+    (loss, dup, corrupt, reorder): (f64, f64, f64, f64),
+    faults: &[(u64, usize)],
+) -> World<M> {
     let mut w = World::<M>::new(seed);
     let nodes: Vec<NodeId> = (0..n).map(|i| w.add_host(HostSpec::named(format!("n{i}")))).collect();
-    *w.net_mut() = NetModel::new(LinkParams { loss, ..LinkParams::lan() });
+    let link = LinkParams { loss, ..LinkParams::lan() }
+        .with_dup(dup)
+        .with_corrupt(corrupt)
+        .with_reorder(reorder, SimDuration::from_millis(80));
+    *w.net_mut() = NetModel::new(link);
+    if dup > 0.0 || corrupt > 0.0 {
+        w.set_frame_ops(MOps);
+    }
     for (i, &node) in nodes.iter().enumerate() {
         let peers: Vec<NodeId> = nodes.iter().copied().filter(|&p| p != nodes[i]).collect();
         w.install(node, move |_| Box::new(Gossip { peers: peers.clone(), bursts_left: 8 }));
@@ -89,9 +120,21 @@ impl Actor<M> for CancelMix {
 }
 
 fn build_cancel_mix(seed: u64, reference: bool) -> (World<M>, Vec<NodeId>) {
+    build_cancel_mix_chaos(seed, reference, false)
+}
+
+fn build_cancel_mix_chaos(seed: u64, reference: bool, chaos: bool) -> (World<M>, Vec<NodeId>) {
     let mut w = World::<M>::new(seed);
     if reference {
         w.use_reference_queue();
+    }
+    if chaos {
+        let link = LinkParams::lan()
+            .with_dup(0.3)
+            .with_corrupt(0.25)
+            .with_reorder(0.4, SimDuration::from_millis(60));
+        *w.net_mut() = NetModel::new(link);
+        w.set_frame_ops(MOps);
     }
     let a = w.add_host(HostSpec::named("a"));
     let b = w.add_host(HostSpec::named("b"));
@@ -190,6 +233,76 @@ proptest! {
         w.run_until_idle(SimTime::from_secs(60));
         let s = w.stats();
         prop_assert_eq!(s.sent, s.delivered + s.dropped_total());
+    }
+
+    /// Determinism survives the full chaos plane: duplication, corruption
+    /// and reorder draws all come from the seeded stream, with crash
+    /// faults layered on top.
+    #[test]
+    fn same_config_same_trace_with_chaos(
+        seed in any::<u64>(),
+        n in 2usize..6,
+        loss in 0.0f64..0.3,
+        dup in 0.0f64..0.4,
+        corrupt in 0.0f64..0.4,
+        reorder in 0.0f64..0.5,
+        faults in proptest::collection::vec((0u64..8000, 0usize..8), 0..4),
+    ) {
+        let run = || {
+            let mut w = build_chaos(seed, n, (loss, dup, corrupt, reorder), &faults);
+            w.run_until(SimTime::from_secs(12));
+            (w.trace().hash(), *w.stats(), w.events_processed())
+        };
+        let (h1, s1, e1) = run();
+        let (h2, s2, e2) = run();
+        prop_assert_eq!(h1, h2);
+        prop_assert_eq!(s1, s2);
+        prop_assert_eq!(e1, e2);
+    }
+
+    /// Conservation with duplication active: every frame put on the wire —
+    /// original or duplicate — is eventually delivered or counted in
+    /// exactly one drop bucket.  Corruption and reorder never destroy or
+    /// mint frames.
+    #[test]
+    fn message_conservation_with_chaos(
+        seed in any::<u64>(),
+        loss in 0.0f64..0.4,
+        dup in 0.0f64..0.5,
+        corrupt in 0.0f64..0.5,
+        reorder in 0.0f64..0.5,
+        faults in proptest::collection::vec((0u64..6000, 0usize..4), 0..3),
+    ) {
+        let mut w = build_chaos(seed, 4, (loss, dup, corrupt, reorder), &faults);
+        w.run_until_idle(SimTime::from_secs(60));
+        let s = w.stats();
+        prop_assert_eq!(s.sent + s.duplicated, s.delivered + s.dropped_total());
+    }
+
+    /// Calendar-queue ≡ reference-heap equivalence holds with the chaos
+    /// plane fully lit: duplicated, corrupted and reorder-delayed frames
+    /// schedule identically in both kernels.
+    #[test]
+    fn calendar_queue_matches_reference_heap_under_chaos(
+        seed in any::<u64>(),
+        ops in proptest::collection::vec((0u64..3, any::<u64>(), any::<u64>()), 1..30),
+    ) {
+        let (mut cal, nodes) = build_cancel_mix_chaos(seed, false, true);
+        let (mut heap, nodes_r) = build_cancel_mix_chaos(seed, true, true);
+        for &op in &ops {
+            apply_qop(&mut cal, &nodes, op);
+            apply_qop(&mut heap, &nodes_r, op);
+            prop_assert_eq!(cal.now(), heap.now());
+            prop_assert_eq!(cal.events_processed(), heap.events_processed());
+            prop_assert_eq!(cal.trace().hash(), heap.trace().hash());
+        }
+        // Run both to the same horizon (chaos chains may outlive it; the
+        // kernels must still agree event-for-event).
+        cal.run_until_idle(SimTime::from_secs(120));
+        heap.run_until_idle(SimTime::from_secs(120));
+        prop_assert_eq!(cal.trace().hash(), heap.trace().hash());
+        prop_assert_eq!(cal.events_processed(), heap.events_processed());
+        prop_assert_eq!(*cal.stats(), *heap.stats());
     }
 
     /// The calendar queue is event-for-event equivalent to the reference

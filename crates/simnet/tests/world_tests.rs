@@ -406,6 +406,215 @@ fn reinstall_over_live_actor_does_not_double_start() {
     assert_eq!(p.started, 1, "on_start fires exactly once per (re)install");
 }
 
+/// Frame hook for the chaos tests: duplicates by cloning and tags
+/// corrupted frames by maxing out `hops` so receivers can spot them.
+struct TestOps;
+
+impl FrameOps<Msg> for TestOps {
+    fn duplicate(&mut self, msg: &Msg) -> Option<Msg> {
+        Some(msg.clone())
+    }
+    fn corrupt(&mut self, mut msg: Msg, _rng: &mut DetRng) -> Msg {
+        msg.hops = u64::MAX;
+        msg
+    }
+}
+
+/// Records arrival order without bouncing anything back.
+struct Recorder {
+    seen: Vec<u64>,
+}
+
+impl Actor<Msg> for Recorder {
+    fn on_start(&mut self, _ctx: &mut Ctx<'_, Msg>) {}
+    fn on_message(&mut self, _ctx: &mut Ctx<'_, Msg>, _from: NodeId, msg: Msg) {
+        self.seen.push(msg.hops);
+    }
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_, Msg>, _id: TimerId, _kind: u64) {}
+}
+
+/// Sends `n` numbered frames on start.
+struct NumberedBurst {
+    peer: NodeId,
+    n: u64,
+}
+
+impl Actor<Msg> for NumberedBurst {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        for i in 0..self.n {
+            ctx.send(self.peer, Msg { hops: i, size: 10 });
+        }
+    }
+    fn on_message(&mut self, _ctx: &mut Ctx<'_, Msg>, _f: NodeId, _m: Msg) {}
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_, Msg>, _id: TimerId, _k: u64) {}
+}
+
+#[test]
+fn duplication_delivers_extra_copies() {
+    let mut w = World::<Msg>::new(101);
+    let a = w.add_host(HostSpec::named("a"));
+    let b = w.add_host(HostSpec::named("b"));
+    w.net_mut().set_link_bidir(a, b, LinkParams::lan().with_dup(1.0));
+    w.set_frame_ops(TestOps);
+    w.install(b, |_| Box::new(Recorder { seen: Vec::new() }));
+    w.install(a, move |_| Box::new(NumberedBurst { peer: b, n: 50 }));
+    w.run_until_idle(SimTime::from_secs(10));
+    let s = *w.stats();
+    assert_eq!(s.sent, 50);
+    assert_eq!(s.duplicated, 50);
+    assert_eq!(s.delivered, 100, "each frame arrives twice");
+    assert_eq!(s.sent + s.duplicated, s.delivered + s.dropped_total());
+    let r: &Recorder = w.actor(b).unwrap();
+    assert_eq!(r.seen.len(), 100);
+}
+
+#[test]
+fn duplication_without_frame_ops_is_inert() {
+    // The link wants duplicates but no hook can clone the frame: delivery
+    // degrades gracefully to exactly-once and nothing is counted.
+    let mut w = World::<Msg>::new(103);
+    let a = w.add_host(HostSpec::named("a"));
+    let b = w.add_host(HostSpec::named("b"));
+    w.net_mut().set_link_bidir(a, b, LinkParams::lan().with_dup(1.0));
+    w.install(b, |_| Box::new(Recorder { seen: Vec::new() }));
+    w.install(a, move |_| Box::new(NumberedBurst { peer: b, n: 20 }));
+    w.run_until_idle(SimTime::from_secs(10));
+    assert_eq!(w.stats().delivered, 20);
+    assert_eq!(w.stats().duplicated, 0);
+}
+
+#[test]
+fn corruption_mangles_frames_but_still_delivers() {
+    let mut w = World::<Msg>::new(107);
+    let a = w.add_host(HostSpec::named("a"));
+    let b = w.add_host(HostSpec::named("b"));
+    w.net_mut().set_link_bidir(a, b, LinkParams::lan().with_corrupt(1.0));
+    w.set_frame_ops(TestOps);
+    w.install(b, |_| Box::new(Recorder { seen: Vec::new() }));
+    w.install(a, move |_| Box::new(NumberedBurst { peer: b, n: 30 }));
+    w.run_until_idle(SimTime::from_secs(10));
+    assert_eq!(w.stats().corrupted, 30);
+    assert_eq!(w.stats().delivered, 30, "corrupt frames are delivered, not dropped");
+    let r: &Recorder = w.actor(b).unwrap();
+    assert!(r.seen.iter().all(|&h| h == u64::MAX), "every frame passed through the hook");
+}
+
+#[test]
+fn corruption_without_frame_ops_counts_but_delivers_intact() {
+    let mut w = World::<Msg>::new(109);
+    let a = w.add_host(HostSpec::named("a"));
+    let b = w.add_host(HostSpec::named("b"));
+    w.net_mut().set_link_bidir(a, b, LinkParams::lan().with_corrupt(1.0));
+    w.install(b, |_| Box::new(Recorder { seen: Vec::new() }));
+    w.install(a, move |_| Box::new(NumberedBurst { peer: b, n: 10 }));
+    w.run_until_idle(SimTime::from_secs(10));
+    assert_eq!(w.stats().corrupted, 10);
+    let r: &Recorder = w.actor(b).unwrap();
+    let mut sorted = r.seen.clone();
+    sorted.sort_unstable();
+    assert_eq!(sorted, (0..10).collect::<Vec<_>>(), "payloads untouched without a hook");
+}
+
+#[test]
+fn reorder_window_scrambles_arrival_order() {
+    let mut w = World::<Msg>::new(113);
+    let a = w.add_host(HostSpec::named("a"));
+    let b = w.add_host(HostSpec::named("b"));
+    w.net_mut().set_link_bidir(
+        a,
+        b,
+        LinkParams {
+            jitter: SimDuration::ZERO,
+            ..LinkParams::lan().with_reorder(1.0, SimDuration::from_millis(100))
+        },
+    );
+    w.install(b, |_| Box::new(Recorder { seen: Vec::new() }));
+    w.install(a, move |_| Box::new(NumberedBurst { peer: b, n: 20 }));
+    w.run_until_idle(SimTime::from_secs(10));
+    assert_eq!(w.stats().reordered, 20);
+    assert_eq!(w.stats().delivered, 20, "reordering delays, never drops");
+    let r: &Recorder = w.actor(b).unwrap();
+    let in_order: Vec<u64> = (0..20).collect();
+    let mut sorted = r.seen.clone();
+    sorted.sort_unstable();
+    assert_eq!(sorted, in_order, "every frame still arrives exactly once");
+    assert_ne!(r.seen, in_order, "the 100ms window must overtake back-to-back sends");
+}
+
+#[test]
+fn wipe_durable_control_discards_crash_image() {
+    let (mut w, _a, b) = two_node_world(127);
+    w.crash_now(b);
+    w.schedule_control(w.now(), Control::WipeDurable(b));
+    w.run_until(SimTime::from_millis(1));
+    w.restart_now(b);
+    w.run_until(w.now());
+    let pb: &Pong = w.actor(b).unwrap();
+    assert_eq!(pb.restore_marker, 0, "wiped node restarts from a blank image");
+    assert_eq!(pb.started, 1);
+}
+
+#[test]
+fn set_default_link_control_degrades_and_restores_the_fabric() {
+    struct TimedSender {
+        peer: NodeId,
+    }
+    impl Actor<Msg> for TimedSender {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+            ctx.set_timer(SimDuration::from_secs(1), 1); // during the burst
+            ctx.set_timer(SimDuration::from_secs(3), 2); // after restore
+        }
+        fn on_message(&mut self, _ctx: &mut Ctx<'_, Msg>, _f: NodeId, _m: Msg) {}
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, _id: TimerId, _k: u64) {
+            ctx.send(self.peer, Msg { hops: 0, size: 10 });
+        }
+    }
+    let mut w = World::<Msg>::new(131);
+    let a = w.add_host(HostSpec::named("a"));
+    let b = w.add_host(HostSpec::named("b"));
+    w.install(b, |_| Box::new(Recorder { seen: Vec::new() }));
+    w.install(a, move |_| Box::new(TimedSender { peer: b }));
+    let burst = LinkParams::lan().with_loss(1.0);
+    w.schedule_control(SimTime::from_millis(500), Control::SetDefaultLink { params: burst });
+    w.schedule_control(
+        SimTime::from_secs(2),
+        Control::SetDefaultLink { params: LinkParams::lan() },
+    );
+    w.run_until_idle(SimTime::from_secs(10));
+    assert_eq!(w.stats().dropped_loss, 1, "the 1s send dies inside the burst");
+    assert_eq!(w.stats().delivered, 1, "the 3s send survives after restore");
+}
+
+#[test]
+fn chaos_faults_are_deterministic() {
+    let run = |seed: u64| {
+        let mut w = World::<Msg>::new(seed);
+        let a = w.add_host(HostSpec::named("a"));
+        let b = w.add_host(HostSpec::named("b"));
+        w.net_mut().set_link_bidir(
+            a,
+            b,
+            LinkParams::lan()
+                .with_loss(0.2)
+                .with_dup(0.3)
+                .with_corrupt(0.3)
+                .with_reorder(0.5, SimDuration::from_millis(50)),
+        );
+        w.set_frame_ops(TestOps);
+        w.install(b, |_| Box::new(Pong::new(0)));
+        w.install(a, move |_| Box::new(NumberedBurst { peer: b, n: 40 }));
+        w.run_until_idle(SimTime::from_secs(30));
+        (w.trace().hash(), *w.stats())
+    };
+    let (h1, s1) = run(977);
+    let (h2, s2) = run(977);
+    assert_eq!(h1, h2, "chaos draws come from the seeded stream");
+    assert_eq!(s1, s2);
+    assert_eq!(s1.sent + s1.duplicated, s1.delivered + s1.dropped_total());
+    let (h3, _) = run(978);
+    assert_ne!(h1, h3);
+}
+
 #[test]
 fn nic_contention_serializes_concurrent_sends() {
     // One sender bursts 10 × 1.25 MB to two receivers; NIC-out at 12.5 MB/s

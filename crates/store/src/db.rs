@@ -737,6 +737,14 @@ impl CoordinatorDb {
 
     // --- fault handling -----------------------------------------------------
 
+    /// True when `job` already has a dispatchable queued instance.  The
+    /// recovery paths (server suspicion, beat reconciliation, predecessor
+    /// release) can all conclude the same job needs a new instance in the
+    /// same failover window; one queued instance is recovery enough.
+    fn has_live_pending(&self, job: &JobKey) -> bool {
+        !self.finished_jobs.contains(job) && self.pending_by_job.get(job).copied().unwrap_or(0) > 0
+    }
+
     /// Server suspected: schedule new instances of all its ongoing tasks
     /// ("when a coordinator suspects a server failure, it schedules new
     /// instances of all RPC calls forwarded to the suspect").  The old
@@ -758,6 +766,9 @@ impl CoordinatorDb {
         let mut created = Vec::new();
         let mut charge = Charge::ops(1);
         for job in victims {
+            if self.has_live_pending(&job) {
+                continue;
+            }
             if let Some(id) = self.create_instance(job) {
                 created.push(id);
                 charge += Charge::ops(2);
@@ -817,6 +828,9 @@ impl CoordinatorDb {
             if let Some(set) = self.by_server.get_mut(&server) {
                 set.remove(&old);
             }
+            if self.has_live_pending(&job) {
+                continue;
+            }
             if let Some(id) = self.create_instance(job) {
                 created.push(id);
                 charge += Charge::ops(2);
@@ -846,6 +860,9 @@ impl CoordinatorDb {
         let mut created = Vec::new();
         let mut charge = Charge::ops(1);
         for job in held {
+            if self.has_live_pending(&job) {
+                continue;
+            }
             if let Some(id) = self.create_instance(job) {
                 created.push(id);
                 charge += Charge::ops(2);
@@ -1235,9 +1252,20 @@ impl CoordinatorDb {
                 );
                 match rec.state {
                     TaskState::Pending => self.push_pending(rec.id, rec.job),
-                    TaskState::Ongoing { .. } => {} // held until release_origin
+                    TaskState::Ongoing { server, .. } => {
+                        // Held until release_origin — but indexed by server,
+                        // so the beat-driven reconciliation can reclaim it if
+                        // that server reports the task lost.  Without the
+                        // index, a task dispatched by a live-but-demoted
+                        // predecessor is unrecoverable: the dispatcher no
+                        // longer hears the server's beats, and this node
+                        // would hold the row forever out of respect for the
+                        // live peer.
+                        self.by_server.entry(server).or_default().insert(rec.id);
+                    }
                     TaskState::Finished { result_size } => {
-                        newly_finished = result_size > 0;
+                        let _ = result_size;
+                        newly_finished = true;
                     }
                 }
             }
@@ -1252,6 +1280,18 @@ impl CoordinatorDb {
                             rec.job,
                         );
                     }
+                    // Keep the per-server index in step with the state
+                    // transition (Pending→Ongoing indexes, Ongoing→Finished
+                    // un-indexes; `complete_task` doing the same removal for
+                    // locally finished rows is an idempotent no-op here).
+                    if let TaskState::Ongoing { server, .. } = row.state {
+                        if let Some(set) = self.by_server.get_mut(&server) {
+                            set.remove(&rec.id);
+                        }
+                    }
+                    if let TaskState::Ongoing { server, .. } = rec.state {
+                        self.by_server.entry(server).or_default().insert(rec.id);
+                    }
                     row.state = rec.state;
                     let v = Self::touch(
                         &mut self.changed,
@@ -1260,12 +1300,21 @@ impl CoordinatorDb {
                         Changed::Task(rec.id),
                     );
                     row.version = v;
-                    if let TaskState::Finished { result_size } = rec.state {
-                        newly_finished = result_size > 0;
+                    if matches!(rec.state, TaskState::Finished { .. }) {
+                        newly_finished = true;
                     }
                 }
             }
         }
+        // Any replicated Finished row is finished-knowledge, whatever its
+        // size: `result_size: 0` is only ever written by a coordinator
+        // retiring an instance *because its own finished set holds the
+        // job*.  Discarding it wedges re-execution: the re-executing
+        // coordinator's fresh instance gets retired by a peer that
+        // remembers the job as finished, the retire row replicates back
+        // as Finished{0}, and without this mark the re-executor never
+        // relearns the job is done — so it never lists the archive as
+        // missing and never pulls it from the peer that has it.
         if newly_finished {
             self.mark_job_finished(rec.job);
         }

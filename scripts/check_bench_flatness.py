@@ -26,10 +26,19 @@ Dispatches on the artifact's "bench" tag:
   learn from (>= 4 faults/min), no more than the budget-matched fixed
   interval.  Mirrors `check_adaptive_wins` in crates/bench/benches/ckpt.rs.
 
-With --committed, additionally reject smoke artifacts: only full sweeps
-may be committed (a local `--smoke` run overwrites the same file).
+* chaos — validate the seeded fault-schedule sweep: every plan survived
+  (all safety-oracle invariants held), every plan actually mixed all four
+  fault families (crash-restart storms, disk wipes, partition churn, wire
+  bursts), and the sweep as a whole exercised the wire-fault plane
+  (corrupted and duplicated frames > 0, with corrupt frames accounted as
+  typed `bad_frames` drops).  Mirrors the per-plan `survived()` gate in
+  crates/bench/benches/chaos.rs; this script gates the artifact.
 
-Usage: check_bench_flatness.py [--committed] BENCH_scale.json|BENCH_ckpt.json
+With --committed, additionally reject smoke artifacts: only full sweeps
+may be committed (a local `--smoke` run overwrites the same file).  For
+chaos, --committed also requires the full 64-plan ladder.
+
+Usage: check_bench_flatness.py [--committed] BENCH_scale.json|BENCH_ckpt.json|BENCH_chaos.json
 """
 
 import json
@@ -102,6 +111,35 @@ def check_ckpt(doc: dict, path: str) -> None:
           f"adaptive wins the budget-matched comparison in {checked} group(s))")
 
 
+def check_chaos(doc: dict, path: str, committed: bool) -> None:
+    assert doc["schema_version"] == 1, "unknown chaos schema version"
+    plans = doc["plans"]
+    totals = doc["totals"]
+    assert len(plans) >= 1, "chaos sweep must contain at least one plan"
+    if committed:
+        assert len(plans) >= 64, \
+            f"committed {path} holds {len(plans)} plans — the full sweep runs >= 64"
+    for p in plans:
+        tag = f'seed {p["seed"]:#x} @ {p["intensity"]}'
+        assert p["survived"] is True, \
+            f"{path}: plan {tag} violated a safety invariant — {p}"
+        for family in ("crashes", "wipes", "partitions", "bursts"):
+            assert p[family] >= 1, \
+                f"{path}: plan {tag} scheduled no {family} — every plan mixes all families"
+        assert p["bad_frames"] <= p["corrupt_frames"], \
+            f"{path}: plan {tag} counted more bad frames than corruptions — {p}"
+        assert p["results"] == p["jobs"], \
+            f"{path}: plan {tag} delivered {p['results']}/{p['jobs']} results"
+    assert totals["survived"] == totals["plans"] == len(plans), \
+        f"{path}: totals disagree with the plan list: {totals}"
+    assert totals["corrupt_frames"] > 0 and totals["dup_frames"] > 0, \
+        f"{path}: the sweep never exercised the wire-fault plane: {totals}"
+    recovered = sum(1 for p in plans if p["recovery_makespan_s"] > 0)
+    print(f"{path}: chaos sweep OK ({len(plans)} plans, 100% survival, "
+          f"{totals['corrupt_frames']} corrupt / {totals['dup_frames']} dup frames absorbed, "
+          f"{recovered} plan(s) measured a post-heal recovery makespan)")
+
+
 def main() -> None:
     args = [a for a in sys.argv[1:] if a != "--committed"]
     committed = "--committed" in sys.argv[1:]
@@ -115,6 +153,8 @@ def main() -> None:
         check_scale(doc, path)
     elif doc["bench"] == "ckpt":
         check_ckpt(doc, path)
+    elif doc["bench"] == "chaos":
+        check_chaos(doc, path, committed)
     else:
         raise AssertionError(f"unknown bench tag {doc['bench']!r} in {path}")
 

@@ -1,0 +1,56 @@
+//! End-to-end chaos sweep: the [`ChaosOracle`] drives a full confined
+//! grid under seeded fault plans mixing crash-restart storms, partition
+//! churn, disk wipes and wire-fault bursts, then audits the post-heal
+//! safety invariants.  The sweep must hold at *every* seed × intensity —
+//! one surviving seed is luck, a property is a guarantee.
+
+use proptest::prelude::*;
+use rpcv::core::chaos::ChaosOracle;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Safety under arbitrary seeded chaos: the grid completes, delivers
+    /// every result exactly once, never re-executes collected work, and
+    /// accounts every corrupted frame as a typed drop.
+    #[test]
+    fn oracle_survives_any_seed_and_intensity(
+        seed in any::<u64>(),
+        intensity_pct in 5u32..=100,
+    ) {
+        let intensity = intensity_pct as f64 / 100.0;
+        let report = ChaosOracle::seeded(seed, intensity).run();
+        prop_assert!(
+            report.survived(),
+            "seed {seed:#x} intensity {intensity:.2} violated: {:?}",
+            report.violations
+        );
+        prop_assert_eq!(report.results, report.jobs);
+        // The generator promises every fault family at any intensity.
+        prop_assert!(report.counts.crashes >= 1, "plan must crash someone");
+        prop_assert!(report.counts.partitions >= 1, "plan must partition");
+        prop_assert!(report.counts.wipes >= 1, "plan must wipe a disk");
+        prop_assert!(report.counts.bursts >= 1, "plan must degrade the fabric");
+        prop_assert!(
+            report.counts.heals + report.counts.restarts
+                == report.counts.partitions + report.counts.crashes,
+            "every fault heals"
+        );
+        // Wire-fault accounting: every corruption is either garbled
+        // (delivered mangled) or poisoned (typed drop), nothing vanishes.
+        prop_assert_eq!(report.garbled + report.poisoned, report.stats.corrupted);
+        prop_assert!(report.bad_frames <= report.poisoned);
+    }
+
+    /// The whole oracle — plan, grid, verdict — replays bit-identically
+    /// from its seed, so any sweep failure is a one-line repro.
+    #[test]
+    fn oracle_verdict_is_replayable(seed in any::<u64>()) {
+        let a = ChaosOracle::seeded(seed, 0.6).run();
+        let b = ChaosOracle::seeded(seed, 0.6).run();
+        prop_assert_eq!(a.done_at, b.done_at);
+        prop_assert_eq!(a.stats, b.stats);
+        prop_assert_eq!(a.bad_frames, b.bad_frames);
+        prop_assert_eq!(a.violations, b.violations);
+    }
+}

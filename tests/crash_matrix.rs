@@ -168,6 +168,79 @@ fn failover_after_collection_never_reexecutes_collected_jobs() {
     assert_eq!(g.client_results(), 8);
 }
 
+/// Partition through the coordinator group mid-run, primary on the
+/// minority side (the paper's Fig. 11 progress condition, sharpened into
+/// a single-primary audit).  The majority side — successor, client, all
+/// servers — must elect the successor and finish the workload; after the
+/// heal the demoted ex-primary's stale replies are fenced by the
+/// coordinator-epoch reconciliation, so nothing is double-dispatched,
+/// double-delivered or re-executed.
+#[test]
+fn coordinator_partition_keeps_a_single_primary() {
+    // Replication 4s makes the peer-suspicion horizon (3× replication)
+    // much longer than the server/client suspicion: the majority's
+    // servers fail over and hand their finished results to the successor
+    // *before* it writes the fenced predecessor off and releases held
+    // ongoing tasks — so complete knowledge, not luck, prevents
+    // re-dispatch.
+    let cfg = ProtocolConfig::confined()
+        .with_heartbeat(SimDuration::from_secs(1))
+        .with_suspicion(SimDuration::from_secs(4))
+        .with_replication_period(SimDuration::from_secs(4));
+    let plan: Vec<CallSpec> =
+        (0..8).map(|i| CallSpec::new("b", Blob::synthetic(10_000, i), 5.0, 128)).collect();
+    let mut g = SimGrid::build(GridSpec::confined(2, 4).with_cfg(cfg).with_plan(plan));
+    let primary = g.coords[0].1;
+    let mut majority = vec![g.coords[1].1, g.client_node];
+    majority.extend(g.servers.iter().map(|&(_, n)| n));
+
+    // Cut the primary away from every majority node mid-run.  The cut
+    // lands just after a replication round has shipped every dispatch
+    // (rounds every 2s, the second wave is placed ~6.5s), so the
+    // successor holds complete knowledge and must not re-dispatch —
+    // executions themselves are still in flight when the fabric splits.
+    let cut = SimTime::from_millis(8600);
+    let heal = SimTime::from_secs(30);
+    for &node in &majority {
+        g.world.schedule_control(
+            cut,
+            rpcv::simnet::Control::Block { from: primary, to: node, bidir: true },
+        );
+        g.world.schedule_control(
+            heal,
+            rpcv::simnet::Control::Unblock { from: primary, to: node, bidir: true },
+        );
+    }
+
+    g.run_until_done(SimTime::from_secs(1800)).expect("majority side must make progress");
+    // Let the heal pass and the demoted primary re-integrate (its stale
+    // replies and replication deltas all land in this window).
+    g.world.run_until(SimTime::from_secs(60));
+
+    // Exactly-once delivery to the owning client.
+    assert_eq!(g.client_results(), 8);
+    let client = g.client().expect("client up");
+    let seqs: Vec<u64> = client.metrics.results_received.keys().copied().collect();
+    assert_eq!(seqs, (1..=8).collect::<Vec<u64>>(), "each result exactly once");
+    assert!(client.metrics.coordinator_switches >= 1, "client must fail over to the successor");
+
+    // Single-primary semantics: one execution per job grid-wide — the
+    // successor never re-dispatched work the fenced ex-primary had placed.
+    let executed: u64 = (0..4).map(|i| g.server(i).unwrap().metrics.executed).sum();
+    assert_eq!(executed, 8, "no job is double-dispatched across the partition");
+    for i in 0..2 {
+        let c = g.coordinator(i).expect("both coordinators up after heal");
+        assert_eq!(c.metrics.reexecutions, 0, "coordinator {i} must not re-execute");
+        assert_eq!(c.db().stats().duplicate_results, 0, "coordinator {i} sees no duplicates");
+        assert_eq!(c.db().stats().jobs, 8, "coordinator {i} holds the full job set");
+    }
+
+    // Post-heal quiescence: the reunified grid does nothing further.
+    g.world.run_until(SimTime::from_secs(90));
+    let executed_after: u64 = (0..4).map(|i| g.server(i).unwrap().metrics.executed).sum();
+    assert_eq!(executed_after, executed, "stale ex-primary state must not revive work");
+}
+
 /// A lost `TaskDoneAck` must not strand the server's pessimistic log once
 /// the result is delivered: the coordinator stored the archive but its ack
 /// never reached the server (one-way outage), and by the time the link

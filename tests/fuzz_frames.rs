@@ -1,0 +1,166 @@
+//! Frame-corruption fuzzing: every byte of a small frame corpus is
+//! flipped and the damaged bytes are pushed through the digest envelope,
+//! the decoder, and into live actors.  On the modelled wire every frame
+//! travels digest-sealed (`body ‖ crc64(body)`), so corruption must
+//! surface as the typed [`Msg::Corrupt`] poison — counted by every
+//! actor's `bad_frames` metric, never a panic, never a partial state
+//! change, and never a garbled-but-decodable forgery.
+
+use rpcv::core::grid::{GridSpec, SimGrid};
+use rpcv::core::msg::{Msg, RpcResult};
+use rpcv::simnet::{SimDuration, SimTime};
+use rpcv::wire::{from_bytes, open_frame, seal_frame, to_bytes, Blob, WireError};
+use rpcv::xw::{ClientKey, JobKey, ServerId, TaskId};
+
+/// Small representative frames (no `Batch`, no `Corrupt`: a mutant that
+/// keeps its tag byte keeps its variant, so every Ok-decoding mutant of
+/// this corpus is a plain frame and the poison accounting below is
+/// exact).
+fn corpus() -> Vec<Msg> {
+    let key = ClientKey::new(1, 2);
+    vec![
+        Msg::ClientBeat { client: key, max_seq: 9, collected: vec![1, 2], catalog_seq: 17 },
+        Msg::SubmitAck { job: JobKey::new(key, 3), coord_max: 3, epoch: 9 },
+        Msg::ClientSyncReply {
+            coord_max: 5,
+            epoch: 9,
+            catalog_base: 17,
+            catalog_head: 41,
+            available: vec![(1, 100), (2, 5000)],
+            removed: vec![3],
+        },
+        Msg::ResultsReply {
+            results: vec![RpcResult { job: JobKey::new(key, 1), archive: Blob::synthetic(64, 5) }],
+        },
+        Msg::ServerBeat {
+            server: ServerId(3),
+            want_work: 1,
+            running: vec![TaskId(7)],
+            offered: vec![JobKey::new(key, 1)],
+        },
+        Msg::TaskDone {
+            server: ServerId(3),
+            task: TaskId(7),
+            job: JobKey::new(key, 1),
+            archive: Blob::synthetic(5000, 2),
+        },
+        Msg::NoWork,
+        Msg::TaskDoneAck { task: TaskId(7), job: JobKey::new(key, 1) },
+        Msg::NeedArchives { jobs: vec![JobKey::new(key, 1)] },
+        Msg::CkptAck { task: TaskId(7), job: JobKey::new(key, 1), unit_hw: 24 },
+    ]
+}
+
+/// Bare decoder robustness (no envelope): every byte-flipped mutant
+/// either decodes to a well-formed frame or fails with a typed error —
+/// the decoder itself never panics.  Some flips *do* survive decoding,
+/// which is exactly why the wire wraps frames in the digest envelope.
+#[test]
+fn every_byte_flip_decodes_or_fails_typed() {
+    let mut ok = 0u64;
+    let mut err = 0u64;
+    for msg in corpus() {
+        let bytes = to_bytes(&msg);
+        for i in 0..bytes.len() {
+            let mut mutant = bytes.clone();
+            mutant[i] ^= 0xFF;
+            match from_bytes::<Msg>(&mutant) {
+                Ok(_) => ok += 1,
+                Err(_) => err += 1,
+            }
+        }
+    }
+    assert!(err > 0, "some flips must break the encoding");
+    assert!(ok > 0, "some flips must survive decoding");
+}
+
+/// The digest envelope closes the gap the decoder leaves open: every
+/// byte-flipped mutant of a *sealed* frame — body or digest tail — is
+/// rejected before the decoder ever runs.  CRC-64 detects all burst
+/// errors up to 64 bits, so a single damaged byte can never forge a
+/// well-formed frame.
+#[test]
+fn every_sealed_byte_flip_is_rejected() {
+    let mut rejected = 0u64;
+    for msg in corpus() {
+        let sealed = seal_frame(to_bytes(&msg));
+        for i in 0..sealed.len() {
+            let mut mutant = sealed.clone();
+            mutant[i] ^= 0xFF;
+            match open_frame(&mutant).and_then(from_bytes::<Msg>) {
+                Ok(m) => panic!("flip of sealed byte {i} forged a frame: {m:?}"),
+                Err(_) => rejected += 1,
+            }
+        }
+        // The pristine sealed frame still round-trips.
+        assert_eq!(open_frame(&sealed).and_then(from_bytes::<Msg>).as_ref(), Ok(&msg));
+    }
+    assert!(rejected > 0);
+}
+
+/// Every sealed-frame mutant is delivered to a live client, coordinator
+/// and server.  Because the envelope rejects every single-byte flip,
+/// *every* mutant arrives as poison — so the `bad_frames` accounting is
+/// exact: one count per delivery, `mutants × targets` in total, and no
+/// actor ever panics.
+#[test]
+fn actors_absorb_every_mutant_without_panicking() {
+    let spec = GridSpec::confined(1, 2);
+    let mut g = SimGrid::build(spec);
+
+    let mut poison = 0u64;
+    let mut at = SimTime::from_millis(1);
+    let targets = [g.client_node, g.coords[0].1, g.servers[0].1];
+    for msg in corpus() {
+        let sealed = seal_frame(to_bytes(&msg));
+        for i in 0..sealed.len() {
+            let mut mutant = sealed.clone();
+            mutant[i] ^= 0xFF;
+            let delivered = match open_frame(&mutant).and_then(from_bytes::<Msg>) {
+                Ok(m) => panic!("flip of sealed byte {i} forged a frame: {m:?}"),
+                Err(_) => {
+                    poison += 1;
+                    Msg::Corrupt { len: mutant.len() as u64 }
+                }
+            };
+            for &node in &targets {
+                g.world.inject(at, node, delivered.clone());
+            }
+            at += SimDuration::from_millis(1);
+        }
+    }
+    g.world.run_until(at + SimDuration::from_secs(30));
+
+    let counted = g.client().expect("client up").metrics.bad_frames
+        + g.coordinator(0).expect("coordinator up").metrics.bad_frames
+        + g.server(0).expect("server up").metrics.bad_frames
+        + g.server(1).expect("server up").metrics.bad_frames;
+    assert!(poison > 0, "the corpus must produce some poison");
+    assert_eq!(
+        counted,
+        poison * targets.len() as u64,
+        "every poison delivery is counted exactly once, nothing else is"
+    );
+}
+
+/// Batch mutants exercise the nested-container guard: flips either decode
+/// (flat batches), fail typed, or are rejected as nested — never panic,
+/// and a hand-built nested batch is always refused.
+#[test]
+fn batch_mutants_and_nesting_are_safe() {
+    let key = ClientKey::new(1, 2);
+    let batch = Msg::Batch {
+        parts: vec![
+            Msg::NeedArchives { jobs: vec![JobKey::new(key, 1)] },
+            Msg::ArchivesSettled { jobs: vec![JobKey::new(key, 2)] },
+        ],
+    };
+    let bytes = to_bytes(&batch);
+    for i in 0..bytes.len() {
+        let mut mutant = bytes.clone();
+        mutant[i] ^= 0xFF;
+        let _ = from_bytes::<Msg>(&mutant); // must not panic
+    }
+    let nested = Msg::Batch { parts: vec![batch] };
+    assert_eq!(from_bytes::<Msg>(&to_bytes(&nested)), Err(WireError::Nested { ty: "Msg::Batch" }),);
+}
