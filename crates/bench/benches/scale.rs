@@ -19,6 +19,10 @@
 //!   sync reply: the observable of the incremental catalog (the old
 //!   full-catalog reply grows with the job count; the delta form tracks
 //!   the per-beat completion rate and stays flat as jobs grow),
+//! * `resident_rows` — steady-state change-index rows on the busiest
+//!   coordinator after a settle window: the observable of bounded memory
+//!   (without retention this tracks *lifetime* jobs; with it, live work
+//!   plus per-client watermarks),
 //! * completion counts, so a silently-stalled run cannot masquerade as a
 //!   fast one.
 //!
@@ -30,7 +34,7 @@
 //! the part future PRs consume — `BENCH_scale.json` at the repo root.
 //! Run `cargo bench -p rpcv-bench --bench scale` for the full sweep or
 //! `-- --smoke` for the tiny CI variant.  The JSON schema
-//! (`schema_version: 2`) is documented in ROADMAP.md ("Performance
+//! (`schema_version: 3`) is documented in ROADMAP.md ("Performance
 //! notes").
 
 use std::fmt::Write as _;
@@ -57,6 +61,7 @@ struct Cell {
     repl_rounds: usize,
     delta_bytes_per_round: f64,
     catalog_bytes_per_beat: f64,
+    resident_rows: u64,
     done: bool,
 }
 
@@ -111,10 +116,42 @@ fn run_cell(servers: usize, jobs: usize, clients: usize) -> Cell {
     };
     let wall_seconds = started.elapsed().as_secs_f64();
     let events = grid.world.events_processed();
+    let sim_seconds = grid.world.now().as_secs_f64();
     eprintln!(
         "# cell {servers}x{jobs}x{clients}: {events} events in {wall_seconds:.1}s ({:.0} ev/s)",
         events as f64 / wall_seconds.max(1e-9)
     );
+    if std::env::var_os("RPCV_SCALE_DEBUG").is_some() {
+        for i in 0..grid.coords.len() {
+            if let Some(c) = grid.coordinator(i) {
+                let s = c.db().stats();
+                eprintln!(
+                    "# debug coord {i}: snapshots_sent={} snapshots_applied={} bad_frames={} \
+                     repl_rounds={} resident={} floor={} tasks={} dup_results={}",
+                    c.metrics.snapshots_sent,
+                    c.metrics.snapshots_applied,
+                    c.metrics.bad_frames,
+                    c.metrics.repl_rounds.len(),
+                    c.db().resident_rows(),
+                    c.db().delta_floor(),
+                    s.tasks,
+                    s.duplicate_results,
+                );
+                eprintln!(
+                    "# debug coord {i}: server_susp={} coord_susp={} reexec={} pending={} ongoing={}",
+                    c.metrics.server_suspicions,
+                    c.metrics.coordinator_suspicions,
+                    c.metrics.reexecutions,
+                    s.pending,
+                    s.ongoing,
+                );
+            }
+        }
+    }
+    // Replication and catalog traffic are snapshotted *here*, before the
+    // settle window below: settle triggers archive GC, whose removal
+    // tombstones ride the ring in bursts proportional to lifetime jobs and
+    // would otherwise drown the steady-state delta signal.
     let (repl_rounds, delta_bytes) = grid
         .coordinator(0)
         .map(|c| {
@@ -127,6 +164,27 @@ fn run_cell(servers: usize, jobs: usize, clients: usize) -> Cell {
     let (sync_replies, catalog_bytes) = (0..grid.coords.len())
         .filter_map(|i| grid.coordinator(i))
         .fold((0u64, 0u64), |(n, b), c| (n + c.metrics.sync_replies, b + c.metrics.catalog_bytes));
+    // Steady-state residency: everything is delivered; let the tail of
+    // collection acks ride the beats, reclaim the archives, and give the
+    // ring a round + ack so retention passes over the delivered prefix.
+    // What stays resident is the live state (per-client watermark rows),
+    // not the run's history.
+    let settle = SimDuration::from_secs(30);
+    for _ in 0..3 {
+        grid.world.run_for(settle);
+        for i in 0..grid.coords.len() {
+            let node = grid.coords[i].1;
+            if let Some(c) = grid.world.actor_mut::<CoordinatorActor>(node) {
+                c.gc_now();
+            }
+        }
+    }
+    grid.world.run_for(settle);
+    let resident_rows = (0..grid.coords.len())
+        .filter_map(|i| grid.coordinator(i))
+        .map(|c| c.db().resident_rows())
+        .max()
+        .unwrap_or(0);
     let completed = (0..grid.client_count()).map(|i| grid.client_results_at(i)).sum();
     Cell {
         servers,
@@ -135,11 +193,12 @@ fn run_cell(servers: usize, jobs: usize, clients: usize) -> Cell {
         events,
         wall_seconds,
         events_per_sec: events as f64 / wall_seconds.max(1e-9),
-        sim_seconds: grid.world.now().as_secs_f64(),
+        sim_seconds,
         completed,
         repl_rounds,
         delta_bytes_per_round: delta_bytes as f64 / (repl_rounds.max(1)) as f64,
         catalog_bytes_per_beat: catalog_bytes as f64 / (sync_replies.max(1)) as f64,
+        resident_rows,
         done,
     }
 }
@@ -154,7 +213,7 @@ fn write_json(cells: &[Cell], smoke: bool) {
     let mut out = String::new();
     let _ = writeln!(out, "{{");
     let _ = writeln!(out, "  \"bench\": \"scale\",");
-    let _ = writeln!(out, "  \"schema_version\": 2,");
+    let _ = writeln!(out, "  \"schema_version\": 3,");
     let _ = writeln!(out, "  \"smoke\": {smoke},");
     let _ = writeln!(out, "  \"grid\": [");
     for (i, c) in cells.iter().enumerate() {
@@ -164,7 +223,7 @@ fn write_json(cells: &[Cell], smoke: bool) {
             "    {{\"servers\": {}, \"jobs\": {}, \"clients\": {}, \"events_processed\": {}, \
              \"wall_seconds\": {:.3}, \"events_per_sec\": {:.0}, \"sim_seconds\": {:.1}, \
              \"jobs_completed\": {}, \"repl_rounds\": {}, \"delta_bytes_per_round\": {:.1}, \
-             \"catalog_bytes_per_beat\": {:.1}, \"completed\": {}}}{comma}",
+             \"catalog_bytes_per_beat\": {:.1}, \"resident_rows\": {}, \"completed\": {}}}{comma}",
             c.servers,
             c.jobs,
             c.clients,
@@ -176,6 +235,7 @@ fn write_json(cells: &[Cell], smoke: bool) {
             c.repl_rounds,
             c.delta_bytes_per_round,
             c.catalog_bytes_per_beat,
+            c.resident_rows,
             c.done,
         );
     }
@@ -254,6 +314,30 @@ fn check_delta_flatness(cells: &[Cell]) {
     }
 }
 
+/// The bounded-memory invariant, asserted on the sweep itself: for cell
+/// pairs that differ *only* in job count, steady-state resident rows must
+/// not grow with the lifetime job count (within 2×, floor 256 — residency
+/// tracks live work plus per-client watermarks).  Without retention the
+/// 10×-jobs cell holds ~10× the rows and trips this immediately.
+fn check_residency_flatness(cells: &[Cell]) {
+    for a in cells {
+        for b in cells {
+            if (a.servers, a.clients) == (b.servers, b.clients) && a.jobs < b.jobs {
+                let (lo, hi) = (a.resident_rows, b.resident_rows);
+                assert!(
+                    hi as f64 <= (lo as f64 * 2.0).max(256.0),
+                    "resident rows must stay flat as jobs grow: \
+                     {}x{}c at {} jobs = {lo} rows, at {} jobs = {hi} rows",
+                    a.servers,
+                    a.clients,
+                    a.jobs,
+                    b.jobs,
+                );
+            }
+        }
+    }
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     // (servers, jobs, clients): the clients axis splits the same job total
@@ -307,6 +391,7 @@ fn main() {
             "repl_rounds",
             "delta_bytes_per_round",
             "catalog_bytes_per_beat",
+            "resident_rows",
         ],
     );
     let mut cells = Vec::new();
@@ -331,11 +416,13 @@ fn main() {
             c.repl_rounds as f64,
             c.delta_bytes_per_round,
             c.catalog_bytes_per_beat,
+            c.resident_rows as f64,
         ]);
         cells.push(c);
     }
     check_catalog_flatness(&cells);
     check_delta_flatness(&cells);
+    check_residency_flatness(&cells);
     if override_cells.is_none() {
         write_json(&cells, smoke);
     }

@@ -12,13 +12,17 @@ use std::collections::BTreeMap;
 
 use rpcv_detect::{CoordinatorList, HeartbeatMonitor};
 use rpcv_simnet::{Actor, Ctx, DurableImage, NodeId, SimTime, TimerId, WireSized};
-use rpcv_store::{Charge, CoordinatorDb, ReplicationDelta};
+use rpcv_store::{Charge, CoordinatorDb, ReplicationDelta, Snapshot};
 use rpcv_wire::WireEncode;
 use rpcv_xw::{ClientKey, CoordId, JobKey, ServerId};
 
 use crate::config::ProtocolConfig;
 use crate::msg::{Msg, RpcResult};
 use crate::util::{Deferred, Directory};
+
+/// One peer's in-flight snapshot reassembly: `(version, total, chunks by
+/// seq)`.  Volatile — a crash mid-transfer just restarts the exchange.
+type SnapReassembly = (u64, u32, BTreeMap<u32, Vec<u8>>);
 
 const K_SCAN: u64 = 1;
 const K_REPL: u64 = 2;
@@ -73,6 +77,11 @@ pub struct CoordMetrics {
     /// Frames that arrived unreadable (wire corruption) and were dropped
     /// without touching protocol state.
     pub bad_frames: u64,
+    /// Snapshot transfers sent (successor's base fell below the retention
+    /// floor, or it explicitly requested a reseed).
+    pub snapshots_sent: u64,
+    /// Snapshots reassembled, verified and applied here.
+    pub snapshots_applied: u64,
 }
 
 /// State surviving a coordinator crash: the database (MySQL + archive
@@ -80,6 +89,7 @@ pub struct CoordMetrics {
 struct CoordDurable {
     db: CoordinatorDb,
     acked_version: BTreeMap<CoordId, u64>,
+    applied_head: BTreeMap<CoordId, u64>,
     metrics: CoordMetrics,
 }
 
@@ -106,10 +116,25 @@ pub struct CoordinatorActor {
     server_addr: BTreeMap<ServerId, NodeId>,
     /// Per-successor acknowledged replication version.
     acked_version: BTreeMap<CoordId, u64>,
+    /// Highest delta head applied *from* each predecessor (the peer's own
+    /// version space).  A delta whose `base_version` is ahead of this has
+    /// a gap — rows the sender pruned believing we held them — and must
+    /// not be applied; we ask for a snapshot reseed instead.
+    applied_head: BTreeMap<CoordId, u64>,
+    /// Snapshot reassembly buffers, one per sending peer.
+    snap_rx: BTreeMap<CoordId, SnapReassembly>,
     /// Outstanding replication round: `(successor, head, started)`.
     inflight_repl: Option<(CoordId, u64, SimTime)>,
     /// Missing-archive watch list: job → first-noticed.
     missing_since: BTreeMap<JobKey, SimTime>,
+    /// Overdue missing-archive entries for clients this coordinator is
+    /// *not* serving (no traffic from them yet): a replica must not
+    /// re-execute work the live primary is already recovering — delivery
+    /// is the primary's job until the client's traffic actually lands
+    /// here.  Parked entries keep their original stamp and re-arm the
+    /// moment the client's first message arrives (failover), so promotion
+    /// pays no fresh horizon.
+    parked_missing: BTreeMap<JobKey, SimTime>,
     /// `missing_since` mirrored in stamp order, so the periodic scan reads
     /// only entries whose re-execution horizon could have passed instead
     /// of filtering the whole watch list every heartbeat.
@@ -137,6 +162,7 @@ impl CoordinatorActor {
             if let Some(d) = image.take::<CoordDurable>() {
                 actor.db = d.db;
                 actor.acked_version = d.acked_version;
+                actor.applied_head = d.applied_head;
                 actor.metrics = d.metrics;
             }
             Box::new(actor)
@@ -163,8 +189,11 @@ impl CoordinatorActor {
             client_addr: BTreeMap::new(),
             server_addr: BTreeMap::new(),
             acked_version: BTreeMap::new(),
+            applied_head: BTreeMap::new(),
+            snap_rx: BTreeMap::new(),
             inflight_repl: None,
             missing_since: BTreeMap::new(),
+            parked_missing: BTreeMap::new(),
             missing_order: std::collections::BTreeSet::new(),
             released: std::collections::BTreeSet::new(),
             deferred: Deferred::new(),
@@ -210,8 +239,12 @@ impl CoordinatorActor {
         self.metrics.completion_timeline.push((now, finished));
     }
 
-    /// Stamps `job` as missing-since-`now` unless already watched.
+    /// Stamps `job` as missing-since-`now` unless already watched (or
+    /// parked — a parked entry keeps its older stamp).
     fn watch_missing(&mut self, job: JobKey, now: SimTime) {
+        if self.parked_missing.contains_key(&job) {
+            return;
+        }
         if let std::collections::btree_map::Entry::Vacant(e) = self.missing_since.entry(job) {
             e.insert(now);
             self.missing_order.insert((now, job));
@@ -220,8 +253,29 @@ impl CoordinatorActor {
 
     /// Drops `job` from the watch list (archive recovered or delivered).
     fn unwatch_missing(&mut self, job: &JobKey) {
+        self.parked_missing.remove(job);
         if let Some(at) = self.missing_since.remove(job) {
             self.missing_order.remove(&(at, *job));
+        }
+    }
+
+    /// Records where `client` talks to us from, and on first contact
+    /// re-arms any parked missing-archive watches for their jobs: their
+    /// traffic arriving here means this coordinator now serves them, so
+    /// their unrecovered work enters the re-execution pipeline (with the
+    /// original stamps — a failover pays no fresh horizon).
+    fn note_client(&mut self, client: ClientKey, from: NodeId) {
+        if self.client_addr.insert(client, from).is_some() {
+            return;
+        }
+        let lo = JobKey { client, seq: 0 };
+        let hi = JobKey { client, seq: u64::MAX };
+        let parked: Vec<(JobKey, SimTime)> =
+            self.parked_missing.range(lo..=hi).map(|(j, at)| (*j, *at)).collect();
+        for (job, at) in parked {
+            self.parked_missing.remove(&job);
+            self.missing_since.insert(job, at);
+            self.missing_order.insert((at, job));
         }
     }
 
@@ -441,7 +495,7 @@ impl CoordinatorActor {
         collected: Vec<u64>,
         catalog_seq: u64,
     ) {
-        self.client_addr.insert(client, from);
+        self.note_client(client, from);
         let mut charge = Charge::ZERO;
         if !collected.is_empty() {
             charge += self.db.mark_collected(client, &collected);
@@ -526,6 +580,17 @@ impl CoordinatorActor {
         // A peer we had written off is alive again: future ongoing tasks of
         // its origin are held once more.
         self.released.remove(&peer);
+        // Gap detection: the delta claims a base we never applied from this
+        // peer (its retention pruned rows believing we held them — a stale
+        // ack record after its failover, or we are a fresh joiner).
+        // Applying it would silently skip history, so drop it unacked and
+        // ask to be reseeded from a snapshot.
+        let applied = self.applied_head.get(&peer).copied().unwrap_or(0);
+        if delta.base_version > applied {
+            ctx.note("replication gap: requesting snapshot reseed");
+            ctx.send(from, Msg::SnapshotRequest { from: self.params.me });
+            return;
+        }
         let head = delta.head_version;
         // Collection acknowledgements that are news here: once applied,
         // the jobs leave the missing-archive watch list for good —
@@ -537,6 +602,8 @@ impl CoordinatorActor {
             self.unwatch_missing(job);
         }
         self.metrics.collected_marks_applied += newly_collected.len() as u64;
+        let e = self.applied_head.entry(peer).or_insert(0);
+        *e = (*e).max(head);
         let done = self.pay(ctx, charge);
         self.refresh_missing_new(now);
         self.record_completion(now);
@@ -585,6 +652,10 @@ impl CoordinatorActor {
             if now.since(started) > ack_horizon {
                 ctx.note("coordinator suspects ring successor");
                 self.coords.suspect(succ.0, now);
+                // Its ack record is stale the moment it's suspected: if it
+                // ever becomes our successor again, reseed via snapshot
+                // rather than assume it still holds everything it acked.
+                self.acked_version.remove(&succ);
                 self.inflight_repl = None;
             } else {
                 return; // one round in flight at a time
@@ -595,6 +666,13 @@ impl CoordinatorActor {
         };
         let Some(node) = self.params.directory.node_of(succ) else { return };
         let base = self.acked_version.get(&succ).copied().unwrap_or(0);
+        // Retention pruned rows past `base`: `delta_since(base)` would be
+        // incomplete, so this round ships a full snapshot instead and the
+        // successor tails the feed from its version.
+        if base < self.db.delta_floor() {
+            self.send_snapshot(ctx, succ, node);
+            return;
+        }
         let delta = self.db.delta_since(base);
         // Building the delta reads every changed row (and only those: the
         // version index makes this O(changed), not O(tables)).
@@ -616,6 +694,130 @@ impl CoordinatorActor {
             bytes,
         });
         self.deferred.send_at_sized(ctx, done, node, msg, bytes, K_SEND, 0);
+    }
+
+    /// Ships a sealed snapshot of the live state to `succ`, chunked.  The
+    /// successor reassembles, verifies the CRC-64 tail, applies, and acks
+    /// `snapshot.version` like a regular delta head; subsequent rounds tail
+    /// the normal feed from there.
+    fn send_snapshot(&mut self, ctx: &mut Ctx<'_, Msg>, succ: CoordId, node: NodeId) {
+        const CHUNK: usize = 64 * 1024;
+        let now = ctx.now();
+        let snap = self.db.snapshot();
+        let version = snap.version;
+        // Building the image reads every live row, like a from-zero delta.
+        let done = ctx.db(1 + snap.len() as u64, 0);
+        // The frame inlines only row metadata; the synthetic payload bytes
+        // it summarizes (job parameters, checkpoint state) are apportioned
+        // across the chunks so the network charges the true transfer.
+        let modelled_extra = snap.transfer_bytes().saturating_sub(snap.encoded_len());
+        let frame = snap.seal();
+        let total = frame.chunks(CHUNK).len() as u32;
+        let share = modelled_extra / total as u64;
+        for (i, part) in frame.chunks(CHUNK).enumerate() {
+            let seq = i as u32;
+            let extra =
+                if seq + 1 == total { modelled_extra - share * (total as u64 - 1) } else { share };
+            let msg = Msg::SnapshotChunk {
+                from: self.params.me,
+                version,
+                seq,
+                total,
+                extra,
+                payload: rpcv_wire::Blob::copy_from_slice(part),
+            };
+            let bytes = msg.wire_size();
+            self.deferred.send_at_sized(ctx, done, node, msg, bytes, K_SEND, 0);
+        }
+        self.inflight_repl = Some((succ, version, now));
+        self.metrics.snapshots_sent += 1;
+        ctx.note("replication: successor base below retention floor; snapshot sent");
+    }
+
+    /// One reassembled, verified snapshot: apply and ack its version.
+    fn apply_snapshot_frame(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        from: NodeId,
+        peer: CoordId,
+        frame: &[u8],
+    ) {
+        let now = ctx.now();
+        let snap = match Snapshot::open(frame) {
+            Ok(snap) => snap,
+            Err(e) => {
+                // Corruption anywhere in the transfer surfaces here as a
+                // typed digest/decode error: count, drop, change nothing.
+                ctx.note(format!("snapshot rejected: {e}"));
+                self.metrics.bad_frames += 1;
+                return;
+            }
+        };
+        let newly_collected: Vec<JobKey> =
+            snap.collected().filter(|j| !self.db.has_collected_knowledge(j)).collect();
+        let charge = self.db.apply_snapshot(&snap);
+        for job in newly_collected.iter() {
+            self.unwatch_missing(job);
+        }
+        self.metrics.collected_marks_applied += newly_collected.len() as u64;
+        // The watermarks may have retired jobs we were watching for
+        // archives: delivered work leaves the re-execution pipeline.
+        let stale: Vec<JobKey> = self
+            .missing_since
+            .keys()
+            .chain(self.parked_missing.keys())
+            .filter(|j| !self.db.wants_archive(j))
+            .copied()
+            .collect();
+        for job in stale {
+            self.unwatch_missing(&job);
+        }
+        let e = self.applied_head.entry(peer).or_insert(0);
+        *e = (*e).max(snap.version);
+        self.metrics.snapshots_applied += 1;
+        let done = self.pay(ctx, charge);
+        self.refresh_missing_new(now);
+        self.record_completion(now);
+        self.deferred.send_at(
+            ctx,
+            done,
+            from,
+            Msg::ReplAck { from: self.params.me, head_version: snap.version },
+            K_SEND,
+            0,
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)] // mirrors the wire fields of `Msg::SnapshotChunk`
+    fn handle_snapshot_chunk(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        from: NodeId,
+        peer: CoordId,
+        version: u64,
+        seq: u32,
+        total: u32,
+        payload: rpcv_wire::Blob,
+    ) {
+        let now = ctx.now();
+        self.peer_mon.observe(peer.0, now);
+        self.coords.trust(peer.0);
+        self.released.remove(&peer);
+        if total == 0 || seq >= total {
+            self.metrics.bad_frames += 1;
+            return;
+        }
+        let buf = self.snap_rx.entry(peer).or_insert_with(|| (version, total, BTreeMap::new()));
+        // A newer transfer obsoletes a half-assembled older one.
+        if buf.0 != version || buf.1 != total {
+            *buf = (version, total, BTreeMap::new());
+        }
+        buf.2.insert(seq, payload.materialize().to_vec());
+        if buf.2.len() as u32 == total {
+            let (_, _, chunks) = self.snap_rx.remove(&peer).unwrap();
+            let frame: Vec<u8> = chunks.into_values().flatten().collect();
+            self.apply_snapshot_frame(ctx, from, peer, &frame);
+        }
     }
 
     fn scan(&mut self, ctx: &mut Ctx<'_, Msg>) {
@@ -641,6 +843,18 @@ impl CoordinatorActor {
                 self.pay(ctx, charge);
             }
         }
+        // Retention: retire the delivered prefix whose rows the ring
+        // successor has acknowledged.  With no successor there is nothing
+        // to keep a feed complete for — any future joiner bootstraps via
+        // snapshot — so everything delivered is prunable.
+        let min_acked = match self.coords.successor_of(self.params.me.0, now).map(CoordId) {
+            Some(succ) => self.acked_version.get(&succ).copied().unwrap_or(0),
+            None => u64::MAX,
+        };
+        let pruned = self.db.prune_retired(min_acked);
+        if pruned > 0 {
+            self.pay(ctx, Charge::ops(1 + pruned));
+        }
         // Unrecoverable archives ⇒ at-least-once re-execution.  The
         // horizon must outlast the archive pull over the replication ring
         // (one round to ask, one to receive), else re-execution races the
@@ -662,6 +876,18 @@ impl CoordinatorActor {
         // re-execution order assigns task ids, so it must not change).
         overdue.sort_unstable();
         for job in overdue {
+            if !self.client_addr.contains_key(&job.client) {
+                // Not serving this job's client: the coordinator that is
+                // owns recovery, and re-executing here would duplicate
+                // work grid-wide every horizon.  Park the watch; it
+                // re-arms (original stamp) when the client's traffic
+                // lands here after a failover.
+                if let Some(at) = self.missing_since.remove(&job) {
+                    self.missing_order.remove(&(at, job));
+                    self.parked_missing.insert(job, at);
+                }
+                continue;
+            }
             self.unwatch_missing(&job);
             let (created, charge) = self.db.reexecute_job(job);
             if created.is_some() {
@@ -684,7 +910,7 @@ impl Actor<Msg> for CoordinatorActor {
         *self.rx_counts.entry(msg.kind()).or_insert(0) += 1;
         match msg {
             Msg::Submit { spec } => {
-                self.client_addr.insert(spec.key.client, from);
+                self.note_client(spec.key.client, from);
                 let job = spec.key;
                 let (_new, charge) = self.db.register_job(spec);
                 let done = self.pay(ctx, charge);
@@ -703,7 +929,7 @@ impl Actor<Msg> for CoordinatorActor {
                 let Some(last) = specs.last() else { return };
                 let client = last.key.client;
                 let job = last.key;
-                self.client_addr.insert(client, from);
+                self.note_client(client, from);
                 let (_n, charge) = self.db.register_jobs_bulk(specs);
                 let done = self.pay(ctx, charge);
                 let coord_max = self.db.client_max(client);
@@ -771,6 +997,22 @@ impl Actor<Msg> for CoordinatorActor {
                     self.on_message(ctx, from, part);
                 }
             }
+            Msg::SnapshotRequest { from: peer } => {
+                self.peer_mon.observe(peer.0, ctx.now());
+                // Forget what we believed the requester held; the next
+                // round to it starts from base 0, which the retention
+                // floor immediately routes down the snapshot path.
+                self.acked_version.remove(&peer);
+                if let Some((succ, _, _)) = self.inflight_repl {
+                    if succ == peer {
+                        self.inflight_repl = None;
+                    }
+                }
+                self.replicate(ctx);
+            }
+            Msg::SnapshotChunk { from: peer, version, seq, total, extra: _, payload } => {
+                self.handle_snapshot_chunk(ctx, from, peer, version, seq, total, payload);
+            }
             Msg::Corrupt { .. } => {
                 // Unreadable bytes: count and drop.  No protocol state may
                 // change off a frame that failed to decode.
@@ -801,6 +1043,7 @@ impl Actor<Msg> for CoordinatorActor {
         DurableImage::of(CoordDurable {
             db: self.db.clone(),
             acked_version: self.acked_version.clone(),
+            applied_head: self.applied_head.clone(),
             metrics: self.metrics.clone(),
         })
     }

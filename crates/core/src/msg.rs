@@ -257,6 +257,38 @@ pub enum Msg {
         /// The archives.
         results: Vec<RpcResult>,
     },
+    /// "My delta feed has a gap I cannot apply — seed me from a snapshot."
+    /// Sent when a received delta's `base_version` is ahead of what the
+    /// receiver has applied from this peer (the sender pruned rows the
+    /// receiver never saw, or the receiver is a fresh joiner).  The sender
+    /// answers by clearing its ack record for the requester, which makes
+    /// its next replication round take the snapshot path.
+    SnapshotRequest {
+        /// Requesting coordinator.
+        from: CoordId,
+    },
+    /// One chunk of a sealed [`Snapshot`](rpcv_store::Snapshot) frame.
+    /// The receiver reassembles `total` chunks in `seq` order, opens the
+    /// frame (CRC-64 verified end to end), applies it, and acknowledges
+    /// `version` with a regular [`Msg::ReplAck`]; the sender then tails
+    /// the normal delta feed from there.
+    SnapshotChunk {
+        /// Sending coordinator.
+        from: CoordId,
+        /// Snapshot version (the tail-from point); identifies the frame
+        /// all chunks of one transfer share.
+        version: u64,
+        /// This chunk's index, `0..total`.
+        seq: u32,
+        /// Total chunks in the transfer.
+        total: u32,
+        /// Modelled payload bytes apportioned to this chunk (the synthetic
+        /// job-parameter and checkpoint-state bytes the frame summarizes
+        /// but does not inline).
+        extra: u64,
+        /// This chunk's slice of the sealed frame.
+        payload: Blob,
+    },
 
     // ----- external (API / workload) ----------------------------------------------
     /// Injected by the GridRPC API layer or a workload driver: submit this
@@ -322,6 +354,8 @@ const TAGS: &[(&str, u8)] = &[
     ("CkptAck", 19),
     ("Batch", 20),
     ("Corrupt", 21),
+    ("SnapshotRequest", 22),
+    ("SnapshotChunk", 23),
 ];
 
 impl Msg {
@@ -354,6 +388,8 @@ impl Msg {
             Msg::CkptAck { .. } => 19,
             Msg::Batch { .. } => 20,
             Msg::Corrupt { .. } => 21,
+            Msg::SnapshotRequest { .. } => 22,
+            Msg::SnapshotChunk { .. } => 23,
         }
     }
 
@@ -383,6 +419,11 @@ impl Msg {
             Msg::ReplArchives { results, .. } => results.iter().map(|r| extra(&r.archive)).sum(),
             Msg::ApiSubmit { params, .. } => extra(params),
             Msg::Batch { parts } => parts.iter().map(Msg::payload_extra).sum(),
+            // `extra` carries the chunk's apportioned share of the
+            // frame's modelled payloads (computed by the sender from
+            // `Snapshot::transfer_bytes`), on top of any synthetic chunk
+            // body.
+            Msg::SnapshotChunk { extra: apportioned, payload, .. } => *apportioned + extra(payload),
             _ => 0,
         }
     }
@@ -485,6 +526,15 @@ impl WireEncode for Msg {
             }
             Msg::Batch { parts } => parts.encode(w),
             Msg::Corrupt { len } => w.put_uvarint(*len),
+            Msg::SnapshotRequest { from } => from.encode(w),
+            Msg::SnapshotChunk { from, version, seq, total, extra, payload } => {
+                from.encode(w);
+                w.put_uvarint(*version);
+                w.put_uvarint(*seq as u64);
+                w.put_uvarint(*total as u64);
+                w.put_uvarint(*extra);
+                payload.encode(w);
+            }
         }
     }
 }
@@ -573,6 +623,15 @@ impl WireDecode for Msg {
                 Msg::Batch { parts }
             }
             21 => Msg::Corrupt { len: r.get_uvarint()? },
+            22 => Msg::SnapshotRequest { from: CoordId::decode(r)? },
+            23 => Msg::SnapshotChunk {
+                from: CoordId::decode(r)?,
+                version: r.get_uvarint()?,
+                seq: u32::decode(r)?,
+                total: u32::decode(r)?,
+                extra: r.get_uvarint()?,
+                payload: Blob::decode(r)?,
+            },
             tag => return Err(WireError::InvalidTag { ty: "Msg", tag: tag as u64 }),
         })
     }
@@ -684,6 +743,15 @@ mod tests {
                 ],
             },
             Msg::Corrupt { len: 77 },
+            Msg::SnapshotRequest { from: CoordId(2) },
+            Msg::SnapshotChunk {
+                from: CoordId(1),
+                version: 42,
+                seq: 1,
+                total: 3,
+                extra: 5000,
+                payload: Blob::from_vec(vec![9; 64]),
+            },
         ]
     }
 
@@ -767,6 +835,20 @@ mod tests {
         } else {
             panic!("roundtrip changed the variant");
         }
+    }
+
+    #[test]
+    fn snapshot_chunk_charges_apportioned_payload() {
+        let m = Msg::SnapshotChunk {
+            from: CoordId(1),
+            version: 7,
+            seq: 0,
+            total: 1,
+            extra: 100_000,
+            payload: Blob::from_vec(vec![0; 512]),
+        };
+        assert!(m.wire_size() >= 100_512, "chunk body + apportioned bytes");
+        assert!(m.encoded_len() < 600, "the frame itself stays near the chunk size");
     }
 
     #[test]

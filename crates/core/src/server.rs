@@ -21,6 +21,8 @@
 //! locally *and* upload the snapshot to the coordinator as a
 //! CRC-64-verified frame, so a successor instance on any server resumes
 //! from the last durable unit instead of unit zero.
+//!
+//! [`CheckpointPolicy`]: rpcv_ckpt::CheckpointPolicy
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 

@@ -8,6 +8,7 @@ use rpcv_xw::{ClientKey, CoordId, JobKey, JobSpec, ServerId, TaskDesc, TaskId, T
 
 use crate::charge::Charge;
 use crate::delta::{DeltaRow, ReplicationDelta, TaskRecord};
+use crate::snapshot::Snapshot;
 
 /// One stored task row.
 #[derive(Debug, Clone)]
@@ -103,9 +104,10 @@ pub enum CompleteOutcome {
 /// Aggregate counters for reporting.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DbStats {
-    /// Registered jobs.
+    /// Registered jobs — lifetime count (live rows plus jobs retired
+    /// after delivery), monotone across retention.
     pub jobs: u64,
-    /// Task instances.
+    /// Task instances — lifetime count, monotone across retention.
     pub tasks: u64,
     /// Tasks pending dispatch.
     pub pending: u64,
@@ -116,7 +118,7 @@ pub struct DbStats {
     /// Duplicate results dropped (at-least-once re-executions).
     pub duplicate_results: u64,
     /// Jobs in the `Collected` terminal state (client pulled the result,
-    /// archive garbage-collected).
+    /// archive garbage-collected) — lifetime count, including retired.
     pub collected: u64,
     /// Jobs with a stored checkpoint (resume point).
     pub ckpts: u64,
@@ -195,6 +197,28 @@ pub struct CoordinatorDb {
     /// Dispatchable queue entries: live entries of unfinished jobs.  This
     /// *is* `pending_count()`, maintained instead of recomputed.
     pending_live: usize,
+    /// Per-client contiguous-collected watermark: the largest `w` such
+    /// that every seq `1..=w` reached the `Collected` terminal state.
+    /// Collection knowledge at or below the watermark is summarized here,
+    /// which is what lets retention drop the per-job rows.
+    collected_contig: BTreeMap<ClientKey, u64>,
+    /// Per-client retired prefix: every seq `1..=r` had *all* of its rows
+    /// (job, tasks, collected, ckpt) pruned from the tables and the
+    /// change index.  Invariant: `retired_below ≤ collected_contig` —
+    /// only delivered work retires.  `Σ retired_below` is the lifetime
+    /// retired-job count (seqs are 1-based and contiguous), so the
+    /// cumulative stats need no separate counter for jobs.
+    retired_below: BTreeMap<ClientKey, u64>,
+    /// Task instances per job, so retention prunes a retired job's task
+    /// rows without scanning the task table.
+    tasks_by_job: BTreeMap<JobKey, Vec<TaskId>>,
+    /// Task rows pruned by retention (lifetime), folded back into
+    /// [`Self::stats`] so observers see monotone counts across pruning.
+    retired_tasks: u64,
+    /// Highest change-index version ever pruned: `delta_since(base)` is
+    /// complete only for `base >= delta_floor` — a lower base needs the
+    /// `{snapshot, tail}` bootstrap instead.
+    delta_floor: u64,
 }
 
 impl CoordinatorDb {
@@ -226,6 +250,11 @@ impl CoordinatorDb {
             queued_live: 0,
             pending_by_job: BTreeMap::new(),
             pending_live: 0,
+            collected_contig: BTreeMap::new(),
+            retired_below: BTreeMap::new(),
+            tasks_by_job: BTreeMap::new(),
+            retired_tasks: 0,
+            delta_floor: 0,
         }
     }
 
@@ -306,11 +335,40 @@ impl CoordinatorDb {
     }
 
     /// True when this coordinator knows `job`'s result was delivered to
-    /// the client: either the retained archive carries the collected flag
-    /// (GC-eligible) or the job already reached the `Collected` terminal
-    /// state (archive reclaimed).
+    /// the client: the seq sits at or below the client's
+    /// contiguous-collected watermark, the retained archive carries the
+    /// collected flag (GC-eligible), or the job already reached the
+    /// `Collected` terminal state (archive reclaimed).
     pub fn has_collected_knowledge(&self, job: &JobKey) -> bool {
-        self.collected_jobs.contains(job) || self.archives.get(job).is_some_and(|r| r.collected)
+        job.seq <= self.contig_watermark(job.client)
+            || self.collected_jobs.contains(job)
+            || self.archives.get(job).is_some_and(|r| r.collected)
+    }
+
+    /// `client`'s contiguous-collected watermark: the largest `w` with
+    /// every seq `1..=w` in the `Collected` terminal state (0 if none).
+    pub fn contig_watermark(&self, client: ClientKey) -> u64 {
+        self.collected_contig.get(&client).copied().unwrap_or(0)
+    }
+
+    /// `client`'s retired prefix: every seq `1..=r` was delivered and had
+    /// all of its rows pruned (0 if none).  Always ≤
+    /// [`Self::contig_watermark`].
+    pub fn retired_watermark(&self, client: ClientKey) -> u64 {
+        self.retired_below.get(&client).copied().unwrap_or(0)
+    }
+
+    /// Advances `client`'s contiguous-collected watermark over any newly
+    /// contiguous prefix of the `Collected` terminal set.
+    fn advance_collected_contig(&mut self, client: ClientKey) {
+        let mut w = self.contig_watermark(client);
+        let start = w;
+        while self.collected_jobs.contains(&JobKey { client, seq: w + 1 }) {
+            w += 1;
+        }
+        if w > start {
+            self.collected_contig.insert(client, w);
+        }
     }
 
     /// Records the client's durable collection acknowledgement for `job`
@@ -319,6 +377,9 @@ impl CoordinatorDb {
     /// delta, so this only drops acks for jobs we never heard of at all).
     /// Returns true when the knowledge is news.
     fn note_collected(&mut self, job: JobKey) -> bool {
+        if job.seq <= self.contig_watermark(job.client) {
+            return false; // summarized by the watermark already
+        }
         if self.collected_jobs.contains(&job) {
             return false;
         }
@@ -343,6 +404,7 @@ impl CoordinatorDb {
         self.mark_job_finished(job);
         self.missing.remove(&job);
         self.touch_collected(job);
+        self.advance_collected_contig(job.client);
         true
     }
 
@@ -387,6 +449,13 @@ impl CoordinatorDb {
             if !self.archives.contains_key(&job) && self.missing.insert(job) {
                 self.missing_added.push(job);
             }
+            // The result exists, so the resume state is dead weight: drop
+            // the blob in place.  The varint mark and the row's version
+            // stay — the monotone merge and `ckpt_scan` still see the
+            // mark; only the payload bytes are reclaimed.
+            if let Some(row) = self.ckpts.get_mut(&job) {
+                row.blob = Blob::empty();
+            }
         }
     }
 
@@ -411,7 +480,11 @@ impl CoordinatorDb {
     /// as tasks (instances of jobs)").  Duplicate registrations (client
     /// resend after sync) are recognized and ignored.
     pub fn register_job(&mut self, spec: JobSpec) -> (bool, Charge) {
-        if self.jobs.contains_key(&spec.key) {
+        if self.jobs.contains_key(&spec.key)
+            || spec.key.seq <= self.retired_watermark(spec.key.client)
+        {
+            // Known, or retired: a retired seq was delivered and pruned —
+            // re-registering would resurrect a zombie row set.
             return (false, Charge::ops(1));
         }
         let params_len = spec.params.len();
@@ -438,7 +511,9 @@ impl CoordinatorDb {
         let mut new_count: u64 = 0;
         let mut bytes = 0;
         for spec in specs {
-            if self.jobs.contains_key(&spec.key) {
+            if self.jobs.contains_key(&spec.key)
+                || spec.key.seq <= self.retired_watermark(spec.key.client)
+            {
                 continue;
             }
             bytes += spec.params.len();
@@ -499,6 +574,7 @@ impl CoordinatorDb {
                 version: v,
             },
         );
+        self.tasks_by_job.entry(job).or_default().push(id);
         self.push_pending(id, job);
         Some(id)
     }
@@ -1001,6 +1077,7 @@ impl CoordinatorDb {
                 self.missing.remove(k);
                 // The entry flips to a removal record for catalog deltas.
                 self.touch_catalog(*k);
+                self.advance_collected_contig(k.client);
             }
         }
         (freed, Charge::ops(victims.len() as u64 + 1))
@@ -1036,6 +1113,9 @@ impl CoordinatorDb {
             Some(row) => row.version,
             None => 0,
         };
+        // Finished ⇒ no resume-state payload is ever retained (mirrors
+        // the in-place clearing of `mark_job_finished` on the apply path).
+        let blob = if self.finished_jobs.contains(&job) { Blob::empty() } else { blob };
         let v = Self::touch(&mut self.changed, &mut self.version, old, Changed::Ckpt(job));
         self.ckpts.insert(job, CkptRow { unit_hw, blob, version: v });
         true
@@ -1200,6 +1280,12 @@ impl CoordinatorDb {
     /// Applies one replicated job description.
     fn apply_job_row(&mut self, spec: &JobSpec) -> Charge {
         let key = spec.key;
+        if key.seq <= self.retired_watermark(key.client) {
+            // A stale feed must not resurrect a retired job's rows; the
+            // mark still merges (marks are never pruned).
+            self.note_mark(key.client, key.seq);
+            return Charge::ops(1);
+        }
         let charge = if !self.jobs.contains_key(&key) {
             let params_len = spec.params.len();
             let v = Self::touch(&mut self.changed, &mut self.version, 0, Changed::Job(key));
@@ -1250,6 +1336,7 @@ impl CoordinatorDb {
                         version: v,
                     },
                 );
+                self.tasks_by_job.entry(rec.job).or_default().push(rec.id);
                 match rec.state {
                     TaskState::Pending => self.push_pending(rec.id, rec.job),
                     TaskState::Ongoing { server, .. } => {
@@ -1332,8 +1419,15 @@ impl CoordinatorDb {
     /// order, which places every job before the task/collected rows that
     /// reference it.
     pub fn apply_delta(&mut self, delta: &ReplicationDelta) -> Charge {
+        self.apply_rows(&delta.rows)
+    }
+
+    /// Shared row-application loop behind [`Self::apply_delta`] and
+    /// [`Self::apply_snapshot`]: rows are merged under the receiver's own
+    /// version counter.
+    fn apply_rows(&mut self, rows: &[DeltaRow]) -> Charge {
         let mut charge = Charge::ops(1);
-        for row in &delta.rows {
+        for row in rows {
             match row {
                 DeltaRow::Job(spec) => charge += self.apply_job_row(spec),
                 DeltaRow::Task(rec) => {
@@ -1361,6 +1455,203 @@ impl CoordinatorDb {
         charge
     }
 
+    // --- retention and snapshots -------------------------------------------
+
+    /// Retires delivered jobs whose every row has replicated: for each
+    /// client, walks the contiguous-collected prefix above the retired
+    /// watermark and prunes each job's rows (job, tasks, collected, ckpt)
+    /// from the tables and the change index, provided no row's version
+    /// exceeds `min_acked` (the feed consumer's acknowledged version — a
+    /// replica with `acked ≥ v` already holds every row stamped ≤ `v`).
+    /// Client marks are never pruned: the retained mark keeps
+    /// `client_max ≥ seq` for every retired job, so the owning client's
+    /// log GC/replay protocol (replay only above `coord_max`) can never
+    /// resubmit one.
+    ///
+    /// Pruning raises [`Self::delta_floor`]; a consumer whose base falls
+    /// below the floor must bootstrap from `{snapshot, tail}` instead of
+    /// a delta ([`Self::snapshot`] / [`Self::apply_snapshot`]).
+    ///
+    /// O(clients) when nothing is retirable; otherwise O(rows pruned).
+    /// Returns the number of jobs retired.
+    pub fn prune_retired(&mut self, min_acked: u64) -> u64 {
+        if self.collected_contig.is_empty() {
+            return 0;
+        }
+        let clients: Vec<ClientKey> = self.collected_contig.keys().copied().collect();
+        let mut pruned = 0;
+        for client in clients {
+            let w = self.contig_watermark(client);
+            let start = self.retired_watermark(client);
+            let mut r = start;
+            while r < w {
+                let k = JobKey { client, seq: r + 1 };
+                if !self.job_prunable(&k, min_acked) {
+                    break;
+                }
+                self.prune_job(&k);
+                r += 1;
+                pruned += 1;
+            }
+            if r > start {
+                self.retired_below.insert(client, r);
+            }
+        }
+        pruned
+    }
+
+    /// True when every row of `k` — a `Collected`-terminal job — has a
+    /// version at or below `min_acked`, i.e. the feed consumer already
+    /// holds all of them and the rows can be dropped from the feed.
+    fn job_prunable(&self, k: &JobKey, min_acked: u64) -> bool {
+        if !self.collected_jobs.contains(k) {
+            return false; // only delivered work retires
+        }
+        if self.jobs.get(k).is_none_or(|r| r.version > min_acked) {
+            return false;
+        }
+        if self.collected_pos.get(k).is_some_and(|&v| v > min_acked) {
+            return false;
+        }
+        if self.ckpts.get(k).is_some_and(|r| r.version > min_acked) {
+            return false;
+        }
+        if let Some(ids) = self.tasks_by_job.get(k) {
+            if ids.iter().filter_map(|id| self.tasks.get(id)).any(|t| t.version > min_acked) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Removes every row of retired job `k` from the tables and the
+    /// change index, maintaining the secondary indexes and the pending
+    /// accounting, and raises the delta floor past the pruned versions.
+    fn prune_job(&mut self, k: &JobKey) {
+        // Tasks first: the pending-entry accounting consults
+        // `finished_jobs`, which must still hold the job at that point.
+        if let Some(ids) = self.tasks_by_job.remove(k) {
+            for id in ids {
+                let Some(row) = self.tasks.remove(&id) else { continue };
+                self.changed.remove(&row.version);
+                self.delta_floor = self.delta_floor.max(row.version);
+                self.retired_tasks += 1;
+                match row.state {
+                    TaskState::Ongoing { server, .. } => {
+                        if let Some(set) = self.by_server.get_mut(&server) {
+                            set.remove(&id);
+                        }
+                    }
+                    TaskState::Pending => {
+                        // Its queue entry dies in place exactly like a
+                        // popped-state row's; compaction drops it later.
+                        Self::entry_died(
+                            &mut self.queued_live,
+                            &mut self.pending_by_job,
+                            &mut self.pending_live,
+                            &self.finished_jobs,
+                            *k,
+                        );
+                    }
+                    TaskState::Finished { .. } => {}
+                }
+            }
+        }
+        if let Some(v) = self.collected_pos.remove(k) {
+            self.changed.remove(&v);
+            self.delta_floor = self.delta_floor.max(v);
+        }
+        self.collected_jobs.remove(k);
+        if let Some(row) = self.ckpts.remove(k) {
+            self.changed.remove(&row.version);
+            self.delta_floor = self.delta_floor.max(row.version);
+        }
+        if let Some(row) = self.jobs.remove(k) {
+            self.changed.remove(&row.version);
+            self.delta_floor = self.delta_floor.max(row.version);
+        }
+        self.attempts.remove(k);
+        self.finished_jobs.remove(k);
+        self.missing.remove(k);
+    }
+
+    /// Raises `client`'s retired prefix to `w` on the authority of a
+    /// snapshot sender, pruning any still-resident rows of the retired
+    /// jobs (a lagging replica may hold rows the sender already pruned).
+    fn retire_through(&mut self, client: ClientKey, w: u64) -> Charge {
+        let start = self.retired_watermark(client);
+        if w <= start {
+            return Charge::ops(1);
+        }
+        let mut ops = 1;
+        for seq in start + 1..=w {
+            let k = JobKey { client, seq };
+            if self.jobs.contains_key(&k) {
+                self.prune_job(&k);
+                ops += 1;
+            }
+        }
+        self.retired_below.insert(client, w);
+        let c = self.collected_contig.entry(client).or_insert(0);
+        *c = (*c).max(w);
+        // Terminal-collected rows just above the new prefix may have
+        // become contiguous with it.
+        self.advance_collected_contig(client);
+        self.note_mark(client, w);
+        Charge::ops(ops)
+    }
+
+    /// Captures a complete, versioned image of the live state: every live
+    /// row (exactly [`Self::delta_since`]`(0)` — one row per live table
+    /// entry post-retention) plus the retired watermarks that summarize
+    /// everything pruned.  O(live state).  The receiver applies it with
+    /// [`Self::apply_snapshot`], acknowledges [`Snapshot::version`] and
+    /// tails the regular delta feed from there.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            from: self.me,
+            version: self.version,
+            retired: self.retired_below.iter().map(|(&c, &w)| (c, w)).collect(),
+            rows: self.delta_since(0).rows,
+        }
+    }
+
+    /// Applies a snapshot from a peer: the retired watermarks first (so
+    /// rows the sender pruned cannot linger here as zombies), then the
+    /// live rows under the regular delta merge rules.  Idempotent, and
+    /// safe to apply over existing state — versions are re-stamped under
+    /// this receiver's own counter.
+    pub fn apply_snapshot(&mut self, snap: &Snapshot) -> Charge {
+        let mut charge = Charge::ops(1);
+        let retired = snap.retired.clone();
+        for (client, w) in retired {
+            charge += self.retire_through(client, w);
+        }
+        charge += self.apply_rows(&snap.rows);
+        charge
+    }
+
+    /// Highest change-index version ever pruned (0 = nothing pruned).
+    /// [`Self::delta_since`] is complete only for bases at or above this
+    /// floor; a consumer below it must bootstrap via [`Self::snapshot`].
+    pub fn delta_floor(&self) -> u64 {
+        self.delta_floor
+    }
+
+    /// Live change-index entries — one per resident row.  The
+    /// bounded-memory gate: steady state tracks *live* jobs (plus one
+    /// mark row per client), not lifetime jobs.
+    pub fn resident_rows(&self) -> u64 {
+        self.changed.len() as u64
+    }
+
+    /// Lifetime count of retired (pruned-after-delivery) jobs: seqs are
+    /// 1-based and contiguous below each retired watermark, so the sum of
+    /// watermarks *is* the count.
+    pub fn retired_count(&self) -> u64 {
+        self.retired_below.values().sum()
+    }
+
     // --- introspection ------------------------------------------------------
 
     /// Looks up one task row.
@@ -1379,21 +1670,25 @@ impl CoordinatorDb {
                 TaskState::Finished { .. } => {}
             }
         }
+        // Jobs / tasks / collected are lifetime counts: retention prunes
+        // the rows of delivered jobs, and observers (completion
+        // timelines, safety oracles) rely on these never dipping.
         DbStats {
-            jobs: self.jobs.len() as u64,
-            tasks: self.tasks.len() as u64,
+            jobs: self.jobs.len() as u64 + self.retired_count(),
+            tasks: self.tasks.len() as u64 + self.retired_tasks,
             pending,
             ongoing,
             archived: self.archives.len() as u64,
             duplicate_results: self.duplicate_results,
-            collected: self.collected_jobs.len() as u64,
+            collected: self.collected_jobs.len() as u64 + self.retired_count(),
             ckpts: self.ckpts.len() as u64,
         }
     }
 
-    /// Jobs finished (archive present or replicated-finished).
+    /// Jobs finished (archive present, replicated-finished, or retired
+    /// after delivery) — a lifetime count, monotone across retention.
     pub fn finished_count(&self) -> u64 {
-        self.finished_jobs.len() as u64
+        self.finished_jobs.len() as u64 + self.retired_count()
     }
 
     /// Jobs with an archive actually present here.
@@ -2044,5 +2339,216 @@ mod tests {
         assert_eq!(d.collected_flagged(), d.collected_flagged_scan());
         d.gc_collected();
         assert_eq!(d.stats().collected, 3);
+    }
+
+    /// Registers `n` jobs, runs each to completion, collects and GCs —
+    /// every job ends `Collected`-terminal with the watermark advanced.
+    fn run_to_collected(d: &mut CoordinatorDb, n: u64) {
+        let client = ClientKey::new(1, 1);
+        for seq in 1..=n {
+            d.register_job(job(seq));
+        }
+        while let (Some(t), _) = d.next_pending(ServerId(1), T0) {
+            d.complete_task(t.id, t.job, Blob::synthetic(64, t.job.seq), ServerId(1));
+        }
+        let seqs: Vec<u64> = (1..=n).collect();
+        d.mark_collected(client, &seqs);
+        d.gc_collected();
+        assert_eq!(d.contig_watermark(client), n);
+    }
+
+    #[test]
+    fn finished_jobs_drop_checkpoint_blobs_but_keep_marks() {
+        let mut d = db();
+        d.register_job(job(1));
+        let key = JobKey::new(ClientKey::new(1, 1), 1);
+        d.record_checkpoint(key, 7, Blob::synthetic(5000, 1));
+        complete_one(&mut d, 64);
+        // The mark survives for the monotone merge and ckpt_scan …
+        assert_eq!(d.ckpt_high_water(&key), Some(7));
+        assert_eq!(d.ckpt_scan(), vec![(key, 7)]);
+        // … but the resume-state payload is gone, here and on the feed.
+        let carried: Vec<u64> = d.delta_since(0).ckpts().map(|(_, _, b)| b.len()).collect();
+        assert_eq!(carried, vec![0], "no blob bytes ride the delta after finish");
+        // A replica that already finished the job never stores the bytes
+        // either, even from a stale feed carrying the full blob.
+        let mut b = CoordinatorDb::new(CoordId(2));
+        b.register_job(job(1));
+        b.store_archive(key, Blob::synthetic(64, 1));
+        let stale = ReplicationDelta {
+            from: CoordId(1),
+            base_version: 0,
+            head_version: 1,
+            rows: vec![DeltaRow::Ckpt { job: key, unit_hw: 9, blob: Blob::synthetic(5000, 2) }],
+        };
+        b.apply_delta(&stale);
+        assert_eq!(b.ckpt_high_water(&key), Some(9), "the mark still merges monotone");
+        let held: Vec<u64> = b.delta_since(0).ckpts().map(|(_, _, blob)| blob.len()).collect();
+        assert_eq!(held, vec![0], "finished ⇒ no resume payload retained");
+    }
+
+    #[test]
+    fn prune_retires_collected_prefix_and_is_gated_by_acks() {
+        let mut d = db();
+        run_to_collected(&mut d, 3);
+        let rows_before = d.resident_rows();
+        // Nothing acked: nothing prunable.
+        assert_eq!(d.prune_retired(0), 0);
+        assert_eq!(d.resident_rows(), rows_before);
+        assert_eq!(d.delta_floor(), 0);
+        // Everything acked: the whole delivered prefix retires.
+        let head = d.version();
+        assert_eq!(d.prune_retired(head), 3);
+        assert_eq!(d.retired_watermark(ClientKey::new(1, 1)), 3);
+        assert!(d.delta_floor() > 0);
+        // Only the mark row remains resident.
+        assert_eq!(d.resident_rows(), 1);
+        assert_eq!(d.delta_since(0).marks().count(), 1);
+        // Lifetime counters never dip.
+        assert_eq!(d.finished_count(), 3);
+        assert_eq!(d.stats().jobs, 3);
+        assert_eq!(d.stats().collected, 3);
+        assert_eq!(d.retired_count(), 3);
+        // Idempotent.
+        assert_eq!(d.prune_retired(d.version()), 0);
+    }
+
+    #[test]
+    fn retired_knowledge_survives_pruning() {
+        let client = ClientKey::new(1, 1);
+        let mut d = db();
+        run_to_collected(&mut d, 2);
+        d.prune_retired(d.version());
+        let k1 = JobKey::new(client, 1);
+        // Delivered knowledge holds without any per-job row.
+        assert!(d.has_collected_knowledge(&k1));
+        assert!(!d.wants_archive(&k1));
+        assert_eq!(d.missing_archives(), vec![]);
+        // The client's replay protocol can't resubmit: the mark survived.
+        assert_eq!(d.client_max(client), 2);
+        let (fresh, _) = d.register_job(job(1));
+        assert!(!fresh, "retired seqs refuse re-registration");
+        let (n, _) = d.register_jobs_bulk(vec![job(2)]);
+        assert_eq!(n, 0);
+        // A stale replication feed can't resurrect the rows either.
+        let stale = ReplicationDelta {
+            from: CoordId(9),
+            base_version: 0,
+            head_version: 1,
+            rows: vec![DeltaRow::Job(job(1)), DeltaRow::Collected { job: k1 }],
+        };
+        d.apply_delta(&stale);
+        assert_eq!(d.stats().jobs, 2, "no zombie row set");
+        assert!(!d.knows_job(&k1));
+        // New work above the watermark proceeds normally.
+        let (fresh, _) = d.register_job(job(3));
+        assert!(fresh);
+        assert_eq!(d.pending_count(), d.pending_count_scan());
+    }
+
+    #[test]
+    fn prune_waits_for_the_unacked_suffix() {
+        let mut d = db();
+        run_to_collected(&mut d, 2);
+        let mid = d.version();
+        // Job 3 collects *after* `mid`, so its rows are past the ack.
+        d.register_job(job(3));
+        while let (Some(t), _) = d.next_pending(ServerId(1), T0) {
+            d.complete_task(t.id, t.job, Blob::synthetic(64, 3), ServerId(1));
+        }
+        d.mark_collected(ClientKey::new(1, 1), &[3]);
+        d.gc_collected();
+        assert_eq!(d.contig_watermark(ClientKey::new(1, 1)), 3);
+        // Hmm: collecting seq 3 re-stamped its rows past mid, but jobs
+        // 1–2 were fully stamped before mid and retire now.
+        assert_eq!(d.prune_retired(mid), 2);
+        assert_eq!(d.retired_watermark(ClientKey::new(1, 1)), 2);
+        // Once the consumer acks the head, the rest follows.
+        assert_eq!(d.prune_retired(d.version()), 1);
+        assert_eq!(d.retired_watermark(ClientKey::new(1, 1)), 3);
+    }
+
+    #[test]
+    fn snapshot_plus_tail_matches_live_feed() {
+        let client = ClientKey::new(1, 1);
+        let mut a = db();
+        run_to_collected(&mut a, 3);
+        a.prune_retired(a.version());
+        // Live work on top of the retired prefix.
+        a.register_job(job(4));
+        a.register_job(job(5));
+        let snap = Snapshot::open(&a.snapshot().seal()).unwrap();
+        assert_eq!(snap.retired, vec![(client, 3)]);
+        // Tail: changes after the capture.
+        let tail_base = snap.version;
+        while let (Some(t), _) = a.next_pending(ServerId(2), T0) {
+            a.complete_task(t.id, t.job, Blob::synthetic(64, t.job.seq), ServerId(2));
+        }
+        let mut b = CoordinatorDb::new(CoordId(2));
+        b.apply_snapshot(&snap);
+        assert_eq!(b.retired_watermark(client), 3);
+        assert!(b.has_collected_knowledge(&JobKey::new(client, 2)));
+        assert_eq!(b.client_max(client), 5);
+        b.apply_delta(&a.delta_since(tail_base));
+        // The bootstrapped replica mirrors the live feed's view.
+        assert_eq!(b.stats().jobs, a.stats().jobs);
+        assert_eq!(b.finished_count(), a.finished_count());
+        assert_eq!(b.ckpt_scan(), a.ckpt_scan());
+        // Archives never replicate (paper §4.2): the bootstrapped side
+        // knows the finished jobs whose payloads it still has to fetch.
+        assert_eq!(b.missing_archives(), b.missing_archives_scan());
+        assert_eq!(b.missing_archives().len(), 2);
+        assert_eq!(a.missing_archives(), vec![]);
+        for seq in 4..=5 {
+            let k = JobKey::new(client, seq);
+            assert!(b.task(a.delta_since(0).tasks().find(|t| t.job == k).unwrap().id).is_some());
+        }
+        // And re-executes nothing delivered.
+        for seq in 1..=3 {
+            let (tid, _) = b.reexecute_job(JobKey::new(client, seq));
+            assert!(tid.is_none());
+        }
+    }
+
+    #[test]
+    fn snapshot_prunes_a_lagging_receiver_past_the_senders_floor() {
+        // The receiver holds rows the sender already retired: applying
+        // the snapshot's watermark must prune them here too, not leave
+        // zombies outside the feed.
+        let mut a = db();
+        run_to_collected(&mut a, 2);
+        let mut b = CoordinatorDb::new(CoordId(2));
+        b.apply_delta(&a.delta_since(0)); // b holds live rows for 1..=2
+        assert_eq!(b.stats().jobs, 2);
+        a.prune_retired(a.version());
+        b.apply_snapshot(&a.snapshot());
+        assert_eq!(b.retired_watermark(ClientKey::new(1, 1)), 2);
+        assert!(!b.knows_job(&JobKey::new(ClientKey::new(1, 1), 1)));
+        assert_eq!(b.resident_rows(), 1, "only the mark row remains");
+        assert_eq!(b.stats().jobs, 2, "lifetime count intact");
+        assert_eq!(b.pending_count(), b.pending_count_scan());
+    }
+
+    #[test]
+    fn pruning_a_job_with_queued_instances_keeps_the_queue_honest() {
+        // A collected job can still have live Pending queue entries (a
+        // recovery instance raced the collection).  Pruning must run the
+        // entry-died accounting or compaction's invariant trips.
+        let client = ClientKey::new(1, 1);
+        let mut d = db();
+        d.register_job(job(1).with_replication(3)); // 3 queued instances
+        let (t, _) = d.next_pending(ServerId(1), T0);
+        let t = t.unwrap();
+        d.complete_task(t.id, t.job, Blob::synthetic(64, 1), ServerId(1));
+        d.mark_collected(client, &[1]);
+        d.gc_collected();
+        assert_eq!(d.contig_watermark(client), 1);
+        assert_eq!(d.prune_retired(d.version()), 1);
+        assert_eq!(d.pending_count(), 0);
+        assert_eq!(d.pending_count(), d.pending_count_scan());
+        // The stale queue entries drain without dispatching anything.
+        let (none, _) = d.next_pending(ServerId(2), T0);
+        assert!(none.is_none());
+        assert_eq!(d.pending_count(), d.pending_count_scan());
     }
 }

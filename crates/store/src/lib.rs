@@ -24,10 +24,14 @@
 //!   "replication time ... is bounded by database operation time at the
 //!   backup side" falls out of exactly this accounting.
 
+#![warn(missing_docs)]
+
 pub mod charge;
 pub mod db;
 pub mod delta;
+pub mod snapshot;
 
 pub use charge::Charge;
 pub use db::{CatalogDelta, CompleteOutcome, CoordinatorDb, TaskRow};
 pub use delta::{DeltaRow, ReplicationDelta, TaskRecord};
+pub use snapshot::Snapshot;

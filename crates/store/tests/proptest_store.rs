@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 use rpcv_simnet::SimTime;
-use rpcv_store::CoordinatorDb;
+use rpcv_store::{CoordinatorDb, Snapshot};
 use rpcv_wire::Blob;
 use rpcv_xw::{ClientKey, CoordId, JobKey, JobSpec, ServerId};
 
@@ -95,14 +95,17 @@ proptest! {
 
     /// Index/scan equivalence: for arbitrary op sequences (registration,
     /// dispatch, completion, replication from a peer, archive hand-off,
-    /// GC, re-execution, server suspicion, checkpoint upload), the
-    /// incremental structures must agree with their full-scan reference
-    /// definitions at every step — `pending_count`/`missing_archives`/
-    /// `collected_flagged` continuously, and `delta_since(base)` for every
-    /// base version the run passed through.
+    /// GC, re-execution, server suspicion, checkpoint upload, retention
+    /// pruning), the incremental structures must agree with their
+    /// full-scan reference definitions at every step — `pending_count`/
+    /// `missing_archives`/`collected_flagged` continuously, and
+    /// `delta_since(base)` for every base version the run passed through.
+    /// A mid-run sealed snapshot plus the tail of the feed must bootstrap
+    /// a replica that matches a from-scratch application row-for-row.
     #[test]
     fn indexed_views_match_scan_definitions(
-        ops in proptest::collection::vec((1u64..25, 0u8..11, 0u8..8), 1..60),
+        ops in proptest::collection::vec((1u64..25, 0u8..12, 0u8..8), 1..60),
+        snap_at in 0usize..60,
     ) {
         let client = ClientKey::new(1, 1);
         let mut a = CoordinatorDb::new(CoordId(1));
@@ -119,7 +122,10 @@ proptest! {
         let mut cat_hw = 0u64;
         let now = SimTime::ZERO;
         let mut bases = vec![0u64];
-        for (seq, action, aux) in ops {
+        // Mid-run snapshot (taken at a generated step, through the sealed
+        // wire frame): the `snapshot + tail` bootstrap source below.
+        let mut snap: Option<Snapshot> = None;
+        for (step, (seq, action, aux)) in ops.into_iter().enumerate() {
             match action {
                 0 | 1 => {
                     a.register_job(job(seq, 50).with_replication(1 + (aux % 2) as u32));
@@ -178,6 +184,15 @@ proptest! {
                         Blob::synthetic(32, seq ^ 0xCC),
                     );
                 }
+                10 => {
+                    // Retention, gated exactly as the coordinator gates
+                    // it: never past what the slowest feed consumer (the
+                    // mirror, or the snapshot bootstrap base) holds.
+                    let min_acked =
+                        mirror_base.min(snap.as_ref().map_or(u64::MAX, |s| s.version));
+                    a.prune_retired(min_acked);
+                    prop_assert!(a.delta_floor() <= min_acked, "floor never passes the gate");
+                }
                 _ => {
                     let (_, _) = a.next_pending(ServerId(2), now);
                     a.apply_delta(&b.delta_since((aux as u64) * 5));
@@ -216,6 +231,9 @@ proptest! {
             mirror.apply_delta(&a.delta_since(mirror_base));
             mirror_base = a.version();
             bases.push(a.version());
+            if step == snap_at {
+                snap = Some(Snapshot::open(&a.snapshot().seal()).unwrap());
+            }
         }
         // Indexed delta == scan delta for every base the run saw (and the
         // in-between versions around each).
@@ -268,28 +286,62 @@ proptest! {
                 }
             }
         }
-        // The incrementally-fed mirror converged to the same replicated
-        // state as a from-scratch full application.
+        // Three independent bootstrap paths onto the same sender:
+        //  * mirror — incremental deltas from version 0 (no gaps);
+        //  * full   — the sender's *current* snapshot (post-retention,
+        //    this is the protocol's from-scratch application path);
+        //  * boot   — the mid-run snapshot plus the tail of the regular
+        //    feed from its version (the joining-replica exchange).
         let mut full = CoordinatorDb::new(CoordId(3));
-        full.apply_delta(&a.delta_since_scan(0));
+        full.apply_snapshot(&Snapshot::open(&a.snapshot().seal()).unwrap());
+        let snap = snap.unwrap_or_else(|| a.snapshot());
+        prop_assert!(a.delta_floor() <= snap.version, "tail base stayed above the floor");
+        let mut boot = CoordinatorDb::new(CoordId(4));
+        boot.apply_snapshot(&snap);
+        boot.apply_delta(&a.delta_since(snap.version));
+        // Lifetime knowledge is path-independent: jobs ever registered,
+        // results ever delivered, the client's replay fence.
         prop_assert_eq!(mirror.stats().jobs, full.stats().jobs);
-        prop_assert_eq!(mirror.stats().tasks, full.stats().tasks);
+        prop_assert_eq!(boot.stats().jobs, full.stats().jobs);
         prop_assert_eq!(mirror.client_max(client), full.client_max(client));
+        prop_assert_eq!(boot.client_max(client), full.client_max(client));
         prop_assert_eq!(mirror.finished_count(), full.finished_count());
-        // Collected knowledge propagated row-for-row: the delta-fed mirror
-        // holds exactly the terminal set a full application produces, and
-        // it never re-executes or re-acquires any of it.
+        prop_assert_eq!(boot.finished_count(), full.finished_count());
         prop_assert_eq!(mirror.stats().collected, full.stats().collected);
+        prop_assert_eq!(boot.stats().collected, full.stats().collected);
+        // Collected knowledge propagated: the delta-fed mirror holds the
+        // terminal set and never re-executes or re-acquires any of it —
+        // including jobs whose rows the sender has since pruned.
         for job in a.delta_since_scan(0).collected() {
             prop_assert!(mirror.is_collected(&job));
             prop_assert!(!mirror.wants_archive(&job));
             let (tid, _) = mirror.reexecute_job(job);
             prop_assert!(tid.is_none(), "mirror must refuse re-executing collected work");
         }
-        // Checkpoint knowledge propagated row-for-row: the delta-fed mirror
-        // holds exactly the resume marks a from-scratch application does.
-        prop_assert_eq!(mirror.ckpt_scan(), full.ckpt_scan());
-        prop_assert_eq!(mirror.ckpt_scan(), a.ckpt_scan());
+        // Each replica now retires its own delivered prefix (its watermark
+        // knowledge arrived through the feed); after that, every bootstrap
+        // path must agree row-for-row on the live state.
+        mirror.prune_retired(u64::MAX);
+        boot.prune_retired(u64::MAX);
+        full.prune_retired(u64::MAX);
+        let rows = |d: &CoordinatorDb| {
+            let delta = d.delta_since(0);
+            let mut jobs: Vec<_> = delta.jobs().map(|s| s.key).collect();
+            jobs.sort();
+            let mut tasks: Vec<_> = delta.tasks().cloned().collect();
+            tasks.sort_by_key(|t| t.id);
+            let mut marks: Vec<_> = delta.marks().collect();
+            marks.sort();
+            let mut collected: Vec<_> = delta.collected().collect();
+            collected.sort();
+            (jobs, tasks, marks, collected, d.ckpt_scan())
+        };
+        prop_assert_eq!(rows(&boot), rows(&full));
+        prop_assert_eq!(rows(&mirror), rows(&full));
+        prop_assert_eq!(boot.retired_count(), full.retired_count());
+        prop_assert_eq!(mirror.retired_count(), full.retired_count());
+        prop_assert_eq!(boot.resident_rows(), full.resident_rows());
+        prop_assert_eq!(mirror.resident_rows(), full.resident_rows());
     }
 
     /// Checkpoint replay monotonicity: applying any prefix of an upload

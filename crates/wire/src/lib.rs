@@ -47,6 +47,8 @@
 //! assert_eq!(from_bytes::<Call>(&bytes).unwrap(), call);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod blob;
 pub mod codec;
 pub mod digest;

@@ -2,7 +2,7 @@
 //!
 //! The paper's real-life workload "computes the signal lost and the
 //! bandwidth for network configurations" (§5.2), running 1000 parallel
-//! tasks whose durations "var[y] in a wide range" (Fig. 8).  The original
+//! tasks whose durations "var\[y\] in a wide range" (Fig. 8).  The original
 //! tool is proprietary, so this module implements the closest synthetic
 //! equivalent exercising the same code path: every task
 //!

@@ -71,7 +71,7 @@ impl ClientKey {
         ClientKey { user: UserId(user), session: SessionId(session) }
     }
 
-    /// Packs into the `u64` peer key used by `rpcv-log`'s [`PeerLog`]
+    /// Packs into the `u64` peer key used by `rpcv-log`'s `PeerLog`
     /// (32-bit user / 32-bit session — desktop-grid populations are far
     /// below either bound).
     pub fn as_peer(&self) -> u64 {

@@ -19,6 +19,15 @@ Dispatches on the artifact's "bench" tag:
   events_per_sec/wall_seconds columns is rejected outright — the floor
   must never silently pass by absence.
 
+  Schema v3 adds the bounded-memory gate: every cell reports
+  resident_rows, the post-settle change-index residency of the busiest
+  coordinator, and for the same jobs-only cell pairs residency must not
+  grow with lifetime job count (within 2x, floor 256 rows).  Residency
+  tracks LIVE jobs plus per-client watermarks; a retention regression
+  that keeps collected history resident makes the 10x-jobs cell hold
+  ~10x the rows and trips this.  Mirrors `check_residency_flatness` in
+  crates/bench/benches/scale.rs.
+
 * ckpt — validate the checkpoint-policy sweep's schema and its headline:
   every cell completed, checkpointing policies report the bytes they paid,
   and within each volatility group the adaptive policy wastes less work
@@ -54,14 +63,17 @@ SCALE_FLOOR_SMOKE = 30_000
 
 
 def check_scale(doc: dict, path: str) -> None:
+    assert doc["schema_version"] == 3, \
+        f"{path}: scale schema is {doc['schema_version']}, expected 3 — " \
+        f"regenerate the artifact (v3 added the resident_rows column)"
     grid = doc["grid"]
     floor = SCALE_FLOOR_SMOKE if doc["smoke"] else SCALE_FLOOR_FULL
     for cell in grid:
         label = f'{cell.get("servers")}x{cell.get("jobs")}x{cell.get("clients")}'
-        for col in ("events_per_sec", "wall_seconds"):
+        for col in ("events_per_sec", "wall_seconds", "resident_rows"):
             assert col in cell, \
                 f"{path}: cell {label} lacks the {col} column — " \
-                f"regenerate the artifact; the throughput floor cannot be checked"
+                f"regenerate the artifact; its gate cannot be checked"
         assert cell["events_per_sec"] >= floor, \
             f"{path}: cell {label} ran at {cell['events_per_sec']:.0f} events/sec, " \
             f"below the {floor} floor — kernel throughput regressed"
@@ -74,9 +86,15 @@ def check_scale(doc: dict, path: str) -> None:
                 lo, hi = a["delta_bytes_per_round"], b["delta_bytes_per_round"]
                 assert hi <= max(lo * 2.0, 4096.0), \
                     f"delta bytes/round grew with run length: {a} -> {b}"
+                lo_r, hi_r = a["resident_rows"], b["resident_rows"]
+                assert hi_r <= max(lo_r * 2.0, 256.0), \
+                    f"resident rows grew with lifetime job count — " \
+                    f"coordinator memory is not bounded: {a} -> {b}"
     assert pairs >= 1, "sweep must include a cell pair differing only in job count"
     slowest = min(c["events_per_sec"] for c in grid)
-    print(f"{path}: delta flatness OK across {pairs} jobs-only cell pair(s); "
+    peak = max(c["resident_rows"] for c in grid)
+    print(f"{path}: delta + residency flatness OK across {pairs} jobs-only "
+          f"cell pair(s); peak residency {peak} rows; "
           f"slowest cell {slowest:.0f} events/sec (floor {floor})")
 
 

@@ -38,6 +38,63 @@
 //! **Live** (wall clock, real service execution, live fault injection —
 //! see `examples/quickstart.rs`): [`core::runtime::LiveGrid`] plus
 //! [`core::api::GridClient`].
+//!
+//! ## Bounded coordinator memory: snapshot bootstrap
+//!
+//! A coordinator's change index holds O(live jobs), not O(lifetime
+//! jobs): once a client durably collected a delivered prefix and every
+//! ring replica acked past it, [`store::CoordinatorDb::prune_retired`]
+//! retires those rows down to one per-client watermark.  A replica
+//! whose feed base predates the resulting *delta floor* can no longer
+//! catch up row-by-row — it bootstraps from a CRC-64-sealed
+//! [`store::Snapshot`] of the live state plus the version tail, and
+//! lands row-for-row identical to the live feed's view:
+//!
+//! ```
+//! use rpcv::store::{CoordinatorDb, Snapshot};
+//! use rpcv::simnet::SimTime;
+//! use rpcv::wire::Blob;
+//! use rpcv::xw::{ClientKey, CoordId, JobKey, JobSpec, ServerId};
+//!
+//! let client = ClientKey::new(1, 1);
+//! let job = |seq| JobSpec::new(JobKey::new(client, seq), "svc", Blob::synthetic(256, seq));
+//!
+//! // Primary: three jobs run, get collected by the client, and GC.
+//! let mut primary = CoordinatorDb::new(CoordId(1));
+//! for seq in 1..=3 {
+//!     primary.register_job(job(seq));
+//! }
+//! while let (Some(t), _) = primary.next_pending(ServerId(1), SimTime::ZERO) {
+//!     primary.complete_task(t.id, t.job, Blob::synthetic(64, t.job.seq), ServerId(1));
+//! }
+//! primary.mark_collected(client, &[1, 2, 3]);
+//! primary.gc_collected();
+//!
+//! // Every consumer acked the head: the delivered prefix retires and
+//! // the change index shrinks to the per-client watermark row.
+//! assert_eq!(primary.prune_retired(primary.version()), 3);
+//! assert_eq!(primary.resident_rows(), 1);
+//! assert!(primary.delta_floor() > 0);
+//! primary.register_job(job(4)); // live work continues on top
+//!
+//! // A replica asking for the feed from version 0 is below the floor —
+//! // the wire answer is a sealed snapshot (plus the version tail).
+//! let base = 0;
+//! assert!(base < primary.delta_floor());
+//! let snap = Snapshot::open(&primary.snapshot().seal()).expect("CRC-64 seal verifies");
+//!
+//! let mut replica = CoordinatorDb::new(CoordId(2));
+//! replica.apply_snapshot(&snap);
+//! replica.apply_delta(&primary.delta_since(snap.version));
+//!
+//! // Row-for-row: same watermark, same delivered knowledge, same live set.
+//! assert_eq!(replica.retired_watermark(client), 3);
+//! assert!(replica.has_collected_knowledge(&JobKey::new(client, 2)));
+//! assert_eq!(replica.stats().jobs, primary.stats().jobs);
+//! assert_eq!(replica.resident_rows(), primary.resident_rows());
+//! let (tid, _) = replica.reexecute_job(JobKey::new(client, 1));
+//! assert!(tid.is_none(), "delivered work is never re-executed");
+//! ```
 
 pub use rpcv_ckpt as ckpt;
 pub use rpcv_core as core;

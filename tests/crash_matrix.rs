@@ -168,6 +168,140 @@ fn failover_after_collection_never_reexecutes_collected_jobs() {
     assert_eq!(g.client_results(), 8);
 }
 
+/// Pruned-feed failover: the successor is cut off before the first
+/// replication round, so the primary — seeing no live successor — runs
+/// its delivered prefix through retention and its delta feed develops a
+/// floor.  After the heal the successor's base (0) is below that floor:
+/// the round must ship a sealed snapshot instead of an (incomplete)
+/// delta, and the successor bootstrapped from `{snapshot, tail}` must
+/// re-execute zero collected jobs when the primary then dies for good.
+#[test]
+fn pruned_feed_successor_bootstraps_via_snapshot() {
+    let mut cfg = ProtocolConfig::confined()
+        .with_heartbeat(SimDuration::from_secs(1))
+        .with_suspicion(SimDuration::from_secs(4))
+        .with_replication_period(SimDuration::from_secs(4));
+    cfg.coord_retry = SimDuration::from_secs(10);
+    cfg.missing_archive_timeout = SimDuration::from_secs(10);
+    let plan: Vec<CallSpec> =
+        (0..8).map(|i| CallSpec::new("b", Blob::synthetic(10_000, i), 2.0, 128)).collect();
+    let mut g = SimGrid::build(GridSpec::confined(2, 4).with_cfg(cfg).with_plan(plan));
+    let (c0, c1) = (g.coords[0].1, g.coords[1].1);
+
+    // Coordinator link down from the start: no delta ever reaches the
+    // successor, and the primary's replication rounds time out.
+    g.world.schedule_control(
+        SimTime::from_millis(1),
+        rpcv::simnet::Control::Block { from: c0, to: c1, bidir: true },
+    );
+    g.run_until_done(SimTime::from_secs(1800)).expect("workload completes on the primary");
+    assert_eq!(g.client_results(), 8);
+    // Collection acks ride the beats; the paper's explicit GC reclaims
+    // the delivered archives, making the jobs retention-eligible.
+    g.world.run_until(SimTime::from_secs(25));
+    g.world.actor_mut::<rpcv::core::coordinator::CoordinatorActor>(c0).unwrap().gc_now();
+    g.world.run_until(SimTime::from_secs(35));
+    {
+        let primary = g.coordinator(0).expect("primary up");
+        assert!(primary.db().delta_floor() > 0, "retention must have pruned the delivered work");
+        assert_eq!(primary.db().retired_count(), 8, "all delivered jobs retired");
+        assert!(
+            primary.db().resident_rows() < 8,
+            "resident rows track live work, got {}",
+            primary.db().resident_rows()
+        );
+        // Lifetime counters survive the pruning.
+        assert_eq!(primary.db().stats().jobs, 8);
+        assert_eq!(primary.db().finished_count(), 8);
+    }
+
+    // Heal: the ring re-forms, and the successor's base 0 < floor forces
+    // the snapshot path.
+    g.world.schedule_control(
+        SimTime::from_secs(35),
+        rpcv::simnet::Control::Unblock { from: c0, to: c1, bidir: true },
+    );
+    g.world.run_until(SimTime::from_secs(70));
+    assert!(g.coordinator(0).unwrap().metrics.snapshots_sent >= 1, "snapshot path must fire");
+    let tasks_before = {
+        let successor = g.coordinator(1).expect("successor up");
+        assert!(successor.metrics.snapshots_applied >= 1, "successor must apply the snapshot");
+        assert_eq!(successor.metrics.bad_frames, 0, "the sealed frame verifies");
+        assert_eq!(successor.db().retired_count(), 8, "watermarks carry the delivered prefix");
+        for seq in 1..=8u64 {
+            let job = rpcv::xw::JobKey::new(g.client_key, seq);
+            assert!(successor.db().has_collected_knowledge(&job), "delivered {job:?} known");
+            assert!(!successor.db().wants_archive(&job), "no re-acquisition of {job:?}");
+        }
+        assert_eq!(successor.db().client_max(g.client_key), 8, "replay fence replicated");
+        successor.db().stats().tasks
+    };
+
+    // The primary dies for good; the bootstrapped successor inherits the
+    // grid and must re-execute nothing.
+    g.world.crash_now(c0);
+    g.world.run_until(SimTime::from_secs(200)); // far past the re-execution horizon
+    let successor = g.coordinator(1).expect("successor up");
+    assert_eq!(successor.metrics.reexecutions, 0, "delivered work must never be re-executed");
+    let stats = successor.db().stats();
+    assert_eq!(stats.tasks, tasks_before, "no new instances after failover");
+    assert_eq!(stats.pending, 0);
+    assert_eq!(stats.ongoing, 0);
+    assert_eq!(g.client_results(), 8);
+}
+
+/// Gap detection: the successor loses its durable state entirely (crash +
+/// wipe) while the primary's ack record for it still points past the
+/// retention floor.  The next delta arrives with a base the successor
+/// never applied — it must refuse it unacked and request a snapshot
+/// reseed, ending fully re-seeded with zero re-executions.
+#[test]
+fn wiped_successor_detects_feed_gap_and_requests_snapshot() {
+    let mut cfg = ProtocolConfig::confined()
+        .with_heartbeat(SimDuration::from_secs(1))
+        .with_suspicion(SimDuration::from_secs(4))
+        .with_replication_period(SimDuration::from_secs(4));
+    cfg.missing_archive_timeout = SimDuration::from_secs(10);
+    let plan: Vec<CallSpec> =
+        (0..8).map(|i| CallSpec::new("b", Blob::synthetic(10_000, i), 2.0, 128)).collect();
+    let mut g = SimGrid::build(GridSpec::confined(2, 4).with_cfg(cfg).with_plan(plan));
+    let (c0, c1) = (g.coords[0].1, g.coords[1].1);
+
+    g.run_until_done(SimTime::from_secs(1800)).expect("workload completes");
+    g.world.run_until(SimTime::from_secs(25));
+    g.world.actor_mut::<rpcv::core::coordinator::CoordinatorActor>(c0).unwrap().gc_now();
+    // Let replication acks catch up and retention prune the primary.
+    g.world.run_until(SimTime::from_secs(45));
+    assert!(g.coordinator(0).unwrap().db().delta_floor() > 0, "feed must have a floor");
+
+    // The successor loses everything; the primary's ack record is stale.
+    g.world.crash_now(c1);
+    g.world.wipe_durable(c1);
+    g.world.restart_now(c1);
+    g.world.run_until(SimTime::from_secs(90));
+
+    let primary = g.coordinator(0).expect("primary up");
+    assert!(
+        primary.rx_counts.get("SnapshotRequest").copied().unwrap_or(0) >= 1,
+        "the wiped successor must ask to be reseeded"
+    );
+    assert!(primary.metrics.snapshots_sent >= 1);
+    let successor = g.coordinator(1).expect("successor up");
+    assert!(successor.metrics.snapshots_applied >= 1);
+    assert_eq!(successor.db().retired_count(), 8, "reseeded with the delivered prefix");
+    for seq in 1..=8u64 {
+        let job = rpcv::xw::JobKey::new(g.client_key, seq);
+        assert!(successor.db().has_collected_knowledge(&job));
+    }
+    // And the reseeded replica never re-executes delivered work.
+    g.world.crash_now(c0);
+    g.world.run_until(SimTime::from_secs(220));
+    let successor = g.coordinator(1).expect("successor up");
+    assert_eq!(successor.metrics.reexecutions, 0);
+    assert_eq!(successor.db().stats().pending, 0);
+    assert_eq!(g.client_results(), 8);
+}
+
 /// Partition through the coordinator group mid-run, primary on the
 /// minority side (the paper's Fig. 11 progress condition, sharpened into
 /// a single-primary audit).  The majority side — successor, client, all

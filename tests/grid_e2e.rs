@@ -124,6 +124,37 @@ fn garbage_collection_frees_collected_archives() {
 }
 
 #[test]
+fn replica_never_reexecutes_while_primary_serves() {
+    // Recovery ownership: re-execution serves *collection*, so only the
+    // coordinator a client actually talks to may re-execute that
+    // client's overdue missing-archive jobs.  A passive replica learns
+    // of every job through the feed but must park its watches instead
+    // (at scale the un-gated scan re-executed the whole backlog — the
+    // "fault-free storm" the scale sweep's residency/flatness gates now
+    // pin down).  Hold finished work uncollected well past
+    // reexec_horizon (missing_archive_timeout = 60s confined) by taking
+    // the client away: the quiet grid must dispatch exactly one
+    // instance per job and re-execute nothing anywhere.
+    let jobs = 40;
+    let plan: Vec<CallSpec> =
+        (0..jobs).map(|i| CallSpec::new("b", Blob::synthetic(100, i as u64), 0.5, 64)).collect();
+    let spec = GridSpec::confined(2, 4).with_seed(7).with_plan(plan);
+    let mut grid = SimGrid::build(spec);
+    let client = grid.client_node;
+    grid.world.schedule_control(SimTime::from_secs(5), Control::Crash(client));
+    grid.world.schedule_control(SimTime::from_secs(400), Control::Restart(client));
+    grid.run_until_done(SimTime::from_secs(3600)).expect("completes");
+    grid.world.run_for(SimDuration::from_secs(120));
+    assert_eq!(grid.client_results(), jobs);
+    let tasks = grid.coordinator(0).unwrap().db().stats().tasks;
+    assert_eq!(tasks as usize, jobs, "fault-free run must dispatch exactly one instance per job");
+    for i in 0..2 {
+        let c = grid.coordinator(i).unwrap();
+        assert_eq!(c.metrics.reexecutions, 0, "coordinator {i} re-executed without any fault");
+    }
+}
+
+#[test]
 fn wrong_suspicion_is_survivable() {
     // §2.2: wrong negatives (alive components suspected) cannot be
     // avoided.  Partition the preferred coordinator long enough for
