@@ -8,6 +8,11 @@
 //!
 //! * `events_per_sec` — simulator kernel throughput (events / wall second),
 //! * `wall_seconds` / `sim_seconds` — real and virtual run time,
+//! * `sim_events_per_sec` — the *grid's* event throughput in simulated
+//!   time (events / sim second): the scale-out observable — sharding the
+//!   coordinator plane compresses the same workload into fewer simulated
+//!   seconds, so this grows near-linearly in S where wall-clock
+//!   throughput (a host property) cannot,
 //! * `delta_bytes_per_round` — mean replication payload per round: the
 //!   direct observable of the O(changed) invariant (a full-table
 //!   replicator makes this grow linearly with run length).  The delta now
@@ -30,11 +35,29 @@
 //! submitters sharing the coordinators, so a cell isolates the cost of
 //! *having* more clients from the cost of more work.
 //!
+//! The `shards` axis (schema v4) partitions the coordinator plane into
+//! hash-disjoint replicated groups, each owning `1/S` of the client
+//! space.  On a sharded cell the payload and residency observables are
+//! measured *per busiest shard* (the worst shard per metric), so the
+//! flatness gates keep asserting the per-group invariants rather than a
+//! diluted average.  The headline is the 1/2/4 ladder at a fixed
+//! servers×jobs×clients cell, gated on `sim_events_per_sec` — the
+//! grid's event throughput in *simulated* time (events / sim second):
+//! the S-shard cell must process >= 0.7·S× the 1-shard cell's events
+//! per sim-second, asserted by `check_shard_scaling` below and by
+//! `scripts/check_bench_flatness.py` on the artifact.  Simulated time
+//! is the right axis for the scale-out claim: the kernel interleaves
+//! every shard on one host thread, so partitioning the plane shows up
+//! as the same workload compressing into ~1/S the simulated seconds —
+//! wall-clock `events_per_sec` measures the *host's* per-event cost
+//! (which S cannot improve on a serial simulator) and keeps its own
+//! 300k floor as the kernel-throughput contract.
+//!
 //! Results go to stdout, `target/figures/scale_trajectory.csv`, and —
 //! the part future PRs consume — `BENCH_scale.json` at the repo root.
 //! Run `cargo bench -p rpcv-bench --bench scale` for the full sweep or
 //! `-- --smoke` for the tiny CI variant.  The JSON schema
-//! (`schema_version: 3`) is documented in ROADMAP.md ("Performance
+//! (`schema_version: 4`) is documented in ROADMAP.md ("Performance
 //! notes").
 
 use std::fmt::Write as _;
@@ -48,15 +71,20 @@ use rpcv_core::grid::{GridSpec, SimGrid};
 use rpcv_simnet::{SimDuration, SimTime};
 use rpcv_workload::SyntheticBench;
 
-/// One measured grid cell.
+/// One measured grid cell.  On a sharded cell the payload/residency
+/// metrics are per busiest shard: each shard's value is computed from its
+/// own members and the worst shard is reported, so a single overloaded
+/// group cannot hide behind S-1 idle ones.
 struct Cell {
     servers: usize,
     jobs: usize,
     clients: usize,
+    shards: usize,
     events: u64,
     wall_seconds: f64,
     events_per_sec: f64,
     sim_seconds: f64,
+    sim_events_per_sec: f64,
     completed: usize,
     repl_rounds: usize,
     delta_bytes_per_round: f64,
@@ -65,7 +93,7 @@ struct Cell {
     done: bool,
 }
 
-fn run_cell(servers: usize, jobs: usize, clients: usize) -> Cell {
+fn run_cell(servers: usize, jobs: usize, clients: usize, shards: usize) -> Cell {
     let bench = SyntheticBench {
         calls: jobs,
         param_bytes: 256,
@@ -76,6 +104,7 @@ fn run_cell(servers: usize, jobs: usize, clients: usize) -> Cell {
         seed: 0x5CA1E,
     };
     let mut spec = GridSpec::confined(2, servers)
+        .with_shards(shards)
         .with_client_plans(bench.split_across(clients))
         .with_seed(0x5CA1E);
     // The confined database model (3 ms/op, per the 2004 testbed) would
@@ -118,7 +147,7 @@ fn run_cell(servers: usize, jobs: usize, clients: usize) -> Cell {
     let events = grid.world.events_processed();
     let sim_seconds = grid.world.now().as_secs_f64();
     eprintln!(
-        "# cell {servers}x{jobs}x{clients}: {events} events in {wall_seconds:.1}s ({:.0} ev/s)",
+        "# cell {servers}x{jobs}x{clients}x{shards}: {events} events in {wall_seconds:.1}s ({:.0} ev/s)",
         events as f64 / wall_seconds.max(1e-9)
     );
     if std::env::var_os("RPCV_SCALE_DEBUG").is_some() {
@@ -126,8 +155,9 @@ fn run_cell(servers: usize, jobs: usize, clients: usize) -> Cell {
             if let Some(c) = grid.coordinator(i) {
                 let s = c.db().stats();
                 eprintln!(
-                    "# debug coord {i}: snapshots_sent={} snapshots_applied={} bad_frames={} \
-                     repl_rounds={} resident={} floor={} tasks={} dup_results={}",
+                    "# debug coord {i} (shard {}): snapshots_sent={} snapshots_applied={} \
+                     bad_frames={} repl_rounds={} resident={} floor={} tasks={} dup_results={}",
+                    c.shard(),
                     c.metrics.snapshots_sent,
                     c.metrics.snapshots_applied,
                     c.metrics.bad_frames,
@@ -138,10 +168,13 @@ fn run_cell(servers: usize, jobs: usize, clients: usize) -> Cell {
                     s.duplicate_results,
                 );
                 eprintln!(
-                    "# debug coord {i}: server_susp={} coord_susp={} reexec={} pending={} ongoing={}",
+                    "# debug coord {i} (shard {}): server_susp={} coord_susp={} reexec={} \
+                     redirects={} pending={} ongoing={}",
+                    c.shard(),
                     c.metrics.server_suspicions,
                     c.metrics.coordinator_suspicions,
                     c.metrics.reexecutions,
+                    c.metrics.shard_redirects,
                     s.pending,
                     s.ongoing,
                 );
@@ -151,19 +184,32 @@ fn run_cell(servers: usize, jobs: usize, clients: usize) -> Cell {
     // Replication and catalog traffic are snapshotted *here*, before the
     // settle window below: settle triggers archive GC, whose removal
     // tombstones ride the ring in bursts proportional to lifetime jobs and
-    // would otherwise drown the steady-state delta signal.
-    let (repl_rounds, delta_bytes) = grid
-        .coordinator(0)
+    // would otherwise drown the steady-state delta signal.  Per shard the
+    // delta feed is read at the shard's preferred primary (coordinator
+    // s·members in the shard-major layout) and the busiest shard's
+    // per-round figure is reported.
+    let members = grid.coords.len() / shards.max(1);
+    let delta_bytes_per_round = (0..shards)
+        .filter_map(|s| grid.coordinator(s * members))
         .map(|c| {
             let rounds = &c.metrics.repl_rounds;
-            (rounds.len(), rounds.iter().map(|r| r.bytes).sum::<u64>())
+            rounds.iter().map(|r| r.bytes).sum::<u64>() as f64 / rounds.len().max(1) as f64
         })
-        .unwrap_or((0, 0));
-    // Catalog traffic aggregates over every coordinator: beats land
-    // wherever each client's preference currently points.
-    let (sync_replies, catalog_bytes) = (0..grid.coords.len())
-        .filter_map(|i| grid.coordinator(i))
-        .fold((0u64, 0u64), |(n, b), c| (n + c.metrics.sync_replies, b + c.metrics.catalog_bytes));
+        .fold(0.0f64, f64::max);
+    let repl_rounds = grid.coordinator(0).map(|c| c.metrics.repl_rounds.len()).unwrap_or(0);
+    // Catalog traffic aggregates over a shard's members — beats land
+    // wherever each client's preference currently points inside its own
+    // group — and the busiest shard's per-beat figure is reported.
+    let catalog_bytes_per_beat = (0..shards)
+        .map(|s| {
+            let (n, b) = (s * members..(s + 1) * members)
+                .filter_map(|i| grid.coordinator(i))
+                .fold((0u64, 0u64), |(n, b), c| {
+                    (n + c.metrics.sync_replies, b + c.metrics.catalog_bytes)
+                });
+            b as f64 / n.max(1) as f64
+        })
+        .fold(0.0f64, f64::max);
     // Steady-state residency: everything is delivered; let the tail of
     // collection acks ride the beats, reclaim the archives, and give the
     // ring a round + ack so retention passes over the delivered prefix.
@@ -190,14 +236,16 @@ fn run_cell(servers: usize, jobs: usize, clients: usize) -> Cell {
         servers,
         jobs,
         clients,
+        shards,
         events,
         wall_seconds,
         events_per_sec: events as f64 / wall_seconds.max(1e-9),
         sim_seconds,
+        sim_events_per_sec: events as f64 / sim_seconds.max(1e-9),
         completed,
         repl_rounds,
-        delta_bytes_per_round: delta_bytes as f64 / (repl_rounds.max(1)) as f64,
-        catalog_bytes_per_beat: catalog_bytes as f64 / (sync_replies.max(1)) as f64,
+        delta_bytes_per_round,
+        catalog_bytes_per_beat,
         resident_rows,
         done,
     }
@@ -213,24 +261,28 @@ fn write_json(cells: &[Cell], smoke: bool) {
     let mut out = String::new();
     let _ = writeln!(out, "{{");
     let _ = writeln!(out, "  \"bench\": \"scale\",");
-    let _ = writeln!(out, "  \"schema_version\": 3,");
+    let _ = writeln!(out, "  \"schema_version\": 4,");
     let _ = writeln!(out, "  \"smoke\": {smoke},");
     let _ = writeln!(out, "  \"grid\": [");
     for (i, c) in cells.iter().enumerate() {
         let comma = if i + 1 < cells.len() { "," } else { "" };
         let _ = writeln!(
             out,
-            "    {{\"servers\": {}, \"jobs\": {}, \"clients\": {}, \"events_processed\": {}, \
+            "    {{\"servers\": {}, \"jobs\": {}, \"clients\": {}, \"shards\": {}, \
+             \"events_processed\": {}, \
              \"wall_seconds\": {:.3}, \"events_per_sec\": {:.0}, \"sim_seconds\": {:.1}, \
+             \"sim_events_per_sec\": {:.0}, \
              \"jobs_completed\": {}, \"repl_rounds\": {}, \"delta_bytes_per_round\": {:.1}, \
              \"catalog_bytes_per_beat\": {:.1}, \"resident_rows\": {}, \"completed\": {}}}{comma}",
             c.servers,
             c.jobs,
             c.clients,
+            c.shards,
             c.events,
             c.wall_seconds,
             c.events_per_sec,
             c.sim_seconds,
+            c.sim_events_per_sec,
             c.completed,
             c.repl_rounds,
             c.delta_bytes_per_round,
@@ -270,7 +322,9 @@ fn write_json(cells: &[Cell], smoke: bool) {
 fn check_catalog_flatness(cells: &[Cell]) {
     for a in cells {
         for b in cells {
-            if (a.servers, a.clients) == (b.servers, b.clients) && a.jobs < b.jobs {
+            if (a.servers, a.clients, a.shards) == (b.servers, b.clients, b.shards)
+                && a.jobs < b.jobs
+            {
                 let (lo, hi) = (a.catalog_bytes_per_beat, b.catalog_bytes_per_beat);
                 assert!(
                     hi <= (lo * 2.0).max(64.0),
@@ -298,7 +352,9 @@ fn check_catalog_flatness(cells: &[Cell]) {
 fn check_delta_flatness(cells: &[Cell]) {
     for a in cells {
         for b in cells {
-            if (a.servers, a.clients) == (b.servers, b.clients) && a.jobs < b.jobs {
+            if (a.servers, a.clients, a.shards) == (b.servers, b.clients, b.shards)
+                && a.jobs < b.jobs
+            {
                 let (lo, hi) = (a.delta_bytes_per_round, b.delta_bytes_per_round);
                 assert!(
                     hi <= (lo * 2.0).max(4096.0),
@@ -322,7 +378,9 @@ fn check_delta_flatness(cells: &[Cell]) {
 fn check_residency_flatness(cells: &[Cell]) {
     for a in cells {
         for b in cells {
-            if (a.servers, a.clients) == (b.servers, b.clients) && a.jobs < b.jobs {
+            if (a.servers, a.clients, a.shards) == (b.servers, b.clients, b.shards)
+                && a.jobs < b.jobs
+            {
                 let (lo, hi) = (a.resident_rows, b.resident_rows);
                 assert!(
                     hi as f64 <= (lo as f64 * 2.0).max(256.0),
@@ -338,17 +396,70 @@ fn check_residency_flatness(cells: &[Cell]) {
     }
 }
 
+/// The scale-out headline, asserted on the sweep itself: for cell pairs
+/// matched on servers×jobs×clients where only the shard count differs
+/// from 1, the grid's event throughput in *simulated* time must grow
+/// near-linearly in S — the S-shard cell processes >= 0.7·S× the
+/// 1-shard cell's events per sim-second.  (Wall-clock events/sec cannot
+/// carry this gate: the serial kernel interleaves all shards on one
+/// host thread, so S shards never cut the host's per-event cost — they
+/// cut the *simulated seconds* the same workload occupies.)  Smoke
+/// cells are too small to saturate a coordinator group, so smoke only
+/// asserts sharding is not a regression (>= 0.8× the 1-shard cell).
+fn check_shard_scaling(cells: &[Cell], smoke: bool) {
+    let mut pairs = 0;
+    for a in cells {
+        for b in cells {
+            if (a.servers, a.jobs, a.clients) == (b.servers, b.jobs, b.clients)
+                && a.shards == 1
+                && b.shards > 1
+            {
+                pairs += 1;
+                let need = if smoke {
+                    a.sim_events_per_sec * 0.8
+                } else {
+                    a.sim_events_per_sec * 0.7 * b.shards as f64
+                };
+                assert!(
+                    b.sim_events_per_sec >= need,
+                    "shard scale-out below the near-linear floor: \
+                     {}x{}x{} runs {:.0} ev/sim-s at 1 shard but {:.0} ev/sim-s \
+                     at {} shards (need >= {need:.0})",
+                    a.servers,
+                    a.jobs,
+                    a.clients,
+                    a.sim_events_per_sec,
+                    b.sim_events_per_sec,
+                    b.shards,
+                );
+            }
+        }
+    }
+    assert!(pairs >= 1, "sweep must include a shards ladder over a fixed cell");
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
-    // (servers, jobs, clients): the clients axis splits the same job total
-    // across concurrent submitters.
-    // Smoke includes one pair differing only in job count — (25, 500, 4)
-    // vs (25, 1500, 4) — so `check_catalog_flatness` gates a real
-    // comparison in CI, not a vacuous loop.
-    // RPCV_SCALE_CELLS="200x20000x16;50x10000x1" overrides the sweep for
-    // ad-hoc probing (no JSON is written for an override run — the
-    // committed artifact only ever reflects the canonical sweeps).
-    let override_cells: Option<Vec<(usize, usize, usize)>> =
+    // (servers, jobs, clients, shards): the clients axis splits the same
+    // job total across concurrent submitters; the shards axis partitions
+    // the coordinator plane into that many replicated groups.
+    // Smoke includes one pair differing only in job count — (5, 2000, 4)
+    // vs (5, 6000, 4) — so the flatness gates compare something real in
+    // CI, not a vacuous loop, plus a 2-shard twin of (5, 2000, 4) so the
+    // shards axis is exercised on every CI run.  The pair runs on 5
+    // servers so both cells are execution-throughput-bound (makespan
+    // scales with jobs, completion rate cancels); on latency-bound
+    // cells bytes/beat and bytes/round just track the completion rate
+    // and the 3x-jobs twin reads 3x hotter without any O(history) bug.
+    // The full sweep appends the headline ladder: (200, 30000, 192) at
+    // 1, 2 and 4 shards — 192 clients hash evenly across four groups
+    // and are enough concurrent submitters to saturate a single one, so
+    // the 1-shard anchor is the congested case sharding is for.
+    // RPCV_SCALE_CELLS="200x20000x16;50x10000x1x4" overrides the sweep
+    // for ad-hoc probing — SxJxC or SxJxCxH, shards defaulting to 1 (no
+    // JSON is written for an override run; the committed artifact only
+    // ever reflects the canonical sweeps).
+    let override_cells: Option<Vec<(usize, usize, usize, usize)>> =
         std::env::var("RPCV_SCALE_CELLS").ok().map(|s| {
             s.split(';')
                 .filter(|c| !c.is_empty())
@@ -358,23 +469,27 @@ fn main() {
                         it.next().expect("servers"),
                         it.next().expect("jobs"),
                         it.next().expect("clients"),
+                        it.next().unwrap_or(1),
                     );
-                    assert!(it.next().is_none(), "cell must be SxJxC");
+                    assert!(it.next().is_none(), "cell must be SxJxC or SxJxCxH");
                     cell
                 })
                 .collect()
         });
-    let cells_spec: &[(usize, usize, usize)] = if let Some(cells) = &override_cells {
+    let cells_spec: &[(usize, usize, usize, usize)] = if let Some(cells) = &override_cells {
         cells
     } else if smoke {
-        &[(10, 200, 1), (25, 500, 4), (25, 1_500, 4), (50, 1_000, 16)]
+        &[(10, 200, 1, 1), (5, 2_000, 4, 1), (5, 6_000, 4, 1), (50, 1_000, 16, 1), (5, 2_000, 4, 2)]
     } else {
         &[
-            (50, 10_000, 1),
-            (200, 30_000, 4),
-            (200, 10_000, 16),
-            (200, 100_000, 16),
-            (1_000, 100_000, 1),
+            (50, 10_000, 1, 1),
+            (200, 30_000, 4, 1),
+            (200, 10_000, 16, 1),
+            (200, 100_000, 16, 1),
+            (1_000, 100_000, 1, 1),
+            (200, 30_000, 192, 1),
+            (200, 30_000, 192, 2),
+            (200, 30_000, 192, 4),
         ]
     };
     let mut fig = Figure::new(
@@ -383,10 +498,12 @@ fn main() {
             "servers",
             "jobs",
             "clients",
+            "shards",
             "events",
             "wall_s",
             "events_per_s",
             "sim_s",
+            "sim_events_per_s",
             "completed",
             "repl_rounds",
             "delta_bytes_per_round",
@@ -395,11 +512,12 @@ fn main() {
         ],
     );
     let mut cells = Vec::new();
-    for &(servers, jobs, clients) in cells_spec {
-        let c = run_cell(servers, jobs, clients);
+    for &(servers, jobs, clients, shards) in cells_spec {
+        let c = run_cell(servers, jobs, clients, shards);
         assert!(
             c.done && c.completed == c.jobs,
-            "cell {servers}x{jobs}x{clients} must run to completion ({}/{} results, done={})",
+            "cell {servers}x{jobs}x{clients}x{shards} must run to completion \
+             ({}/{} results, done={})",
             c.completed,
             c.jobs,
             c.done
@@ -408,10 +526,12 @@ fn main() {
             c.servers as f64,
             c.jobs as f64,
             c.clients as f64,
+            c.shards as f64,
             c.events as f64,
             c.wall_seconds,
             c.events_per_sec,
             c.sim_seconds,
+            c.sim_events_per_sec,
             c.completed as f64,
             c.repl_rounds as f64,
             c.delta_bytes_per_round,
@@ -424,6 +544,7 @@ fn main() {
     check_delta_flatness(&cells);
     check_residency_flatness(&cells);
     if override_cells.is_none() {
+        check_shard_scaling(&cells, smoke);
         write_json(&cells, smoke);
     }
 }

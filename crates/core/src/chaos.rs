@@ -129,12 +129,19 @@ pub struct ChaosConfig {
     pub seed: u64,
     /// Fault intensity in `[0, 1]` (see [`ChaosProfile::from_intensity`]).
     pub intensity: f64,
-    /// Coordinator count (≥ 2 so partitions can split the group).
+    /// Coordinator count *per shard* (≥ 2 so partitions can split the
+    /// group).
     pub n_coordinators: usize,
+    /// Coordinator shards (1 = the flat plane; the chaos invariants are
+    /// shard-count independent).
+    pub shards: usize,
     /// Server count.
     pub n_servers: usize,
-    /// Jobs the client submits.
+    /// Jobs submitted in total, split round-robin across the clients.
     pub jobs: usize,
+    /// Client count (> 1 exercises cross-shard traffic: each client hashes
+    /// to one shard, so a sharded oracle needs several).
+    pub clients: usize,
     /// Per-job execution cost in seconds.
     pub exec_cost: f64,
     /// Fault window start.
@@ -157,13 +164,23 @@ impl ChaosConfig {
             seed,
             intensity,
             n_coordinators: 3,
+            shards: 1,
             n_servers: 8,
             jobs: 24,
+            clients: 1,
             exec_cost: 12.0,
             fault_from: SimTime::from_secs(2),
             fault_until: SimTime::from_secs(60),
             horizon: SimTime::from_secs(3600),
         }
+    }
+
+    /// Builder: a sharded oracle cell — `shards` coordinator groups and
+    /// enough clients that several shards see traffic (both floor at 1).
+    pub fn with_shards(mut self, shards: usize, clients: usize) -> Self {
+        self.shards = shards.max(1);
+        self.clients = clients.max(1);
+        self
     }
 }
 
@@ -226,9 +243,19 @@ impl ChaosOracle {
     /// settle window, and audits every invariant.
     pub fn run(&self) -> ChaosReport {
         let cfg = &self.cfg;
-        let plan_calls: Vec<CallSpec> = (0..cfg.jobs)
-            .map(|i| CallSpec::new("chaos", Blob::synthetic(2048, i as u64), cfg.exec_cost, 256))
-            .collect();
+        // The workload splits round-robin across the clients; each client
+        // submits its own contiguous seq space.  One client is exactly the
+        // historical single-plan oracle.
+        let n_clients = cfg.clients.max(1);
+        let mut plans: Vec<Vec<CallSpec>> = vec![Vec::new(); n_clients];
+        for i in 0..cfg.jobs {
+            plans[i % n_clients].push(CallSpec::new(
+                "chaos",
+                Blob::synthetic(2048, i as u64),
+                cfg.exec_cost,
+                256,
+            ));
+        }
         // Tight failure detection: the fault window is minutes, so the
         // confined defaults (30 s suspicion) would spend the whole run
         // waiting instead of failing over.
@@ -239,7 +266,8 @@ impl ChaosOracle {
         let spec = GridSpec::confined(cfg.n_coordinators, cfg.n_servers)
             .with_seed(cfg.seed)
             .with_cfg(proto)
-            .with_plan(plan_calls);
+            .with_shards(cfg.shards)
+            .with_client_plans(plans.clone());
         let base_link = spec.link;
         let mut g = SimGrid::build(spec);
         let (ops, counters) = MsgChaos::new();
@@ -279,25 +307,34 @@ impl ChaosOracle {
         let healed = plan.heal_by().max(g.world.now());
         g.world.run_until(healed + settle);
 
-        // Exactly-once delivery: the owning client holds result seqs
-        // 1..=jobs, each exactly once (`results_received` is keyed by seq,
-        // so a duplicate delivery could only ever overwrite — the dedup
-        // guard in `ingest_results` is what this audits end to end).
+        // Exactly-once delivery: every owning client holds exactly its own
+        // planned seqs, each exactly once (`results_received` is keyed by
+        // seq, so a duplicate delivery could only ever overwrite — the
+        // dedup guard in `ingest_results` is what this audits end to end).
+        // On a sharded plane this is also the cross-shard leak check: a
+        // result delivered to the wrong shard's client would surface as a
+        // count or seq mismatch on both sides.
         let mut results = 0;
-        match g.client() {
-            Some(c) => {
-                results = c.results_count() as u64;
-                if results != cfg.jobs as u64 {
-                    violations
-                        .push(format!("client holds {results} results, planned {}", cfg.jobs));
+        for (i, plan) in plans.iter().enumerate() {
+            match g.client_at(i) {
+                Some(c) => {
+                    let held = c.results_count() as u64;
+                    results += held;
+                    if held != plan.len() as u64 {
+                        violations.push(format!(
+                            "client {i} holds {held} results, planned {}",
+                            plan.len()
+                        ));
+                    }
+                    let seqs: Vec<u64> = c.metrics.results_received.keys().copied().collect();
+                    let want: Vec<u64> = (1..=plan.len() as u64).collect();
+                    if seqs != want {
+                        violations
+                            .push(format!("client {i} result seqs {seqs:?} != 1..={}", plan.len()));
+                    }
                 }
-                let seqs: Vec<u64> = c.metrics.results_received.keys().copied().collect();
-                let want: Vec<u64> = (1..=cfg.jobs as u64).collect();
-                if seqs != want {
-                    violations.push(format!("result seqs {seqs:?} != 1..={}", cfg.jobs));
-                }
+                None => violations.push(format!("client {i} is down after the plan healed")),
             }
-            None => violations.push("client is down after the plan healed".into()),
         }
 
         // Post-heal quiescence: with everything delivered and collected,

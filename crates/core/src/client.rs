@@ -122,6 +122,17 @@ pub struct ClientActor {
     /// Merged result catalog: seq → size.  Built incrementally from
     /// per-beat catalog deltas (never re-shipped in full).
     catalog: BTreeMap<u64, u64>,
+    /// Catalogued seqs whose payloads are not held yet — the pull
+    /// frontier.  Maintained alongside the catalog so each pull round
+    /// walks only what is actually outstanding, never the whole catalog
+    /// (which holds every collected-but-unreclaimed result and grows with
+    /// the backlog between coordinator GC rounds).
+    unfetched: std::collections::BTreeSet<u64>,
+    /// The shard group this client restricted itself to after a pushed
+    /// [`Msg::ShardMap`] (`None` until one arrives — the bootstrap list is
+    /// flat).  Kept to make repeated pushes of the same map idempotent:
+    /// rebuilding the coordinator list would discard suspicion state.
+    shard_members: Option<Vec<u64>>,
     /// Catalog high-water mark at the current coordinator incarnation: the
     /// highest catalog version already merged.  Echoed in every beat so
     /// the sync reply carries only what changed since.
@@ -177,6 +188,8 @@ impl ClientActor {
             acked_max: 0,
             progress_at: SimTime::ZERO,
             catalog: BTreeMap::new(),
+            unfetched: std::collections::BTreeSet::new(),
+            shard_members: None,
             catalog_hw: 0,
             last_pull: None,
             in_flight_submissions: 0,
@@ -353,6 +366,7 @@ impl ClientActor {
         for r in results {
             let seq = r.job.seq;
             self.requested.remove(&seq);
+            self.unfetched.remove(&seq);
             if self.results.contains_key(&seq) {
                 continue;
             }
@@ -474,9 +488,13 @@ impl ClientActor {
         if !rebased && catalog_base <= self.catalog_hw && catalog_head >= self.catalog_hw {
             for &(seq, size) in &available {
                 self.catalog.insert(seq, size);
+                if !self.results.contains_key(&seq) {
+                    self.unfetched.insert(seq);
+                }
             }
             for &seq in &removed {
                 self.catalog.remove(&seq);
+                self.unfetched.remove(&seq);
                 self.requested.remove(&seq);
             }
             self.catalog_hw = catalog_head;
@@ -563,30 +581,50 @@ impl ClientActor {
     /// ~32 MB per request) and continues from [`Self::ingest_results`]
     /// without waiting for the next heartbeat.
     fn pull_missing(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        self.pull_missing_inner(ctx, false);
+    }
+
+    /// The continuation variant: chained to a just-completed
+    /// [`Msg::ResultsReply`] round trip, so the pacing floor does not
+    /// apply — a windowed transfer must run at line rate, one request in
+    /// flight at a time, or a backlogged client drains at 64 results per
+    /// heartbeat and the collection tail dominates the whole run's
+    /// makespan (identically at every shard count).
+    fn pull_missing_continuation(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        self.pull_missing_inner(ctx, true);
+    }
+
+    fn pull_missing_inner(&mut self, ctx: &mut Ctx<'_, Msg>, continuation: bool) {
         let now = ctx.now();
-        // Pace the pulls: without a floor on the request interval, each
-        // freshly finished task triggers a full fetch round trip, and at
-        // hundreds of outstanding calls the *coordinator* drowns in list
-        // scans and archive fetches (its database is the shared
+        // Pace the fresh pulls: without a floor on the request interval,
+        // each freshly finished task triggers a full fetch round trip,
+        // and at hundreds of outstanding calls the *coordinator* drowns
+        // in list scans and archive fetches (its database is the shared
         // bottleneck — exactly why the paper prioritizes "its basic
         // forwarding functionality ... compared to other mechanisms").
+        // A continuation rides an answered request, so it keeps exactly
+        // one round trip in flight and skips the floor.
         let pacing = rpcv_simnet::SimDuration::from_millis(250).max(self.params.cfg.heartbeat / 8);
-        if let Some(last) = self.last_pull {
-            if now.since(last) < pacing {
-                return; // the next beat or reply re-triggers the pull
+        if !continuation {
+            if let Some(last) = self.last_pull {
+                if now.since(last) < pacing {
+                    return; // the next beat or reply re-triggers the pull
+                }
             }
         }
         let base = self.params.cfg.heartbeat * 2;
         let bw = ctx.spec().nic_bw_in.max(1.0);
         let mut budget: i64 = 32 * 1024 * 1024;
         let mut want: Vec<u64> = Vec::new();
-        for (&seq, &size) in &self.catalog {
+        // The frontier index keeps this O(outstanding + in-backoff), not
+        // O(catalog): held results never re-enter it, so the walk skips
+        // the (much larger) collected-but-unreclaimed span entirely.
+        for &seq in &self.unfetched {
             if want.len() >= 64 || budget < 0 {
                 break;
             }
-            if self.results.contains_key(&seq) {
-                continue;
-            }
+            debug_assert!(!self.results.contains_key(&seq), "held result left on pull frontier");
+            let size = self.catalog.get(&seq).copied().unwrap_or(0);
             let allowed = match self.requested.get(&seq) {
                 None => true,
                 Some(&(at, attempts)) => {
@@ -611,6 +649,59 @@ impl ClientActor {
             }
             if let Some((_, node)) = self.coordinator(now) {
                 ctx.send(node, Msg::ResultsRequest { client: self.params.key, want });
+            }
+        }
+    }
+
+    /// Applies a pushed shard map: computes this client's shard from the
+    /// shared hash and restricts the coordinator list to the owning group,
+    /// so beats, submissions, and collection pulls go straight to it.
+    /// Idempotent — a repeated push of the same group is a no-op (the
+    /// working list carries suspicion state worth keeping).  When the push
+    /// re-targets us off a foreign-shard coordinator, the in-flight
+    /// submission bookkeeping addressed the wrong plane and is wiped, so
+    /// the first sync with the owning group replays immediately.
+    fn apply_shard_map(&mut self, ctx: &mut Ctx<'_, Msg>, groups: Vec<Vec<CoordId>>) {
+        if groups.len() <= 1 {
+            return;
+        }
+        let shard = self.params.key.shard_of(groups.len());
+        let members: Vec<u64> = groups[shard].iter().map(|c| c.0).collect();
+        if self.shard_members.as_deref() == Some(members.as_slice()) {
+            return;
+        }
+        self.coords = CoordinatorList::new(members.iter().copied(), self.params.cfg.coord_retry);
+        let in_group = self.current_coord.is_some_and(|c| members.contains(&c.0));
+        self.shard_members = Some(members);
+        if !in_group {
+            self.current_coord = None;
+            self.sent_at.clear();
+            self.sent_hw = 0;
+            // Contact the owning group right away: the beat doubles as the
+            // synchronization handshake.
+            self.beat(ctx);
+            // Replay the unacked prefix in the same turn, *ahead* of
+            // whatever the submission pump sends next: the wrong shard
+            // consumed (and dropped) these entries, and only a batch that
+            // reaches the owning coordinator before any later submission
+            // keeps its registration gap-free (FIFO per link).  Anything
+            // beyond the window rides the normal stall-driven replay.
+            let now = ctx.now();
+            let specs: Vec<JobSpec> = self
+                .log
+                .entries_after(self.log.acked_hw())
+                .take(64)
+                .map(|e| e.value.clone())
+                .collect();
+            if !specs.is_empty() {
+                for spec in &specs {
+                    self.sent_at.insert(spec.key.seq, now);
+                    self.sent_hw = self.sent_hw.max(spec.key.seq);
+                }
+                self.metrics.log_replays += 1;
+                if let Some((_, node)) = self.coordinator(now) {
+                    ctx.send(node, Msg::SubmitBatch { specs });
+                }
             }
         }
     }
@@ -670,7 +761,7 @@ impl Actor<Msg> for ClientActor {
                 self.last_reply = Some(ctx.now());
                 self.ingest_results(ctx, results);
                 // Continuation pull: fetch the next window right away.
-                self.pull_missing(ctx);
+                self.pull_missing_continuation(ctx);
             }
             Msg::ApiSubmit { service, params, exec_cost, result_size, replication, work_units } => {
                 self.params.plan.push(
@@ -683,6 +774,9 @@ impl Actor<Msg> for ClientActor {
                 if self.in_flight_submissions == 0 {
                     self.submit_next(ctx);
                 }
+            }
+            Msg::ShardMap { groups } => {
+                self.apply_shard_map(ctx, groups);
             }
             Msg::Corrupt { .. } => {
                 // Unreadable bytes: count and drop.  No protocol state may

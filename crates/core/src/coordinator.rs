@@ -82,6 +82,9 @@ pub struct CoordMetrics {
     pub snapshots_sent: u64,
     /// Snapshots reassembled, verified and applied here.
     pub snapshots_applied: u64,
+    /// Client messages answered with the shard map because this
+    /// coordinator's shard does not own the sender's job space.
+    pub shard_redirects: u64,
 }
 
 /// State surviving a coordinator crash: the database (MySQL + archive
@@ -108,6 +111,10 @@ pub struct CoordParams {
 pub struct CoordinatorActor {
     params: CoordParams,
     db: CoordinatorDb,
+    /// This coordinator's shard index in the directory (0 on a flat map).
+    /// The replication ring, successor choice, and release scope below are
+    /// all restricted to this shard's group — shards never exchange state.
+    my_shard: usize,
     coords: CoordinatorList<u64>,
     server_mon: HeartbeatMonitor<u64>,
     /// Last delta received per peer coordinator (predecessor liveness).
@@ -170,8 +177,17 @@ impl CoordinatorActor {
     }
 
     fn fresh(params: CoordParams) -> Self {
+        // The ring is shard-local: each shard's group replicates among
+        // itself only, with its own successor chain, delta feed, retention
+        // floor, and snapshot path.  On a flat (1-shard) directory the
+        // group is the whole plane — the historical ring, unchanged.
+        let my_shard = params.directory.shard_of_coord(params.me).unwrap_or(0);
+        let ring: Vec<u64> = match params.directory.shard_of_coord(params.me) {
+            Some(s) => params.directory.group(s).iter().map(|c| c.0).collect(),
+            None => params.directory.coord_ids(),
+        };
         let coords = CoordinatorList::new(
-            params.directory.coord_ids().into_iter().filter(|&c| c != params.me.0),
+            ring.into_iter().filter(|&c| c != params.me.0),
             params.cfg.coord_retry,
         );
         let db = CoordinatorDb::new(params.me);
@@ -182,6 +198,7 @@ impl CoordinatorActor {
         let peer_suspicion = suspicion.max(params.cfg.replication_period * 3);
         CoordinatorActor {
             db,
+            my_shard,
             coords,
             server_mon: HeartbeatMonitor::new(suspicion),
             peer_mon: HeartbeatMonitor::new(peer_suspicion),
@@ -206,6 +223,34 @@ impl CoordinatorActor {
     /// Identity.
     pub fn me(&self) -> CoordId {
         self.params.me
+    }
+
+    /// The shard this coordinator's group serves (0 on a 1-shard plane).
+    pub fn shard(&self) -> usize {
+        self.my_shard
+    }
+
+    /// True when this coordinator's shard owns `client`'s job space.
+    fn owns(&self, client: ClientKey) -> bool {
+        self.params.directory.shard_count() == 1
+            || self.params.directory.shard_of(client) == self.my_shard
+    }
+
+    /// Answers a mis-routed client with the shard map; the client
+    /// restricts its coordinator list to its owning group and re-sends.
+    fn redirect(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId) {
+        self.metrics.shard_redirects += 1;
+        ctx.send(from, Msg::ShardMap { groups: self.params.directory.shard_groups() });
+    }
+
+    /// [`Self::note_client`] plus the connect-time shard-map push: on a
+    /// sharded plane a client's first contact here is answered with the
+    /// map, so its beats, submissions, and collection pulls settle on this
+    /// group (and its failover list never wanders into foreign shards).
+    fn greet_client(&mut self, ctx: &mut Ctx<'_, Msg>, client: ClientKey, from: NodeId) {
+        if self.note_client(client, from) && self.params.directory.shard_count() > 1 {
+            ctx.send(from, Msg::ShardMap { groups: self.params.directory.shard_groups() });
+        }
     }
 
     /// Read access to the database (harness inspection).
@@ -263,10 +308,11 @@ impl CoordinatorActor {
     /// re-arms any parked missing-archive watches for their jobs: their
     /// traffic arriving here means this coordinator now serves them, so
     /// their unrecovered work enters the re-execution pipeline (with the
-    /// original stamps — a failover pays no fresh horizon).
-    fn note_client(&mut self, client: ClientKey, from: NodeId) {
+    /// original stamps — a failover pays no fresh horizon).  Returns
+    /// `true` on first contact.
+    fn note_client(&mut self, client: ClientKey, from: NodeId) -> bool {
         if self.client_addr.insert(client, from).is_some() {
-            return;
+            return false;
         }
         let lo = JobKey { client, seq: 0 };
         let hi = JobKey { client, seq: u64::MAX };
@@ -277,6 +323,7 @@ impl CoordinatorActor {
             self.missing_since.insert(job, at);
             self.missing_order.insert((at, job));
         }
+        true
     }
 
     /// Full resync of the watch list against the database's missing set
@@ -495,7 +542,7 @@ impl CoordinatorActor {
         collected: Vec<u64>,
         catalog_seq: u64,
     ) {
-        self.note_client(client, from);
+        self.greet_client(ctx, client, from);
         let mut charge = Charge::ZERO;
         if !collected.is_empty() {
             charge += self.db.mark_collected(client, &collected);
@@ -910,10 +957,29 @@ impl Actor<Msg> for CoordinatorActor {
         *self.rx_counts.entry(msg.kind()).or_insert(0) += 1;
         match msg {
             Msg::Submit { spec } => {
-                self.note_client(spec.key.client, from);
+                if !self.owns(spec.key.client) {
+                    self.redirect(ctx, from);
+                    return;
+                }
+                self.greet_client(ctx, spec.key.client, from);
                 let job = spec.key;
-                let (_new, charge) = self.db.register_job(spec);
-                let done = self.pay(ctx, charge);
+                // The flat plane guarantees in-order registration
+                // structurally (FIFO links, sequential pump).  A sharded
+                // plane does not: a wrong-shard coordinator consumes
+                // earlier submissions without registering them, and a
+                // gapped registration here would poison the client's
+                // prefix acknowledgement (`coord_max`) into dropping the
+                // missing entries from its log.  Refuse the gap — the ack
+                // below reports the true contiguous prefix and the
+                // client's replay fills the hole in order.
+                let gap = self.params.directory.shard_count() > 1
+                    && job.seq > self.db.client_max(job.client) + 1;
+                let done = if gap {
+                    ctx.now()
+                } else {
+                    let (_new, charge) = self.db.register_job(spec);
+                    self.pay(ctx, charge)
+                };
                 let coord_max = self.db.client_max(job.client);
                 let epoch = self.epoch;
                 self.deferred.send_at(
@@ -929,9 +995,33 @@ impl Actor<Msg> for CoordinatorActor {
                 let Some(last) = specs.last() else { return };
                 let client = last.key.client;
                 let job = last.key;
-                self.note_client(client, from);
-                let (_n, charge) = self.db.register_jobs_bulk(specs);
-                let done = self.pay(ctx, charge);
+                if !self.owns(client) {
+                    self.redirect(ctx, from);
+                    return;
+                }
+                self.greet_client(ctx, client, from);
+                // Same gap refusal as the single-submit path: keep only
+                // the prefix of the batch that extends the contiguous
+                // registration (duplicates below it are idempotent).
+                let mut specs = specs;
+                if self.params.directory.shard_count() > 1 {
+                    let mut next = self.db.client_max(client) + 1;
+                    let keep = specs
+                        .iter()
+                        .take_while(|s| {
+                            let ok = s.key.seq <= next;
+                            next = next.max(s.key.seq + 1);
+                            ok
+                        })
+                        .count();
+                    specs.truncate(keep);
+                }
+                let done = if specs.is_empty() {
+                    ctx.now()
+                } else {
+                    let (_n, charge) = self.db.register_jobs_bulk(specs);
+                    self.pay(ctx, charge)
+                };
                 let coord_max = self.db.client_max(client);
                 let epoch = self.epoch;
                 self.deferred.send_at(
@@ -944,9 +1034,17 @@ impl Actor<Msg> for CoordinatorActor {
                 );
             }
             Msg::ClientBeat { client, max_seq, collected, catalog_seq } => {
+                if !self.owns(client) {
+                    self.redirect(ctx, from);
+                    return;
+                }
                 self.handle_client_beat(ctx, from, client, max_seq, collected, catalog_seq);
             }
             Msg::ResultsRequest { client, want } => {
+                if !self.owns(client) {
+                    self.redirect(ctx, from);
+                    return;
+                }
                 self.handle_results_request(ctx, from, client, want);
             }
             Msg::ServerBeat { server, want_work, running, offered } => {

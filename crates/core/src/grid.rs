@@ -32,8 +32,13 @@ pub struct GridSpec {
     pub seed: u64,
     /// Protocol configuration.
     pub cfg: ProtocolConfig,
-    /// Number of coordinators.
+    /// Number of coordinators *per shard* (each shard is a full
+    /// replicated group).
     pub n_coordinators: usize,
+    /// Number of coordinator shards the job space is hash-partitioned
+    /// across (1 = the paper's unsharded plane; the degenerate case is
+    /// bit-compatible with a pre-shard grid).
+    pub shards: usize,
     /// Number of servers.
     pub n_servers: usize,
     /// Host model for coordinators.
@@ -65,6 +70,7 @@ impl GridSpec {
             seed: 0xC0FFEE,
             cfg: ProtocolConfig::confined(),
             n_coordinators,
+            shards: 1,
             n_servers,
             coord_host: calibration::confined_coordinator(),
             server_host: calibration::confined_server(),
@@ -84,6 +90,7 @@ impl GridSpec {
             seed: 0xC0FFEE,
             cfg: ProtocolConfig::real_life(),
             n_coordinators,
+            shards: 1,
             n_servers,
             coord_host: calibration::reallife_coordinator(),
             server_host: calibration::internet_desktop(),
@@ -106,6 +113,13 @@ impl GridSpec {
     /// Builder: protocol config.
     pub fn with_cfg(mut self, cfg: ProtocolConfig) -> Self {
         self.cfg = cfg;
+        self
+    }
+
+    /// Builder: number of coordinator shards (floors at 1).  Each shard
+    /// gets its own group of [`GridSpec::n_coordinators`] replicas.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
         self
     }
 
@@ -163,12 +177,23 @@ impl SimGrid {
         world.net_mut().set_link_bidir(NodeId(0), NodeId(0), spec.link); // no-op, keeps net non-empty
         *world.net_mut() = rpcv_simnet::NetModel::new(spec.link);
 
+        // Shard-major coordinator layout: shard `s` owns members
+        // `s * n_coordinators .. (s + 1) * n_coordinators`, numbered so a
+        // 1-shard grid gets exactly the historical ids 1..=n.
+        let shards = spec.shards.max(1);
         let mut coords = Vec::new();
-        for i in 0..spec.n_coordinators {
-            let mut host = spec.coord_host.clone();
-            host.name = format!("coord{i}");
-            let node = world.add_host(host);
-            coords.push((CoordId(i as u64 + 1), node));
+        let mut groups: Vec<Vec<(CoordId, NodeId)>> = Vec::with_capacity(shards);
+        for s in 0..shards {
+            let mut group = Vec::with_capacity(spec.n_coordinators);
+            for m in 0..spec.n_coordinators {
+                let i = s * spec.n_coordinators + m;
+                let mut host = spec.coord_host.clone();
+                host.name = format!("coord{i}");
+                let node = world.add_host(host);
+                coords.push((CoordId(i as u64 + 1), node));
+                group.push((CoordId(i as u64 + 1), node));
+            }
+            groups.push(group);
         }
         if let Some(link) = spec.coord_link {
             for (i, &(_, a)) in coords.iter().enumerate() {
@@ -177,7 +202,7 @@ impl SimGrid {
                 }
             }
         }
-        let directory = Directory::new(coords.iter().copied());
+        let directory = Directory::sharded(groups);
 
         let mut servers = Vec::new();
         for i in 0..spec.n_servers {

@@ -48,6 +48,8 @@
 //! assert_eq!(grid.client_results(), 8);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod api;
 pub mod calibration;
 pub mod chaos;

@@ -290,6 +290,19 @@ pub enum Msg {
         payload: Blob,
     },
 
+    /// The coordinator plane's shard map, pushed to a client at connect
+    /// (and to any client that addressed a coordinator outside its owning
+    /// shard).  `groups[s]` lists shard `s`'s coordinator replicas in
+    /// preference order; the receiver computes its own shard as
+    /// `hash(ClientKey) % groups.len()` ([`rpcv_xw::ClientKey::shard_of`])
+    /// and restricts its coordinator list to that group.  Never sent on a
+    /// 1-shard grid, so the degenerate case stays wire-identical to the
+    /// pre-shard protocol.
+    ShardMap {
+        /// Per-shard coordinator groups, indexed by shard.
+        groups: Vec<Vec<CoordId>>,
+    },
+
     // ----- external (API / workload) ----------------------------------------------
     /// Injected by the GridRPC API layer or a workload driver: submit this
     /// job through the client actor.
@@ -356,6 +369,7 @@ const TAGS: &[(&str, u8)] = &[
     ("Corrupt", 21),
     ("SnapshotRequest", 22),
     ("SnapshotChunk", 23),
+    ("ShardMap", 24),
 ];
 
 impl Msg {
@@ -390,6 +404,7 @@ impl Msg {
             Msg::Corrupt { .. } => 21,
             Msg::SnapshotRequest { .. } => 22,
             Msg::SnapshotChunk { .. } => 23,
+            Msg::ShardMap { .. } => 24,
         }
     }
 
@@ -535,6 +550,7 @@ impl WireEncode for Msg {
                 w.put_uvarint(*extra);
                 payload.encode(w);
             }
+            Msg::ShardMap { groups } => groups.encode(w),
         }
     }
 }
@@ -632,6 +648,7 @@ impl WireDecode for Msg {
                 extra: r.get_uvarint()?,
                 payload: Blob::decode(r)?,
             },
+            24 => Msg::ShardMap { groups: Vec::<Vec<CoordId>>::decode(r)? },
             tag => return Err(WireError::InvalidTag { ty: "Msg", tag: tag as u64 }),
         })
     }
@@ -751,6 +768,9 @@ mod tests {
                 total: 3,
                 extra: 5000,
                 payload: Blob::from_vec(vec![9; 64]),
+            },
+            Msg::ShardMap {
+                groups: vec![vec![CoordId(1), CoordId(2)], vec![CoordId(3), CoordId(4)]],
             },
         ]
     }

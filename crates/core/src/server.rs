@@ -150,12 +150,38 @@ pub struct ServerParams {
     pub limits: SandboxLimits,
 }
 
+/// One shard's coordinator-selection state: a server talks to every shard
+/// it holds work from, and each shard fails over independently — suspicion
+/// of one shard's primary must not re-target (or re-announce state to) the
+/// others.  On a 1-shard grid the single link is exactly the historical
+/// `coords`/`current_coord`/`last_reply` triple.
+struct ShardLink {
+    /// This shard's coordinator group, in shared preference order.
+    coords: CoordinatorList<u64>,
+    /// The group member currently served by this server's requests.
+    current: Option<CoordId>,
+    /// Last reply from this shard (suspicion window).
+    last_reply: Option<SimTime>,
+    /// Last beat sent to this shard: a link quiet by *our* choice must
+    /// re-arm its suspicion window before being judged again.
+    last_sent: Option<SimTime>,
+}
+
 /// The server state machine.
 pub struct ServerActor {
     params: ServerParams,
     executor: WorkerExecutor,
-    coords: CoordinatorList<u64>,
-    current_coord: Option<CoordId>,
+    /// Per-shard coordinator links, indexed by shard.
+    links: Vec<ShardLink>,
+    /// Rotating work-request target: each beat asks exactly one shard for
+    /// new work (over-asking every shard would systematically over-assign),
+    /// advancing per request; servers start offset by id so an idle fleet
+    /// spreads its pull pressure across all shards at once.
+    work_shard: usize,
+    /// Consecutive `NoWork` replies this rotation lap: an idle server
+    /// immediately retries the next shard until one lap comes up empty,
+    /// then waits for the periodic beat.
+    nowork_streak: usize,
     plog: PeerLog<StoredResult>,
     running: BTreeMap<TaskId, Exec>,
     /// Assignments accepted beyond current capacity (a beat/assignment
@@ -207,7 +233,6 @@ pub struct ServerActor {
     offer_after: BTreeSet<(SimTime, JobKey)>,
     /// Reverse index for `offer_after`: job → its scheduled key time.
     offer_slot: BTreeMap<JobKey, SimTime>,
-    last_reply: Option<SimTime>,
     deferred: Deferred,
     /// Public observations.
     pub metrics: ServerMetrics,
@@ -237,13 +262,26 @@ impl ServerActor {
     }
 
     fn fresh(params: ServerParams) -> Self {
-        let coords = CoordinatorList::new(params.directory.coord_ids(), params.cfg.coord_retry);
+        let shards = params.directory.shard_count();
+        let links = (0..shards)
+            .map(|s| ShardLink {
+                coords: CoordinatorList::new(
+                    params.directory.group(s).iter().map(|c| c.0),
+                    params.cfg.coord_retry,
+                ),
+                current: None,
+                last_reply: None,
+                last_sent: None,
+            })
+            .collect();
+        let work_shard = (params.id.0 as usize) % shards;
         let executor = WorkerExecutor::new(params.registry.clone(), params.limits);
         ServerActor {
             params,
             executor,
-            coords,
-            current_coord: None,
+            links,
+            work_shard,
+            nowork_streak: 0,
             plog: PeerLog::new(GcPolicy::unbounded()),
             running: BTreeMap::new(),
             backlog: VecDeque::new(),
@@ -257,7 +295,6 @@ impl ServerActor {
             result_sent_at: BTreeMap::new(),
             offer_after: BTreeSet::new(),
             offer_slot: BTreeMap::new(),
-            last_reply: None,
             deferred: Deferred::new(),
             metrics: ServerMetrics::default(),
         }
@@ -279,33 +316,88 @@ impl ServerActor {
         self.plog.unacked_len()
     }
 
-    fn coordinator(&mut self, now: SimTime) -> Option<(CoordId, NodeId)> {
-        let id = match self.current_coord {
-            Some(c) if self.coords.is_eligible(c.0, now) => c,
+    /// The shard owning `job` (0 on a 1-shard grid).
+    fn shard_of(&self, job: &JobKey) -> usize {
+        self.params.directory.shard_of(job.client)
+    }
+
+    /// Attributes a coordinator reply to its shard link: 0 on a 1-shard
+    /// grid (no lookup), else resolved through the directory.  Updates the
+    /// suspicion window and — for replies that prove the coordinator is
+    /// serving us, not just draining a backlog — re-trusts the link's
+    /// current pick.
+    fn note_reply(&mut self, from: NodeId, now: SimTime, trust: bool) -> usize {
+        let s = if self.links.len() == 1 {
+            0
+        } else {
+            self.params
+                .directory
+                .coord_at(from)
+                .and_then(|c| self.params.directory.shard_of_coord(c))
+                .unwrap_or(0)
+        };
+        self.links[s].last_reply = Some(now);
+        if trust {
+            if let Some(c) = self.links[s].current {
+                self.links[s].coords.trust(c.0);
+            }
+        }
+        s
+    }
+
+    fn coordinator_for(&mut self, s: usize, now: SimTime) -> Option<(CoordId, NodeId)> {
+        let link = &mut self.links[s];
+        let id = match link.current {
+            Some(c) if link.coords.is_eligible(c.0, now) => c,
             _ => {
-                let picked = CoordId(self.coords.preferred(now)?);
-                self.current_coord = Some(picked);
-                self.last_reply = Some(now);
+                let picked = CoordId(link.coords.preferred(now)?);
+                link.current = Some(picked);
+                link.last_reply = Some(now);
                 picked
             }
         };
         self.params.directory.node_of(id).map(|n| (id, n))
     }
 
-    fn check_coordinator_liveness(&mut self, ctx: &mut Ctx<'_, Msg>) {
+    /// A link we have not beaten within the suspicion window was quiet by
+    /// *our* choice (no state held there, rotation elsewhere) — judging its
+    /// stale reply stamp would condemn a healthy coordinator.  Re-arm the
+    /// window before re-engaging.  On a 1-shard grid beats land every
+    /// heartbeat, so this never fires.
+    fn refresh_quiet_link(&mut self, s: usize, now: SimTime) {
+        let quiet =
+            self.links[s].last_sent.is_none_or(|at| now.since(at) > self.params.cfg.suspicion);
+        if quiet && self.links[s].current.is_some() {
+            self.links[s].last_reply = Some(now);
+        }
+    }
+
+    fn check_shard_liveness(&mut self, ctx: &mut Ctx<'_, Msg>, s: usize) {
         let now = ctx.now();
-        if let (Some(c), Some(last)) = (self.current_coord, self.last_reply) {
-            if now.since(last) > self.params.cfg.suspicion {
-                ctx.note("server suspects coordinator");
-                self.coords.suspect(c.0, now);
-                self.current_coord = None;
-                self.metrics.coordinator_switches += 1;
-                // The successor may lack the dead coordinator's checkpoint
-                // rows: re-announce every running task's mark to whoever
-                // answers next (idempotent — the merge is monotone).
-                self.ckpt_acked.clear();
-                self.ckpt_inflight.clear();
-            }
+        let (Some(c), Some(last)) = (self.links[s].current, self.links[s].last_reply) else {
+            return;
+        };
+        if now.since(last) <= self.params.cfg.suspicion {
+            return;
+        }
+        ctx.note("server suspects coordinator");
+        self.links[s].coords.suspect(c.0, now);
+        self.links[s].current = None;
+        self.metrics.coordinator_switches += 1;
+        // The successor may lack the dead coordinator's checkpoint rows:
+        // re-announce the running marks of *this shard's* tasks to whoever
+        // answers next (idempotent — the merge is monotone).  Other shards'
+        // marks stay acknowledged: their coordinators are not in question.
+        let doomed: Vec<TaskId> = self
+            .ckpt_acked
+            .keys()
+            .chain(self.ckpt_inflight.keys())
+            .filter(|id| self.running.get(id).is_none_or(|e| self.shard_of(&e.desc.job) == s))
+            .copied()
+            .collect();
+        for id in doomed {
+            self.ckpt_acked.remove(&id);
+            self.ckpt_inflight.remove(&id);
         }
     }
 
@@ -363,11 +455,25 @@ impl ServerActor {
     }
 
     fn beat(&mut self, ctx: &mut Ctx<'_, Msg>) {
-        self.check_coordinator_liveness(ctx);
         let now = ctx.now();
-        let Some((_, node)) = self.coordinator(now) else { return };
+        let shards = self.links.len();
         let capacity = self.params.cfg.server_capacity as usize;
         let want = capacity.saturating_sub(self.running.len() + self.backlog.len()) as u32;
+        // Partition held state by owning shard: each shard's coordinator
+        // sees exactly the tasks and offers it is responsible for.  On a
+        // 1-shard grid the single partition is byte-identical to the old
+        // flat beat (same traversal order, same 64-offer window).
+        let mut running: Vec<Vec<TaskId>> = vec![Vec::new(); shards];
+        let mut offered: Vec<Vec<JobKey>> = vec![Vec::new(); shards];
+        for (id, e) in &self.running {
+            running[self.params.directory.shard_of(e.desc.job.client)].push(*id);
+        }
+        for (t, _) in &self.backlog {
+            running[self.params.directory.shard_of(t.job.client)].push(t.id);
+        }
+        for (id, job) in &self.completing {
+            running[self.params.directory.shard_of(job.client)].push(*id);
+        }
         // Offer unacknowledged archives (the peer-wise comparison half),
         // excluding those whose delivery is plausibly still in flight.
         // Served from the time-indexed offer queue: the beat pays only for
@@ -375,21 +481,97 @@ impl ServerActor {
         // filter scan rejecting every in-flight archive.  Sorted back to
         // log-key order so the window is byte-identical to the old filter
         // whenever at most 64 entries are eligible.
-        let mut offered: Vec<JobKey> = Vec::new();
+        for &(at, job) in self.offer_after.iter().take(64) {
+            if at >= now {
+                break;
+            }
+            offered[self.params.directory.shard_of(job.client)].push(job);
+        }
+        for list in &mut offered {
+            list.sort_unstable_by_key(|j| (j.client.as_peer(), j.seq));
+        }
+        // One beat per shard holding state here, plus — when capacity is
+        // spare — the rotating work-request target (asking every shard at
+        // once would systematically over-assign S instances per slot).
+        let want_target = if want > 0 { Some(self.work_shard % shards) } else { None };
+        for s in 0..shards {
+            let has_state = !running[s].is_empty() || !offered[s].is_empty();
+            let is_target = want_target == Some(s);
+            if !has_state && !is_target {
+                continue;
+            }
+            self.refresh_quiet_link(s, now);
+            self.check_shard_liveness(ctx, s);
+            let Some((_, node)) = self.coordinator_for(s, now) else { continue };
+            ctx.send(
+                node,
+                Msg::ServerBeat {
+                    server: self.params.id,
+                    want_work: if is_target { want } else { 0 },
+                    running: std::mem::take(&mut running[s]),
+                    offered: std::mem::take(&mut offered[s]),
+                },
+            );
+            self.links[s].last_sent = Some(now);
+        }
+        if want_target.is_some() && shards > 1 {
+            self.work_shard = (self.work_shard + 1) % shards;
+        }
+    }
+
+    /// The `NoWork`-continuation: one targeted want-beat to the current
+    /// rotation shard, carrying that shard's running/offered state like
+    /// any beat (an empty running list would read as "lost everything"
+    /// to the coordinator's reconciler).  Strictly one message deep —
+    /// re-running the full `beat` fan-out here would let every sync-beat
+    /// `NoWork` reply spawn up to S more beats, an exponential storm on
+    /// an idle sharded grid.  Unreachable on a 1-shard grid (the streak
+    /// cap is 0 retries there).
+    fn request_work(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let now = ctx.now();
+        let shards = self.links.len();
+        let capacity = self.params.cfg.server_capacity as usize;
+        let want = capacity.saturating_sub(self.running.len() + self.backlog.len()) as u32;
+        if want == 0 {
+            return;
+        }
+        let s = self.work_shard % shards;
+        let mut running = Vec::new();
+        for (id, e) in &self.running {
+            if self.params.directory.shard_of(e.desc.job.client) == s {
+                running.push(*id);
+            }
+        }
+        for (t, _) in &self.backlog {
+            if self.params.directory.shard_of(t.job.client) == s {
+                running.push(t.id);
+            }
+        }
+        for (id, job) in &self.completing {
+            if self.params.directory.shard_of(job.client) == s {
+                running.push(*id);
+            }
+        }
+        let mut offered = Vec::new();
         for &(at, job) in self.offer_after.iter() {
             if at >= now || offered.len() == 64 {
                 break;
             }
-            offered.push(job);
+            if self.params.directory.shard_of(job.client) == s {
+                offered.push(job);
+            }
         }
         offered.sort_unstable_by_key(|j| (j.client.as_peer(), j.seq));
-        let mut running: Vec<TaskId> = self.running.keys().copied().collect();
-        running.extend(self.backlog.iter().map(|(t, _)| t.id));
-        running.extend(self.completing.keys().copied());
-        ctx.send(
-            node,
-            Msg::ServerBeat { server: self.params.id, want_work: want, running, offered },
-        );
+        self.refresh_quiet_link(s, now);
+        self.check_shard_liveness(ctx, s);
+        if let Some((_, node)) = self.coordinator_for(s, now) {
+            ctx.send(
+                node,
+                Msg::ServerBeat { server: self.params.id, want_work: want, running, offered },
+            );
+            self.links[s].last_sent = Some(now);
+        }
+        self.work_shard = (self.work_shard + 1) % shards;
     }
 
     fn start_task(&mut self, ctx: &mut Ctx<'_, Msg>, desc: TaskDesc, banked_units: u32) {
@@ -469,7 +651,8 @@ impl ServerActor {
         // Reported as running until the coordinator acknowledges delivery
         // (see the `completing` field).
         self.completing.insert(exec.desc.id, exec.desc.job);
-        if let Some((_, node)) = self.coordinator(now) {
+        let shard = self.shard_of(&exec.desc.job);
+        if let Some((_, node)) = self.coordinator_for(shard, now) {
             self.mark_result_sent(now, exec.desc.job);
             self.deferred.send_at(
                 ctx,
@@ -497,8 +680,12 @@ impl ServerActor {
 
     fn resend_archives(&mut self, ctx: &mut Ctx<'_, Msg>, jobs: Vec<JobKey>) {
         let now = ctx.now();
-        let Some((_, node)) = self.coordinator(now) else { return };
         for job in jobs {
+            // A NeedArchives batch comes from one coordinator, but each job
+            // is still routed by its own shard — the authoritative home for
+            // the archive even if a mis-addressed request slipped in.
+            let shard = self.shard_of(&job);
+            let Some((_, node)) = self.coordinator_for(shard, now) else { continue };
             let key = (job.client.as_peer(), job.seq);
             if let Some(entry) = self.plog.get(key) {
                 if !self.may_send_result(ctx, &job, entry.value.archive.len()) {
@@ -602,8 +789,11 @@ impl ServerActor {
         if frames.is_empty() {
             return;
         }
-        let Some((_, node)) = self.coordinator(now) else { return };
         for frame in frames {
+            // Each frame goes to its job's shard: a resume point is only
+            // useful on the coordinator group that can re-dispatch the task.
+            let shard = self.shard_of(&frame.job);
+            let Some((_, node)) = self.coordinator_for(shard, now) else { continue };
             self.ckpt_inflight.insert(frame.task, (frame.unit_hw, now));
             self.metrics.ckpt_uploads += 1;
             self.metrics.ckpt_bytes += frame.blob.len();
@@ -631,10 +821,8 @@ impl Actor<Msg> for ServerActor {
     fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, _from: NodeId, msg: Msg) {
         match msg {
             Msg::Assign { task, resume } => {
-                self.last_reply = Some(ctx.now());
-                if let Some(c) = self.current_coord {
-                    self.coords.trust(c.0);
-                }
+                self.note_reply(_from, ctx.now(), true);
+                self.nowork_streak = 0;
                 // A successor instance starts from the coordinator's
                 // durable resume point instead of unit zero.  The state
                 // blob's restore is modelled by the bank itself; a local
@@ -643,10 +831,7 @@ impl Actor<Msg> for ServerActor {
                 self.start_task(ctx, task, banked);
             }
             Msg::CkptAck { task, job: _, unit_hw } => {
-                self.last_reply = Some(ctx.now());
-                if let Some(c) = self.current_coord {
-                    self.coords.trust(c.0);
-                }
+                self.note_reply(_from, ctx.now(), true);
                 self.metrics.ckpt_acks += 1;
                 if let Some(&(sent_hw, _)) = self.ckpt_inflight.get(&task) {
                     if unit_hw >= sent_hw {
@@ -661,29 +846,38 @@ impl Actor<Msg> for ServerActor {
                 }
             }
             Msg::NoWork => {
-                self.last_reply = Some(ctx.now());
-                if let Some(c) = self.current_coord {
-                    self.coords.trust(c.0);
+                self.note_reply(_from, ctx.now(), true);
+                // An idle server rotates its work request across shards:
+                // NoWork retargets the next shard right away with a single
+                // targeted beat, bounded to one lap per heartbeat so an
+                // empty grid is not a beat storm.  On a 1-shard grid the
+                // streak cap is 0 retries — exactly the historical "wait
+                // for the next heartbeat".
+                let shards = self.links.len();
+                let spare = self.running.len() + self.backlog.len()
+                    < self.params.cfg.server_capacity as usize;
+                if spare && self.nowork_streak + 1 < shards {
+                    self.nowork_streak += 1;
+                    self.request_work(ctx);
+                } else {
+                    self.nowork_streak = 0;
                 }
             }
             Msg::TaskDoneAck { task, job } => {
-                self.last_reply = Some(ctx.now());
+                self.note_reply(_from, ctx.now(), false);
                 self.plog.ack((job.client.as_peer(), job.seq));
                 self.offer_dequeue(&job);
                 self.completing.remove(&task);
             }
             Msg::NeedArchives { jobs } => {
-                self.last_reply = Some(ctx.now());
+                self.note_reply(_from, ctx.now(), false);
                 self.resend_archives(ctx, jobs);
             }
             Msg::ArchivesSettled { jobs } => {
                 // The coordinator will never request these (stored there or
                 // delivered to the client): acknowledge them so the log can
                 // reclaim the archives and the offer window frees up.
-                self.last_reply = Some(ctx.now());
-                if let Some(c) = self.current_coord {
-                    self.coords.trust(c.0);
-                }
+                self.note_reply(_from, ctx.now(), true);
                 for job in &jobs {
                     self.plog.ack((job.client.as_peer(), job.seq));
                     self.result_sent_at.remove(job);
@@ -711,6 +905,8 @@ impl Actor<Msg> for ServerActor {
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, id: TimerId, kind: u64) {
         match kind {
             K_BEAT => {
+                // A fresh heartbeat starts a fresh rotation lap.
+                self.nowork_streak = 0;
                 self.beat(ctx);
                 ctx.set_timer(self.params.cfg.heartbeat, K_BEAT);
             }

@@ -5,24 +5,43 @@ use std::collections::BTreeMap;
 
 use rpcv_simnet::{Ctx, NodeId, SimTime, TimerId};
 use rpcv_wire::Blob;
-use rpcv_xw::CoordId;
+use rpcv_xw::{ClientKey, CoordId};
 
 use crate::msg::Msg;
 
-/// Maps coordinator identities to their network addresses.
+/// Maps coordinator identities to their network addresses, partitioned into
+/// replication shards.
 ///
 /// This is the paper's bootstrap list "downloaded ... at system
 /// initialization from known repositories (web servers, DNS, mail
-/// communicated messages, etc...)".
+/// communicated messages, etc...)", extended with the shard plane: the job
+/// space is hash-partitioned by [`ClientKey::shard_of`] across `S`
+/// independent coordinator groups, each a full replicated ring with its own
+/// change index, delta floor, and snapshot feed.  A directory built with
+/// [`Directory::new`] has a single group holding every coordinator — the
+/// degenerate 1-shard grid, bit-compatible with the pre-shard protocol.
 #[derive(Debug, Clone, Default)]
 pub struct Directory {
     coords: BTreeMap<CoordId, NodeId>,
+    /// Shard membership: `groups[s]` lists shard `s`'s coordinators in
+    /// preference order.  Always at least one group when non-empty.
+    groups: Vec<Vec<CoordId>>,
 }
 
 impl Directory {
-    /// Directory over `(coordinator, node)` pairs.
+    /// Directory over `(coordinator, node)` pairs, all in one shard.
     pub fn new(entries: impl IntoIterator<Item = (CoordId, NodeId)>) -> Self {
-        Directory { coords: entries.into_iter().collect() }
+        let coords: BTreeMap<CoordId, NodeId> = entries.into_iter().collect();
+        let groups = vec![coords.keys().copied().collect()];
+        Directory { coords, groups }
+    }
+
+    /// Directory over per-shard coordinator groups: `groups[s]` owns the
+    /// clients with `key.shard_of(groups.len()) == s`.
+    pub fn sharded(groups: Vec<Vec<(CoordId, NodeId)>>) -> Self {
+        let coords = groups.iter().flatten().copied().collect();
+        let groups = groups.iter().map(|g| g.iter().map(|&(c, _)| c).collect()).collect();
+        Directory { coords, groups }
     }
 
     /// Address of a coordinator.
@@ -30,9 +49,41 @@ impl Directory {
         self.coords.get(&c).copied()
     }
 
+    /// The coordinator listening on `node`, if any (reverse lookup — a
+    /// linear scan, used off the hot path to attribute replies to shards).
+    pub fn coord_at(&self, node: NodeId) -> Option<CoordId> {
+        self.coords.iter().find(|&(_, &n)| n == node).map(|(&c, _)| c)
+    }
+
     /// All coordinator ids (the common order base set).
     pub fn coord_ids(&self) -> Vec<u64> {
         self.coords.keys().map(|c| c.0).collect()
+    }
+
+    /// Number of shards (1 for a flat directory).
+    pub fn shard_count(&self) -> usize {
+        self.groups.len().max(1)
+    }
+
+    /// The shard owning `client`'s job space.
+    pub fn shard_of(&self, client: ClientKey) -> usize {
+        client.shard_of(self.shard_count())
+    }
+
+    /// Coordinator ids of shard `s`, in preference order.
+    pub fn group(&self, s: usize) -> &[CoordId] {
+        &self.groups[s]
+    }
+
+    /// The shard index `c` belongs to (`None` for an unknown coordinator).
+    pub fn shard_of_coord(&self, c: CoordId) -> Option<usize> {
+        self.groups.iter().position(|g| g.contains(&c))
+    }
+
+    /// The shard-map wire payload: per-shard member lists, as pushed to
+    /// clients at connect via `Msg::ShardMap`.
+    pub fn shard_groups(&self) -> Vec<Vec<CoordId>> {
+        self.groups.clone()
     }
 
     /// Number of coordinators.
@@ -197,6 +248,36 @@ mod tests {
         assert_eq!(d.coord_ids(), vec![1, 2]);
         assert_eq!(d.len(), 2);
         assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn flat_directory_is_one_shard() {
+        let d = Directory::new([(CoordId(1), NodeId(4)), (CoordId(2), NodeId(5))]);
+        assert_eq!(d.shard_count(), 1);
+        assert_eq!(d.shard_of(ClientKey::new(7, 3)), 0);
+        assert_eq!(d.group(0), &[CoordId(1), CoordId(2)]);
+        assert_eq!(d.shard_of_coord(CoordId(2)), Some(0));
+        assert_eq!(d.coord_at(NodeId(5)), Some(CoordId(2)));
+    }
+
+    #[test]
+    fn sharded_directory_partitions_members() {
+        let d = Directory::sharded(vec![
+            vec![(CoordId(1), NodeId(4)), (CoordId(2), NodeId(5))],
+            vec![(CoordId(3), NodeId(6)), (CoordId(4), NodeId(7))],
+        ]);
+        assert_eq!(d.shard_count(), 2);
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.group(1), &[CoordId(3), CoordId(4)]);
+        assert_eq!(d.shard_of_coord(CoordId(3)), Some(1));
+        assert_eq!(d.shard_of_coord(CoordId(9)), None);
+        // Routing agrees with the shared client-side hash.
+        let k = ClientKey::new(11, 1);
+        assert_eq!(d.shard_of(k), k.shard_of(2));
+        assert_eq!(
+            d.shard_groups(),
+            vec![vec![CoordId(1), CoordId(2)], vec![CoordId(3), CoordId(4)]]
+        );
     }
 
     #[test]

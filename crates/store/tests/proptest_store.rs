@@ -344,6 +344,147 @@ proptest! {
         prop_assert_eq!(mirror.resident_rows(), full.resident_rows());
     }
 
+    /// Shard routing is a pure partition of the job space: replaying a
+    /// multi-client op sequence through `ClientKey::shard_of` onto S
+    /// independent databases yields, per client, exactly the rows the
+    /// 1-shard reference holds — jobs, marks, result catalogs, checkpoint
+    /// marks and collected knowledge — and the shards' union reconstructs
+    /// the reference with no row lost, duplicated, or misrouted.  The
+    /// store itself stays shard-oblivious; this pins that the routing
+    /// layer above it never needs cross-shard reconciliation.
+    #[test]
+    fn sharded_routing_matches_flat_reference(
+        shards in 2usize..=4,
+        ops in proptest::collection::vec((1u64..9, 1u64..15, 0u8..6), 1..60),
+    ) {
+        let ck = |c: u64| ClientKey::new(c, 1);
+        let jk = |c: u64, seq: u64| JobKey::new(ck(c), seq);
+        let mk = |c: u64, seq: u64| {
+            JobSpec::new(jk(c, seq), "svc", Blob::synthetic(40, c << 8 | seq))
+                .with_exec_cost(1.0)
+                .with_result_size(32)
+                .with_work_units(100)
+        };
+        // Drain-and-complete every pending instance; applied to the flat
+        // reference and every shard in the same step, so each registered
+        // job finishes exactly once on both sides of the comparison.
+        let drain = |db: &mut CoordinatorDb| {
+            while let (Some(d), _) = db.next_pending(ServerId(1), SimTime::ZERO) {
+                db.complete_task(d.id, d.job, Blob::synthetic(32, d.job.seq), ServerId(1));
+            }
+        };
+        let mut flat = CoordinatorDb::new(CoordId(1));
+        let mut parts: Vec<CoordinatorDb> =
+            (0..shards).map(|s| CoordinatorDb::new(CoordId(10 + s as u64))).collect();
+        for (c, seq, action) in ops {
+            let s = ck(c).shard_of(shards);
+            match action {
+                0 | 1 => {
+                    flat.register_job(mk(c, seq));
+                    parts[s].register_job(mk(c, seq));
+                }
+                2 => {
+                    drain(&mut flat);
+                    for p in parts.iter_mut() {
+                        drain(p);
+                    }
+                }
+                3 => {
+                    flat.mark_collected(ck(c), &[seq]);
+                    parts[s].mark_collected(ck(c), &[seq]);
+                    if seq % 2 == 0 {
+                        let _ = flat.gc_collected();
+                        for p in parts.iter_mut() {
+                            let _ = p.gc_collected();
+                        }
+                    }
+                }
+                4 => {
+                    flat.store_archive(jk(c, seq), Blob::synthetic(8, seq));
+                    parts[s].store_archive(jk(c, seq), Blob::synthetic(8, seq));
+                }
+                _ => {
+                    flat.record_checkpoint(jk(c, seq), (seq as u32 % 6) + 1, Blob::synthetic(24, seq));
+                    parts[s].record_checkpoint(jk(c, seq), (seq as u32 % 6) + 1, Blob::synthetic(24, seq));
+                }
+            }
+            // The owning shard's client-facing views track the reference
+            // continuously; every other shard stays empty for this client.
+            prop_assert_eq!(parts[s].results_catalog_scan(ck(c)), flat.results_catalog_scan(ck(c)));
+            prop_assert_eq!(parts[s].client_max(ck(c)), flat.client_max(ck(c)));
+            for (o, p) in parts.iter().enumerate() {
+                if o != s {
+                    prop_assert!(p.client_max(ck(c)) == 0, "client {} leaked to shard {}", c, o);
+                    prop_assert!(p.results_catalog_scan(ck(c)).is_empty());
+                }
+            }
+        }
+        // Per-client from-scratch catalog merge: the owner's incremental
+        // feed rebuilds exactly the flat reference's catalog.
+        for c in 1u64..9 {
+            let owner = &parts[ck(c).shard_of(shards)];
+            let merge = |db: &CoordinatorDb| {
+                let d = db.results_catalog_since(ck(c), 0);
+                let mut m: std::collections::BTreeMap<u64, u64> = d.added.iter().copied().collect();
+                for seq in &d.removed {
+                    m.remove(seq);
+                }
+                m.into_iter().collect::<Vec<(u64, u64)>>()
+            };
+            prop_assert_eq!(merge(owner), merge(&flat));
+        }
+        // Union reconstruction: every row class in the flat reference is
+        // covered by exactly one shard, and each shard holds only rows
+        // whose client hashes to it.
+        let flat_delta = flat.delta_since(0);
+        let mut union_jobs = Vec::new();
+        let mut union_tasks = Vec::new();
+        let mut union_marks = Vec::new();
+        let mut union_collected = Vec::new();
+        let mut union_ckpts = Vec::new();
+        for (s, p) in parts.iter().enumerate() {
+            let d = p.delta_since(0);
+            for spec in d.jobs() {
+                prop_assert!(spec.key.client.shard_of(shards) == s, "misrouted job row");
+                union_jobs.push(spec.key);
+            }
+            union_tasks.extend(d.tasks().map(|t| t.job));
+            union_marks.extend(d.marks());
+            union_collected.extend(d.collected());
+            union_ckpts.extend(d.ckpts().map(|(j, hw, _)| (j, hw)));
+        }
+        let sorted = |mut v: Vec<JobKey>| {
+            v.sort();
+            v
+        };
+        let mut flat_jobs: Vec<_> = flat_delta.jobs().map(|spec| spec.key).collect();
+        flat_jobs.sort();
+        prop_assert_eq!(sorted(union_jobs), flat_jobs);
+        let mut flat_tasks: Vec<_> = flat_delta.tasks().map(|t| t.job).collect();
+        flat_tasks.sort();
+        prop_assert_eq!(sorted(union_tasks), flat_tasks);
+        union_marks.sort();
+        let mut flat_marks: Vec<_> = flat_delta.marks().collect();
+        flat_marks.sort();
+        prop_assert_eq!(union_marks, flat_marks);
+        let mut flat_collected: Vec<_> = flat_delta.collected().collect();
+        flat_collected.sort();
+        prop_assert_eq!(sorted(union_collected), flat_collected);
+        union_ckpts.sort();
+        let mut flat_ckpts: Vec<_> = flat_delta.ckpts().map(|(j, hw, _)| (j, hw)).collect();
+        flat_ckpts.sort();
+        prop_assert_eq!(union_ckpts, flat_ckpts);
+        prop_assert_eq!(parts.iter().map(|p| p.stats().jobs).sum::<u64>(), flat.stats().jobs);
+        prop_assert_eq!(
+            parts.iter().map(|p| p.finished_count()).sum::<u64>(),
+            flat.finished_count()
+        );
+        prop_assert_eq!(
+            parts.iter().map(|p| p.stats().archived).sum::<u64>(),
+            flat.stats().archived
+        );
+    }
+
     /// Checkpoint replay monotonicity: applying any prefix of an upload
     /// sequence — directly, or through incremental replication deltas —
     /// yields a resume high-water mark that equals the running maximum and

@@ -77,6 +77,25 @@ impl ClientKey {
     pub fn as_peer(&self) -> u64 {
         (self.user.0 << 32) | (self.session.0 & 0xffff_ffff)
     }
+
+    /// The coordinator shard owning this client's job space:
+    /// `hash(ClientKey) % shards`.
+    ///
+    /// Every party (clients, servers, coordinators, the store-level routing
+    /// proptest) must agree on this function, so it lives next to the key it
+    /// hashes.  The mixer is the splitmix64 finalizer — deterministic, stable
+    /// across platforms, and unbiased enough that sequentially numbered users
+    /// spread across shards instead of striping.
+    pub fn shard_of(&self, shards: usize) -> usize {
+        if shards <= 1 {
+            return 0;
+        }
+        let mut x = self.as_peer().wrapping_add(0x9e37_79b9_7f4a_7c15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^= x >> 31;
+        (x % shards as u64) as usize
+    }
 }
 
 impl WireEncode for ClientKey {

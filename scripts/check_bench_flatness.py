@@ -28,6 +28,24 @@ Dispatches on the artifact's "bench" tag:
   ~10x the rows and trips this.  Mirrors `check_residency_flatness` in
   crates/bench/benches/scale.rs.
 
+  Schema v4 adds the sharded coordinator plane: every cell reports its
+  shards count, payload/residency metrics are measured per BUSIEST
+  shard (so the flatness gates above keep asserting per-group
+  invariants — jobs-only pairs are now also matched on shards), and the
+  scale-out headline is gated on sim_events_per_sec, the grid's event
+  throughput in SIMULATED time: for cell pairs matched on
+  servers×jobs×clients where only the shard count differs from 1, the
+  S-shard cell must process >= 0.7·S× the 1-shard cell's events per
+  sim-second (full sweeps; smoke cells are too small to saturate a
+  coordinator group, so smoke only asserts sharding is not a
+  regression, >= 0.8×).  Simulated time carries the scale-out claim
+  because the kernel is serial — it interleaves every shard on one host
+  thread, so S shards can never cut the host's per-event wall cost;
+  what they cut is the simulated seconds the same workload occupies.
+  Wall-clock events_per_sec stays gated by the 300k kernel floor
+  above.  v3 artifacts are rejected — regenerate.  Mirrors
+  `check_shard_scaling` in crates/bench/benches/scale.rs.
+
 * ckpt — validate the checkpoint-policy sweep's schema and its headline:
   every cell completed, checkpointing policies report the bytes they paid,
   and within each volatility group the adaptive policy wastes less work
@@ -63,24 +81,28 @@ SCALE_FLOOR_SMOKE = 30_000
 
 
 def check_scale(doc: dict, path: str) -> None:
-    assert doc["schema_version"] == 3, \
-        f"{path}: scale schema is {doc['schema_version']}, expected 3 — " \
-        f"regenerate the artifact (v3 added the resident_rows column)"
+    assert doc["schema_version"] == 4, \
+        f"{path}: scale schema is {doc['schema_version']}, expected 4 — " \
+        f"regenerate the artifact (v4 added the shards axis and per-shard metrics)"
     grid = doc["grid"]
     floor = SCALE_FLOOR_SMOKE if doc["smoke"] else SCALE_FLOOR_FULL
     for cell in grid:
-        label = f'{cell.get("servers")}x{cell.get("jobs")}x{cell.get("clients")}'
-        for col in ("events_per_sec", "wall_seconds", "resident_rows"):
+        label = (f'{cell.get("servers")}x{cell.get("jobs")}'
+                 f'x{cell.get("clients")}x{cell.get("shards")}')
+        for col in ("events_per_sec", "wall_seconds", "sim_events_per_sec",
+                    "resident_rows", "shards"):
             assert col in cell, \
                 f"{path}: cell {label} lacks the {col} column — " \
                 f"regenerate the artifact; its gate cannot be checked"
+        assert cell["shards"] >= 1, f"{path}: cell {label} has a bad shards count"
         assert cell["events_per_sec"] >= floor, \
             f"{path}: cell {label} ran at {cell['events_per_sec']:.0f} events/sec, " \
             f"below the {floor} floor — kernel throughput regressed"
     pairs = 0
     for a in grid:
         for b in grid:
-            if (a["servers"], a["clients"]) == (b["servers"], b["clients"]) \
+            if (a["servers"], a["clients"], a["shards"]) \
+                    == (b["servers"], b["clients"], b["shards"]) \
                     and a["jobs"] < b["jobs"]:
                 pairs += 1
                 lo, hi = a["delta_bytes_per_round"], b["delta_bytes_per_round"]
@@ -91,10 +113,32 @@ def check_scale(doc: dict, path: str) -> None:
                     f"resident rows grew with lifetime job count — " \
                     f"coordinator memory is not bounded: {a} -> {b}"
     assert pairs >= 1, "sweep must include a cell pair differing only in job count"
+    # The scale-out headline: S shards must buy near-linear throughput
+    # in simulated time at a fixed servers×jobs×clients cell (full
+    # sweeps), and must never regress it (smoke).
+    ladder = 0
+    for a in grid:
+        for b in grid:
+            if (a["servers"], a["jobs"], a["clients"]) \
+                    == (b["servers"], b["jobs"], b["clients"]) \
+                    and a["shards"] == 1 and b["shards"] > 1:
+                ladder += 1
+                need = a["sim_events_per_sec"] * (
+                    0.8 if doc["smoke"] else 0.7 * b["shards"])
+                assert b["sim_events_per_sec"] >= need, \
+                    f"{path}: shard scale-out below the near-linear floor: " \
+                    f'{a["servers"]}x{a["jobs"]}x{a["clients"]} runs ' \
+                    f'{a["sim_events_per_sec"]:.0f} ev/sim-s at 1 shard but ' \
+                    f'{b["sim_events_per_sec"]:.0f} ev/sim-s at {b["shards"]} ' \
+                    f"shards (need >= {need:.0f})"
+    assert ladder >= 1, \
+        "sweep must include a shards ladder over a fixed servers×jobs×clients cell"
     slowest = min(c["events_per_sec"] for c in grid)
     peak = max(c["resident_rows"] for c in grid)
+    widest = max(c["shards"] for c in grid)
     print(f"{path}: delta + residency flatness OK across {pairs} jobs-only "
-          f"cell pair(s); peak residency {peak} rows; "
+          f"cell pair(s); {ladder} shard-ladder pair(s) hold the scale-out "
+          f"floor (widest {widest} shards); peak residency {peak} rows; "
           f"slowest cell {slowest:.0f} events/sec (floor {floor})")
 
 

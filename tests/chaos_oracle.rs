@@ -5,7 +5,7 @@
 //! one surviving seed is luck, a property is a guarantee.
 
 use proptest::prelude::*;
-use rpcv::core::chaos::ChaosOracle;
+use rpcv::core::chaos::{ChaosConfig, ChaosOracle};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
@@ -38,6 +38,29 @@ proptest! {
         );
         // Wire-fault accounting: every corruption is either garbled
         // (delivered mangled) or poisoned (typed drop), nothing vanishes.
+        prop_assert_eq!(report.garbled + report.poisoned, report.stats.corrupted);
+        prop_assert!(report.bad_frames <= report.poisoned);
+    }
+
+    /// The same safety sweep on a *sharded* coordinator plane: two shards,
+    /// four clients (hashing across both), every invariant unchanged —
+    /// exactly-once per owning client, post-heal quiescence, monotone
+    /// completion, drained deltas, and exact corruption accounting.  Shard
+    /// count must never weaken a safety guarantee.
+    #[test]
+    fn sharded_oracle_holds_every_invariant(
+        seed in any::<u64>(),
+        intensity_pct in 5u32..=100,
+    ) {
+        let intensity = intensity_pct as f64 / 100.0;
+        let cfg = ChaosConfig::new(seed, intensity).with_shards(2, 4);
+        let report = ChaosOracle::new(cfg).run();
+        prop_assert!(
+            report.survived(),
+            "sharded seed {seed:#x} intensity {intensity:.2} violated: {:?}",
+            report.violations
+        );
+        prop_assert_eq!(report.results, report.jobs);
         prop_assert_eq!(report.garbled + report.poisoned, report.stats.corrupted);
         prop_assert!(report.bad_frames <= report.poisoned);
     }
