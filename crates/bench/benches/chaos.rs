@@ -40,12 +40,32 @@ fn bench_json_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_chaos.json")
 }
 
+/// The per-plan post-heal recovery-gap histogram (suspicion →
+/// re-dispatch, virtual time) as compact JSON: quantiles in milliseconds
+/// plus the nonzero log2 buckets, deterministic because virtual time is.
+fn hist_json(h: &rpcv_obs::Histogram) -> String {
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "{{\"count\": {}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"buckets\": [",
+        h.count(),
+        h.p50_nanos() as f64 / 1e6,
+        h.p99_nanos() as f64 / 1e6,
+    );
+    for (i, (b, n)) in h.nonzero().enumerate() {
+        let comma = if i > 0 { ", " } else { "" };
+        let _ = write!(s, "{comma}[{b}, {n}]");
+    }
+    let _ = write!(s, "]}}");
+    s
+}
+
 fn write_json(reports: &[ChaosReport], smoke: bool) {
     let survived = reports.iter().filter(|r| r.survived()).count();
     let mut out = String::new();
     let _ = writeln!(out, "{{");
     let _ = writeln!(out, "  \"bench\": \"chaos\",");
-    let _ = writeln!(out, "  \"schema_version\": 1,");
+    let _ = writeln!(out, "  \"schema_version\": 2,");
     let _ = writeln!(out, "  \"smoke\": {smoke},");
     let _ = writeln!(out, "  \"plans\": [");
     for (i, r) in reports.iter().enumerate() {
@@ -56,7 +76,7 @@ fn write_json(reports: &[ChaosReport], smoke: bool) {
              \"crashes\": {}, \"wipes\": {}, \"partitions\": {}, \"bursts\": {}, \
              \"corrupt_frames\": {}, \"dup_frames\": {}, \"reordered_frames\": {}, \
              \"lost_frames\": {}, \"bad_frames\": {}, \"jobs\": {}, \"results\": {}, \
-             \"recovery_makespan_s\": {:.3}}}{comma}",
+             \"recovery_makespan_s\": {:.3}, \"recovery_gap_hist\": {}}}{comma}",
             r.seed,
             r.intensity,
             r.survived(),
@@ -72,6 +92,7 @@ fn write_json(reports: &[ChaosReport], smoke: bool) {
             r.jobs,
             r.results,
             r.recovery_makespan.as_secs_f64(),
+            hist_json(&r.recovery_gaps),
         );
     }
     let _ = writeln!(out, "  ],");

@@ -28,8 +28,17 @@
 //!   coordinator after a settle window: the observable of bounded memory
 //!   (without retention this tracks *lifetime* jobs; with it, live work
 //!   plus per-client watermarks),
+//! * `job_p50_ms` / `job_p99_ms` (schema v5) — end-to-end job latency
+//!   quantiles in *virtual* time (submission requested → result held),
+//!   read from the telemetry plane's log2 histograms aggregated across
+//!   every client: the latency face of the throughput numbers above, and
+//!   deterministic across machines because virtual time is,
 //! * completion counts, so a silently-stalled run cannot masquerade as a
 //!   fast one.
+//!
+//! Every cell runs with kernel profiling *enabled* (`World::set_profiling`)
+//! so the 300k events/sec floor is asserted with the telemetry plane's
+//! hot-path cost included, not in a stripped build.
 //!
 //! The `clients` axis splits the same total job count across N concurrent
 //! submitters sharing the coordinators, so a cell isolates the cost of
@@ -57,7 +66,7 @@
 //! the part future PRs consume — `BENCH_scale.json` at the repo root.
 //! Run `cargo bench -p rpcv-bench --bench scale` for the full sweep or
 //! `-- --smoke` for the tiny CI variant.  The JSON schema
-//! (`schema_version: 4`) is documented in ROADMAP.md ("Performance
+//! (`schema_version: 5`) is documented in ROADMAP.md ("Performance
 //! notes").
 
 use std::fmt::Write as _;
@@ -90,6 +99,8 @@ struct Cell {
     delta_bytes_per_round: f64,
     catalog_bytes_per_beat: f64,
     resident_rows: u64,
+    job_p50_ms: f64,
+    job_p99_ms: f64,
     done: bool,
 }
 
@@ -112,6 +123,9 @@ fn run_cell(servers: usize, jobs: usize, clients: usize, shards: usize) -> Cell 
     // the coordinators a modern database so kernel + index costs dominate.
     spec.coord_host = spec.coord_host.with_db_per_op(SimDuration::from_micros(100));
     let mut grid = SimGrid::build(spec);
+    // Telemetry on: the 300k floor must hold with the kernel profiler
+    // sampling every dispatch, not in a stripped configuration.
+    grid.world.set_profiling(true);
 
     let horizon = SimTime::from_secs(20_000);
     let chunk = SimDuration::from_secs(10);
@@ -151,34 +165,18 @@ fn run_cell(servers: usize, jobs: usize, clients: usize, shards: usize) -> Cell 
         events as f64 / wall_seconds.max(1e-9)
     );
     if std::env::var_os("RPCV_SCALE_DEBUG").is_some() {
-        for i in 0..grid.coords.len() {
-            if let Some(c) = grid.coordinator(i) {
-                let s = c.db().stats();
-                eprintln!(
-                    "# debug coord {i} (shard {}): snapshots_sent={} snapshots_applied={} \
-                     bad_frames={} repl_rounds={} resident={} floor={} tasks={} dup_results={}",
-                    c.shard(),
-                    c.metrics.snapshots_sent,
-                    c.metrics.snapshots_applied,
-                    c.metrics.bad_frames,
-                    c.metrics.repl_rounds.len(),
-                    c.db().resident_rows(),
-                    c.db().delta_floor(),
-                    s.tasks,
-                    s.duplicate_results,
-                );
-                eprintln!(
-                    "# debug coord {i} (shard {}): server_susp={} coord_susp={} reexec={} \
-                     redirects={} pending={} ongoing={}",
-                    c.shard(),
-                    c.metrics.server_suspicions,
-                    c.metrics.coordinator_suspicions,
-                    c.metrics.reexecutions,
-                    c.metrics.shard_redirects,
-                    s.pending,
-                    s.ongoing,
-                );
+        // The telemetry plane replaced the old ad-hoc counter dump: one
+        // aggregated TelemetrySnapshot per shard (counters add, histograms
+        // merge across the shard's members), rendered as stable JSON.
+        let members = grid.coords.len() / shards.max(1);
+        for s in 0..shards {
+            let mut reg = rpcv_obs::Registry::new();
+            for i in s * members..(s + 1) * members {
+                if let Some(c) = grid.coordinator(i) {
+                    reg.absorb(&c.telemetry_snapshot());
+                }
             }
+            eprintln!("# telemetry shard {s}: {}", reg.snapshot().to_json());
         }
     }
     // Replication and catalog traffic are snapshotted *here*, before the
@@ -232,6 +230,15 @@ fn run_cell(servers: usize, jobs: usize, clients: usize, shards: usize) -> Cell 
         .max()
         .unwrap_or(0);
     let completed = (0..grid.client_count()).map(|i| grid.client_results_at(i)).sum();
+    // End-to-end job latency in virtual time, aggregated across clients.
+    let mut job_hist = rpcv_obs::Histogram::new();
+    for i in 0..grid.client_count() {
+        if let Some(c) = grid.client_at(i) {
+            job_hist.merge(&c.metrics.job_latency());
+        }
+    }
+    let job_p50_ms = job_hist.p50_nanos() as f64 / 1e6;
+    let job_p99_ms = job_hist.p99_nanos() as f64 / 1e6;
     Cell {
         servers,
         jobs,
@@ -247,6 +254,8 @@ fn run_cell(servers: usize, jobs: usize, clients: usize, shards: usize) -> Cell 
         delta_bytes_per_round,
         catalog_bytes_per_beat,
         resident_rows,
+        job_p50_ms,
+        job_p99_ms,
         done,
     }
 }
@@ -261,7 +270,7 @@ fn write_json(cells: &[Cell], smoke: bool) {
     let mut out = String::new();
     let _ = writeln!(out, "{{");
     let _ = writeln!(out, "  \"bench\": \"scale\",");
-    let _ = writeln!(out, "  \"schema_version\": 4,");
+    let _ = writeln!(out, "  \"schema_version\": 5,");
     let _ = writeln!(out, "  \"smoke\": {smoke},");
     let _ = writeln!(out, "  \"grid\": [");
     for (i, c) in cells.iter().enumerate() {
@@ -273,7 +282,8 @@ fn write_json(cells: &[Cell], smoke: bool) {
              \"wall_seconds\": {:.3}, \"events_per_sec\": {:.0}, \"sim_seconds\": {:.1}, \
              \"sim_events_per_sec\": {:.0}, \
              \"jobs_completed\": {}, \"repl_rounds\": {}, \"delta_bytes_per_round\": {:.1}, \
-             \"catalog_bytes_per_beat\": {:.1}, \"resident_rows\": {}, \"completed\": {}}}{comma}",
+             \"catalog_bytes_per_beat\": {:.1}, \"resident_rows\": {}, \
+             \"job_p50_ms\": {:.3}, \"job_p99_ms\": {:.3}, \"completed\": {}}}{comma}",
             c.servers,
             c.jobs,
             c.clients,
@@ -288,6 +298,8 @@ fn write_json(cells: &[Cell], smoke: bool) {
             c.delta_bytes_per_round,
             c.catalog_bytes_per_beat,
             c.resident_rows,
+            c.job_p50_ms,
+            c.job_p99_ms,
             c.done,
         );
     }
@@ -509,6 +521,8 @@ fn main() {
             "delta_bytes_per_round",
             "catalog_bytes_per_beat",
             "resident_rows",
+            "job_p50_ms",
+            "job_p99_ms",
         ],
     );
     let mut cells = Vec::new();
@@ -521,6 +535,13 @@ fn main() {
             c.completed,
             c.jobs,
             c.done
+        );
+        assert!(
+            c.job_p99_ms >= c.job_p50_ms && c.job_p50_ms > 0.0,
+            "cell {servers}x{jobs}x{clients}x{shards} latency quantiles are degenerate \
+             (p50={} ms, p99={} ms)",
+            c.job_p50_ms,
+            c.job_p99_ms
         );
         fig.row(&[
             c.servers as f64,
@@ -537,6 +558,8 @@ fn main() {
             c.delta_bytes_per_round,
             c.catalog_bytes_per_beat,
             c.resident_rows as f64,
+            c.job_p50_ms,
+            c.job_p99_ms,
         ]);
         cells.push(c);
     }

@@ -20,9 +20,10 @@
 
 use std::time::{Duration as StdDuration, Instant};
 
+use rpcv_obs::TelemetrySnapshot;
 use rpcv_simnet::NodeId;
 use rpcv_wire::Blob;
-use rpcv_xw::ClientKey;
+use rpcv_xw::{ClientKey, CoordId};
 
 use crate::runtime::LiveGrid;
 use crate::util::CallSpec;
@@ -68,6 +69,7 @@ pub struct GridClient<'g> {
     client_node: NodeId,
     submitted: u64,
     cancelled: Vec<u64>,
+    status_nonce: u64,
     poll_interval: StdDuration,
 }
 
@@ -95,6 +97,7 @@ impl<'g> GridClient<'g> {
             client_node: grid.clients[i].1,
             submitted: 0,
             cancelled: Vec::new(),
+            status_nonce: 0,
             poll_interval: StdDuration::from_millis(10),
         }
     }
@@ -196,5 +199,43 @@ impl<'g> GridClient<'g> {
     /// Calls submitted through this client.
     pub fn submitted(&self) -> u64 {
         self.submitted
+    }
+
+    /// Live grid introspection: asks the client's preferred coordinator
+    /// for its sealed [`TelemetrySnapshot`] and blocks until a *fresh*
+    /// reply lands (nonce-matched — a cached snapshot from an earlier pull
+    /// is never returned).  Returns the answering coordinator's id with
+    /// the decoded snapshot.
+    pub fn pull_status(
+        &mut self,
+        timeout: StdDuration,
+    ) -> Result<(CoordId, TelemetrySnapshot), GridError> {
+        self.status_nonce += 1;
+        let nonce = self.status_nonce;
+        self.grid.handle().inject(self.client_node, crate::msg::Msg::StatusRequest { nonce });
+        let deadline = Instant::now() + timeout;
+        loop {
+            let fresh = self
+                .grid
+                .with_client_at(self.client_idx, move |c| {
+                    if c.status_nonce() >= nonce {
+                        c.current_coordinator()
+                            .and_then(|id| c.telemetry_of(id).map(|s| (id, s.clone())))
+                            .or_else(|| {
+                                c.telemetry_snapshots().next().map(|(id, s)| (id, s.clone()))
+                            })
+                    } else {
+                        None
+                    }
+                })
+                .flatten();
+            if let Some(got) = fresh {
+                return Ok(got);
+            }
+            if Instant::now() >= deadline {
+                return Err(GridError::Timeout);
+            }
+            std::thread::sleep(self.poll_interval);
+        }
     }
 }

@@ -33,6 +33,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use rpcv_obs::{Histogram, TelemetrySnapshot};
 use rpcv_simnet::chaos::{ChaosProfile, ChaosTargets, FaultCounts, FaultPlan};
 use rpcv_simnet::{DetRng, FrameOps, NetStats, SimDuration, SimTime};
 use rpcv_wire::{from_bytes, open_frame, seal_frame, to_bytes, Blob};
@@ -213,6 +214,14 @@ pub struct ChaosReport {
     /// Virtual time from full heal to completion (zero when the workload
     /// outran the chaos).
     pub recovery_makespan: SimDuration,
+    /// Grid-wide telemetry at the end of the run (every live coordinator's
+    /// snapshot aggregated with server/client/net counters and span
+    /// histograms).
+    pub telemetry: TelemetrySnapshot,
+    /// Suspicion → re-dispatch gaps of every resolved failover annotation
+    /// across the run — the per-plan post-heal recovery-gap histogram the
+    /// chaos bench embeds.
+    pub recovery_gaps: Histogram,
 }
 
 impl ChaosReport {
@@ -416,6 +425,19 @@ impl ChaosOracle {
             Some(d) if d > plan.heal_by() => d.since(plan.heal_by()),
             _ => SimDuration::ZERO,
         };
+        let telemetry = g.telemetry();
+        let mut recovery_gaps = Histogram::new();
+        for (i, _) in g.coords.iter().enumerate() {
+            if let Some(c) = g.coordinator(i) {
+                for (_, span) in c.spans().iter() {
+                    for f in &span.failovers {
+                        if let Some(gap) = f.recovery_gap() {
+                            recovery_gaps.record_gap(gap);
+                        }
+                    }
+                }
+            }
+        }
         ChaosReport {
             seed: cfg.seed,
             intensity: cfg.intensity,
@@ -429,6 +451,8 @@ impl ChaosOracle {
             bad_frames,
             done_at: done,
             recovery_makespan,
+            telemetry,
+            recovery_gaps,
         }
     }
 
@@ -516,5 +540,9 @@ mod tests {
         assert_eq!(a.stats, b.stats);
         assert_eq!(a.done_at, b.done_at);
         assert_eq!((a.garbled, a.poisoned, a.bad_frames), (b.garbled, b.poisoned, b.bad_frames));
+        // The full telemetry plane is part of the determinism contract:
+        // byte-identical snapshot JSON across same-seed runs.
+        assert_eq!(a.telemetry.to_json(), b.telemetry.to_json());
+        assert_eq!(a.recovery_gaps, b.recovery_gaps);
     }
 }

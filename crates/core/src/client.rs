@@ -17,6 +17,7 @@ use std::collections::BTreeMap;
 
 use rpcv_detect::CoordinatorList;
 use rpcv_log::SenderLog;
+use rpcv_obs::{ExportTelemetry, Histogram, Registry, TelemetrySnapshot};
 use rpcv_simnet::{Actor, Ctx, DurableImage, NodeId, SimTime, TimerId};
 use rpcv_wire::Blob;
 use rpcv_xw::{ClientKey, CoordId, JobKey, JobSpec};
@@ -57,6 +58,46 @@ pub struct ClientMetrics {
     /// Frames that arrived unreadable (wire corruption) and were dropped
     /// without touching protocol state.
     pub bad_frames: u64,
+}
+
+impl ClientMetrics {
+    /// End-to-end job latency (submission requested → result held),
+    /// folded into a virtual-time histogram.  Only completed jobs
+    /// contribute; in-flight ones are invisible until their result lands.
+    pub fn job_latency(&self) -> Histogram {
+        let mut h = Histogram::new();
+        for (seq, &received) in &self.results_received {
+            if let Some(t) = self.submissions.get(seq) {
+                h.record_gap(received.since(t.requested_at));
+            }
+        }
+        h
+    }
+
+    /// Submission interaction latency (requested → interaction complete),
+    /// the quantity the paper's Fig. 4 plots, as a histogram.
+    pub fn interaction_latency(&self) -> Histogram {
+        let mut h = Histogram::new();
+        for t in self.submissions.values() {
+            if let Some(end) = t.interaction_end {
+                h.record_gap(end.since(t.requested_at));
+            }
+        }
+        h
+    }
+}
+
+impl ExportTelemetry for ClientMetrics {
+    fn export_telemetry(&self, prefix: &str, reg: &mut Registry) {
+        let mut c = |field: &str, v: u64| reg.set_counter(&format!("{prefix}.{field}"), v);
+        c("submissions", self.submissions.len() as u64);
+        c("results_received", self.results_received.len() as u64);
+        c("coordinator_switches", self.coordinator_switches);
+        c("log_replays", self.log_replays);
+        c("bad_frames", self.bad_frames);
+        reg.merge_hist(&format!("{prefix}.job_latency"), &self.job_latency());
+        reg.merge_hist(&format!("{prefix}.interaction_latency"), &self.interaction_latency());
+    }
 }
 
 /// A received result retained by the client.
@@ -146,6 +187,13 @@ pub struct ClientActor {
     deferred: Deferred,
     /// Submission metadata for deferred sends: token (seq) → barrier time.
     barriers: BTreeMap<u64, SimTime>,
+    /// Telemetry snapshots pulled from coordinators via
+    /// [`Msg::StatusRequest`], keyed by coordinator id.  A volatile cache:
+    /// not part of the durable image.
+    snapshots: BTreeMap<u64, TelemetrySnapshot>,
+    /// Highest [`Msg::StatusReply`] nonce successfully decoded — lets a
+    /// live-grid poller tell a fresh snapshot from a cached one.
+    status_nonce_hw: u64,
     /// Public observations.
     pub metrics: ClientMetrics,
 }
@@ -196,6 +244,8 @@ impl ClientActor {
             last_reply: None,
             deferred: Deferred::new(),
             barriers: BTreeMap::new(),
+            snapshots: BTreeMap::new(),
+            status_nonce_hw: 0,
             metrics: ClientMetrics::default(),
         }
     }
@@ -710,6 +760,22 @@ impl ClientActor {
     pub fn result_archive(&self, seq: u64) -> Option<&Blob> {
         self.results.get(&seq).map(|r| &r.archive)
     }
+
+    /// The last telemetry snapshot received from `coord`, if any.
+    pub fn telemetry_of(&self, coord: CoordId) -> Option<&TelemetrySnapshot> {
+        self.snapshots.get(&coord.0)
+    }
+
+    /// Every telemetry snapshot held, keyed by coordinator id.
+    pub fn telemetry_snapshots(&self) -> impl Iterator<Item = (CoordId, &TelemetrySnapshot)> {
+        self.snapshots.iter().map(|(&c, s)| (CoordId(c), s))
+    }
+
+    /// Highest status-request nonce a decoded [`Msg::StatusReply`]
+    /// acknowledged (0 before the first reply).
+    pub fn status_nonce(&self) -> u64 {
+        self.status_nonce_hw
+    }
 }
 
 impl Actor<Msg> for ClientActor {
@@ -777,6 +843,27 @@ impl Actor<Msg> for ClientActor {
             }
             Msg::ShardMap { groups } => {
                 self.apply_shard_map(ctx, groups);
+            }
+            Msg::StatusRequest { nonce } => {
+                // Introspection trigger (injected by a harness or the API
+                // layer): forward to the preferred coordinator, which
+                // replies with its sealed snapshot addressed back here.
+                if let Some((_, node)) = self.coordinator(ctx.now()) {
+                    ctx.send(node, Msg::StatusRequest { nonce });
+                }
+            }
+            Msg::StatusReply { coord, nonce, sealed } => {
+                self.last_reply = Some(ctx.now());
+                // The seal (CRC-64 tail) plus the strict histogram decoder
+                // reject anything corrupted in flight; a bad frame is
+                // counted and dropped without touching the cache.
+                match TelemetrySnapshot::open(&sealed.materialize()) {
+                    Ok(snap) => {
+                        self.snapshots.insert(coord.0, snap);
+                        self.status_nonce_hw = self.status_nonce_hw.max(nonce);
+                    }
+                    Err(_) => self.metrics.bad_frames += 1,
+                }
             }
             Msg::Corrupt { .. } => {
                 // Unreadable bytes: count and drop.  No protocol state may

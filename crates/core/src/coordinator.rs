@@ -11,6 +11,7 @@
 use std::collections::BTreeMap;
 
 use rpcv_detect::{CoordinatorList, HeartbeatMonitor};
+use rpcv_obs::{ExportTelemetry, Registry, SpanBook, SpanEdge, TelemetrySnapshot};
 use rpcv_simnet::{Actor, Ctx, DurableImage, NodeId, SimTime, TimerId, WireSized};
 use rpcv_store::{Charge, CoordinatorDb, ReplicationDelta, Snapshot};
 use rpcv_wire::WireEncode;
@@ -85,6 +86,37 @@ pub struct CoordMetrics {
     /// Client messages answered with the shard map because this
     /// coordinator's shard does not own the sender's job space.
     pub shard_redirects: u64,
+    /// Live-introspection requests answered with a sealed snapshot.
+    pub status_replies: u64,
+}
+
+impl ExportTelemetry for CoordMetrics {
+    fn export_telemetry(&self, prefix: &str, reg: &mut Registry) {
+        let mut c = |field: &str, v: u64| reg.set_counter(&format!("{prefix}.{field}"), v);
+        c("sync_replies", self.sync_replies);
+        c("catalog_bytes", self.catalog_bytes);
+        c("server_suspicions", self.server_suspicions);
+        c("coordinator_suspicions", self.coordinator_suspicions);
+        c("reexecutions", self.reexecutions);
+        c("collected_marks_applied", self.collected_marks_applied);
+        c("ckpt_records", self.ckpt_records);
+        c("ckpt_rejected", self.ckpt_rejected);
+        c("resumes_dispatched", self.resumes_dispatched);
+        c("bad_frames", self.bad_frames);
+        c("snapshots_sent", self.snapshots_sent);
+        c("snapshots_applied", self.snapshots_applied);
+        c("shard_redirects", self.shard_redirects);
+        c("status_replies", self.status_replies);
+        c("repl_rounds", self.repl_rounds.len() as u64);
+        c("repl_bytes", self.repl_rounds.iter().map(|r| r.bytes).sum());
+        c("repl_records", self.repl_rounds.iter().map(|r| r.records).sum());
+        let h = reg.hist_mut(&format!("{prefix}.repl_ack_latency"));
+        for r in &self.repl_rounds {
+            if let Some(acked) = r.acked_at {
+                h.record_gap(acked.since(r.started));
+            }
+        }
+    }
 }
 
 /// State surviving a coordinator crash: the database (MySQL + archive
@@ -94,6 +126,7 @@ struct CoordDurable {
     acked_version: BTreeMap<CoordId, u64>,
     applied_head: BTreeMap<CoordId, u64>,
     metrics: CoordMetrics,
+    spans: SpanBook,
 }
 
 /// Construction parameters.
@@ -157,6 +190,16 @@ pub struct CoordinatorActor {
     /// Received-message counts by kind (observability; catching traffic
     /// amplification bugs like unbounded heartbeat chains).
     pub rx_counts: BTreeMap<&'static str, u64>,
+    /// Per-job lifecycle spans (durable with the database: spans survive a
+    /// crash exactly as far as the state they describe does).
+    spans: SpanBook,
+    /// Last heartbeat-equivalent contact per server (volatile, like the
+    /// suspicion monitor it shadows): lets a suspicion compute the real
+    /// detect gap `now − last_seen` for the failover span annotation.
+    server_last_seen: BTreeMap<u64, SimTime>,
+    /// Virtual instant of the latest handled event — gives harness-invoked
+    /// methods (e.g. [`Self::gc_now`]) a clock without a `Ctx`.
+    clock: SimTime,
 }
 
 impl CoordinatorActor {
@@ -171,6 +214,7 @@ impl CoordinatorActor {
                 actor.acked_version = d.acked_version;
                 actor.applied_head = d.applied_head;
                 actor.metrics = d.metrics;
+                actor.spans = d.spans;
             }
             Box::new(actor)
         }
@@ -217,6 +261,9 @@ impl CoordinatorActor {
             epoch: 0,
             metrics: CoordMetrics::default(),
             rx_counts: BTreeMap::new(),
+            spans: SpanBook::new(),
+            server_last_seen: BTreeMap::new(),
+            clock: SimTime::ZERO,
         }
     }
 
@@ -263,8 +310,34 @@ impl CoordinatorActor {
     /// the user").  Drops archives the client confirmed collecting;
     /// returns bytes freed.
     pub fn gc_now(&mut self) -> u64 {
+        let flagged = self.db.collected_flagged();
         let (freed, _charge) = self.db.gc_collected();
+        for job in flagged {
+            self.spans.mark(job, SpanEdge::Gc, self.clock);
+        }
         freed
+    }
+
+    /// The per-job lifecycle span book (harness inspection).
+    pub fn spans(&self) -> &SpanBook {
+        &self.spans
+    }
+
+    /// Freezes this coordinator's full telemetry into a deterministic
+    /// snapshot: the typed metrics structs exported under `coord.` / `db.`,
+    /// received-message counts under `rx.`, and every job span folded into
+    /// per-edge latency histograms under `span.`.
+    pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        let mut reg = Registry::new();
+        self.metrics.export_telemetry("coord", &mut reg);
+        self.db.stats().export_telemetry("db", &mut reg);
+        reg.set_gauge("db.resident_rows", self.db.resident_rows() as i64);
+        reg.set_gauge("coord.shard", self.my_shard as i64);
+        for (kind, n) in &self.rx_counts {
+            reg.set_counter(&format!("rx.{kind}"), *n);
+        }
+        self.spans.fold_into(&mut reg);
+        reg.snapshot()
     }
 
     /// Charges a storage [`Charge`] to this node's resources; returns when
@@ -366,6 +439,7 @@ impl CoordinatorActor {
     ) {
         let now = ctx.now();
         self.server_mon.observe(server.0, now);
+        self.server_last_seen.insert(server.0, now);
         self.server_addr.insert(server, from);
         // Intermittent-crash reconciliation: tasks this server should be
         // running but does not report were lost in a restart too quick for
@@ -422,6 +496,14 @@ impl CoordinatorActor {
             let done = self.pay(ctx, charge);
             match task {
                 Some(desc) => {
+                    // Span: first dispatch stamps the edge; a re-instance
+                    // dispatch (attempts are 0-based) resolves the pending
+                    // failover annotation instead (the mark dedups, the
+                    // note no-ops when no failover is outstanding).
+                    self.spans.mark(desc.job, SpanEdge::Dispatched, now);
+                    if desc.attempt > 0 {
+                        self.spans.note_recovered(desc.job, now);
+                    }
                     // A durable checkpoint for the job rides along: the
                     // (successor) instance resumes from the recorded unit
                     // high-water mark instead of unit zero.  Reading the
@@ -468,10 +550,15 @@ impl CoordinatorActor {
     ) {
         let now = ctx.now();
         self.server_mon.observe(server.0, now);
+        self.server_last_seen.insert(server.0, now);
         self.server_addr.insert(server, from);
         let (_outcome, charge) = self.db.complete_task(task, job, archive, server);
         let done = self.pay(ctx, charge);
         self.unwatch_missing(&job);
+        self.spans.mark(job, SpanEdge::Finished, now);
+        if self.db.archive(&job).is_some() {
+            self.spans.mark(job, SpanEdge::ArchiveStored, now);
+        }
         self.record_completion(now);
         self.deferred.send_at(ctx, done, from, Msg::TaskDoneAck { task, job }, K_SEND, 0);
     }
@@ -485,6 +572,7 @@ impl CoordinatorActor {
     ) {
         let now = ctx.now();
         self.server_mon.observe(server.0, now);
+        self.server_last_seen.insert(server.0, now);
         self.server_addr.insert(server, from);
         // Integrity gate (shared digest discipline with result archives):
         // a frame whose digest or unit range fails verification is
@@ -510,6 +598,10 @@ impl CoordinatorActor {
         let done = self.pay(ctx, charge);
         if advanced {
             self.metrics.ckpt_records += 1;
+            // First durable progress mark stamps the first-unit edge; every
+            // advancing upload stamps a (repeatable) checkpointed edge.
+            self.spans.mark(frame.job, SpanEdge::FirstUnit, now);
+            self.spans.mark(frame.job, SpanEdge::Checkpointed, now);
         }
         // Acknowledge only marks we actually hold durably (even when this
         // upload did not advance one — the server may be retrying after a
@@ -545,6 +637,10 @@ impl CoordinatorActor {
         self.greet_client(ctx, client, from);
         let mut charge = Charge::ZERO;
         if !collected.is_empty() {
+            let now = ctx.now();
+            for &seq in &collected {
+                self.spans.mark(JobKey { client, seq }, SpanEdge::Collected, now);
+            }
             charge += self.db.mark_collected(client, &collected);
         }
         // The beat acknowledges everything up to `catalog_seq`: removal
@@ -875,9 +971,24 @@ impl CoordinatorActor {
         for s in self.server_mon.suspects(now) {
             ctx.note("coordinator suspects server");
             self.metrics.server_suspicions += 1;
-            let (_created, charge) = self.db.server_suspected(ServerId(s));
+            let (created, charge) = self.db.server_suspected(ServerId(s));
+            // Failover annotation: each re-queued job's span records the
+            // true detection gap (silence observed at suspicion time —
+            // bounded by the suspicion timeout plus one scan period) and
+            // is stamped recovered when its replacement dispatches.
+            let detect_gap = self
+                .server_last_seen
+                .get(&s)
+                .map(|&seen| now.since(seen))
+                .unwrap_or(self.params.cfg.suspicion);
+            for id in created {
+                if let Some(row) = self.db.task(id) {
+                    self.spans.note_failover(row.desc.job, now, detect_gap);
+                }
+            }
             self.pay(ctx, charge);
             self.server_mon.forget(s);
+            self.server_last_seen.remove(&s);
         }
         // Predecessor suspicion ⇒ release its held ongoing tasks.
         for c in self.peer_mon.suspects(now) {
@@ -947,6 +1058,7 @@ impl CoordinatorActor {
 
 impl Actor<Msg> for CoordinatorActor {
     fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        self.clock = ctx.now();
         self.epoch = ctx.rng().next_u64() | 1;
         ctx.set_timer(self.params.cfg.heartbeat, K_SCAN);
         ctx.set_timer(self.params.cfg.replication_period, K_REPL);
@@ -954,6 +1066,7 @@ impl Actor<Msg> for CoordinatorActor {
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: Msg) {
+        self.clock = ctx.now();
         *self.rx_counts.entry(msg.kind()).or_insert(0) += 1;
         match msg {
             Msg::Submit { spec } => {
@@ -977,6 +1090,7 @@ impl Actor<Msg> for CoordinatorActor {
                 let done = if gap {
                     ctx.now()
                 } else {
+                    self.spans.mark(job, SpanEdge::Submitted, ctx.now());
                     let (_new, charge) = self.db.register_job(spec);
                     self.pay(ctx, charge)
                 };
@@ -1019,6 +1133,9 @@ impl Actor<Msg> for CoordinatorActor {
                 let done = if specs.is_empty() {
                     ctx.now()
                 } else {
+                    for spec in &specs {
+                        self.spans.mark(spec.key, SpanEdge::Submitted, ctx.now());
+                    }
                     let (_n, charge) = self.db.register_jobs_bulk(specs);
                     self.pay(ctx, charge)
                 };
@@ -1064,6 +1181,7 @@ impl Actor<Msg> for CoordinatorActor {
                 let mut charge = Charge::ZERO;
                 for r in results {
                     self.unwatch_missing(&r.job);
+                    self.spans.mark(r.job, SpanEdge::ArchiveStored, ctx.now());
                     charge += self.db.store_archive(r.job, r.archive);
                 }
                 self.pay(ctx, charge);
@@ -1111,6 +1229,24 @@ impl Actor<Msg> for CoordinatorActor {
             Msg::SnapshotChunk { from: peer, version, seq, total, extra: _, payload } => {
                 self.handle_snapshot_chunk(ctx, from, peer, version, seq, total, payload);
             }
+            Msg::StatusRequest { nonce } => {
+                // Live introspection: freeze the registry, seal it (same
+                // CRC-64 frame discipline as checkpoints and snapshots),
+                // and reply.  Building the snapshot reads the stats tables
+                // — charged as one indexed read.
+                self.metrics.status_replies += 1;
+                let snap = self.telemetry_snapshot();
+                let sealed = rpcv_wire::Blob::from_vec(snap.seal());
+                let done = ctx.db(1, 0);
+                self.deferred.send_at(
+                    ctx,
+                    done,
+                    from,
+                    Msg::StatusReply { coord: self.params.me, nonce, sealed },
+                    K_SEND,
+                    0,
+                );
+            }
             Msg::Corrupt { .. } => {
                 // Unreadable bytes: count and drop.  No protocol state may
                 // change off a frame that failed to decode.
@@ -1121,6 +1257,7 @@ impl Actor<Msg> for CoordinatorActor {
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, id: TimerId, kind: u64) {
+        self.clock = ctx.now();
         match kind {
             K_SCAN => {
                 self.scan(ctx);
@@ -1143,6 +1280,7 @@ impl Actor<Msg> for CoordinatorActor {
             acked_version: self.acked_version.clone(),
             applied_head: self.applied_head.clone(),
             metrics: self.metrics.clone(),
+            spans: self.spans.clone(),
         })
     }
 }

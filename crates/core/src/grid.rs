@@ -14,6 +14,7 @@
 //! working as aliases for client 0.  On a live grid each tenant gets its
 //! own API handle (`GridClient::at(&grid, i)`), bound to client actor `i`.
 
+use rpcv_obs::{ExportTelemetry, Registry, TelemetrySnapshot};
 use rpcv_simnet::{HostSpec, LinkParams, NodeId, SimDuration, SimTime, World};
 use rpcv_xw::{ClientKey, CoordId, SandboxLimits, ServerId, ServiceRegistry};
 
@@ -322,6 +323,44 @@ impl SimGrid {
     /// shorthand).
     pub fn client_results(&self) -> usize {
         self.client_results_at(0)
+    }
+
+    /// Grid-wide telemetry: every live coordinator's snapshot aggregated
+    /// (counters add, histograms merge), each live server's and client's
+    /// metrics folded in under the `server.` / `client.` prefixes, the
+    /// network counters under `net.`, and — when kernel profiling is on —
+    /// the per-actor-class event accounting under `kernel.`.
+    ///
+    /// Deterministic: two same-seed runs produce byte-identical snapshots
+    /// (and therefore byte-identical [`TelemetrySnapshot::to_json`]).
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        let mut reg = Registry::new();
+        for i in 0..self.coords.len() {
+            if let Some(c) = self.coordinator(i) {
+                reg.absorb(&c.telemetry_snapshot());
+            }
+        }
+        // Per-actor exports set absolute values; folding each through its
+        // own registry turns the merge into summation across the fleet.
+        for i in 0..self.servers.len() {
+            if let Some(s) = self.server(i) {
+                let mut one = Registry::new();
+                s.metrics.export_telemetry("server", &mut one);
+                reg.merge(&one);
+            }
+        }
+        for i in 0..self.clients.len() {
+            if let Some(c) = self.client_at(i) {
+                let mut one = Registry::new();
+                c.metrics.export_telemetry("client", &mut one);
+                reg.merge(&one);
+            }
+        }
+        self.world.stats().export_telemetry("net", &mut reg);
+        if let Some(p) = self.world.profile() {
+            p.export_telemetry("kernel", &mut reg);
+        }
+        reg.snapshot()
     }
 
     /// Convenience: a no-op message type hint for generic code.

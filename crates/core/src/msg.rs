@@ -321,6 +321,29 @@ pub enum Msg {
         work_units: u32,
     },
 
+    // ----- introspection -----------------------------------------------------------
+    /// Pull a coordinator's live telemetry.  Injected by an external
+    /// observer (bench harness, `LiveGrid` console) at a client, which
+    /// forwards it to its current coordinator; the coordinator answers
+    /// with a [`Msg::StatusReply`].  Replaces ad-hoc debug dumps with a
+    /// queryable surface.
+    StatusRequest {
+        /// Correlates the reply with the request.
+        nonce: u64,
+    },
+    /// Reply to [`Msg::StatusRequest`]: the coordinator's
+    /// `TelemetrySnapshot`, wire-encoded and CRC-64 sealed (the same
+    /// `seal_frame` discipline as checkpoints and store snapshots), so a
+    /// corrupted snapshot can never masquerade as telemetry.
+    StatusReply {
+        /// Answering coordinator.
+        coord: CoordId,
+        /// Echo of the request nonce.
+        nonce: u64,
+        /// Sealed `rpcv_obs::TelemetrySnapshot` frame.
+        sealed: Blob,
+    },
+
     // ----- framing ----------------------------------------------------------------
     /// Several messages for the same destination sealed into one frame:
     /// one datagram (one header, one transfer) where the protocol would
@@ -370,6 +393,8 @@ const TAGS: &[(&str, u8)] = &[
     ("SnapshotRequest", 22),
     ("SnapshotChunk", 23),
     ("ShardMap", 24),
+    ("StatusRequest", 25),
+    ("StatusReply", 26),
 ];
 
 impl Msg {
@@ -405,6 +430,8 @@ impl Msg {
             Msg::SnapshotRequest { .. } => 22,
             Msg::SnapshotChunk { .. } => 23,
             Msg::ShardMap { .. } => 24,
+            Msg::StatusRequest { .. } => 25,
+            Msg::StatusReply { .. } => 26,
         }
     }
 
@@ -551,6 +578,12 @@ impl WireEncode for Msg {
                 payload.encode(w);
             }
             Msg::ShardMap { groups } => groups.encode(w),
+            Msg::StatusRequest { nonce } => w.put_uvarint(*nonce),
+            Msg::StatusReply { coord, nonce, sealed } => {
+                coord.encode(w);
+                w.put_uvarint(*nonce);
+                sealed.encode(w);
+            }
         }
     }
 }
@@ -649,6 +682,12 @@ impl WireDecode for Msg {
                 payload: Blob::decode(r)?,
             },
             24 => Msg::ShardMap { groups: Vec::<Vec<CoordId>>::decode(r)? },
+            25 => Msg::StatusRequest { nonce: r.get_uvarint()? },
+            26 => Msg::StatusReply {
+                coord: CoordId::decode(r)?,
+                nonce: r.get_uvarint()?,
+                sealed: Blob::decode(r)?,
+            },
             tag => return Err(WireError::InvalidTag { ty: "Msg", tag: tag as u64 }),
         })
     }
@@ -737,6 +776,15 @@ mod tests {
             Msg::TaskDoneAck { task: TaskId(7), job: JobKey::new(ClientKey::new(1, 2), 1) },
             Msg::NeedArchives { jobs: vec![JobKey::new(ClientKey::new(1, 2), 1)] },
             Msg::ArchivesSettled { jobs: vec![JobKey::new(ClientKey::new(1, 2), 2)] },
+            Msg::ReplDelta {
+                delta: ReplicationDelta {
+                    from: CoordId(1),
+                    base_version: 3,
+                    head_version: 4,
+                    rows: vec![],
+                },
+                want_archives: vec![JobKey::new(ClientKey::new(1, 2), 1)],
+            },
             Msg::ReplAck { from: CoordId(1), head_version: 42 },
             Msg::ReplArchives {
                 from: CoordId(2),
@@ -772,7 +820,22 @@ mod tests {
             Msg::ShardMap {
                 groups: vec![vec![CoordId(1), CoordId(2)], vec![CoordId(3), CoordId(4)]],
             },
+            Msg::StatusRequest { nonce: 7 },
+            Msg::StatusReply {
+                coord: CoordId(2),
+                nonce: 7,
+                sealed: Blob::from_vec(vec![0xAB; 40]),
+            },
         ]
+    }
+
+    #[test]
+    fn samples_cover_every_tag() {
+        let mut tags: Vec<u8> = samples().iter().map(|m| m.tag()).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        assert_eq!(tags.len(), TAGS.len(), "every tag needs a roundtrip sample");
+        assert_eq!(*tags.last().unwrap() as usize, TAGS.len() - 1, "tags must be dense");
     }
 
     #[test]

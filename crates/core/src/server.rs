@@ -29,6 +29,7 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use rpcv_ckpt::{CheckpointFrame, VolatilityObserver};
 use rpcv_detect::CoordinatorList;
 use rpcv_log::{GcPolicy, PeerLog};
+use rpcv_obs::{ExportTelemetry, Registry};
 use rpcv_simnet::{Actor, Ctx, DurableImage, NodeId, SimTime, TimerId};
 use rpcv_wire::Blob;
 use rpcv_xw::{
@@ -79,6 +80,23 @@ pub struct ServerMetrics {
     /// Frames that arrived unreadable (wire corruption) and were dropped
     /// without touching protocol state.
     pub bad_frames: u64,
+}
+
+impl ExportTelemetry for ServerMetrics {
+    fn export_telemetry(&self, prefix: &str, reg: &mut Registry) {
+        let mut c = |field: &str, v: u64| reg.set_counter(&format!("{prefix}.{field}"), v);
+        c("executed", self.executed);
+        c("lost_executions", self.lost_executions);
+        c("resumed", self.resumed);
+        c("archives_resent", self.archives_resent);
+        c("coordinator_switches", self.coordinator_switches);
+        c("units_spent", self.units_spent);
+        c("units_resumed", self.units_resumed);
+        c("ckpt_uploads", self.ckpt_uploads);
+        c("ckpt_acks", self.ckpt_acks);
+        c("ckpt_bytes", self.ckpt_bytes);
+        c("bad_frames", self.bad_frames);
+    }
 }
 
 /// A result retained in the server's (pessimistic) log.

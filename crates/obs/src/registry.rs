@@ -1,0 +1,215 @@
+//! The unified metrics registry.
+//!
+//! Counters, gauges and [`Histogram`]s keyed by dotted names
+//! (`coord.reexecutions`, `db.pending`, `span.submit_to_collect`, …), stored
+//! in `BTreeMap`s so every traversal — and therefore every snapshot — is
+//! byte-stable.  Actors keep their existing typed metrics structs and
+//! *export* into a registry on demand via [`ExportTelemetry`]; nothing in
+//! the hot path allocates or hashes a string.
+
+use std::collections::BTreeMap;
+
+use rpcv_simnet::{KernelProfile, NetStats};
+use rpcv_store::db::DbStats;
+
+use crate::hist::Histogram;
+use crate::snapshot::TelemetrySnapshot;
+
+/// A deterministic bag of named counters, gauges and histograms.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, i64>,
+    hists: BTreeMap<String, Histogram>,
+}
+
+impl Registry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `v` to counter `name` (creating it at zero).
+    pub fn add_counter(&mut self, name: &str, v: u64) {
+        if let Some(c) = self.counters.get_mut(name) {
+            *c += v;
+        } else {
+            self.counters.insert(name.to_owned(), v);
+        }
+    }
+
+    /// Sets counter `name` to exactly `v`.
+    pub fn set_counter(&mut self, name: &str, v: u64) {
+        self.counters.insert(name.to_owned(), v);
+    }
+
+    /// Sets gauge `name` to `v` (last write wins).
+    pub fn set_gauge(&mut self, name: &str, v: i64) {
+        self.gauges.insert(name.to_owned(), v);
+    }
+
+    /// The histogram registered under `name`, created empty on first use.
+    pub fn hist_mut(&mut self, name: &str) -> &mut Histogram {
+        if !self.hists.contains_key(name) {
+            self.hists.insert(name.to_owned(), Histogram::new());
+        }
+        self.hists.get_mut(name).unwrap()
+    }
+
+    /// Registers an already-built histogram under `name`, merging if one
+    /// exists.
+    pub fn merge_hist(&mut self, name: &str, h: &Histogram) {
+        self.hist_mut(name).merge(h);
+    }
+
+    /// Current value of counter `name` (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of gauge `name`, if set.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// The histogram under `name`, if any.
+    pub fn hist(&self, name: &str) -> Option<&Histogram> {
+        self.hists.get(name)
+    }
+
+    /// Folds every entry of `other` into this registry: counters add,
+    /// gauges take `other`'s value, histograms merge.
+    pub fn merge(&mut self, other: &Registry) {
+        for (k, v) in &other.counters {
+            self.add_counter(k, *v);
+        }
+        for (k, v) in &other.gauges {
+            self.set_gauge(k, *v);
+        }
+        for (k, h) in &other.hists {
+            self.merge_hist(k, h);
+        }
+    }
+
+    /// Folds a snapshot back into this registry (used to aggregate
+    /// per-shard snapshots into a grid-wide view).
+    pub fn absorb(&mut self, snap: &TelemetrySnapshot) {
+        for (k, v) in &snap.counters {
+            self.add_counter(k, *v);
+        }
+        for (k, v) in &snap.gauges {
+            self.set_gauge(k, *v);
+        }
+        for (k, h) in &snap.hists {
+            self.merge_hist(k, h);
+        }
+    }
+
+    /// Freezes the registry into a sorted, serializable snapshot.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            counters: self.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            gauges: self.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            hists: self.hists.iter().map(|(k, h)| (k.clone(), h.clone())).collect(),
+        }
+    }
+}
+
+/// Typed metrics structs that can export themselves into a [`Registry`]
+/// under a dotted prefix, without giving up their existing field accessors.
+pub trait ExportTelemetry {
+    /// Registers every field as `"{prefix}.{field}"` counters/gauges.
+    fn export_telemetry(&self, prefix: &str, reg: &mut Registry);
+}
+
+impl ExportTelemetry for NetStats {
+    fn export_telemetry(&self, prefix: &str, reg: &mut Registry) {
+        let mut c = |field: &str, v: u64| reg.set_counter(&format!("{prefix}.{field}"), v);
+        c("sent", self.sent);
+        c("delivered", self.delivered);
+        c("dropped_partition", self.dropped_partition);
+        c("dropped_loss", self.dropped_loss);
+        c("dropped_down", self.dropped_down);
+        c("bytes_sent", self.bytes_sent);
+        c("crashes", self.crashes);
+        c("restarts", self.restarts);
+        c("duplicated", self.duplicated);
+        c("corrupted", self.corrupted);
+        c("reordered", self.reordered);
+    }
+}
+
+impl ExportTelemetry for DbStats {
+    fn export_telemetry(&self, prefix: &str, reg: &mut Registry) {
+        let mut c = |field: &str, v: u64| reg.set_counter(&format!("{prefix}.{field}"), v);
+        c("jobs", self.jobs);
+        c("tasks", self.tasks);
+        c("pending", self.pending);
+        c("ongoing", self.ongoing);
+        c("archived", self.archived);
+        c("duplicate_results", self.duplicate_results);
+        c("collected", self.collected);
+        c("ckpts", self.ckpts);
+    }
+}
+
+impl ExportTelemetry for KernelProfile {
+    fn export_telemetry(&self, prefix: &str, reg: &mut Registry) {
+        reg.set_counter(&format!("{prefix}.samples"), self.samples());
+        reg.set_counter(&format!("{prefix}.controls"), self.controls());
+        for (class, p) in self.classes() {
+            reg.set_counter(&format!("{prefix}.{class}.starts"), p.starts);
+            reg.set_counter(&format!("{prefix}.{class}.delivers"), p.delivers);
+            reg.set_counter(&format!("{prefix}.{class}.handles"), p.handles);
+            reg.set_counter(&format!("{prefix}.{class}.timers"), p.timers);
+        }
+        let h = reg.hist_mut(&format!("{prefix}.queue_depth"));
+        for (b, n) in self.depth_buckets() {
+            h.merge_bucket(b, n);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpcv_simnet::SimDuration;
+
+    #[test]
+    fn counters_add_and_gauges_overwrite() {
+        let mut reg = Registry::new();
+        reg.add_counter("a.x", 2);
+        reg.add_counter("a.x", 3);
+        reg.set_gauge("a.g", -4);
+        reg.set_gauge("a.g", 9);
+        assert_eq!(reg.counter("a.x"), 5);
+        assert_eq!(reg.gauge("a.g"), Some(9));
+        assert_eq!(reg.counter("missing"), 0);
+    }
+
+    #[test]
+    fn merge_combines_all_kinds() {
+        let mut a = Registry::new();
+        let mut b = Registry::new();
+        a.add_counter("n", 1);
+        b.add_counter("n", 2);
+        b.hist_mut("h").record_gap(SimDuration::from_millis(3));
+        a.merge(&b);
+        assert_eq!(a.counter("n"), 3);
+        assert_eq!(a.hist("h").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn foreign_stats_export_under_prefix() {
+        let stats = DbStats { jobs: 7, pending: 2, ..Default::default() };
+        let mut reg = Registry::new();
+        stats.export_telemetry("db", &mut reg);
+        assert_eq!(reg.counter("db.jobs"), 7);
+        assert_eq!(reg.counter("db.pending"), 2);
+        assert_eq!(reg.counter("db.tasks"), 0);
+
+        let net = NetStats { sent: 11, ..Default::default() };
+        net.export_telemetry("net", &mut reg);
+        assert_eq!(reg.counter("net.sent"), 11);
+    }
+}

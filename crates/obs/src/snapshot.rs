@@ -1,0 +1,231 @@
+//! Frozen, serializable telemetry snapshots.
+//!
+//! A [`TelemetrySnapshot`] is a [`crate::Registry`] flattened into sorted
+//! vectors: stable JSON for humans and tooling, the wire codec plus a
+//! CRC-64 seal for `Msg::StatusReply` frames.  Two same-seed runs produce
+//! byte-identical snapshots — JSON and wire bytes both.
+
+use rpcv_wire::{
+    from_bytes, open_frame, seal_frame, to_bytes, Reader, WireDecode, WireEncode, WireError,
+    WireWrite,
+};
+
+use crate::hist::Histogram;
+
+/// A frozen telemetry snapshot: counters, gauges and histograms sorted by
+/// name.  Built with [`crate::Registry::snapshot`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TelemetrySnapshot {
+    /// Monotone counters, ascending by name.
+    pub counters: Vec<(String, u64)>,
+    /// Point-in-time gauges, ascending by name.
+    pub gauges: Vec<(String, i64)>,
+    /// Latency histograms, ascending by name.
+    pub hists: Vec<(String, Histogram)>,
+}
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl TelemetrySnapshot {
+    /// Value of counter `name` (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .binary_search_by(|(k, _)| k.as_str().cmp(name))
+            .map(|i| self.counters[i].1)
+            .unwrap_or(0)
+    }
+
+    /// Value of gauge `name`, if present.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.binary_search_by(|(k, _)| k.as_str().cmp(name)).map(|i| self.gauges[i].1).ok()
+    }
+
+    /// Histogram `name`, if present.
+    pub fn hist(&self, name: &str) -> Option<&Histogram> {
+        self.hists.binary_search_by(|(k, _)| k.as_str().cmp(name)).map(|i| &self.hists[i].1).ok()
+    }
+
+    /// Stable JSON rendering: keys sorted, integers only, no whitespace
+    /// dependence on platform.  Histograms render their count, sum and
+    /// deterministic p50/p99 (nanoseconds) plus the non-zero buckets as
+    /// `[index, occupancy]` pairs.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"counters\": {");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+            push_json_str(&mut out, k);
+            out.push_str(&format!(": {v}"));
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+            push_json_str(&mut out, k);
+            out.push_str(&format!(": {v}"));
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        for (i, (k, h)) in self.hists.iter().enumerate() {
+            out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+            push_json_str(&mut out, k);
+            out.push_str(&format!(
+                ": {{\"count\": {}, \"sum_ns\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \"buckets\": [",
+                h.count(),
+                h.sum_nanos(),
+                h.p50_nanos(),
+                h.p99_nanos()
+            ));
+            for (j, (b, n)) in h.nonzero().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("[{b}, {n}]"));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+
+    /// Encodes and seals the snapshot into a CRC-64 framed byte vector
+    /// (the payload of a `Msg::StatusReply`).
+    pub fn seal(&self) -> Vec<u8> {
+        seal_frame(to_bytes(self))
+    }
+
+    /// Verifies the CRC-64 seal and decodes a snapshot from `frame`.
+    pub fn open(frame: &[u8]) -> Result<TelemetrySnapshot, WireError> {
+        from_bytes(open_frame(frame)?)
+    }
+}
+
+impl WireEncode for TelemetrySnapshot {
+    fn encode<W: WireWrite + ?Sized>(&self, w: &mut W) {
+        w.put_uvarint(self.counters.len() as u64);
+        for (k, v) in &self.counters {
+            w.put_str(k);
+            w.put_uvarint(*v);
+        }
+        w.put_uvarint(self.gauges.len() as u64);
+        for (k, v) in &self.gauges {
+            w.put_str(k);
+            w.put_ivarint(*v);
+        }
+        w.put_uvarint(self.hists.len() as u64);
+        for (k, h) in &self.hists {
+            w.put_str(k);
+            h.encode(w);
+        }
+    }
+}
+
+impl WireDecode for TelemetrySnapshot {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        fn sorted_keys<T>(v: &[(String, T)]) -> bool {
+            v.windows(2).all(|w| w[0].0 < w[1].0)
+        }
+        let n = r.get_seq_len()?;
+        let mut counters = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            let k = r.get_string()?;
+            let v = r.get_uvarint()?;
+            counters.push((k, v));
+        }
+        let n = r.get_seq_len()?;
+        let mut gauges = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            let k = r.get_string()?;
+            let v = r.get_ivarint()?;
+            gauges.push((k, v));
+        }
+        let n = r.get_seq_len()?;
+        let mut hists = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            let k = r.get_string()?;
+            let h = Histogram::decode(r)?;
+            hists.push((k, h));
+        }
+        if !sorted_keys(&counters) || !sorted_keys(&gauges) || !sorted_keys(&hists) {
+            return Err(WireError::InvalidTag { ty: "TelemetrySnapshot order", tag: 0 });
+        }
+        Ok(TelemetrySnapshot { counters, gauges, hists })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+    use rpcv_simnet::SimDuration;
+
+    fn sample() -> TelemetrySnapshot {
+        let mut reg = Registry::new();
+        reg.add_counter("coord.reexecutions", 3);
+        reg.add_counter("db.jobs", 41);
+        reg.set_gauge("db.pending", 5);
+        reg.hist_mut("span.submit_to_collect").record_gap(SimDuration::from_millis(120));
+        reg.hist_mut("span.submit_to_collect").record_gap(SimDuration::from_millis(340));
+        reg.snapshot()
+    }
+
+    #[test]
+    fn json_is_stable_and_sorted() {
+        let a = sample().to_json();
+        let b = sample().to_json();
+        assert_eq!(a, b);
+        assert!(a.contains("\"coord.reexecutions\": 3"));
+        assert!(a.find("coord.reexecutions").unwrap() < a.find("db.jobs").unwrap());
+        assert!(a.contains("\"p50_ns\""));
+    }
+
+    #[test]
+    fn wire_roundtrip_and_seal() {
+        let snap = sample();
+        let bytes = to_bytes(&snap);
+        let back: TelemetrySnapshot = from_bytes(&bytes).unwrap();
+        assert_eq!(back, snap);
+
+        let sealed = snap.seal();
+        let opened = TelemetrySnapshot::open(&sealed).unwrap();
+        assert_eq!(opened, snap);
+    }
+
+    #[test]
+    fn every_byte_flip_of_a_sealed_snapshot_is_rejected() {
+        let sealed = sample().seal();
+        for i in 0..sealed.len() {
+            for bit in 0..8 {
+                let mut m = sealed.clone();
+                m[i] ^= 1 << bit;
+                assert!(TelemetrySnapshot::open(&m).is_err(), "byte {i} bit {bit} mutant decoded");
+            }
+        }
+    }
+
+    #[test]
+    fn decode_rejects_unsorted_keys() {
+        let mut snap = sample();
+        snap.counters.swap(0, 1);
+        let bytes = to_bytes(&snap);
+        assert!(from_bytes::<TelemetrySnapshot>(&bytes).is_err());
+    }
+
+    #[test]
+    fn accessors_hit_sorted_entries() {
+        let snap = sample();
+        assert_eq!(snap.counter("db.jobs"), 41);
+        assert_eq!(snap.counter("nope"), 0);
+        assert_eq!(snap.gauge("db.pending"), Some(5));
+        assert_eq!(snap.hist("span.submit_to_collect").unwrap().count(), 2);
+    }
+}

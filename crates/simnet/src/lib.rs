@@ -71,6 +71,7 @@ pub mod chaos;
 pub mod disk;
 pub mod net;
 pub mod node;
+pub mod profile;
 pub(crate) mod queue;
 pub mod realtime;
 pub mod resource;
@@ -84,6 +85,7 @@ pub use chaos::{ChaosProfile, ChaosTargets, FaultCounts, FaultPlan};
 pub use disk::{Disk, DiskSpec, WriteOutcome};
 pub use net::{LinkParams, NetModel};
 pub use node::{HostResources, HostSpec, NodeId};
+pub use profile::{ClassProfile, KernelProfile, ProfiledEvent};
 pub use realtime::{spawn_realtime, Command, RealtimeHandle};
 pub use rng::DetRng;
 pub use time::{SimDuration, SimTime};

@@ -5,6 +5,7 @@ use std::collections::BTreeSet;
 use crate::actor::{Actor, Ctx, DurableImage, Effect, FrameOps, TimerId, WireSized};
 use crate::net::{LinkParams, NetModel};
 use crate::node::{HostResources, HostSpec, NodeId};
+use crate::profile::{KernelProfile, ProfiledEvent};
 use crate::queue::EventQueue;
 use crate::rng::DetRng;
 use crate::time::{SimDuration, SimTime};
@@ -102,6 +103,7 @@ pub struct World<M> {
     effects: Vec<Effect<M>>,
     events_processed: u64,
     frame_ops: Option<Box<dyn FrameOps<M>>>,
+    profile: Option<Box<KernelProfile>>,
 }
 
 impl<M: WireSized + 'static> World<M> {
@@ -120,6 +122,7 @@ impl<M: WireSized + 'static> World<M> {
             effects: Vec::new(),
             events_processed: 0,
             frame_ops: None,
+            profile: None,
         }
     }
 
@@ -190,6 +193,45 @@ impl<M: WireSized + 'static> World<M> {
     /// Events currently queued (capacity/backlog observability).
     pub fn queue_len(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Enables (or disables) opt-in kernel profiling.  Enabling starts a
+    /// fresh [`KernelProfile`]; disabling discards it.  The profile is
+    /// strictly observational: it never touches the trace, the queue, or
+    /// any RNG, so the reference trace hash is identical either way.
+    pub fn set_profiling(&mut self, on: bool) {
+        self.profile = if on { Some(Box::default()) } else { None };
+    }
+
+    /// True when kernel profiling is enabled.
+    pub fn profiling(&self) -> bool {
+        self.profile.is_some()
+    }
+
+    /// The kernel profile accumulated since [`Self::set_profiling`], if
+    /// profiling is on.
+    pub fn profile(&self) -> Option<&KernelProfile> {
+        self.profile.as_deref()
+    }
+
+    /// Virtual busy-time per actor class (host-spec name), summed over each
+    /// node's NIC/db/CPU resource occupancy.  Computed lazily from the
+    /// resource accounting the kernel already keeps, so reading it costs
+    /// nothing during the run; note that a crash resets a node's occupancy
+    /// totals (the process is gone), so this reports busy-time of current
+    /// incarnations.
+    pub fn class_busy_time(&self) -> std::collections::BTreeMap<String, SimDuration> {
+        let mut out = std::collections::BTreeMap::new();
+        for slot in &self.nodes {
+            let r = &slot.res;
+            let busy = r.cpu.busy_total()
+                + r.db.busy_total()
+                + r.nic_in.busy_total()
+                + r.nic_out.busy_total();
+            let e = out.entry(slot.spec.name.clone()).or_insert(SimDuration::ZERO);
+            *e += busy;
+        }
+        out
     }
 
     /// Adds a host; returns its id.  Hosts start `up` with no actor.
@@ -340,6 +382,21 @@ impl<M: WireSized + 'static> World<M> {
         debug_assert!(at >= self.now, "time must be monotone");
         self.now = at;
         self.events_processed += 1;
+        // Opt-in profiling: one branch when off; when on, strictly
+        // observational bookkeeping (no trace, queue, or RNG access).
+        if self.profile.is_some() {
+            let (node, ev) = match &kind {
+                EventKind::Start { node, .. } => (Some(*node), ProfiledEvent::Start),
+                EventKind::Deliver { to, .. } => (Some(*to), ProfiledEvent::Deliver),
+                EventKind::Handle { to, .. } => (Some(*to), ProfiledEvent::Handle),
+                EventKind::Timer { node, .. } => (Some(*node), ProfiledEvent::Timer),
+                EventKind::Control(_) => (None, ProfiledEvent::Control),
+            };
+            let class =
+                node.and_then(|n| self.nodes.get(n.0 as usize)).map(|s| s.spec.name.as_str());
+            let depth = self.queue.len();
+            self.profile.as_deref_mut().unwrap().observe(depth, class, ev);
+        }
         match kind {
             EventKind::Start { node, inc } => {
                 let slot = &self.nodes[node.0 as usize];

@@ -364,6 +364,62 @@ const REF_EVENTS: u64 = 64;
 const REF_SENT: u64 = 28;
 const REF_DELIVERED: u64 = 25;
 
+/// Kernel profiling is strictly observational: the same reference scenario
+/// with the profile enabled must reproduce the golden trace hash bit for
+/// bit, while the profile itself accounts every dispatched event.
+#[test]
+fn profiling_leaves_the_reference_trace_untouched() {
+    let run = |profiled: bool| {
+        let mut w = World::<Msg>::new(0xFEED);
+        w.set_profiling(profiled);
+        let a = w.add_host(HostSpec::named("a"));
+        let b = w.add_host(HostSpec::named("b"));
+        w.net_mut().set_link_bidir(a, b, LinkParams { loss: 0.2, ..LinkParams::lan() });
+        w.install(b, move |_| Box::new(Churn { peer: a, cancel_target: None }));
+        w.install(a, move |_| Box::new(Churn { peer: b, cancel_target: None }));
+        w.schedule_control(SimTime::from_millis(1200), Control::Crash(b));
+        w.schedule_control(SimTime::from_millis(1800), Control::Restart(b));
+        w.run_until_idle(SimTime::from_secs(60));
+        let samples = w.profile().map(|p| p.samples());
+        (w.trace().hash(), w.events_processed(), samples)
+    };
+    let (hash_off, events_off, none) = run(false);
+    let (hash_on, events_on, samples) = run(true);
+    assert_eq!(none, None);
+    assert_eq!((hash_off, events_off), (REF_HASH, REF_EVENTS));
+    assert_eq!(
+        (hash_on, events_on),
+        (REF_HASH, REF_EVENTS),
+        "profiling must not perturb the event sequence"
+    );
+    assert_eq!(samples, Some(REF_EVENTS), "every dispatched event is profiled");
+}
+
+/// The per-class accounting attributes events to host-spec names and the
+/// lazy busy-time readout reflects real resource occupancy.
+#[test]
+fn profile_attributes_events_per_class() {
+    let mut w = World::<Msg>::new(0xFEED);
+    w.set_profiling(true);
+    let a = w.add_host(HostSpec::named("left"));
+    let b = w.add_host(HostSpec::named("right"));
+    w.install(b, move |_| Box::new(Churn { peer: a, cancel_target: None }));
+    w.install(a, move |_| Box::new(Churn { peer: b, cancel_target: None }));
+    w.run_until_idle(SimTime::from_secs(60));
+    let p = w.profile().expect("profiling is on");
+    let left = p.class("left").expect("left profiled");
+    let right = p.class("right").expect("right profiled");
+    assert_eq!(left.starts, 1);
+    assert_eq!(right.starts, 1);
+    assert!(left.handles > 0 && right.handles > 0);
+    assert!(left.timers > 0, "timer events attribute to the class");
+    assert!(p.depth_buckets().count() > 0, "queue depth was sampled");
+    let busy = w.class_busy_time();
+    // The 5 MB bulk frame serializes through each side's NIC, so both
+    // classes accumulated non-zero virtual busy-time.
+    assert!(busy["left"].0 > 0 && busy["right"].0 > 0);
+}
+
 #[test]
 fn run_until_advances_clock_even_when_idle() {
     let mut w = World::<Msg>::new(29);

@@ -46,6 +46,15 @@ Dispatches on the artifact's "bench" tag:
   above.  v3 artifacts are rejected — regenerate.  Mirrors
   `check_shard_scaling` in crates/bench/benches/scale.rs.
 
+  Schema v5 adds the telemetry plane's latency columns: every cell
+  reports job_p50_ms / job_p99_ms, the end-to-end job latency quantiles
+  in VIRTUAL time (submission requested -> result held) read from the
+  per-client log2 histograms.  Both must be present, positive, and
+  ordered (p99 >= p50); the throughput floors above are asserted on the
+  same rows, so the 300k floor now provably holds with telemetry (kernel
+  profiling + span bookkeeping) enabled.  v4 artifacts are rejected —
+  regenerate.
+
 * ckpt — validate the checkpoint-policy sweep's schema and its headline:
   every cell completed, checkpointing policies report the bytes they paid,
   and within each volatility group the adaptive policy wastes less work
@@ -81,16 +90,16 @@ SCALE_FLOOR_SMOKE = 30_000
 
 
 def check_scale(doc: dict, path: str) -> None:
-    assert doc["schema_version"] == 4, \
-        f"{path}: scale schema is {doc['schema_version']}, expected 4 — " \
-        f"regenerate the artifact (v4 added the shards axis and per-shard metrics)"
+    assert doc["schema_version"] == 5, \
+        f"{path}: scale schema is {doc['schema_version']}, expected 5 — " \
+        f"regenerate the artifact (v5 added the job_p50_ms/job_p99_ms latency columns)"
     grid = doc["grid"]
     floor = SCALE_FLOOR_SMOKE if doc["smoke"] else SCALE_FLOOR_FULL
     for cell in grid:
         label = (f'{cell.get("servers")}x{cell.get("jobs")}'
                  f'x{cell.get("clients")}x{cell.get("shards")}')
         for col in ("events_per_sec", "wall_seconds", "sim_events_per_sec",
-                    "resident_rows", "shards"):
+                    "resident_rows", "shards", "job_p50_ms", "job_p99_ms"):
             assert col in cell, \
                 f"{path}: cell {label} lacks the {col} column — " \
                 f"regenerate the artifact; its gate cannot be checked"
@@ -98,6 +107,12 @@ def check_scale(doc: dict, path: str) -> None:
         assert cell["events_per_sec"] >= floor, \
             f"{path}: cell {label} ran at {cell['events_per_sec']:.0f} events/sec, " \
             f"below the {floor} floor — kernel throughput regressed"
+        assert cell["job_p50_ms"] > 0, \
+            f"{path}: cell {label} reports no job latency — the telemetry " \
+            f"plane's histograms are empty on a completed cell"
+        assert cell["job_p99_ms"] >= cell["job_p50_ms"], \
+            f"{path}: cell {label} has p99 {cell['job_p99_ms']} ms below " \
+            f"p50 {cell['job_p50_ms']} ms — quantiles are broken"
     pairs = 0
     for a in grid:
         for b in grid:
@@ -136,10 +151,12 @@ def check_scale(doc: dict, path: str) -> None:
     slowest = min(c["events_per_sec"] for c in grid)
     peak = max(c["resident_rows"] for c in grid)
     widest = max(c["shards"] for c in grid)
+    worst_p99 = max(c["job_p99_ms"] for c in grid)
     print(f"{path}: delta + residency flatness OK across {pairs} jobs-only "
           f"cell pair(s); {ladder} shard-ladder pair(s) hold the scale-out "
           f"floor (widest {widest} shards); peak residency {peak} rows; "
-          f"slowest cell {slowest:.0f} events/sec (floor {floor})")
+          f"slowest cell {slowest:.0f} events/sec (floor {floor}, telemetry on); "
+          f"worst job p99 {worst_p99:.1f} ms")
 
 
 def check_ckpt(doc: dict, path: str) -> None:
@@ -174,7 +191,9 @@ def check_ckpt(doc: dict, path: str) -> None:
 
 
 def check_chaos(doc: dict, path: str, committed: bool) -> None:
-    assert doc["schema_version"] == 1, "unknown chaos schema version"
+    assert doc["schema_version"] == 2, \
+        f"{path}: chaos schema is {doc['schema_version']}, expected 2 — " \
+        f"regenerate the artifact (v2 embeds the per-plan recovery-gap histogram)"
     plans = doc["plans"]
     totals = doc["totals"]
     assert len(plans) >= 1, "chaos sweep must contain at least one plan"
@@ -192,6 +211,12 @@ def check_chaos(doc: dict, path: str, committed: bool) -> None:
             f"{path}: plan {tag} counted more bad frames than corruptions — {p}"
         assert p["results"] == p["jobs"], \
             f"{path}: plan {tag} delivered {p['results']}/{p['jobs']} results"
+        hist = p["recovery_gap_hist"]
+        assert hist["p99_ms"] >= hist["p50_ms"] >= 0, \
+            f"{path}: plan {tag} has broken recovery-gap quantiles — {hist}"
+        assert hist["count"] == sum(n for _, n in hist["buckets"]), \
+            f"{path}: plan {tag} recovery-gap bucket occupancy disagrees " \
+            f"with its count — {hist}"
     assert totals["survived"] == totals["plans"] == len(plans), \
         f"{path}: totals disagree with the plan list: {totals}"
     assert totals["corrupt_frames"] > 0 and totals["dup_frames"] > 0, \

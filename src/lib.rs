@@ -17,6 +17,7 @@
 //! | [`ckpt`] | `rpcv-ckpt` | adaptive task checkpointing: policies, volatility estimation, checkpoint frames |
 //! | [`xw`] | `rpcv-xw` | XtremWeb-like middleware substrate |
 //! | [`workload`] | `rpcv-workload` | synthetic + Alcatel-like workloads, fault plans |
+//! | [`obs`] | `rpcv-obs` | telemetry plane: metrics registry, virtual-time histograms, job lifecycle spans, sealed snapshots |
 //!
 //! ## Two ways to run a grid
 //!
@@ -100,6 +101,7 @@ pub use rpcv_ckpt as ckpt;
 pub use rpcv_core as core;
 pub use rpcv_detect as detect;
 pub use rpcv_log as log;
+pub use rpcv_obs as obs;
 pub use rpcv_simnet as simnet;
 pub use rpcv_store as store;
 pub use rpcv_wire as wire;

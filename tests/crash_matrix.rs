@@ -493,6 +493,74 @@ fn resumed_instance_skips_checkpointed_units() {
     }
 }
 
+/// Telemetry lifecycle audit: a mid-execution server crash leaves exactly
+/// one failover annotation on the re-executed job's span.  The detection
+/// gap recorded in the annotation is the true silence the coordinator
+/// observed — at least the suspicion timeout, at most one heartbeat (the
+/// scan period) more — and the annotation is stamped recovered once the
+/// replacement instance dispatches.
+#[test]
+fn failover_span_records_one_bounded_annotation() {
+    use rpcv::obs::SpanEdge;
+
+    let heartbeat = SimDuration::from_secs(1);
+    let suspicion = SimDuration::from_secs(5);
+    let cfg = ProtocolConfig::confined().with_heartbeat(heartbeat).with_suspicion(suspicion);
+    let call = CallSpec::new("b", Blob::synthetic(10_000, 1), 30.0, 128);
+    let mut g = SimGrid::build(GridSpec::confined(1, 2).with_cfg(cfg).with_plan(vec![call]));
+
+    // Crash whichever server is executing the 30 s task — permanently.
+    g.world.run_until(SimTime::from_secs(10));
+    let victim = (0..2)
+        .find(|&i| g.server(i).is_some_and(|s| s.running_count() == 1))
+        .expect("one server must be mid-task at the crash instant");
+    g.world.crash_now(g.servers[victim].1);
+    let done = g.run_until_done(SimTime::from_secs(1800)).expect("replacement completes");
+    assert_eq!(g.client_results(), 1);
+    // Collection acks ride the client beats: give them a few periods to
+    // land so the Collected edge is stamped.
+    g.world.run_until(done + SimDuration::from_secs(10));
+
+    let coord = g.coordinator(0).expect("coordinator up");
+    let job = rpcv::xw::JobKey::new(g.client_key, 1);
+    let span = coord.spans().span(&job).expect("the job has a span");
+    assert_eq!(span.failovers.len(), 1, "exactly one failover annotation");
+    assert_eq!(span.reexecutions, 1, "one re-execution, annotated not restarted");
+    let note = &span.failovers[0];
+    assert!(
+        note.detect_gap >= suspicion,
+        "silence below the suspicion timeout must not fire: {:?}",
+        note.detect_gap
+    );
+    assert!(
+        note.detect_gap <= suspicion + heartbeat,
+        "detection lags the timeout by at most one scan period: {:?}",
+        note.detect_gap
+    );
+    let recovered = note.recovered_at.expect("replacement dispatch resolves the annotation");
+    assert!(recovered > note.suspected_at);
+    assert_eq!(note.recovery_gap(), Some(recovered.since(note.suspected_at)));
+
+    // The edge timeline is intact despite the crash: dispatched exactly
+    // once (the re-instance annotates, it does not restart), finished and
+    // collected after the failover.
+    let edge_at = |e: SpanEdge| span.marks.iter().find(|&&(m, _)| m == e).map(|&(_, t)| t);
+    let dispatched = edge_at(SpanEdge::Dispatched).expect("dispatched edge");
+    let finished = edge_at(SpanEdge::Finished).expect("finished edge");
+    let collected = edge_at(SpanEdge::Collected).expect("collected edge");
+    assert_eq!(span.marks.iter().filter(|&&(m, _)| m == SpanEdge::Dispatched).count(), 1);
+    assert!(dispatched < note.suspected_at && note.suspected_at < finished);
+    assert!(finished <= collected);
+
+    // The folded registry agrees with the raw span: one recovery gap in
+    // the histogram, one failover and one re-execution in the counters.
+    let snap = coord.telemetry_snapshot();
+    assert_eq!(snap.counter("span.failovers"), 1);
+    assert_eq!(snap.counter("span.reexecutions"), 1);
+    let gap_hist = snap.hist("span.failover_recovery_gap").expect("recovery-gap hist folded");
+    assert_eq!(gap_hist.count(), 1);
+}
+
 /// Blocked-on-durability guarantee: under blocking-pessimistic logging a
 /// crash at any instant never loses a submission whose interaction
 /// completed — sweep the crash instant across the whole submission phase.

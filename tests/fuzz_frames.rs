@@ -8,9 +8,10 @@
 
 use rpcv::core::grid::{GridSpec, SimGrid};
 use rpcv::core::msg::{Msg, RpcResult};
+use rpcv::obs::{Registry, TelemetrySnapshot};
 use rpcv::simnet::{SimDuration, SimTime};
 use rpcv::wire::{from_bytes, open_frame, seal_frame, to_bytes, Blob, WireError};
-use rpcv::xw::{ClientKey, JobKey, ServerId, TaskId};
+use rpcv::xw::{ClientKey, CoordId, JobKey, ServerId, TaskId};
 
 /// Small representative frames (no `Batch`, no `Corrupt`: a mutant that
 /// keeps its tag byte keeps its variant, so every Ok-decoding mutant of
@@ -141,6 +142,54 @@ fn actors_absorb_every_mutant_without_panicking() {
         poison * targets.len() as u64,
         "every poison delivery is counted exactly once, nothing else is"
     );
+}
+
+/// The tag-25/26 introspection frames obey the same envelope discipline
+/// as every other frame: a sealed `StatusReply` carries a payload that is
+/// *itself* a CRC-64-sealed telemetry snapshot, and a single damaged byte
+/// at either layer must surface as a typed rejection — never a forged
+/// snapshot, never a panic.
+#[test]
+fn sealed_status_frames_absorb_every_byte_flip() {
+    let mut reg = Registry::new();
+    reg.add_counter("coord.jobs", 7);
+    reg.set_gauge("coord.shard", 3);
+    reg.hist_mut("span.submit_to_collect").record_gap(SimDuration::from_millis(1234));
+    let snap = reg.snapshot();
+    let sealed_snap = snap.seal();
+
+    // Inner envelope: every flip of the sealed snapshot fails typed.
+    for i in 0..sealed_snap.len() {
+        let mut mutant = sealed_snap.clone();
+        mutant[i] ^= 0xFF;
+        assert!(
+            TelemetrySnapshot::open(&mutant).is_err(),
+            "flip of sealed snapshot byte {i} must not forge a snapshot"
+        );
+    }
+    assert_eq!(TelemetrySnapshot::open(&sealed_snap).as_ref(), Ok(&snap));
+
+    // Outer envelope: every flip of the sealed status frames is rejected
+    // before the decoder ever runs — request and reply alike.
+    let frames = vec![
+        Msg::StatusRequest { nonce: 41 },
+        Msg::StatusReply { coord: CoordId(2), nonce: 41, sealed: Blob::from_vec(sealed_snap) },
+    ];
+    let mut rejected = 0u64;
+    for msg in frames {
+        let sealed = seal_frame(to_bytes(&msg));
+        for i in 0..sealed.len() {
+            let mut mutant = sealed.clone();
+            mutant[i] ^= 0xFF;
+            match open_frame(&mutant).and_then(from_bytes::<Msg>) {
+                Ok(m) => panic!("flip of sealed byte {i} forged a status frame: {m:?}"),
+                Err(_) => rejected += 1,
+            }
+        }
+        // The pristine frame still round-trips.
+        assert_eq!(open_frame(&sealed).and_then(from_bytes::<Msg>).as_ref(), Ok(&msg));
+    }
+    assert!(rejected > 0);
 }
 
 /// Batch mutants exercise the nested-container guard: flips either decode

@@ -158,6 +158,34 @@ fn per_index_grid_clients_see_no_cross_tenant_results() {
 }
 
 #[test]
+fn pull_status_exposes_live_telemetry() {
+    use rpcv::obs::TelemetrySnapshot;
+
+    let spec = GridSpec::confined(2, 2).with_cfg(fast_cfg()).with_registry(registry());
+    let grid = LiveGrid::launch(spec, 100.0);
+    let mut client = GridClient::new(&grid);
+    let call = CallSpec::new("test/double", Blob::from_vec(to_bytes(&21u64)), 0.1, 16);
+    let result = client.call(call, Duration::from_secs(30)).expect("blocking call");
+    assert_eq!(decode_result(result), 42);
+
+    // A live pull reaches the client's preferred coordinator and comes
+    // back as a decoded, sealed-and-verified snapshot of real state.
+    let (coord, snap) = client.pull_status(Duration::from_secs(30)).expect("status pull");
+    assert!(coord.0 < 2, "an actual grid coordinator answered: {coord:?}");
+    assert!(snap.counter("db.jobs") >= 1, "the completed call is visible in the snapshot");
+    assert!(snap.counter("coord.status_replies") >= 1, "the pull itself is metered");
+    assert!(snap.counter("span.jobs") >= 1, "the job's lifecycle span was folded in");
+    // The snapshot round-trips through its own sealed encoding.
+    assert_eq!(TelemetrySnapshot::open(&snap.seal()).as_ref(), Ok(&snap));
+
+    // A second pull is answered freshly (nonce-matched), so the reply
+    // meter has visibly advanced — a stale cached snapshot would not.
+    let (_, snap2) = client.pull_status(Duration::from_secs(30)).expect("second pull");
+    assert!(snap2.counter("coord.status_replies") > snap.counter("coord.status_replies"));
+    grid.shutdown();
+}
+
+#[test]
 fn shutdown_returns_final_world() {
     let spec = GridSpec::confined(1, 1).with_cfg(fast_cfg()).with_registry(registry());
     let grid = LiveGrid::launch(spec, 100.0);
